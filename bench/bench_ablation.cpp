@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation of the partition parallelism forms (paper §II-B, §III-D1,
+ * Fig. 4 and Fig. 7): bit-serial vs bit-parallel element-parallel
+ * arithmetic, swept over the partition count N.
+ *
+ * Three configurations per (op, N):
+ *  - serial/no-partitions: every micro-op performs one gate (the
+ *    partition-free AritPIM baseline),
+ *  - serial/partitions: ripple algorithms with bulk-initialised lanes,
+ *  - parallel: carry-lookahead addition (Brent-Kung) and carry-save
+ *    multiplication using periodic semi-parallel operations.
+ *
+ * Expected shape: addition O(N) -> O(log N), multiplication
+ * O(N^2) -> O(N log N) (AritPIM reports ~14x for N = 32 multiplication
+ * against the no-partition baseline).
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace pypim;
+using namespace pypim::bench;
+
+namespace
+{
+
+Geometry
+ablationGeometry(uint32_t partitions)
+{
+    Geometry g;
+    g.partitions = partitions;
+    g.wordBits = partitions;
+    g.cols = std::min<uint32_t>(1024, 64 * partitions);
+    g.numCrossbars = 4;
+    g.rows = 64;
+    g.userRegs = std::min<uint32_t>(14, g.slots() - 18);
+    return g;
+}
+
+uint64_t
+latency(const Geometry &g, Driver::Mode mode, bool partitions, ROp op)
+{
+    CountingSink sink;
+    Driver drv(sink, g, mode);
+    drv.setPartitionsEnabled(partitions);
+    drv.execute(fullInstr(g, op, DType::Int32));
+    return sink.stats().totalOps();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+
+    std::printf("=== Partition-parallelism ablation (paper Fig. 4 / "
+                "II-B) ===\n");
+    std::printf("latency in micro-ops (= cycles) per element-parallel "
+                "instruction\n\n");
+    for (const char *opName : {"addition", "multiplication"}) {
+        const ROp op =
+            std::string(opName) == "addition" ? ROp::Add : ROp::Mul;
+        std::printf("%-14s %6s %12s %12s %12s %8s %8s\n", opName, "N",
+                    "serial-noP", "serial", "parallel", "ser/par",
+                    "noP/par");
+        for (uint32_t n : {8u, 16u, 32u}) {
+            const Geometry g = ablationGeometry(n);
+            const uint64_t noPart =
+                latency(g, Driver::Mode::Serial, false, op);
+            const uint64_t serial =
+                latency(g, Driver::Mode::Serial, true, op);
+            const uint64_t parallel =
+                latency(g, Driver::Mode::Parallel, true, op);
+            std::printf("%-14s %6u %12llu %12llu %12llu %7.2fx "
+                        "%7.2fx\n",
+                        "", n,
+                        static_cast<unsigned long long>(noPart),
+                        static_cast<unsigned long long>(serial),
+                        static_cast<unsigned long long>(parallel),
+                        static_cast<double>(serial) / parallel,
+                        static_cast<double>(noPart) / parallel);
+        }
+        std::printf("\n");
+    }
+
+    // Half-gates encoding ablation: how much larger would the
+    // operation stream be if every periodic op had to be issued as
+    // single gates (i.e., without the paper's compact partition
+    // format)?
+    {
+        const Geometry g = ablationGeometry(32);
+        const uint64_t withFormat =
+            latency(g, Driver::Mode::Parallel, true, ROp::Add);
+        const uint64_t withoutFormat =
+            latency(g, Driver::Mode::Parallel, false, ROp::Add);
+        std::printf("half-gates periodic encoding: parallel int add "
+                    "needs %llu ops with the partition format vs %llu "
+                    "single-gate ops without (%.2fx compression)\n",
+                    static_cast<unsigned long long>(withFormat),
+                    static_cast<unsigned long long>(withoutFormat),
+                    static_cast<double>(withoutFormat) / withFormat);
+    }
+
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

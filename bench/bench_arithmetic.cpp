@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Figure 13 (top panel): elementwise arithmetic throughput — Int Add,
+ * Int Mult, Int <, FP Add, FP Mult (plus the remaining Table II
+ * arithmetic for completeness). Three series per benchmark, as in the
+ * paper: PyPIM (measured micro-ops on the bit-accurate simulator),
+ * Theoretical PIM (gate-level lower bound), and the maximal throughput
+ * supported by the host driver.
+ *
+ * The google-benchmark section additionally reports the host-side
+ * wall time of simulating one full-mask instruction.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace pypim;
+using namespace pypim::bench;
+
+namespace
+{
+
+struct Case
+{
+    const char *name;
+    ROp op;
+    DType dt;
+};
+
+const Case kFigureCases[] = {
+    {"Int Add", ROp::Add, DType::Int32},
+    {"Int Mult", ROp::Mul, DType::Int32},
+    {"Int <", ROp::Lt, DType::Int32},
+    {"FP Add", ROp::Add, DType::Float32},
+    {"FP Mult", ROp::Mul, DType::Float32},
+};
+
+const Case kExtraCases[] = {
+    {"Int Sub", ROp::Sub, DType::Int32},
+    {"Int Div", ROp::Div, DType::Int32},
+    {"Int Mod", ROp::Mod, DType::Int32},
+    {"FP Sub", ROp::Sub, DType::Float32},
+    {"FP Div", ROp::Div, DType::Float32},
+    {"FP <", ROp::Lt, DType::Float32},
+};
+
+Fig13Row
+runCase(Simulator &sim, Driver &drv, const Case &c)
+{
+    const Geometry &g = sim.geometry();
+    const RTypeInstr in = fullInstr(g, c.op, c.dt);
+    sim.stats().clear();
+    drv.execute(in);
+    const Stats d = sim.stats();
+    Fig13Row row;
+    row.name = c.name;
+    row.measuredCycles = d.totalCycles();
+    row.theoryCycles = theory::theoreticalCycles(d, g);
+    row.conventionCycles = theory::conventionCycles(d, g);
+    row.streamOps = d.totalOps();
+    row.driverRate = generationRate(
+        g, drv.mode(), [&](Driver &dd) { dd.execute(in); });
+    return row;
+}
+
+void
+verifyCorrectness(Simulator &sim, Driver &drv)
+{
+    // Spot-check the measured operations against host arithmetic on a
+    // few threads (the full verification lives in the test suite).
+    const Geometry &g = sim.geometry();
+    drv.execute(fullInstr(g, ROp::Add, DType::Int32, 4, 0, 1));
+    drv.execute(fullInstr(g, ROp::Mul, DType::Int32, 5, 0, 1));
+    for (uint32_t t = 0; t < 32; ++t) {
+        const uint32_t w = t % g.numCrossbars;
+        const uint32_t r = (t * 37) % g.rows;
+        const uint32_t a = sim.crossbar(w).read(0, r);
+        const uint32_t b = sim.crossbar(w).read(1, r);
+        if (sim.crossbar(w).read(4, r) != a + b ||
+            sim.crossbar(w).read(5, r) != a * b) {
+            std::fprintf(stderr, "verification FAILED at thread %u\n",
+                         t);
+            std::exit(1);
+        }
+    }
+    std::printf("correctness spot-check: PASS (32 threads, add/mul)\n");
+}
+
+/** google-benchmark: wall time of simulating one instruction. */
+void
+simulateInstr(benchmark::State &state, ROp op, DType dt)
+{
+    const Geometry g = benchGeometry(
+        static_cast<uint32_t>(state.range(0)));
+    Simulator sim(g);
+    Driver drv(sim, g, Driver::Mode::Parallel);
+    Rng rng(1);
+    fillRegister(sim, 0, rng, dt == DType::Float32);
+    fillRegister(sim, 1, rng, dt == DType::Float32);
+    const RTypeInstr in = fullInstr(g, op, dt);
+    for (auto _ : state) {
+        drv.execute(in);
+        benchmark::DoNotOptimize(sim);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * g.totalRows());
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(simulateInstr, int_add, ROp::Add, DType::Int32)
+    ->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(simulateInstr, int_mul, ROp::Mul, DType::Int32)
+    ->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(simulateInstr, fp_add, ROp::Add, DType::Float32)
+    ->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(simulateInstr, fp_mul, ROp::Mul, DType::Float32)
+    ->Arg(16)->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+
+    const Geometry g = benchGeometry();
+    Simulator sim(g);
+    Driver drv(sim, g, Driver::Mode::Parallel);
+    Rng rng(42);
+    fillRegister(sim, 0, rng, false);
+    fillRegister(sim, 1, rng, false);
+
+    std::vector<Fig13Row> figure;
+    std::vector<Fig13Row> extra;
+    for (const Case &c : kFigureCases) {
+        if (c.dt == DType::Float32) {
+            fillRegister(sim, 0, rng, true);
+            fillRegister(sim, 1, rng, true);
+        }
+        figure.push_back(runCase(sim, drv, c));
+    }
+    for (const Case &c : kExtraCases) {
+        fillRegister(sim, 0, rng, c.dt == DType::Float32);
+        fillRegister(sim, 1, rng, c.dt == DType::Float32);
+        if (c.op == ROp::Div || c.op == ROp::Mod) {
+            // Avoid division by zero in the workload.
+            for (uint32_t w = 0; w < g.numCrossbars; ++w)
+                for (uint32_t r = 0; r < g.rows; ++r)
+                    if (sim.crossbar(w).read(1, r) == 0)
+                        sim.crossbar(w).writeRow(1, 7, r);
+        }
+        extra.push_back(runCase(sim, drv, c));
+    }
+
+    printFig13("Figure 13 (top): throughput comparison", figure);
+    printFig13("Table II extras (not shown in the paper's figure)",
+               extra);
+
+    fillRegister(sim, 0, rng, false);
+    fillRegister(sim, 1, rng, false);
+    verifyCorrectness(sim, drv);
+
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

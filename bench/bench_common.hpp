@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Shared infrastructure for the PyPIM benchmark suite.
+ *
+ * Every bench reproduces a piece of the paper's evaluation (§VI,
+ * Fig. 13): it measures the micro-op/cycle counts of a workload on the
+ * bit-accurate simulator, derives throughput with the paper's Eq. (1)
+ * (parallelism = rows of the Table III deployment, 64M, at 300 MHz),
+ * computes the theoretical-PIM bound from the same stream, and
+ * reports the host driver's generation-rate headroom.
+ *
+ * The simulated crossbar COUNT does not affect the latency of
+ * broadcast instruction streams, so benches run on a small memory
+ * (16-64 crossbars) and report throughput at the 64k-crossbar
+ * deployment scale — exactly the normalisation the paper's artifact
+ * describes (appendix E / Eq. 1).
+ */
+#ifndef PYPIM_BENCH_BENCH_COMMON_HPP
+#define PYPIM_BENCH_BENCH_COMMON_HPP
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pim/pypim.hpp"
+#include "sim/sink.hpp"
+#include "theory/model.hpp"
+
+namespace pypim::bench
+{
+
+/** Table III crossbar geometry with a simulation-friendly memory. */
+inline Geometry
+benchGeometry(uint32_t crossbars = 16)
+{
+    Geometry g;
+    g.numCrossbars = crossbars;
+    return g;
+}
+
+/** Full-scale deployment (Table III: 64k crossbars, 64M rows). */
+inline const Geometry &
+deployment()
+{
+    static const Geometry g = tableIIIGeometry();
+    return g;
+}
+
+/** One row of a Figure-13-style result table. */
+struct Fig13Row
+{
+    std::string name;
+    uint64_t measuredCycles = 0;
+    uint64_t theoryCycles = 0;      //!< amortised-INIT lower bound
+    uint64_t conventionCycles = 0;  //!< AritPIM-convention count
+    uint64_t streamOps = 0;     //!< micro-ops in the measured stream
+    double driverRate = 0.0;    //!< host micro-op generation rate [1/s]
+};
+
+/** Print a Figure-13 panel plus the paper's summary statistics. */
+inline void
+printFig13(const char *title, const std::vector<Fig13Row> &rows)
+{
+    const Geometry &dep = deployment();
+    const double rowsP = static_cast<double>(dep.totalRows());
+    std::printf("\n=== %s ===\n", title);
+    std::printf("Eq. (1): throughput = parallelism (%.0fM rows) / "
+                "latency [cycles] * %.0f MHz\n",
+                rowsP / 1e6, dep.clockHz / 1e6);
+    std::printf("gapA = overhead vs the AritPIM-convention count "
+                "(gates + inits; the paper's 5%%/16%% metric);\n"
+                "gapL = distance from the amortised-INIT lower "
+                "bound\n");
+    std::printf("%-18s %10s %10s %6s %6s | %12s %12s %12s %9s\n",
+                "benchmark", "cycles", "theory", "gapA", "gapL",
+                "PyPIM[OP/s]", "theory[OP/s]", "driver[OP/s]",
+                "headroom");
+    double gapASum = 0.0, gapAMax = 0.0, headMin = 1e300;
+    for (const auto &r : rows) {
+        const double pTput =
+            theory::throughput(r.measuredCycles, dep.totalRows(), dep);
+        const double tTput =
+            theory::throughput(r.theoryCycles, dep.totalRows(), dep);
+        const double dTput =
+            rowsP * r.driverRate / static_cast<double>(r.streamOps);
+        const double gapA =
+            100.0 * (static_cast<double>(r.measuredCycles) /
+                         static_cast<double>(r.conventionCycles) -
+                     1.0);
+        const double gapL =
+            100.0 * (static_cast<double>(r.measuredCycles) /
+                         static_cast<double>(r.theoryCycles) -
+                     1.0);
+        const double headroom = dTput / pTput;
+        gapASum += gapA;
+        gapAMax = std::max(gapAMax, gapA);
+        headMin = std::min(headMin, headroom);
+        std::printf("%-18s %10llu %10llu %5.1f%% %5.0f%% | %12.3e "
+                    "%12.3e %12.3e %8.2fx\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.measuredCycles),
+                    static_cast<unsigned long long>(r.theoryCycles),
+                    gapA, gapL, pTput, tTput, dTput, headroom);
+    }
+    std::printf("summary: mean integration overhead %.2f%% "
+                "(worst %.2f%%) [paper: 5%% / 16%%]; min driver "
+                "headroom %.2fx [paper: 6.8x worst]\n",
+                gapASum / static_cast<double>(rows.size()), gapAMax,
+                headMin);
+}
+
+/**
+ * Host micro-op generation rate [ops/s]: repeatedly translate the
+ * instruction stream emitted by @p emitAll into a memory buffer (the
+ * artifact's "ideal chip" harness, appendix E).
+ */
+template <typename Fn>
+double
+generationRate(const Geometry &geo, Driver::Mode mode, Fn &&emitAll,
+               double minSeconds = 0.2)
+{
+    BufferSink sink(1 << 16);
+    Driver drv(sink, geo, mode);
+    emitAll(drv);  // warm-up; also sizes one repetition
+    const uint64_t opsPerRep = sink.total();
+    using clock = std::chrono::steady_clock;
+    uint64_t reps = 0;
+    const auto t0 = clock::now();
+    double elapsed = 0.0;
+    do {
+        emitAll(drv);
+        ++reps;
+        elapsed = std::chrono::duration<double>(clock::now() - t0)
+                      .count();
+    } while (elapsed < minSeconds);
+    return static_cast<double>(reps * opsPerRep) / elapsed;
+}
+
+/** Fill register @p slot of every thread with random words. */
+inline void
+fillRegister(Simulator &sim, uint32_t slot, Rng &rng,
+             bool floatData = false)
+{
+    const Geometry &g = sim.geometry();
+    for (uint32_t w = 0; w < g.numCrossbars; ++w) {
+        for (uint32_t r = 0; r < g.rows; ++r) {
+            uint32_t v = rng.word();
+            if (floatData) {
+                // Finite, well-scaled floats.
+                union { uint32_t u; float f; } x;
+                x.f = (static_cast<float>(v % 100000) - 50000.0f) / 7.0f;
+                v = x.u;
+            }
+            sim.crossbar(w).writeRow(slot, v, r);
+        }
+    }
+}
+
+/** Full-mask R-type instruction for the given geometry. */
+inline RTypeInstr
+fullInstr(const Geometry &g, ROp op, DType dt, uint8_t rd = 2,
+          uint8_t ra = 0, uint8_t rb = 1, uint8_t rc = 3)
+{
+    RTypeInstr in;
+    in.op = op;
+    in.dtype = dt;
+    in.rd = rd;
+    in.ra = ra;
+    in.rb = rb;
+    in.rc = rc;
+    in.warps = Range::all(g.numCrossbars);
+    in.rows = Range::all(g.rows);
+    return in;
+}
+
+} // namespace pypim::bench
+
+#endif // PYPIM_BENCH_BENCH_COMMON_HPP

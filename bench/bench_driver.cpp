@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Host-driver throughput (paper §VI-B "Host Driver Runtime" and
+ * artifact appendix E): micro-operations are rerouted to a memory
+ * buffer instead of the simulator, measuring the maximal rate at which
+ * the host can generate the stream. The chip consumes one broadcast
+ * op per cycle at 300 MHz; as long as the generation rate exceeds
+ * that, "a hardware controller is not necessary" — the paper's claim.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace pypim;
+using namespace pypim::bench;
+
+namespace
+{
+
+struct Case
+{
+    const char *name;
+    ROp op;
+    DType dt;
+};
+
+const Case kCases[] = {
+    {"int add", ROp::Add, DType::Int32},
+    {"int mul", ROp::Mul, DType::Int32},
+    {"int div", ROp::Div, DType::Int32},
+    {"int <", ROp::Lt, DType::Int32},
+    {"fp add", ROp::Add, DType::Float32},
+    {"fp mul", ROp::Mul, DType::Float32},
+    {"fp div", ROp::Div, DType::Float32},
+    {"mux", ROp::Mux, DType::Int32},
+};
+
+void
+generate(benchmark::State &state, ROp op, DType dt)
+{
+    const Geometry g = benchGeometry();
+    BufferSink sink(1 << 16);
+    Driver drv(sink, g, Driver::Mode::Parallel);
+    const RTypeInstr in = fullInstr(g, op, dt);
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        const uint64_t before = sink.total();
+        drv.execute(in);
+        ops += sink.total() - before;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(ops));
+    state.counters["micro-ops/instr"] = static_cast<double>(
+        ops / std::max<uint64_t>(1, state.iterations()));
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(generate, int_add, ROp::Add, DType::Int32);
+BENCHMARK_CAPTURE(generate, int_mul, ROp::Mul, DType::Int32);
+BENCHMARK_CAPTURE(generate, fp_add, ROp::Add, DType::Float32);
+BENCHMARK_CAPTURE(generate, fp_mul, ROp::Mul, DType::Float32);
+BENCHMARK_CAPTURE(generate, fp_div, ROp::Div, DType::Float32);
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+
+    const Geometry g = benchGeometry();
+    const double chipRate = static_cast<double>(g.clockHz);
+
+    std::printf("=== Host driver maximal throughput (artifact "
+                "appendix E) ===\n");
+    std::printf("chip consumption rate: %.0f M micro-ops/s "
+                "(1 op/cycle at %.0f MHz)\n",
+                chipRate / 1e6, chipRate / 1e6);
+    std::printf("%-10s %16s %16s %10s\n", "kernel", "ops/instr",
+                "gen rate [M/s]", "headroom");
+    double headMin = 1e300;
+    for (const Case &c : kCases) {
+        const RTypeInstr in = fullInstr(g, c.op, c.dt);
+        // Ops per instruction.
+        CountingSink cnt;
+        {
+            Driver d(cnt, g, Driver::Mode::Parallel);
+            d.execute(in);
+        }
+        const uint64_t perInstr = cnt.stats().totalOps();
+        const double rate = generationRate(
+            g, Driver::Mode::Parallel,
+            [&](Driver &dd) { dd.execute(in); });
+        const double headroom = rate / chipRate;
+        headMin = std::min(headMin, headroom);
+        std::printf("%-10s %16llu %16.1f %9.2fx\n", c.name,
+                    static_cast<unsigned long long>(perInstr),
+                    rate / 1e6, headroom);
+    }
+    std::printf("minimum headroom: %.2fx -> the host driver is %s a "
+                "bottleneck (paper: 6.8x worst case)\n",
+                headMin, headMin >= 1.0 ? "NOT" : "POTENTIALLY");
+
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

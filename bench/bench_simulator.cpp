@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Simulator performance (paper §VI: the GPU-accelerated simulator; our
+ * CPU substitute uses the same condensed bit-packed storage). Reports
+ * the host-side micro-op execution rate as the simulated memory scales
+ * in crossbar count and rows — the quantities that determine the cost
+ * of one broadcast logic op (O(crossbars * rows/64) word operations).
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace pypim;
+using namespace pypim::bench;
+
+namespace
+{
+
+/** Execute a mixed micro-op heavy instruction (float add). */
+void
+simScaling(benchmark::State &state)
+{
+    Geometry g = benchGeometry(static_cast<uint32_t>(state.range(0)));
+    g.rows = static_cast<uint32_t>(state.range(1));
+    Simulator sim(g);
+    Driver drv(sim, g, Driver::Mode::Parallel);
+    Rng rng(3);
+    fillRegister(sim, 0, rng, true);
+    fillRegister(sim, 1, rng, true);
+    const RTypeInstr in = fullInstr(g, ROp::Add, DType::Float32);
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        sim.stats().clear();
+        drv.execute(in);
+        ops += sim.stats().totalOps();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(ops));
+    state.counters["simulated_threads"] =
+        static_cast<double>(g.totalRows());
+}
+
+/** Raw logic micro-op execution rate (single periodic NOR). */
+void
+rawLogicOps(benchmark::State &state)
+{
+    Geometry g = benchGeometry(static_cast<uint32_t>(state.range(0)));
+    Simulator sim(g);
+    const Word init = MicroOp::logicH(Gate::Init1, 0, 0,
+                                      g.column(4, 0),
+                                      g.partitions - 1, 1).encode();
+    const Word nor = MicroOp::logicH(Gate::Nor, g.column(0, 0),
+                                     g.column(1, 0), g.column(4, 0),
+                                     g.partitions - 1, 1).encode();
+    std::vector<Word> batch;
+    for (int i = 0; i < 512; ++i) {
+        batch.push_back(init);
+        batch.push_back(nor);
+    }
+    for (auto _ : state)
+        sim.performBatch(batch.data(), batch.size());
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(batch.size()));
+}
+
+/** Move-op execution rate (H-tree transfers). */
+void
+moveOps(benchmark::State &state)
+{
+    Geometry g = benchGeometry(static_cast<uint32_t>(state.range(0)));
+    Simulator sim(g);
+    std::vector<Word> batch;
+    batch.push_back(
+        MicroOp::crossbarMask(Range(0, g.numCrossbars / 2 - 1, 1))
+            .encode());
+    for (int i = 0; i < 256; ++i)
+        batch.push_back(MicroOp::move(g.numCrossbars / 2,
+                                      static_cast<uint32_t>(i) %
+                                          g.rows,
+                                      0, 0, 1).encode());
+    for (auto _ : state)
+        sim.performBatch(batch.data(), batch.size());
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 256);
+}
+
+} // namespace
+
+BENCHMARK(simScaling)
+    ->Args({4, 1024})
+    ->Args({16, 1024})
+    ->Args({64, 1024})
+    ->Args({16, 64})
+    ->Args({16, 256})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(rawLogicOps)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(moveOps)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

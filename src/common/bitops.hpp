@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the stack.
+ */
+#ifndef PYPIM_COMMON_BITOPS_HPP
+#define PYPIM_COMMON_BITOPS_HPP
+
+#include <bit>
+#include <cstdint>
+
+namespace pypim
+{
+
+/** True iff @p x is a power of two (zero is not). */
+constexpr bool
+isPow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** True iff @p x is a power of four (zero is not). */
+constexpr bool
+isPow4(uint64_t x)
+{
+    return isPow2(x) && (std::countr_zero(x) % 2 == 0);
+}
+
+/** floor(log2(x)); @p x must be nonzero. */
+constexpr uint32_t
+log2Floor(uint64_t x)
+{
+    return 63u - static_cast<uint32_t>(std::countl_zero(x));
+}
+
+/** ceil(log2(x)); @p x must be nonzero. */
+constexpr uint32_t
+log2Ceil(uint64_t x)
+{
+    return x <= 1 ? 0 : log2Floor(x - 1) + 1;
+}
+
+/** ceil(a / b) for nonzero b. */
+constexpr uint64_t
+divCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Extract the bit field [lo, lo+width) from @p word. */
+constexpr uint64_t
+bitsGet(uint64_t word, uint32_t lo, uint32_t width)
+{
+    return (word >> lo) & ((width >= 64) ? ~0ull : ((1ull << width) - 1));
+}
+
+/**
+ * Insert @p value into bit field [lo, lo+width) of @p word.
+ * @p value must fit in @p width bits (checked by the micro-op encoder).
+ */
+constexpr uint64_t
+bitsSet(uint64_t word, uint32_t lo, uint32_t width, uint64_t value)
+{
+    const uint64_t mask =
+        ((width >= 64) ? ~0ull : ((1ull << width) - 1)) << lo;
+    return (word & ~mask) | ((value << lo) & mask);
+}
+
+/** True iff @p value fits in @p width bits. */
+constexpr bool
+fitsIn(uint64_t value, uint32_t width)
+{
+    return width >= 64 || value < (1ull << width);
+}
+
+} // namespace pypim
+
+#endif // PYPIM_COMMON_BITOPS_HPP

@@ -1,0 +1,78 @@
+#include "common/config.hpp"
+
+#include <string>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace pypim
+{
+
+void
+Geometry::validate() const
+{
+    fatalIf(!isPow2(rows), "geometry: rows must be a power of two");
+    fatalIf(!isPow2(cols), "geometry: cols must be a power of two");
+    fatalIf(!isPow2(partitions),
+            "geometry: partitions must be a power of two");
+    fatalIf(cols % partitions != 0,
+            "geometry: cols must be divisible by partitions");
+    fatalIf(wordBits != partitions,
+            "geometry: wordBits must equal partitions (paper N); "
+            "got wordBits=" + std::to_string(wordBits) +
+            " partitions=" + std::to_string(partitions));
+    fatalIf(!isPow4(numCrossbars),
+            "geometry: numCrossbars must be a power of four "
+            "(H-tree arity)");
+    fatalIf(userRegs == 0 || userRegs > slots(),
+            "geometry: userRegs must be in [1, cols/partitions]");
+    fatalIf(scratchSlots() < 4,
+            "geometry: at least 4 scratch slots are required by the "
+            "host driver");
+    fatalIf(clockHz == 0, "geometry: clockHz must be nonzero");
+    fatalIf(rows < 2, "geometry: at least two rows are required");
+    // Micro-op bit-field capacities (uarch/microop.hpp fmt constants).
+    fatalIf(cols > 1024,
+            "geometry: cols > 1024 exceeds the 10-bit column fields "
+            "of the micro-op format");
+    fatalIf(rows > 65536,
+            "geometry: rows > 65536 exceeds the 16-bit row fields");
+    fatalIf(numCrossbars > 65536,
+            "geometry: numCrossbars > 65536 exceeds the 16-bit "
+            "crossbar mask fields");
+    fatalIf(partitions > 64,
+            "geometry: partitions > 64 exceeds the expansion buffers");
+    fatalIf(slots() > 64,
+            "geometry: more than 64 register slots exceeds the 6-bit "
+            "index fields");
+}
+
+Geometry
+tableIIIGeometry()
+{
+    Geometry g;
+    g.rows = 1024;
+    g.cols = 1024;
+    g.partitions = 32;
+    g.wordBits = 32;
+    g.numCrossbars = 65536;  // 8 GB / (1024 * 1024 / 8) bytes
+    g.clockHz = 300'000'000;
+    g.userRegs = 14;
+    return g;
+}
+
+Geometry
+testGeometry()
+{
+    Geometry g;
+    g.rows = 64;
+    g.cols = 1024;
+    g.partitions = 32;
+    g.wordBits = 32;
+    g.numCrossbars = 4;
+    g.clockHz = 300'000'000;
+    g.userRegs = 14;
+    return g;
+}
+
+} // namespace pypim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * PIM architecture geometry and clocking parameters.
+ *
+ * Default values follow Table III of the PyPIM paper: 1024x1024
+ * crossbars with 32 transistor-delimited partitions, a 32-bit word,
+ * and a 300 MHz broadcast clock. The full-scale memory has 64 k
+ * crossbars (8 GB); tests and benches use smaller counts — cycle
+ * counts of broadcast operations are independent of the crossbar
+ * count, so throughput is reported via the paper's Eq. (1) using a
+ * configurable "deployment parallelism".
+ */
+#ifndef PYPIM_COMMON_CONFIG_HPP
+#define PYPIM_COMMON_CONFIG_HPP
+
+#include <cstdint>
+
+namespace pypim
+{
+
+/**
+ * Geometry and clocking of a digital memristive PIM memory.
+ *
+ * Invariants (checked by validate()):
+ *  - rows, cols, partitions are powers of two; cols % partitions == 0
+ *  - wordBits == partitions (the paper's N; generalising to
+ *    partitions != N is future work, paper §III-A)
+ *  - numCrossbars is a power of four (H-tree arity, paper §III-F)
+ *  - userRegs <= cols / partitions (register slots available per row)
+ */
+struct Geometry
+{
+    /** Rows per crossbar (h): threads per warp. */
+    uint32_t rows = 1024;
+    /** Columns per crossbar (w): bitlines. */
+    uint32_t cols = 1024;
+    /** Number of dynamically-connected partitions per row (N). */
+    uint32_t partitions = 32;
+    /** Architectural word size in bits; must equal partitions. */
+    uint32_t wordBits = 32;
+    /** Number of crossbar arrays (warps); power of 4 for the H-tree. */
+    uint32_t numCrossbars = 16;
+    /** Broadcast clock frequency in Hz (Table III: 300 MHz). */
+    uint64_t clockHz = 300'000'000;
+    /**
+     * ISA-visible registers per thread (R, chosen at compile time
+     * under w >= R*N, paper §IV fn. 3). The remaining cols/partitions
+     * - userRegs slots are host-driver scratch; the floating-point
+     * routines need at least 17 scratch lanes at their peak.
+     */
+    uint32_t userRegs = 14;
+
+    /** Register slots per row (user + scratch). */
+    uint32_t slots() const { return cols / partitions; }
+    /** Scratch slots per row available to the driver. */
+    uint32_t scratchSlots() const { return slots() - userRegs; }
+    /** Columns per partition. */
+    uint32_t partitionWidth() const { return cols / partitions; }
+
+    /**
+     * Column address of bit @p bit of register slot @p slot.
+     * Strided format (paper Fig. 6): bit b lives in partition b.
+     */
+    uint32_t
+    column(uint32_t slot, uint32_t bit) const
+    {
+        return bit * partitionWidth() + slot;
+    }
+
+    /** Total threads (rows across all crossbars). */
+    uint64_t totalRows() const
+    {
+        return static_cast<uint64_t>(rows) * numCrossbars;
+    }
+
+    /** Throw pypim::Error if any invariant is violated. */
+    void validate() const;
+};
+
+/** Full-scale deployment of Table III: 64 k crossbars, 8 GB, 64 M rows. */
+Geometry tableIIIGeometry();
+
+/** Small geometry for fast unit tests (64 rows, 4 crossbars). */
+Geometry testGeometry();
+
+} // namespace pypim
+
+#endif // PYPIM_COMMON_CONFIG_HPP

@@ -1,0 +1,18 @@
+#include "common/error.hpp"
+
+namespace pypim
+{
+
+void
+fatal(const std::string &msg)
+{
+    throw Error("pypim: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw InternalError("pypim internal error: " + msg);
+}
+
+} // namespace pypim

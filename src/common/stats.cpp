@@ -1,0 +1,96 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace pypim
+{
+
+const char *
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::CrossbarMask: return "crossbar_mask";
+      case OpClass::RowMask:      return "row_mask";
+      case OpClass::Read:         return "read";
+      case OpClass::Write:        return "write";
+      case OpClass::LogicH:       return "logic_h";
+      case OpClass::LogicV:       return "logic_v";
+      case OpClass::Move:         return "move";
+      default:                    return "unknown";
+    }
+}
+
+uint64_t
+Stats::totalOps() const
+{
+    uint64_t sum = 0;
+    for (auto v : opCount)
+        sum += v;
+    return sum;
+}
+
+uint64_t
+Stats::totalCycles() const
+{
+    uint64_t sum = 0;
+    for (auto v : cycleCount)
+        sum += v;
+    return sum;
+}
+
+void
+Stats::clear()
+{
+    opCount.fill(0);
+    cycleCount.fill(0);
+    logicGates = 0;
+    logicInits = 0;
+    instructions = 0;
+}
+
+Stats
+Stats::operator-(const Stats &other) const
+{
+    Stats out;
+    for (size_t i = 0; i < numClasses; ++i) {
+        out.opCount[i] = opCount[i] - other.opCount[i];
+        out.cycleCount[i] = cycleCount[i] - other.cycleCount[i];
+    }
+    out.logicGates = logicGates - other.logicGates;
+    out.logicInits = logicInits - other.logicInits;
+    out.instructions = instructions - other.instructions;
+    return out;
+}
+
+Stats &
+Stats::operator+=(const Stats &other)
+{
+    for (size_t i = 0; i < numClasses; ++i) {
+        opCount[i] += other.opCount[i];
+        cycleCount[i] += other.cycleCount[i];
+    }
+    logicGates += other.logicGates;
+    logicInits += other.logicInits;
+    instructions += other.instructions;
+    return *this;
+}
+
+std::string
+Stats::summary() const
+{
+    std::ostringstream os;
+    os << "micro-ops by class (ops / cycles):\n";
+    for (size_t i = 0; i < numClasses; ++i) {
+        if (opCount[i] == 0)
+            continue;
+        os << "  " << opClassName(static_cast<OpClass>(i)) << ": "
+           << opCount[i] << " / " << cycleCount[i] << "\n";
+    }
+    os << "  total: " << totalOps() << " / " << totalCycles() << "\n";
+    os << "  logic gates / inits: " << logicGates << " / "
+       << logicInits << "\n";
+    os << "  macro-instructions: " << instructions << "\n";
+    return os.str();
+}
+
+} // namespace pypim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Execution statistics collected by the simulator and the driver.
+ *
+ * The simulator counts micro-operations by type and accumulates the
+ * cycle cost of each (1 cycle per broadcast op; H-tree moves may take
+ * several cycles, see sim/htree.hpp). The paper's Figure 13 derives
+ * throughput from exactly these counters via Eq. (1).
+ */
+#ifndef PYPIM_COMMON_STATS_HPP
+#define PYPIM_COMMON_STATS_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace pypim
+{
+
+/** Micro-operation families (paper Fig. 5). */
+enum class OpClass : uint8_t
+{
+    CrossbarMask = 0,
+    RowMask,
+    Read,
+    Write,
+    LogicH,
+    LogicV,
+    Move,
+    NumClasses
+};
+
+/** Human-readable name of an OpClass. */
+const char *opClassName(OpClass c);
+
+/** Counter block for one execution window. */
+struct Stats
+{
+    static constexpr size_t numClasses =
+        static_cast<size_t>(OpClass::NumClasses);
+
+    /** Micro-operations performed, by class. */
+    std::array<uint64_t, numClasses> opCount{};
+    /** Cycles consumed, by class (moves may cost >1 cycle). */
+    std::array<uint64_t, numClasses> cycleCount{};
+    /** Logic micro-ops performing NOR/NOT gates. */
+    uint64_t logicGates = 0;
+    /** Logic micro-ops performing INIT0/INIT1 initialisation. */
+    uint64_t logicInits = 0;
+    /** Macro-instructions executed by the driver. */
+    uint64_t instructions = 0;
+
+    /** Record one micro-op of class @p c costing @p cycles cycles. */
+    void
+    record(OpClass c, uint64_t cycles = 1)
+    {
+        opCount[static_cast<size_t>(c)] += 1;
+        cycleCount[static_cast<size_t>(c)] += cycles;
+    }
+
+    /** Total micro-operations across all classes. */
+    uint64_t totalOps() const;
+    /** Total cycles across all classes. */
+    uint64_t totalCycles() const;
+
+    /** Reset all counters to zero. */
+    void clear();
+
+    /** this - other, element-wise (for profiling windows). */
+    Stats operator-(const Stats &other) const;
+    Stats &operator+=(const Stats &other);
+
+    /** Multi-line human-readable summary. */
+    std::string summary() const;
+};
+
+} // namespace pypim
+
+#endif // PYPIM_COMMON_STATS_HPP

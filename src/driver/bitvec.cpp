@@ -1,0 +1,787 @@
+#include "driver/bitvec.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pypim
+{
+
+BVOps::BVOps(GateBuilder &b)
+    : b_(&b),
+      geo_(&b.geometry())
+{
+}
+
+uint32_t
+BVOps::slotOf(uint32_t cell) const
+{
+    return cell % geo_->partitionWidth();
+}
+
+uint32_t
+BVOps::partOf(uint32_t cell) const
+{
+    return cell / geo_->partitionWidth();
+}
+
+// --- construction -----------------------------------------------------
+
+BV
+BVOps::alloc(uint32_t width)
+{
+    BV x;
+    const uint32_t perLane = geo_->partitions;
+    const uint32_t lanes = (width + perLane - 1) / perLane;
+    x.ownedLanes.reserve(lanes);
+    for (uint32_t l = 0; l < lanes; ++l)
+        x.ownedLanes.push_back(b_->pool().allocLane());
+    x.cells.reserve(width);
+    for (uint32_t j = 0; j < width; ++j)
+        x.cells.push_back(b_->cell(x.ownedLanes[j / perLane], j % perLane));
+    return x;
+}
+
+void
+BVOps::free(BV &x)
+{
+    for (uint32_t lane : x.ownedLanes)
+        b_->pool().freeLane(lane);
+    x.ownedLanes.clear();
+    x.cells.clear();
+}
+
+BV
+BVOps::reg(uint32_t slot) const
+{
+    BV x;
+    x.cells.reserve(geo_->wordBits);
+    for (uint32_t j = 0; j < geo_->wordBits; ++j)
+        x.cells.push_back(geo_->column(slot, j));
+    return x;
+}
+
+BV
+BVOps::slice(const BV &x, uint32_t lo, uint32_t hi)
+{
+    panicIf(lo > hi || hi > x.width(), "BV slice out of range");
+    BV v;
+    v.cells.assign(x.cells.begin() + lo, x.cells.begin() + hi);
+    return v;
+}
+
+BV
+BVOps::concat(const BV &lo, const BV &hi)
+{
+    BV v;
+    v.cells = lo.cells;
+    v.cells.insert(v.cells.end(), hi.cells.begin(), hi.cells.end());
+    return v;
+}
+
+BV
+BVOps::repeat(uint32_t cell, uint32_t n)
+{
+    BV v;
+    v.cells.assign(n, cell);
+    return v;
+}
+
+uint32_t
+BVOps::constCell(bool v)
+{
+    const uint32_t c = b_->pool().allocBitOutside(0, 0);
+    b_->initCell(c, v);
+    return c;
+}
+
+BV
+BVOps::constant(uint32_t width, uint64_t value)
+{
+    BV x = alloc(width);
+    setConst(x, value);
+    return x;
+}
+
+void
+BVOps::setConst(BV &x, uint64_t value)
+{
+    // Compress consecutive same-valued bits in the same slot with
+    // consecutive partitions into single periodic INIT runs.
+    uint32_t j = 0;
+    while (j < x.width()) {
+        const bool v = (value >> j) & 1;
+        const uint32_t slot = slotOf(x[j]);
+        const uint32_t p0 = partOf(x[j]);
+        uint32_t k = j + 1;
+        while (k < x.width() && (((value >> k) & 1) == v) &&
+               slotOf(x[k]) == slot && partOf(x[k]) == p0 + (k - j)) {
+            ++k;
+        }
+        if (k - j >= 2)
+            b_->runInit(slot, p0, p0 + (k - j) - 1, v);
+        else
+            b_->initCell(x[j], v);
+        j = k;
+    }
+}
+
+BV
+BVOps::zext(const BV &x, uint32_t width, uint32_t zeroCell) const
+{
+    panicIf(width < x.width(), "zext: narrowing");
+    return concat(x, repeat(zeroCell, width - x.width()));
+}
+
+BV
+BVOps::sext(const BV &x, uint32_t width)
+{
+    panicIf(width < x.width() || x.width() == 0, "sext: bad widths");
+    return concat(x, repeat(x.cells.back(), width - x.width()));
+}
+
+// --- bitwise ----------------------------------------------------------
+
+void
+BVOps::gateInto(Gate g, const BV *a, const BV *b, BV &out)
+{
+    const uint32_t w = out.width();
+    panicIf(g == Gate::Nor ? (!a || !b) : (g == Gate::Not ? !a : true),
+            "gateInto: operand arity mismatch");
+    panicIf((a && a->width() != w) || (b && b->width() != w),
+            "gateInto: width mismatch");
+    uint32_t j = 0;
+    while (j < w) {
+        // Detect a lane-aligned run: constant slots, identical and
+        // consecutive partitions for every operand and the output.
+        const uint32_t p0 = partOf(out[j]);
+        const uint32_t oSlot = slotOf(out[j]);
+        uint32_t k = j;
+        if (b_->partitionsEnabled()) {
+            auto aligned = [&](uint32_t i) {
+                const uint32_t p = p0 + (i - j);
+                if (p >= geo_->partitions)
+                    return false;
+                if (partOf(out[i]) != p || slotOf(out[i]) != oSlot)
+                    return false;
+                if (a && (partOf((*a)[i]) != p ||
+                          slotOf((*a)[i]) != slotOf((*a)[j])))
+                    return false;
+                if (b && (partOf((*b)[i]) != p ||
+                          slotOf((*b)[i]) != slotOf((*b)[j])))
+                    return false;
+                return true;
+            };
+            while (k < w && aligned(k))
+                ++k;
+        }
+        if (k - j >= 2) {
+            const uint32_t p1 = p0 + (k - j) - 1;
+            switch (g) {
+              case Gate::Init0:
+              case Gate::Init1:
+                b_->runInit(oSlot, p0, p1, g == Gate::Init1);
+                break;
+              case Gate::Not:
+                b_->runNot(slotOf((*a)[j]), oSlot, p0, p1);
+                break;
+              case Gate::Nor:
+                b_->runNor(slotOf((*a)[j]), slotOf((*b)[j]), oSlot,
+                           p0, p1);
+                break;
+            }
+            j = k;
+            continue;
+        }
+        switch (g) {
+          case Gate::Init0:
+          case Gate::Init1:
+            b_->initCell(out[j], g == Gate::Init1);
+            break;
+          case Gate::Not:
+            b_->notInto((*a)[j], out[j]);
+            break;
+          case Gate::Nor:
+            b_->norInto((*a)[j], (*b)[j], out[j]);
+            break;
+        }
+        ++j;
+    }
+}
+
+BV
+BVOps::nor_(const BV &x, const BV &y)
+{
+    BV out = alloc(x.width());
+    gateInto(Gate::Nor, &x, &y, out);
+    return out;
+}
+
+BV
+BVOps::not_(const BV &x)
+{
+    BV out = alloc(x.width());
+    gateInto(Gate::Not, &x, nullptr, out);
+    return out;
+}
+
+BV
+BVOps::or_(const BV &x, const BV &y)
+{
+    BV t = nor_(x, y);
+    BV out = alloc(x.width());
+    gateInto(Gate::Not, &t, nullptr, out);
+    free(t);
+    return out;
+}
+
+BV
+BVOps::and_(const BV &x, const BV &y)
+{
+    BV nx = not_(x);
+    BV ny = not_(y);
+    BV out = nor_(nx, ny);
+    free(nx);
+    free(ny);
+    return out;
+}
+
+BV
+BVOps::xnor_(const BV &x, const BV &y)
+{
+    BV x1 = nor_(x, y);
+    BV x2 = nor_(x, x1);
+    BV x3 = nor_(y, x1);
+    BV out = nor_(x2, x3);
+    free(x1);
+    free(x2);
+    free(x3);
+    return out;
+}
+
+BV
+BVOps::xor_(const BV &x, const BV &y)
+{
+    BV t = xnor_(x, y);
+    BV out = alloc(x.width());
+    gateInto(Gate::Not, &t, nullptr, out);
+    free(t);
+    return out;
+}
+
+void
+BVOps::copyInto(const BV &src, BV &dst)
+{
+    panicIf(src.width() != dst.width(), "copyInto: width mismatch");
+    BV t = not_(src);
+    gateInto(Gate::Not, &t, nullptr, dst);
+    free(t);
+}
+
+BV
+BVOps::copy(const BV &x)
+{
+    BV out = alloc(x.width());
+    copyInto(x, out);
+    return out;
+}
+
+// --- select / mux -----------------------------------------------------
+
+SelLanes
+BVOps::broadcastSelect(uint32_t sCell)
+{
+    SelLanes sel;
+    sel.ns = b_->pool().allocLane();
+    sel.s = b_->pool().allocLane();
+    // ns[p] <- NOT(s) for every partition (N single gates), then
+    // s-lane <- lane NOT of ns.
+    b_->initLane(sel.ns, true);
+    for (uint32_t p = 0; p < geo_->partitions; ++p)
+        b_->notInto(sCell, b_->cell(sel.ns, p), false);
+    b_->laneNot(sel.ns, sel.s);
+    return sel;
+}
+
+void
+BVOps::freeSelect(SelLanes sel)
+{
+    b_->pool().freeLane(sel.s);
+    b_->pool().freeLane(sel.ns);
+}
+
+BV
+BVOps::selBV(uint32_t laneSlot, const BV &like) const
+{
+    BV v;
+    v.cells.reserve(like.width());
+    for (uint32_t j = 0; j < like.width(); ++j) {
+        const uint32_t part = like[j] / geo_->partitionWidth();
+        v.cells.push_back(geo_->column(laneSlot, part));
+    }
+    return v;
+}
+
+void
+BVOps::muxInto(const SelLanes &sel, const BV &a, const BV &b, BV &out)
+{
+    panicIf(a.width() != b.width() || a.width() != out.width(),
+            "muxInto: width mismatch");
+    const BV nsA = selBV(sel.ns, a);
+    const BV sB = selBV(sel.s, b);
+    BV t1 = nor_(a, nsA);   // s ? ~a : 0
+    BV t2 = nor_(b, sB);    // s ? 0 : ~b
+    gateInto(Gate::Nor, &t1, &t2, out);
+    free(t1);
+    free(t2);
+}
+
+BV
+BVOps::mux(const SelLanes &sel, const BV &a, const BV &b)
+{
+    BV out = alloc(a.width());
+    muxInto(sel, a, b, out);
+    return out;
+}
+
+BV
+BVOps::muxCell(uint32_t sCell, const BV &a, const BV &b)
+{
+    if (a.width() >= 8 && b_->partitionsEnabled()) {
+        SelLanes sel = broadcastSelect(sCell);
+        BV out = mux(sel, a, b);
+        freeSelect(sel);
+        return out;
+    }
+    BV out = alloc(a.width());
+    const uint32_t ns = b_->not_(sCell);
+    for (uint32_t j = 0; j < a.width(); ++j) {
+        const uint32_t t1 = b_->nor(a[j], ns);
+        const uint32_t t2 = b_->nor(b[j], sCell);
+        b_->norInto(t1, t2, out[j]);
+        b_->pool().freeBit(t1);
+        b_->pool().freeBit(t2);
+    }
+    b_->pool().freeBit(ns);
+    return out;
+}
+
+// --- arithmetic ---------------------------------------------------------
+
+namespace
+{
+
+/** The eight scratch lanes of a lane-aligned ripple adder. */
+struct FaLanes
+{
+    explicit FaLanes(GateBuilder &b) : b_(&b)
+    {
+        for (auto &l : lanes)
+            l = b.pool().allocLane();
+    }
+    ~FaLanes()
+    {
+        for (auto l : lanes)
+            b_->pool().freeLane(l);
+    }
+    GateBuilder *b_;
+    uint32_t lanes[8] = {};  // x1..x4, y1..y3, carry
+};
+
+} // namespace
+
+void
+BVOps::addInto(const BV &x, const BV &y, BV &out,
+               uint32_t cinCell, uint32_t *coutCell)
+{
+    const uint32_t w = out.width();
+    panicIf(x.width() != w || y.width() != w, "addInto: width mismatch");
+
+    // Lane fast path: when every bit's operands and output share one
+    // partition (the strided layout guarantee), the 9 NOR gates per
+    // full adder can run against bulk-initialised scratch lanes —
+    // 9 micro-ops per bit instead of ~19. In-place accumulation must
+    // keep the loose path (bulk INIT would destroy operand bits).
+    bool laneable = b_->partitionsEnabled();
+    for (uint32_t j = 0; laneable && j < w; ++j) {
+        const uint32_t p = partOf(out[j]);
+        if (partOf(x[j]) != p || partOf(y[j]) != p ||
+            out[j] == x[j] || out[j] == y[j])
+            laneable = false;
+    }
+    if (laneable) {
+        const uint32_t parts = geo_->partitions;
+        FaLanes L(*b_);
+        const uint32_t carryL = L.lanes[7];
+        uint32_t c = cinCell != noCell ? cinCell : constCell(false);
+        for (uint32_t j = 0; j < w; ++j) {
+            if (j % parts == 0) {
+                // Re-arm the scratch lanes for this chunk of bits. The
+                // carry lane keeps the incoming carry's cell intact.
+                for (uint32_t k = 0; k < 7; ++k)
+                    b_->initLane(L.lanes[k], true);
+                if (j == 0)
+                    b_->initLane(carryL, true);
+                else
+                    b_->runInit(carryL, 0, parts - 2, true);
+            }
+            const uint32_t p = partOf(out[j]);
+            auto cl = [&](uint32_t k) { return b_->cell(L.lanes[k], p); };
+            // The carry cell of a chunk's last bit recycles the cell
+            // that held the previous chunk's incoming carry: re-INIT.
+            const bool recycledCout =
+                (j % parts == parts - 1) && j >= parts;
+            const uint32_t cn = cl(7);
+            b_->norInto(x[j], y[j], cl(0), false);
+            b_->norInto(x[j], cl(0), cl(1), false);
+            b_->norInto(y[j], cl(0), cl(2), false);
+            b_->norInto(cl(1), cl(2), cl(3), false);   // XNOR
+            b_->norInto(cl(3), c, cl(4), false);
+            b_->norInto(cl(3), cl(4), cl(5), false);
+            b_->norInto(c, cl(4), cl(6), false);
+            b_->norInto(cl(5), cl(6), out[j], true);   // sum
+            b_->norInto(cl(0), cl(4), cn, recycledCout);
+            if (j == 0 && cinCell == noCell)
+                b_->pool().freeBit(c);  // lane cells are not pool-owned
+            c = cn;
+        }
+        if (coutCell) {
+            // Export the final carry as a caller-owned loose cell.
+            const uint32_t p = partOf(out[w - 1]);
+            const uint32_t cc = b_->pool().allocBitOutside(p, p);
+            b_->copyCell(c, cc);
+            *coutCell = cc;
+        }
+        return;
+    }
+
+    uint32_t c = cinCell != noCell ? cinCell : constCell(false);
+    for (uint32_t j = 0; j < w; ++j) {
+        const uint32_t pj = partOf(out[j]);
+        const uint32_t cn = b_->pool().allocBitOutside(pj, pj);
+        b_->fullAdder(x[j], y[j], c, out[j], cn);
+        if (j > 0 || cinCell == noCell)
+            b_->pool().freeBit(c);
+        c = cn;
+    }
+    if (coutCell)
+        *coutCell = c;
+    else
+        b_->pool().freeBit(c);
+}
+
+BV
+BVOps::add(const BV &x, const BV &y)
+{
+    BV out = alloc(x.width());
+    addInto(x, y, out);
+    return out;
+}
+
+void
+BVOps::subInto(const BV &x, const BV &y, BV &out, uint32_t *carryOut)
+{
+    BV ny = not_(y);
+    const uint32_t one = constCell(true);
+    addInto(x, ny, out, one, carryOut);
+    b_->pool().freeBit(one);
+    free(ny);
+}
+
+BV
+BVOps::sub(const BV &x, const BV &y)
+{
+    BV out = alloc(x.width());
+    subInto(x, y, out);
+    return out;
+}
+
+namespace
+{
+
+/** out <- a XOR b, write-after-read safe for out aliasing a or b. */
+void
+xorInto(GateBuilder &b, uint32_t a, uint32_t c, uint32_t out)
+{
+    const uint32_t x1 = b.nor(a, c);
+    const uint32_t x2 = b.nor(a, x1);
+    const uint32_t x3 = b.nor(c, x1);
+    const uint32_t x4 = b.nor(x2, x3);  // XNOR
+    b.notInto(x4, out);
+    b.pool().freeBit(x1);
+    b.pool().freeBit(x2);
+    b.pool().freeBit(x3);
+    b.pool().freeBit(x4);
+}
+
+} // namespace
+
+void
+BVOps::addShiftedInPlace(BV &acc, const BV &x, uint32_t offset,
+                         uint32_t carryBits)
+{
+    panicIf(offset + x.width() > acc.width(),
+            "addShiftedInPlace: x exceeds accumulator");
+    uint32_t c = constCell(false);
+    for (uint32_t j = 0; j < x.width(); ++j) {
+        const uint32_t aCell = acc[offset + j];
+        const uint32_t pj = partOf(aCell);
+        const uint32_t cn = b_->pool().allocBitOutside(pj, pj);
+        // fullAdder reads acc before norInto overwrites it (x-stage
+        // first), so in-place accumulation is safe.
+        b_->fullAdder(aCell, x[j], c, aCell, cn);
+        b_->pool().freeBit(c);
+        c = cn;
+    }
+    // Ripple the final carry through carryBits more positions; the
+    // caller guarantees it cannot escape beyond them.
+    for (uint32_t k = 0; k < carryBits; ++k) {
+        const uint32_t pos = offset + x.width() + k;
+        if (pos >= acc.width())
+            break;
+        const uint32_t aCell = acc[pos];
+        const uint32_t cn = b_->and_(aCell, c);
+        xorInto(*b_, aCell, c, aCell);
+        b_->pool().freeBit(c);
+        c = cn;
+    }
+    b_->pool().freeBit(c);
+}
+
+void
+BVOps::incInto(const BV &x, uint32_t condCell, BV &out)
+{
+    panicIf(x.width() != out.width(), "incInto: width mismatch");
+    uint32_t c = condCell;
+    for (uint32_t j = 0; j < x.width(); ++j) {
+        const uint32_t cn = b_->and_(x[j], c);
+        xorInto(*b_, x[j], c, out[j]);
+        if (c != condCell)
+            b_->pool().freeBit(c);
+        c = cn;
+    }
+    if (c != condCell)
+        b_->pool().freeBit(c);
+}
+
+// --- reductions / comparisons -------------------------------------------
+
+uint32_t
+BVOps::orTree(const BV &x)
+{
+    panicIf(x.width() == 0, "orTree: empty");
+    if (x.width() == 1) {
+        const uint32_t t = b_->not_(x[0]);
+        const uint32_t r = b_->not_(t);
+        b_->pool().freeBit(t);
+        return r;
+    }
+    uint32_t acc = b_->or_(x[0], x[1]);
+    for (uint32_t j = 2; j < x.width(); ++j) {
+        const uint32_t next = b_->or_(acc, x[j]);
+        b_->pool().freeBit(acc);
+        acc = next;
+    }
+    return acc;
+}
+
+uint32_t
+BVOps::isZero(const BV &x)
+{
+    const uint32_t t = orTree(x);
+    const uint32_t r = b_->not_(t);
+    b_->pool().freeBit(t);
+    return r;
+}
+
+uint32_t
+BVOps::andTree(const BV &x)
+{
+    panicIf(x.width() == 0, "andTree: empty");
+    if (x.width() == 1) {
+        const uint32_t t = b_->not_(x[0]);
+        const uint32_t r = b_->not_(t);
+        b_->pool().freeBit(t);
+        return r;
+    }
+    uint32_t acc = b_->and_(x[0], x[1]);
+    for (uint32_t j = 2; j < x.width(); ++j) {
+        const uint32_t next = b_->and_(acc, x[j]);
+        b_->pool().freeBit(acc);
+        acc = next;
+    }
+    return acc;
+}
+
+uint32_t
+BVOps::ltU(const BV &x, const BV &y)
+{
+    panicIf(x.width() != y.width(), "ltU: width mismatch");
+    // x < y  iff  x + ~y + 1 produces no carry out. The sum itself is
+    // discarded; routing through addInto keeps the lane fast path.
+    BV ny = not_(y);
+    BV trash = alloc(x.width());
+    const uint32_t one = constCell(true);
+    uint32_t cout = 0;
+    addInto(x, ny, trash, one, &cout);
+    b_->pool().freeBit(one);
+    free(ny);
+    free(trash);
+    const uint32_t lt = b_->not_(cout);
+    b_->pool().freeBit(cout);
+    return lt;
+}
+
+uint32_t
+BVOps::eq(const BV &x, const BV &y)
+{
+    panicIf(x.width() != y.width(), "eq: width mismatch");
+    uint32_t acc = b_->xnor_(x[0], y[0]);
+    for (uint32_t j = 1; j < x.width(); ++j) {
+        const uint32_t t = b_->xnor_(x[j], y[j]);
+        const uint32_t next = b_->and_(acc, t);
+        b_->pool().freeBit(acc);
+        b_->pool().freeBit(t);
+        acc = next;
+    }
+    return acc;
+}
+
+// --- shifts ----------------------------------------------------------
+
+BV
+BVOps::shrVar(const BV &x, const BV &sh, uint32_t *stickyCell)
+{
+    const uint32_t w = x.width();
+    uint32_t stages = 0;
+    while ((1u << stages) < w)
+        ++stages;
+    stages = std::min(stages, sh.width());
+
+    const uint32_t zero = constCell(false);
+    BV cur = copy(x);
+    for (uint32_t k = 0; k < stages; ++k) {
+        const uint32_t d = 1u << k;
+        if (stickyCell) {
+            // sticky |= sel & OR(bits about to fall off)
+            const BV dropped = slice(cur, 0, std::min(d, w));
+            const uint32_t any = orTree(dropped);
+            const uint32_t contrib = b_->and_(any, sh[k]);
+            const uint32_t ns = b_->or_(*stickyCell, contrib);
+            b_->pool().freeBit(*stickyCell);
+            b_->pool().freeBit(any);
+            b_->pool().freeBit(contrib);
+            *stickyCell = ns;
+        }
+        // shifted view: bit j <- x[j+d], zeros above
+        BV shifted;
+        shifted.cells.reserve(w);
+        for (uint32_t j = 0; j < w; ++j)
+            shifted.cells.push_back(j + d < w ? cur[j + d] : zero);
+        SelLanes sel = broadcastSelect(sh[k]);
+        BV next = mux(sel, shifted, cur);
+        freeSelect(sel);
+        free(cur);
+        cur = next;
+    }
+    // Oversized shift: any set bit of sh above the handled stages
+    // zeroes the result (and feeds sticky).
+    if (sh.width() > stages) {
+        const BV high = slice(sh, stages, sh.width());
+        const uint32_t over = orTree(high);
+        if (stickyCell) {
+            const uint32_t any = orTree(cur);
+            const uint32_t contrib = b_->and_(any, over);
+            const uint32_t ns = b_->or_(*stickyCell, contrib);
+            b_->pool().freeBit(*stickyCell);
+            b_->pool().freeBit(any);
+            b_->pool().freeBit(contrib);
+            *stickyCell = ns;
+        }
+        SelLanes sel = broadcastSelect(over);
+        const BV zeros = repeat(zero, w);
+        BV next = mux(sel, zeros, cur);
+        freeSelect(sel);
+        b_->pool().freeBit(over);
+        free(cur);
+        cur = next;
+    }
+    b_->pool().freeBit(zero);
+    return cur;
+}
+
+BV
+BVOps::shlVar(const BV &x, const BV &sh)
+{
+    const uint32_t w = x.width();
+    uint32_t stages = 0;
+    while ((1u << stages) < w)
+        ++stages;
+    stages = std::min(stages, sh.width());
+
+    const uint32_t zero = constCell(false);
+    BV cur = copy(x);
+    for (uint32_t k = 0; k < stages; ++k) {
+        const uint32_t d = 1u << k;
+        BV shifted;
+        shifted.cells.reserve(w);
+        for (uint32_t j = 0; j < w; ++j)
+            shifted.cells.push_back(j >= d ? cur[j - d] : zero);
+        SelLanes sel = broadcastSelect(sh[k]);
+        BV next = mux(sel, shifted, cur);
+        freeSelect(sel);
+        free(cur);
+        cur = next;
+    }
+    if (sh.width() > stages) {
+        const BV high = slice(sh, stages, sh.width());
+        const uint32_t over = orTree(high);
+        SelLanes sel = broadcastSelect(over);
+        const BV zeros = repeat(zero, w);
+        BV next = mux(sel, zeros, cur);
+        freeSelect(sel);
+        b_->pool().freeBit(over);
+        free(cur);
+        cur = next;
+    }
+    b_->pool().freeBit(zero);
+    return cur;
+}
+
+BV
+BVOps::lzc(const BV &x)
+{
+    uint32_t stages = 0;
+    while ((1u << stages) < x.width())
+        ++stages;
+    const uint32_t padded = 1u << stages;
+
+    const uint32_t zero = constCell(false);
+    // Pad at the LSB side: leading zeros are unchanged for nonzero x.
+    BV view = concat(repeat(zero, padded - x.width()), x);
+    BV cur = copy(view);
+    BV count = alloc(stages);
+    for (uint32_t kk = 0; kk < stages; ++kk) {
+        const uint32_t k = stages - 1 - kk;
+        const uint32_t d = 1u << k;
+        const BV top = slice(cur, padded - d, padded);
+        const uint32_t z = isZero(top);
+        // if top 2^k bits are zero: cur <<= 2^k
+        BV shifted;
+        shifted.cells.reserve(padded);
+        for (uint32_t j = 0; j < padded; ++j)
+            shifted.cells.push_back(j >= d ? cur[j - d] : zero);
+        SelLanes sel = broadcastSelect(z);
+        BV next = mux(sel, shifted, cur);
+        freeSelect(sel);
+        b_->copyCell(z, count[k]);
+        b_->pool().freeBit(z);
+        free(cur);
+        cur = next;
+    }
+    free(cur);
+    b_->pool().freeBit(zero);
+    return count;
+}
+
+} // namespace pypim

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Multi-bit value layer of the host driver.
+ *
+ * A BV names a little-endian vector of cells (column addresses) that
+ * together hold one multi-bit value in every mask-selected row. BVOps
+ * provides word-level combinational building blocks (bitwise ops,
+ * ripple add/sub, comparisons, variable shifts with sticky collection,
+ * leading-zero count, multiplexing) emitted as stateful-logic gate
+ * sequences through a GateBuilder. The AritPIM-style fixed-point and
+ * floating-point routines (paper §V-B) are written on top of this
+ * layer.
+ *
+ * Allocation discipline:
+ *  - BVs returned by alloc()/copy()/operators own lane slots and must
+ *    be released with free() (or implicitly by the driver's
+ *    per-instruction ScratchPool reset).
+ *  - reg()/slice()/concat()/repeat() return non-owning views.
+ *  - All loose temporary cells used inside a primitive are freed
+ *    before it returns.
+ *
+ * Everything here is data-parallel: there is no data-dependent
+ * control flow, so one emitted gate sequence computes the operation
+ * for every selected row simultaneously (element-parallel arithmetic,
+ * paper §II-B).
+ */
+#ifndef PYPIM_DRIVER_BITVEC_HPP
+#define PYPIM_DRIVER_BITVEC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "driver/gatebuilder.hpp"
+
+namespace pypim
+{
+
+/** Little-endian vector of cells holding one value per row. */
+struct BV
+{
+    std::vector<uint32_t> cells;       //!< LSB first, column addresses
+    std::vector<uint32_t> ownedLanes;  //!< lane slots released by free()
+
+    uint32_t width() const { return static_cast<uint32_t>(cells.size()); }
+    uint32_t operator[](uint32_t i) const { return cells[i]; }
+};
+
+/** Broadcast select: a (s, ~s) lane pair for width-parallel muxing. */
+struct SelLanes
+{
+    uint32_t s = 0;   //!< lane slot holding the select in every partition
+    uint32_t ns = 0;  //!< lane slot holding its complement
+};
+
+/** Word-level combinational primitives over BVs. */
+class BVOps
+{
+  public:
+    explicit BVOps(GateBuilder &b);
+
+    GateBuilder &builder() { return *b_; }
+
+    // --- construction ------------------------------------------------
+
+    /** Allocate a lane-backed, uninitialised BV of @p width bits. */
+    BV alloc(uint32_t width);
+    /** Release the lanes owned by @p x (views release nothing). */
+    void free(BV &x);
+    /** Non-owning view of an ISA register slot. */
+    BV reg(uint32_t slot) const;
+    /** Non-owning view of bits [lo, hi) of @p x. */
+    static BV slice(const BV &x, uint32_t lo, uint32_t hi);
+    /** Non-owning view concatenating @p lo (LSBs) and @p hi (MSBs). */
+    static BV concat(const BV &lo, const BV &hi);
+    /** Non-owning view repeating one cell @p n times (pad/extend). */
+    static BV repeat(uint32_t cell, uint32_t n);
+    /** Allocate and initialise to a compile-time constant. */
+    BV constant(uint32_t width, uint64_t value);
+    /** Initialise an existing BV to a constant (run-compressed INITs). */
+    void setConst(BV &x, uint64_t value);
+
+    /** A fresh cell initialised to @p v. */
+    uint32_t constCell(bool v);
+
+    /** Zero-extend view of @p x to @p width using a shared 0 cell. */
+    BV zext(const BV &x, uint32_t width, uint32_t zeroCell) const;
+    /** Sign-extend view of @p x to @p width (repeats the MSB cell). */
+    static BV sext(const BV &x, uint32_t width);
+
+    // --- bitwise -----------------------------------------------------
+
+    /**
+     * out[j] <- g(a[j], b[j]) for every bit. Detects lane-aligned runs
+     * and emits them as single periodic micro-ops. @p b must be null
+     * for Not. @p out must not alias @p a or @p b.
+     */
+    void gateInto(Gate g, const BV *a, const BV *b, BV &out);
+
+    BV not_(const BV &x);
+    BV and_(const BV &x, const BV &y);
+    BV or_(const BV &x, const BV &y);
+    BV xor_(const BV &x, const BV &y);
+    BV xnor_(const BV &x, const BV &y);
+    BV nor_(const BV &x, const BV &y);
+
+    /** dst <- src (double-NOT; widths must match). */
+    void copyInto(const BV &src, BV &dst);
+    BV copy(const BV &x);
+
+    // --- select / mux ------------------------------------------------
+
+    /** Broadcast one cell into a (s, ~s) lane pair (~N+6 micro-ops). */
+    SelLanes broadcastSelect(uint32_t sCell);
+    void freeSelect(SelLanes sel);
+
+    /**
+     * Non-owning view of select lane @p laneSlot aligned to the
+     * partitions of @p like (cell j sits in like[j]'s partition).
+     */
+    BV selBV(uint32_t laneSlot, const BV &like) const;
+
+    /** out <- s ? a : b with a broadcast select. */
+    void muxInto(const SelLanes &sel, const BV &a, const BV &b, BV &out);
+    BV mux(const SelLanes &sel, const BV &a, const BV &b);
+    /** Mux on a plain cell (broadcasts internally when wide). */
+    BV muxCell(uint32_t sCell, const BV &a, const BV &b);
+
+    // --- arithmetic ----------------------------------------------------
+
+    /**
+     * out <- x + y (+ cin). Widths of x, y, out must match; pass
+     * coutCell to receive the carry out (caller frees).
+     */
+    void addInto(const BV &x, const BV &y, BV &out,
+                 uint32_t cinCell = noCell, uint32_t *coutCell = nullptr);
+    BV add(const BV &x, const BV &y);
+
+    /** out <- x - y; *carryOut = 1 iff NO borrow (x >= y unsigned). */
+    void subInto(const BV &x, const BV &y, BV &out,
+                 uint32_t *carryOut = nullptr);
+    BV sub(const BV &x, const BV &y);
+
+    /**
+     * acc[offset ..] <- acc + x * 2^offset, rippling the final carry
+     * through @p carryBits positions past the top of x (the caller
+     * guarantees no carry escapes further — true for multiplier
+     * accumulation). In-place and read-safe per bit.
+     */
+    void addShiftedInPlace(BV &acc, const BV &x, uint32_t offset,
+                           uint32_t carryBits);
+
+    /** out <- x + cond (single-bit increment, half-adder chain). */
+    void incInto(const BV &x, uint32_t condCell, BV &out);
+
+    // --- reductions / comparisons ---------------------------------------
+
+    /** Cell <- OR of all bits of x. */
+    uint32_t orTree(const BV &x);
+    /** Cell <- 1 iff x == 0. */
+    uint32_t isZero(const BV &x);
+    /** Cell <- AND of all bits of x. */
+    uint32_t andTree(const BV &x);
+    /** Cell <- 1 iff x < y (unsigned; equal widths). */
+    uint32_t ltU(const BV &x, const BV &y);
+    /** Cell <- 1 iff x == y. */
+    uint32_t eq(const BV &x, const BV &y);
+
+    // --- shifts ----------------------------------------------------------
+
+    /**
+     * out <- x >> sh (logical). Bits shifted out are OR-accumulated
+     * into *stickyCell when non-null (the cell is replaced). Handles
+     * sh wider than log2(width): oversized shifts yield 0 with all
+     * bits going to sticky.
+     */
+    BV shrVar(const BV &x, const BV &sh, uint32_t *stickyCell);
+    /** out <- x << sh (bits shifted past the top are dropped). */
+    BV shlVar(const BV &x, const BV &sh);
+
+    /**
+     * Leading-zero count of x (from the MSB). Returns a BV of
+     * ceil(log2(next pow2 width) + 1) bits; x == 0 yields the padded
+     * width, which callers clamp via their own logic.
+     */
+    BV lzc(const BV &x);
+
+    static constexpr uint32_t noCell = 0xFFFFFFFFu;
+
+  private:
+    uint32_t slotOf(uint32_t cell) const;
+    uint32_t partOf(uint32_t cell) const;
+
+    GateBuilder *b_;
+    const Geometry *geo_;
+};
+
+} // namespace pypim
+
+#endif // PYPIM_DRIVER_BITVEC_HPP

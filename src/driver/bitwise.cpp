@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Bitwise emitters (Table II: not/and/or/xor for both dtypes — bitwise
+ * ops act on the raw 32-bit pattern regardless of dtype). Register
+ * operands are lane-aligned, so every stage is a handful of
+ * per-partition parallel micro-ops.
+ */
+#include "driver/emit.hpp"
+
+#include "common/error.hpp"
+
+namespace pypim::emit
+{
+
+void
+bitwise(BVOps &v, const RTypeInstr &in)
+{
+    const BV a = v.reg(in.ra);
+    BV d = v.reg(in.rd);
+    switch (in.op) {
+      case ROp::BitNot:
+        v.gateInto(Gate::Not, &a, nullptr, d);
+        break;
+      case ROp::BitAnd: {
+        const BV y = v.reg(in.rb);
+        BV na = v.not_(a);
+        BV ny = v.not_(y);
+        v.gateInto(Gate::Nor, &na, &ny, d);
+        v.free(na);
+        v.free(ny);
+        break;
+      }
+      case ROp::BitOr: {
+        const BV y = v.reg(in.rb);
+        BV t = v.nor_(a, y);
+        v.gateInto(Gate::Not, &t, nullptr, d);
+        v.free(t);
+        break;
+      }
+      case ROp::BitXor: {
+        const BV y = v.reg(in.rb);
+        BV t = v.xnor_(a, y);
+        v.gateInto(Gate::Not, &t, nullptr, d);
+        v.free(t);
+        break;
+      }
+      default:
+        panic("bitwise: not a bitwise op");
+    }
+}
+
+} // namespace pypim::emit

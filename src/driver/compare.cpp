@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Comparison emitters (Table II: <, <=, >, >=, ==, != for int32 and
+ * float32). Results are written as a 0/1 Int32 register.
+ *
+ * Signed integer comparison flips the sign bits and compares
+ * unsigned. Float comparison follows IEEE-754 totally: any NaN makes
+ * the ordered predicates false (and != true), and ±0 compare equal.
+ */
+#include "driver/emit.hpp"
+
+#include "common/error.hpp"
+
+namespace pypim::emit
+{
+
+void
+writeBoolResult(BVOps &v, uint32_t rd, uint32_t cell)
+{
+    GateBuilder &b = v.builder();
+    b.initLane(rd, false);
+    b.copyCell(cell, v.reg(rd)[0]);
+}
+
+void
+intCompare(BVOps &v, const RTypeInstr &in)
+{
+    GateBuilder &b = v.builder();
+    const uint32_t n = b.geometry().wordBits;
+    const BV a = v.reg(in.ra);
+    const BV y = v.reg(in.rb);
+
+    uint32_t result = 0;
+    if (in.op == ROp::Eq || in.op == ROp::Ne) {
+        const uint32_t e = v.eq(a, y);
+        if (in.op == ROp::Eq) {
+            result = e;
+        } else {
+            result = b.not_(e);
+            b.pool().freeBit(e);
+        }
+    } else {
+        // Signed compare: flip the sign bits, compare unsigned.
+        const uint32_t nsa = b.not_(a[n - 1]);
+        const uint32_t nsb = b.not_(y[n - 1]);
+        const BV au = BVOps::concat(BVOps::slice(a, 0, n - 1),
+                                    BVOps::repeat(nsa, 1));
+        const BV bu = BVOps::concat(BVOps::slice(y, 0, n - 1),
+                                    BVOps::repeat(nsb, 1));
+        uint32_t t = 0;
+        switch (in.op) {
+          case ROp::Lt:
+            result = v.ltU(au, bu);
+            break;
+          case ROp::Gt:
+            result = v.ltU(bu, au);
+            break;
+          case ROp::Ge:
+            t = v.ltU(au, bu);
+            result = b.not_(t);
+            break;
+          case ROp::Le:
+            t = v.ltU(bu, au);
+            result = b.not_(t);
+            break;
+          default:
+            panic("intCompare: not a comparison op");
+        }
+        if (t)
+            b.pool().freeBit(t);
+        b.pool().freeBit(nsa);
+        b.pool().freeBit(nsb);
+    }
+    writeBoolResult(v, in.rd, result);
+    b.pool().freeBit(result);
+}
+
+namespace
+{
+
+/** Cell <- 1 iff float register @p x is a NaN. */
+uint32_t
+isNaNCell(BVOps &v, const BV &x)
+{
+    GateBuilder &b = v.builder();
+    const uint32_t expOnes = v.andTree(BVOps::slice(x, 23, 31));
+    const uint32_t fracAny = v.orTree(BVOps::slice(x, 0, 23));
+    const uint32_t nan = b.and_(expOnes, fracAny);
+    b.pool().freeBit(expOnes);
+    b.pool().freeBit(fracAny);
+    return nan;
+}
+
+/**
+ * Cell <- 1 iff a < b for floats (IEEE ordered less-than, both
+ * operands known non-NaN; bothZero handled by the caller's mask).
+ */
+uint32_t
+floatLtRaw(BVOps &v, const BV &a, const BV &b2)
+{
+    GateBuilder &b = v.builder();
+    const BV magA = BVOps::slice(a, 0, 31);
+    const BV magB = BVOps::slice(b2, 0, 31);
+    const uint32_t sa = a[31];
+    const uint32_t sb = b2[31];
+    const uint32_t nsa = b.not_(sa);
+    const uint32_t nsb = b.not_(sb);
+    const uint32_t ltAB = v.ltU(magA, magB);
+    const uint32_t ltBA = v.ltU(magB, magA);
+    // a negative, b non-negative (bothZero excluded by the caller).
+    const uint32_t c1 = b.and_(sa, nsb);
+    // both non-negative: |a| < |b|
+    const uint32_t t2 = b.and_(nsa, nsb);
+    const uint32_t c2 = b.and_(t2, ltAB);
+    // both negative: |b| < |a|
+    const uint32_t t3 = b.and_(sa, sb);
+    const uint32_t c3 = b.and_(t3, ltBA);
+    const uint32_t c12 = b.or_(c1, c2);
+    const uint32_t lt = b.or_(c12, c3);
+    for (uint32_t c : {nsa, nsb, ltAB, ltBA, c1, t2, c2, t3, c3, c12})
+        b.pool().freeBit(c);
+    return lt;
+}
+
+} // namespace
+
+void
+floatCompare(BVOps &v, const RTypeInstr &in)
+{
+    GateBuilder &b = v.builder();
+    const BV a = v.reg(in.ra);
+    const BV y = v.reg(in.rb);
+
+    const uint32_t nanA = isNaNCell(v, a);
+    const uint32_t nanB = isNaNCell(v, y);
+    const uint32_t anyNaN = b.or_(nanA, nanB);
+    const uint32_t noNaN = b.not_(anyNaN);
+    const uint32_t zA = v.isZero(BVOps::slice(a, 0, 31));
+    const uint32_t zB = v.isZero(BVOps::slice(y, 0, 31));
+    const uint32_t bothZero = b.and_(zA, zB);
+
+    auto orderedLt = [&](const BV &x1, const BV &x2) {
+        const uint32_t raw = floatLtRaw(v, x1, x2);
+        const uint32_t nz = b.not_(bothZero);
+        const uint32_t t = b.and_(raw, nz);
+        const uint32_t lt = b.and_(t, noNaN);
+        b.pool().freeBit(raw);
+        b.pool().freeBit(nz);
+        b.pool().freeBit(t);
+        return lt;
+    };
+    auto orderedEq = [&]() {
+        const uint32_t bits = v.eq(a, y);
+        const uint32_t e0 = b.or_(bits, bothZero);
+        const uint32_t e = b.and_(e0, noNaN);
+        b.pool().freeBit(bits);
+        b.pool().freeBit(e0);
+        return e;
+    };
+
+    uint32_t result = 0;
+    switch (in.op) {
+      case ROp::Lt:
+        result = orderedLt(a, y);
+        break;
+      case ROp::Gt:
+        result = orderedLt(y, a);
+        break;
+      case ROp::Le: {
+        const uint32_t lt = orderedLt(a, y);
+        const uint32_t e = orderedEq();
+        result = b.or_(lt, e);
+        b.pool().freeBit(lt);
+        b.pool().freeBit(e);
+        break;
+      }
+      case ROp::Ge: {
+        const uint32_t gt = orderedLt(y, a);
+        const uint32_t e = orderedEq();
+        result = b.or_(gt, e);
+        b.pool().freeBit(gt);
+        b.pool().freeBit(e);
+        break;
+      }
+      case ROp::Eq:
+        result = orderedEq();
+        break;
+      case ROp::Ne: {
+        const uint32_t e = orderedEq();
+        result = b.not_(e);  // NaN != anything, including itself
+        b.pool().freeBit(e);
+        break;
+      }
+      default:
+        panic("floatCompare: not a comparison op");
+    }
+    writeBoolResult(v, in.rd, result);
+    for (uint32_t c : {result, nanA, nanB, anyNaN, noNaN, zA, zB,
+                       bothZero})
+        b.pool().freeBit(c);
+}
+
+} // namespace pypim::emit

@@ -1,0 +1,223 @@
+#include "driver/driver.hpp"
+
+#include <string>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "driver/emit.hpp"
+
+namespace pypim
+{
+
+Driver::Driver(OperationSink &sink, const Geometry &geo, Mode mode)
+    : geo_(&geo),
+      sink_(&sink),
+      builder_(sink, geo),
+      bv_(builder_),
+      mode_(mode)
+{
+    geo.validate();
+}
+
+Driver::StreamKey
+Driver::makeKey(const RTypeInstr &in) const
+{
+    StreamKey k;
+    k.fields = static_cast<uint64_t>(in.op) |
+               (static_cast<uint64_t>(in.dtype) << 8) |
+               (static_cast<uint64_t>(in.rd) << 16) |
+               (static_cast<uint64_t>(in.ra) << 24) |
+               (static_cast<uint64_t>(in.rb) << 32) |
+               (static_cast<uint64_t>(in.rc) << 40) |
+               (static_cast<uint64_t>(mode_) << 48) |
+               (static_cast<uint64_t>(builder_.partitionsEnabled())
+                << 56);
+    k.warps = in.warps;
+    k.rows = in.rows;
+    return k;
+}
+
+void
+Driver::setPartitionsEnabled(bool on)
+{
+    builder_.setPartitionsEnabled(on);
+}
+
+void
+Driver::validate(const RTypeInstr &in) const
+{
+    // Hot path (every instruction): build messages lazily.
+    if (!ropSupported(in.op, in.dtype)) {
+        fatal(std::string("unsupported operation ") + ropName(in.op) +
+              " for dtype " + dtypeName(in.dtype));
+    }
+    if (in.dtype == DType::Float32 && geo_->wordBits != 32)
+        fatal("float32 operations require a 32-bit word geometry");
+    in.warps.validate(geo_->numCrossbars, "warp");
+    in.rows.validate(geo_->rows, "thread");
+    const uint32_t arity = ropArity(in.op);
+    auto checkReg = [&](uint8_t r, const char *what) {
+        if (r >= geo_->userRegs)
+            fatal(std::string(what) + " register out of range");
+    };
+    checkReg(in.rd, "destination");
+    checkReg(in.ra, "source a");
+    if (arity >= 2)
+        checkReg(in.rb, "source b");
+    if (arity >= 3)
+        checkReg(in.rc, "source c");
+    // The emitters bulk-initialise rd before consuming all source
+    // bits, so aliasing is rejected wholesale.
+    if (in.rd == in.ra || (arity >= 2 && in.rd == in.rb) ||
+        (arity >= 3 && in.rd == in.rc))
+        fatal("destination register must not alias a source register");
+}
+
+void
+Driver::execute(const RTypeInstr &in)
+{
+    validate(in);
+    if (streamCacheOn_) {
+        const StreamKey key = makeKey(in);
+        const auto it = streamCache_.find(key);
+        if (it != streamCache_.end()) {
+            // Replay the memoised (self-contained) stream: the chip
+            // ends up in the instruction's mask state.
+            builder_.flush();
+            sink_->performBatch(it->second.data(), it->second.size());
+            builder_.assumeMasks(in.warps, in.rows);
+            ++stats_.instructions;
+            return;
+        }
+        // Record a self-contained stream (mask ops always included).
+        struct Recorder : OperationSink
+        {
+            std::vector<Word> ops;
+            void
+            performBatch(const Word *p, size_t n) override
+            {
+                ops.insert(ops.end(), p, p + n);
+            }
+            uint32_t performRead(Word) override { return 0; }
+        } rec;
+        OperationSink *real = builder_.swapSink(&rec);
+        builder_.resetMaskState();
+        builder_.pool().reset();
+        builder_.setMasks(in.warps, in.rows);
+        dispatch(in);
+        builder_.flush();
+        builder_.swapSink(real);
+        if (streamCache_.size() >= 4096)
+            streamCache_.clear();  // simple bound; signatures are few
+        const auto &cached =
+            streamCache_.emplace(key, std::move(rec.ops)).first->second;
+        sink_->performBatch(cached.data(), cached.size());
+        builder_.assumeMasks(in.warps, in.rows);
+        ++stats_.instructions;
+        return;
+    }
+    builder_.pool().reset();
+    builder_.setMasks(in.warps, in.rows);
+    dispatch(in);
+    builder_.flush();
+    ++stats_.instructions;
+}
+
+void
+Driver::dispatch(const RTypeInstr &in)
+{
+    const bool isFloat = in.dtype == DType::Float32;
+    const bool parallel = mode_ == Mode::Parallel;
+    switch (in.op) {
+      case ROp::Add:
+        if (isFloat)
+            emit::floatAddSub(bv_, in, false);
+        else if (parallel)
+            emit::intAddParallel(bv_, in);
+        else
+            emit::intAddSerial(bv_, in);
+        return;
+      case ROp::Sub:
+        if (isFloat)
+            emit::floatAddSub(bv_, in, true);
+        else if (parallel)
+            emit::intSubParallel(bv_, in);
+        else
+            emit::intSubSerial(bv_, in);
+        return;
+      case ROp::Mul:
+        if (isFloat)
+            emit::floatMul(bv_, in);
+        else if (parallel)
+            emit::intMulParallel(bv_, in);
+        else
+            emit::intMulSerial(bv_, in);
+        return;
+      case ROp::Div:
+        if (isFloat)
+            emit::floatDiv(bv_, in);
+        else
+            emit::intDivSerial(bv_, in, false);
+        return;
+      case ROp::Mod:
+        emit::intDivSerial(bv_, in, true);
+        return;
+      case ROp::Neg:
+        isFloat ? emit::floatNeg(bv_, in) : emit::intNeg(bv_, in);
+        return;
+      case ROp::Lt:
+      case ROp::Le:
+      case ROp::Gt:
+      case ROp::Ge:
+      case ROp::Eq:
+      case ROp::Ne:
+        isFloat ? emit::floatCompare(bv_, in) : emit::intCompare(bv_, in);
+        return;
+      case ROp::BitNot:
+      case ROp::BitAnd:
+      case ROp::BitOr:
+      case ROp::BitXor:
+        emit::bitwise(bv_, in);
+        return;
+      case ROp::Sign:
+        isFloat ? emit::floatSign(bv_, in) : emit::intSign(bv_, in);
+        return;
+      case ROp::Zero:
+        isFloat ? emit::floatZero(bv_, in) : emit::intZero(bv_, in);
+        return;
+      case ROp::Abs:
+        isFloat ? emit::floatAbs(bv_, in) : emit::intAbs(bv_, in);
+        return;
+      case ROp::Mux:
+        emit::muxOp(bv_, in);
+        return;
+      case ROp::Copy:
+        emit::copyReg(bv_, in);
+        return;
+    }
+    panic("dispatch: unknown R-type op");
+}
+
+void
+Driver::execute(const WriteInstr &in)
+{
+    fatalIf(in.reg >= geo_->userRegs, "write register out of range");
+    in.warps.validate(geo_->numCrossbars, "warp");
+    in.rows.validate(geo_->rows, "thread");
+    builder_.setMasks(in.warps, in.rows);
+    builder_.writeWord(in.reg, in.value);
+    builder_.flush();
+    ++stats_.instructions;
+}
+
+uint32_t
+Driver::execute(const ReadInstr &in)
+{
+    fatalIf(in.reg >= geo_->userRegs, "read register out of range");
+    fatalIf(in.warp >= geo_->numCrossbars, "read warp out of range");
+    fatalIf(in.row >= geo_->rows, "read row out of range");
+    ++stats_.instructions;
+    return builder_.readWord(in.warp, in.row, in.reg);
+}
+
+} // namespace pypim

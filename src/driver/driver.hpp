@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The PyPIM host driver (paper §V-B).
+ *
+ * The driver translates ISA macro-instructions into micro-operation
+ * streams. It is deliberately host software, not an on-chip
+ * controller: the paper argues a software driver is both flexible
+ * (updatable without replacing hardware) and fast enough not to
+ * bottleneck the PIM chip — bench_driver reproduces that measurement.
+ *
+ * Two arithmetic modes select the algorithm family used for int
+ * add/sub/mul (paper §II-B):
+ *  - Serial: bit-serial element-parallel (ripple/schoolbook),
+ *  - Parallel: bit-parallel element-parallel using partitions
+ *    (carry-lookahead / carry-save).
+ * Everything else (division, float, comparisons, bitwise, misc) uses
+ * one implementation whose inner primitives already exploit partition
+ * parallelism where profitable.
+ */
+#ifndef PYPIM_DRIVER_DRIVER_HPP
+#define PYPIM_DRIVER_DRIVER_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "driver/bitvec.hpp"
+#include "driver/gatebuilder.hpp"
+#include "isa/instruction.hpp"
+#include "sim/sink.hpp"
+
+namespace pypim
+{
+
+/** Macro-instruction to micro-operation translator. */
+class Driver
+{
+  public:
+    /** Arithmetic algorithm family (paper Fig. 4). */
+    enum class Mode
+    {
+        Serial,
+        Parallel
+    };
+
+    Driver(OperationSink &sink, const Geometry &geo,
+           Mode mode = Mode::Parallel);
+
+    const Geometry &geometry() const { return *geo_; }
+    GateBuilder &builder() { return builder_; }
+
+    Mode mode() const { return mode_; }
+    void setMode(Mode m) { mode_ = m; }
+
+    /** Disable partition parallelism entirely (ablation baseline). */
+    void setPartitionsEnabled(bool on);
+
+    /**
+     * Enable/disable the translation stream cache. Element-parallel
+     * R-type streams are data-independent, so the driver memoises the
+     * translated micro-op stream per instruction signature and replays
+     * it with a single batch write — the software analogue of the
+     * paper's specialised (constant-folded) driver routines, and the
+     * reason the host can outpace the chip's 1-op/cycle consumption.
+     */
+    void setStreamCacheEnabled(bool on) { streamCacheOn_ = on; }
+    bool streamCacheEnabled() const { return streamCacheOn_; }
+    /** Cached distinct instruction signatures. */
+    size_t streamCacheSize() const { return streamCache_.size(); }
+
+    /** Execute an R-type instruction (Table II). */
+    void execute(const RTypeInstr &in);
+    /** Execute a constant write. */
+    void execute(const WriteInstr &in);
+    /** Execute a read; returns the N-bit register value. */
+    uint32_t execute(const ReadInstr &in);
+    /** Execute an intra- or inter-warp move. */
+    void execute(const MoveInstr &in);
+
+    /** Driver-side instruction counters. */
+    Stats &stats() { return stats_; }
+    const Stats &stats() const { return stats_; }
+
+  private:
+    void validate(const RTypeInstr &in) const;
+    void dispatch(const RTypeInstr &in);
+
+    /** Signature of a cacheable R-type translation. */
+    struct StreamKey
+    {
+        uint64_t fields;  //!< op|dtype|rd|ra|rb|rc|mode|partitions
+        Range warps;
+        Range rows;
+        bool operator==(const StreamKey &) const = default;
+    };
+    struct StreamKeyHash
+    {
+        size_t
+        operator()(const StreamKey &k) const
+        {
+            uint64_t h = k.fields * 0x9E3779B97F4A7C15ull;
+            h ^= (static_cast<uint64_t>(k.warps.start) << 32 |
+                  k.warps.stop) * 0xC2B2AE3D27D4EB4Full;
+            h ^= (static_cast<uint64_t>(k.rows.start) << 32 |
+                  (static_cast<uint64_t>(k.rows.stop) ^
+                   (static_cast<uint64_t>(k.warps.step) << 20) ^
+                   (static_cast<uint64_t>(k.rows.step) << 40))) *
+                 0x165667B19E3779F9ull;
+            return static_cast<size_t>(h ^ (h >> 29));
+        }
+    };
+    StreamKey makeKey(const RTypeInstr &in) const;
+
+    const Geometry *geo_;
+    OperationSink *sink_;
+    GateBuilder builder_;
+    BVOps bv_;
+    Mode mode_;
+    Stats stats_;
+    bool streamCacheOn_ = true;
+    std::unordered_map<StreamKey, std::vector<Word>, StreamKeyHash>
+        streamCache_;
+};
+
+} // namespace pypim
+
+#endif // PYPIM_DRIVER_DRIVER_HPP

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Internal declarations of the per-operation emitters of the host
+ * driver. Each function translates one R-type macro-instruction into a
+ * micro-operation stream via the BitVec layer; masks are already set
+ * and the scratch pool is reset by the Driver before dispatch.
+ *
+ * Serial emitters implement the bit-serial element-parallel algorithms
+ * (paper Fig. 4(a)); the parallel emitters implement the bit-parallel
+ * element-parallel algorithms using partitions (Fig. 4(b)):
+ * carry-lookahead addition (Brent-Kung prefix) and a carry-save
+ * multiplier, following AritPIM / MultPIM.
+ */
+#ifndef PYPIM_DRIVER_EMIT_HPP
+#define PYPIM_DRIVER_EMIT_HPP
+
+#include "driver/bitvec.hpp"
+#include "isa/instruction.hpp"
+
+namespace pypim::emit
+{
+
+// intserial.cpp — bit-serial fixed point
+void intAddSerial(BVOps &v, const RTypeInstr &in);
+void intSubSerial(BVOps &v, const RTypeInstr &in);
+void intMulSerial(BVOps &v, const RTypeInstr &in);
+void intDivSerial(BVOps &v, const RTypeInstr &in, bool wantMod);
+
+// intparallel.cpp — partition-parallel fixed point
+void intAddParallel(BVOps &v, const RTypeInstr &in);
+void intSubParallel(BVOps &v, const RTypeInstr &in);
+void intMulParallel(BVOps &v, const RTypeInstr &in);
+
+// floatarith.cpp — IEEE-754 float32
+void floatAddSub(BVOps &v, const RTypeInstr &in, bool subtract);
+void floatMul(BVOps &v, const RTypeInstr &in);
+void floatDiv(BVOps &v, const RTypeInstr &in);
+
+// compare.cpp
+void intCompare(BVOps &v, const RTypeInstr &in);
+void floatCompare(BVOps &v, const RTypeInstr &in);
+
+// bitwise.cpp
+void bitwise(BVOps &v, const RTypeInstr &in);
+
+// misc.cpp
+void intNeg(BVOps &v, const RTypeInstr &in);
+void intSign(BVOps &v, const RTypeInstr &in);
+void intAbs(BVOps &v, const RTypeInstr &in);
+void intZero(BVOps &v, const RTypeInstr &in);
+void floatNeg(BVOps &v, const RTypeInstr &in);
+void floatSign(BVOps &v, const RTypeInstr &in);
+void floatAbs(BVOps &v, const RTypeInstr &in);
+void floatZero(BVOps &v, const RTypeInstr &in);
+void muxOp(BVOps &v, const RTypeInstr &in);
+void copyReg(BVOps &v, const RTypeInstr &in);
+
+/** Write a 0/1 cell into rd as a full-width boolean register. */
+void writeBoolResult(BVOps &v, uint32_t rd, uint32_t cell);
+
+} // namespace pypim::emit
+
+#endif // PYPIM_DRIVER_EMIT_HPP

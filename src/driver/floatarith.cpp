@@ -1,0 +1,549 @@
+/**
+ * @file
+ * Gate-level IEEE-754 binary32 arithmetic (paper §V-B: the AritPIM
+ * floating-point suite). Add/sub/mul/div with full subnormal support,
+ * signed zeros, infinities, NaNs (canonical quiet NaN outputs) and
+ * round-to-nearest-even via guard/round/sticky.
+ *
+ * Everything is branch-free data-parallel logic: one emitted gate
+ * sequence computes the operation for every selected row. The
+ * structure mirrors a classic hardware FPU:
+ *
+ *   unpack -> (align | multiply | divide) -> normalize -> round/pack
+ *
+ * with a shared round/pack stage (packRound) handling subnormal
+ * results (right-shift with sticky when the signed result exponent
+ * E0 <= 0), the subnormal/normal field rule (exponent field is 0
+ * whenever the hidden bit is 0 — the increment trick then makes
+ * subnormal-to-normal rounding carry work for free), mantissa
+ * rounding overflow, and overflow to infinity.
+ *
+ * Internal fixed formats:
+ *  - M27: 27-bit significand view [S R G m0..m23] (value * 2^26 with
+ *    sticky absorbed into bit 0),
+ *  - E0: signed 11-bit result exponent in IEEE bias (true exponent
+ *    field the value would have were the range unbounded).
+ */
+#include "driver/emit.hpp"
+
+#include "common/error.hpp"
+#include "driver/mulcore.hpp"
+
+namespace pypim::emit
+{
+
+namespace
+{
+
+/** Unpacked float operand. */
+struct FloatParts
+{
+    BV exp;           //!< 8-bit register view
+    BV frac;          //!< 23-bit register view
+    uint32_t sign;    //!< register cell (not owned)
+    uint32_t isSubn;  //!< owned flag cells
+    uint32_t isNaN;
+    uint32_t isInf;
+    uint32_t isZero;
+    BV mant;          //!< 24-bit owned significand (frac + hidden bit)
+    BV expEff;        //!< 8-bit owned effective exponent max(exp, 1)
+};
+
+FloatParts
+unpack(BVOps &v, uint32_t regSlot)
+{
+    GateBuilder &b = v.builder();
+    const BV r = v.reg(regSlot);
+    FloatParts p;
+    p.exp = BVOps::slice(r, 23, 31);
+    p.frac = BVOps::slice(r, 0, 23);
+    p.sign = r[31];
+    p.isSubn = v.isZero(p.exp);
+    const uint32_t expOnes = v.andTree(p.exp);
+    const uint32_t fracZero = v.isZero(p.frac);
+    const uint32_t fracAny = b.not_(fracZero);
+    p.isNaN = b.and_(expOnes, fracAny);
+    p.isInf = b.and_(expOnes, fracZero);
+    p.isZero = b.and_(p.isSubn, fracZero);
+    b.pool().freeBit(expOnes);
+    b.pool().freeBit(fracZero);
+    b.pool().freeBit(fracAny);
+    // Significand with the hidden bit (0 for subnormals).
+    p.mant = v.alloc(24);
+    BV mLow = BVOps::slice(p.mant, 0, 23);
+    v.copyInto(p.frac, mLow);
+    b.notInto(p.isSubn, p.mant[23]);
+    // Effective exponent: subnormals behave as exponent 1.
+    p.expEff = v.alloc(8);
+    BV eHi = BVOps::slice(p.expEff, 1, 8);
+    const BV xHi = BVOps::slice(p.exp, 1, 8);
+    v.copyInto(xHi, eHi);
+    const uint32_t t = b.nor(p.exp[0], p.isSubn);
+    b.notInto(t, p.expEff[0]);
+    b.pool().freeBit(t);
+    return p;
+}
+
+void
+freeParts(BVOps &v, FloatParts &p)
+{
+    v.free(p.mant);
+    v.free(p.expEff);
+    for (uint32_t c : {p.isSubn, p.isNaN, p.isInf, p.isZero})
+        v.builder().pool().freeBit(c);
+}
+
+/**
+ * Shared round/pack stage: signed 11-bit exponent @p e0 plus
+ * normalized 27-bit significand @p m27 -> 31-bit magnitude
+ * (exponent ‖ fraction) with RNE rounding, subnormal handling and
+ * overflow to infinity. The caller overlays specials and the sign.
+ */
+BV
+packRound(BVOps &v, const BV &e0, const BV &m27)
+{
+    GateBuilder &b = v.builder();
+    panicIf(e0.width() != 11 || m27.width() != 27,
+            "packRound: bad widths");
+
+    // Subnormal result: E0 <= 0 -> shift right by 1 - E0 with sticky.
+    const uint32_t e0zero = v.isZero(e0);
+    const uint32_t uf = b.or_(e0[10], e0zero);
+    b.pool().freeBit(e0zero);
+    BV one11 = v.constant(11, 1);
+    BV sh = v.sub(one11, e0);
+    v.free(one11);
+    uint32_t stk = v.constCell(false);
+    BV msub = v.shrVar(m27, sh, &stk);
+    v.free(sh);
+    const uint32_t s0 = b.or_(msub[0], stk);
+    b.pool().freeBit(stk);
+    const BV msubF = BVOps::concat(BVOps::repeat(s0, 1),
+                                   BVOps::slice(msub, 1, 27));
+    BV m = v.muxCell(uf, msubF, m27);
+    v.free(msub);
+    b.pool().freeBit(s0);
+    b.pool().freeBit(uf);
+
+    // Exponent field: E0 wherever the hidden bit is set, else 0 (the
+    // subnormal encoding; rounding carry restores normals for free).
+    SelLanes hid = v.broadcastSelect(m[26]);
+    const uint32_t zc = v.constCell(false);
+    const BV e0low = BVOps::slice(e0, 0, 8);
+    const BV zeros8 = BVOps::repeat(zc, 8);
+    BV field = v.mux(hid, e0low, zeros8);
+    v.freeSelect(hid);
+
+    // RNE: round up iff G and (R or S or LSB).
+    const uint32_t rs = b.or_(m[1], m[0]);
+    const uint32_t rsl = b.or_(rs, m[3]);
+    const uint32_t roundUp = b.and_(m[2], rsl);
+    b.pool().freeBit(rs);
+    b.pool().freeBit(rsl);
+
+    // Increment the concatenated (fraction ‖ exponent) magnitude:
+    // mantissa overflow and subnormal-to-normal promotion carry
+    // naturally into the exponent field.
+    const BV combined = BVOps::concat(BVOps::slice(m, 3, 26), field);
+    BV inc = v.alloc(31);
+    v.incInto(combined, roundUp, inc);
+    b.pool().freeBit(roundUp);
+    v.free(field);
+    v.free(m);
+
+    // Overflow to infinity: pre-round E0 >= 255, or the rounded
+    // exponent reached 255 (RNE overflow rounds to infinity).
+    BV c255 = v.constant(11, 255);
+    const uint32_t lt255 = v.ltU(e0, c255);
+    v.free(c255);
+    const uint32_t ge255 = b.not_(lt255);
+    const uint32_t nneg = b.not_(e0[10]);
+    const uint32_t ovf = b.and_(nneg, ge255);
+    const uint32_t postOnes = v.andTree(BVOps::slice(inc, 23, 31));
+    const uint32_t toInf = b.or_(ovf, postOnes);
+    for (uint32_t c : {lt255, ge255, nneg, ovf, postOnes})
+        b.pool().freeBit(c);
+    BV inf31 = v.constant(31, 0x7F800000u);
+    BV out = v.muxCell(toInf, inf31, inc);
+    v.free(inf31);
+    v.free(inc);
+    b.pool().freeBit(toInf);
+    b.pool().freeBit(zc);
+    return out;
+}
+
+/** Write (magnitude, sign) into the destination register. */
+void
+writeFloat(BVOps &v, uint32_t rd, const BV &mag, uint32_t signCell)
+{
+    BV d = v.reg(rd);
+    BV dMag = BVOps::slice(d, 0, 31);
+    v.copyInto(mag, dMag);
+    v.builder().copyCell(signCell, d[31]);
+}
+
+/**
+ * Pre-normalize a (possibly subnormal) operand for mul/div: shift the
+ * hidden-bit-free significand left so mant[23] = 1, and widen the
+ * exponent to signed 11 bits: e = expEff - lzc(mant).
+ */
+void
+normalizeOperand(BVOps &v, FloatParts &p, BV &mantN, BV &e11)
+{
+    GateBuilder &b = v.builder();
+    const uint32_t zc = v.constCell(false);
+    BV cnt = v.lzc(p.mant);  // 5 bits
+    mantN = v.shlVar(p.mant, cnt);
+    const BV cnt11 = v.zext(cnt, 11, zc);
+    const BV e0 = v.zext(p.expEff, 11, zc);
+    e11 = v.sub(e0, cnt11);
+    v.free(cnt);
+    b.pool().freeBit(zc);
+}
+
+} // namespace
+
+void
+floatAddSub(BVOps &v, const RTypeInstr &in, bool subtract)
+{
+    GateBuilder &b = v.builder();
+    FloatParts A = unpack(v, in.ra);
+    FloatParts B = unpack(v, in.rb);
+    const uint32_t sbEff =
+        subtract ? b.not_(B.sign) : B.sign;
+
+    // Order the operands so (Ebig, Mbig) >= (Esml, Msml)
+    // lexicographically: the aligned difference is then non-negative.
+    const uint32_t el = v.ltU(A.expEff, B.expEff);
+    const uint32_t ee = v.eq(A.expEff, B.expEff);
+    const uint32_t ml = v.ltU(A.mant, B.mant);
+    const uint32_t eml = b.and_(ee, ml);
+    const uint32_t swap = b.or_(el, eml);
+    for (uint32_t c : {el, ee, ml, eml})
+        b.pool().freeBit(c);
+    SelLanes sw = v.broadcastSelect(swap);
+    BV eBig = v.mux(sw, B.expEff, A.expEff);
+    BV eSml = v.mux(sw, A.expEff, B.expEff);
+    BV mBig = v.mux(sw, B.mant, A.mant);
+    BV mSml = v.mux(sw, A.mant, B.mant);
+    v.freeSelect(sw);
+    const uint32_t sBig = b.mux(swap, sbEff, A.sign);
+    b.pool().freeBit(swap);
+    v.free(A.mant);
+    v.free(B.mant);
+    v.free(A.expEff);
+    v.free(B.expEff);
+
+    // Align the smaller significand: (mSml << 3) >> expDiff, sticky
+    // absorbed into the S bit.
+    BV d = v.sub(eBig, eSml);
+    v.free(eSml);
+    const uint32_t zc = v.constCell(false);
+    const BV mSml3 = BVOps::concat(BVOps::repeat(zc, 3), mSml);
+    uint32_t stk = v.constCell(false);
+    BV msh = v.shrVar(mSml3, d, &stk);
+    v.free(d);
+    v.free(mSml);
+    const uint32_t s0 = b.or_(msh[0], stk);
+    b.pool().freeBit(stk);
+    const BV mshF = BVOps::concat(BVOps::repeat(s0, 1),
+                                  BVOps::slice(msh, 1, 27));
+
+    // Effective subtraction: R = Mbig - Msh, else R = Mbig + Msh, as
+    // a single 28-bit add of the conditionally-inverted operand.
+    const uint32_t effSub = b.xor_(A.sign, sbEff);
+    SelLanes es = v.broadcastSelect(effSub);
+    BV x27 = v.xor_(mshF, v.selBV(es.s, mshF));
+    v.freeSelect(es);
+    v.free(msh);
+    b.pool().freeBit(s0);
+    const BV x28 = BVOps::concat(x27, BVOps::repeat(effSub, 1));
+    const BV mBig28 = BVOps::concat(BVOps::repeat(zc, 3),
+                                    v.zext(mBig, 25, zc));
+    BV r28 = v.alloc(28);
+    v.addInto(mBig28, x28, r28, effSub, nullptr);
+    v.free(x27);
+    v.free(mBig);
+    const uint32_t rz = v.isZero(r28);
+
+    // Normalize. Overflow path (carry into bit 27): shift right one,
+    // folding the dropped bit into sticky; cancellation path: shift
+    // left by min(lzc, Ebig - 1).
+    const uint32_t ovfBit = r28[27];
+    const uint32_t a0 = b.or_(r28[1], r28[0]);
+    const BV m27a = BVOps::concat(BVOps::repeat(a0, 1),
+                                  BVOps::slice(r28, 2, 28));
+    const BV r27 = BVOps::slice(r28, 0, 27);
+    BV cnt = v.lzc(r27);  // 5 bits
+    BV one8 = v.constant(8, 1);
+    BV eBigM1 = v.sub(eBig, one8);
+    v.free(one8);
+    const BV cnt8 = v.zext(cnt, 8, zc);
+    const uint32_t clamp = v.ltU(eBigM1, cnt8);
+    const BV eLow5 = BVOps::slice(eBigM1, 0, 5);
+    BV shamt = v.muxCell(clamp, eLow5, cnt);
+    b.pool().freeBit(clamp);
+    v.free(cnt);
+    BV mShift = v.shlVar(r27, shamt);
+    const BV eBig11 = v.zext(eBig, 11, zc);
+    const BV shamt11 = v.zext(shamt, 11, zc);
+    BV e0b = v.sub(eBig11, shamt11);
+    v.free(shamt);
+    v.free(eBigM1);
+    const uint32_t onec = v.constCell(true);
+    BV e0a = v.alloc(11);
+    v.incInto(eBig11, onec, e0a);
+    b.pool().freeBit(onec);
+    v.free(eBig);
+    BV m27 = v.muxCell(ovfBit, m27a, mShift);
+    BV e0 = v.muxCell(ovfBit, e0a, e0b);
+    v.free(mShift);
+    v.free(e0a);
+    v.free(e0b);
+    b.pool().freeBit(a0);
+    v.free(r28);
+
+    BV packed = packRound(v, e0, m27);
+    v.free(e0);
+    v.free(m27);
+
+    // Zero result: exact cancellation gives +0 (RNE); zero inputs
+    // keep the common sign. Both cases equal sign-AND.
+    const uint32_t sZero = b.and_(A.sign, sbEff);
+    const uint32_t sGen = b.mux(rz, sZero, sBig);
+    const BV zeros31 = BVOps::repeat(zc, 31);
+    BV mag1 = v.muxCell(rz, zeros31, packed);
+    v.free(packed);
+
+    // Specials: NaN in, or inf - inf -> NaN; any inf -> inf.
+    const uint32_t anyNaN = b.or_(A.isNaN, B.isNaN);
+    const uint32_t bothInf = b.and_(A.isInf, B.isInf);
+    const uint32_t infCancel = b.and_(bothInf, effSub);
+    const uint32_t nanOut = b.or_(anyNaN, infCancel);
+    const uint32_t anyInf = b.or_(A.isInf, B.isInf);
+    const uint32_t infSign = b.mux(A.isInf, A.sign, sbEff);
+    BV inf31 = v.constant(31, 0x7F800000u);
+    BV mag2 = v.muxCell(anyInf, inf31, mag1);
+    v.free(inf31);
+    v.free(mag1);
+    BV nan31 = v.constant(31, 0x7FC00000u);
+    BV mag3 = v.muxCell(nanOut, nan31, mag2);
+    v.free(nan31);
+    v.free(mag2);
+    const uint32_t s2 = b.mux(anyInf, infSign, sGen);
+    const uint32_t nn = b.not_(nanOut);
+    const uint32_t sOut = b.and_(s2, nn);
+
+    writeFloat(v, in.rd, mag3, sOut);
+    v.free(mag3);
+    for (uint32_t c : {sZero, sGen, anyNaN, bothInf, infCancel, nanOut,
+                       anyInf, infSign, s2, nn, sOut, effSub, rz, zc,
+                       sBig})
+        b.pool().freeBit(c);
+    if (subtract)
+        b.pool().freeBit(sbEff);
+    freeParts(v, A);
+    freeParts(v, B);
+}
+
+void
+floatMul(BVOps &v, const RTypeInstr &in)
+{
+    GateBuilder &b = v.builder();
+    FloatParts A = unpack(v, in.ra);
+    FloatParts B = unpack(v, in.rb);
+    const uint32_t zc = v.constCell(false);
+
+    BV maN, eA, mbN, eB;
+    normalizeOperand(v, A, maN, eA);
+    normalizeOperand(v, B, mbN, eB);
+    v.free(A.mant);
+    v.free(B.mant);
+    v.free(A.expEff);
+    v.free(B.expEff);
+
+    // Exponent base eA + eB - 127 computed up front so its operand
+    // lanes are free during the significand product.
+    BV eSum = v.add(eA, eB);
+    v.free(eA);
+    v.free(eB);
+    BV c127 = v.constant(11, 127);
+    BV e0m = v.sub(eSum, c127);
+    v.free(c127);
+    v.free(eSum);
+
+    // 48-bit significand product via the shared shift-add core: the
+    // retired low bits and the final accumulator together form the
+    // full product.
+    BV accLow = v.alloc(24);
+    BV accHigh = shiftAddMultiply(v, maN, mbN, accLow.cells, 48,
+                                  /*keepHigh=*/true);
+    const BV acc = BVOps::concat(accLow, accHigh);
+    v.free(maN);
+    v.free(mbN);
+
+    // Normalize: the product of [1,2) x [1,2) is [1,4).
+    const uint32_t bit47 = acc[47];
+    const uint32_t stkA = v.orTree(BVOps::slice(acc, 0, 21));
+    const uint32_t stkB = v.orTree(BVOps::slice(acc, 0, 20));
+    const BV m27a = BVOps::slice(acc, 21, 48);
+    const BV m27b = BVOps::slice(acc, 20, 47);
+    BV m27x = v.muxCell(bit47, m27a, m27b);
+    const uint32_t stky = b.mux(bit47, stkA, stkB);
+    b.pool().freeBit(stkA);
+    b.pool().freeBit(stkB);
+    const uint32_t s0 = b.or_(m27x[0], stky);
+    b.pool().freeBit(stky);
+    const BV m27 = BVOps::concat(BVOps::repeat(s0, 1),
+                                 BVOps::slice(m27x, 1, 27));
+
+    // E0 = (eA + eB - 127) + bit47.
+    BV e0 = v.alloc(11);
+    v.incInto(e0m, bit47, e0);
+    v.free(e0m);
+
+    BV packed = packRound(v, e0, m27);
+    v.free(e0);
+    v.free(m27x);
+    b.pool().freeBit(s0);
+    v.free(accLow);
+    v.free(accHigh);
+
+    // Specials.
+    const uint32_t pZero = b.or_(A.isZero, B.isZero);
+    const BV zeros31 = BVOps::repeat(zc, 31);
+    BV mag1 = v.muxCell(pZero, zeros31, packed);
+    v.free(packed);
+    const uint32_t anyNaN = b.or_(A.isNaN, B.isNaN);
+    const uint32_t iz1 = b.and_(A.isInf, B.isZero);
+    const uint32_t iz2 = b.and_(B.isInf, A.isZero);
+    const uint32_t infZero = b.or_(iz1, iz2);
+    const uint32_t nanOut = b.or_(anyNaN, infZero);
+    const uint32_t anyInf = b.or_(A.isInf, B.isInf);
+    BV inf31 = v.constant(31, 0x7F800000u);
+    BV mag2 = v.muxCell(anyInf, inf31, mag1);
+    v.free(inf31);
+    v.free(mag1);
+    BV nan31 = v.constant(31, 0x7FC00000u);
+    BV mag3 = v.muxCell(nanOut, nan31, mag2);
+    v.free(nan31);
+    v.free(mag2);
+    const uint32_t sgn = b.xor_(A.sign, B.sign);
+    const uint32_t nn = b.not_(nanOut);
+    const uint32_t sOut = b.and_(sgn, nn);
+
+    writeFloat(v, in.rd, mag3, sOut);
+    v.free(mag3);
+    for (uint32_t c : {pZero, anyNaN, iz1, iz2, infZero, nanOut, anyInf,
+                       sgn, nn, sOut, zc})
+        b.pool().freeBit(c);
+    freeParts(v, A);
+    freeParts(v, B);
+}
+
+void
+floatDiv(BVOps &v, const RTypeInstr &in)
+{
+    GateBuilder &b = v.builder();
+    FloatParts A = unpack(v, in.ra);
+    FloatParts B = unpack(v, in.rb);
+    const uint32_t zc = v.constCell(false);
+
+    BV maN, eA, mbN, eB;
+    normalizeOperand(v, A, maN, eA);
+    normalizeOperand(v, B, mbN, eB);
+    v.free(A.mant);
+    v.free(B.mant);
+    v.free(A.expEff);
+    v.free(B.expEff);
+
+    // Restoring long division: Q = floor(maN * 2^28 / mbN), 29 bits,
+    // with the final remainder providing the sticky.
+    const BV d25 = v.zext(mbN, 25, zc);
+    BV r = v.alloc(25);
+    v.copyInto(v.zext(maN, 25, zc), r);
+    v.free(maN);
+    BV q = v.alloc(29);
+    for (uint32_t k = 0; k < 29; ++k) {
+        const uint32_t i = 28 - k;
+        const BV rsh = (k == 0)
+            ? BVOps::slice(r, 0, 25)
+            : BVOps::concat(BVOps::repeat(zc, 1), BVOps::slice(r, 0, 24));
+        BV rsub = v.alloc(25);
+        uint32_t ge = 0;
+        v.subInto(rsh, d25, rsub, &ge);
+        BV rnew = v.muxCell(ge, rsub, rsh);
+        b.copyCell(ge, q[i]);
+        b.pool().freeBit(ge);
+        v.free(rsub);
+        v.free(r);
+        r = rnew;
+    }
+    v.free(mbN);
+    const uint32_t remNZ = v.orTree(r);
+    v.free(r);
+
+    // Normalize: quotient is in (2^27, 2^29).
+    const uint32_t bit28 = q[28];
+    const uint32_t w = b.or_(q[0], remNZ);
+    const uint32_t f0b = b.or_(q[1], w);
+    const uint32_t f0a = b.or_(q[2], f0b);
+    const BV m27a = BVOps::concat(BVOps::repeat(f0a, 1),
+                                  BVOps::slice(q, 3, 29));
+    const BV m27b = BVOps::concat(BVOps::repeat(f0b, 1),
+                                  BVOps::slice(q, 2, 28));
+    BV m27 = v.muxCell(bit28, m27a, m27b);
+    for (uint32_t c : {remNZ, w, f0b, f0a})
+        b.pool().freeBit(c);
+
+    // E0 = eA - eB + 126 + bit28.
+    BV eDiff = v.sub(eA, eB);
+    v.free(eA);
+    v.free(eB);
+    BV c126 = v.constant(11, 126);
+    BV e0m = v.add(eDiff, c126);
+    v.free(c126);
+    v.free(eDiff);
+    BV e0 = v.alloc(11);
+    v.incInto(e0m, bit28, e0);
+    v.free(e0m);
+
+    BV packed = packRound(v, e0, m27);
+    v.free(e0);
+    v.free(m27);
+    v.free(q);
+
+    // Specials: 0/0, inf/inf, NaN -> NaN; x/0, inf/y -> inf;
+    // 0/y, x/inf -> 0.
+    const uint32_t anyNaN = b.or_(A.isNaN, B.isNaN);
+    const uint32_t zz = b.and_(A.isZero, B.isZero);
+    const uint32_t ii = b.and_(A.isInf, B.isInf);
+    const uint32_t nanPre = b.or_(zz, ii);
+    const uint32_t nanOut = b.or_(anyNaN, nanPre);
+    const uint32_t infCond = b.or_(A.isInf, B.isZero);
+    const uint32_t zeroCond = b.or_(A.isZero, B.isInf);
+    const BV zeros31 = BVOps::repeat(zc, 31);
+    BV mag1 = v.muxCell(zeroCond, zeros31, packed);
+    v.free(packed);
+    BV inf31 = v.constant(31, 0x7F800000u);
+    BV mag2 = v.muxCell(infCond, inf31, mag1);
+    v.free(inf31);
+    v.free(mag1);
+    BV nan31 = v.constant(31, 0x7FC00000u);
+    BV mag3 = v.muxCell(nanOut, nan31, mag2);
+    v.free(nan31);
+    v.free(mag2);
+    const uint32_t sgn = b.xor_(A.sign, B.sign);
+    const uint32_t nn = b.not_(nanOut);
+    const uint32_t sOut = b.and_(sgn, nn);
+
+    writeFloat(v, in.rd, mag3, sOut);
+    v.free(mag3);
+    for (uint32_t c : {anyNaN, zz, ii, nanPre, nanOut, infCond,
+                       zeroCond, sgn, nn, sOut, zc})
+        b.pool().freeBit(c);
+    freeParts(v, A);
+    freeParts(v, B);
+}
+
+} // namespace pypim::emit

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Bit-parallel element-parallel fixed-point arithmetic using
+ * partitions (paper Fig. 4(b), §II-B; AritPIM carry-lookahead and
+ * MultPIM-style carry-save multiplication).
+ *
+ * Layout: bit j of a register lives in partition j (the strided
+ * format), so inter-bit communication is inter-partition
+ * communication, and the periodic half-gate pattern executes up to N
+ * aligned gates per cycle.
+ *
+ * Addition: Brent-Kung parallel-prefix over (generate, propagate)
+ * pairs. Every prefix level touches nodes spaced 2^(k+1) partitions
+ * apart combining at distance 2^k — the section span (2^k + 1) never
+ * exceeds the period, so each level is a constant number of periodic
+ * micro-ops: O(log N) total versus O(N) for the serial ripple adder.
+ *
+ * Multiplication: N carry-save steps, each a constant number of
+ * lane-parallel micro-ops (log-depth partition broadcast of the
+ * multiplier bit, lane AND, lane full adder, one-partition shift):
+ * O(N log N) micro-ops total versus O(N^2) serially.
+ */
+#include "driver/emit.hpp"
+
+#include "common/error.hpp"
+
+namespace pypim::emit
+{
+
+namespace
+{
+
+/**
+ * Broadcast one cell into a (s, ~s) lane pair in O(log N) micro-ops
+ * using binary fan-out: the round with block distance d copies
+ * partition p -> p + d for every multiple p of 2d, one periodic op per
+ * polarity. Both polarities travel together so every partition ends
+ * with a consistent inversion parity.
+ */
+void
+logBroadcast(GateBuilder &b, uint32_t srcCell, uint32_t sLane,
+             uint32_t nsLane)
+{
+    const uint32_t n = b.geometry().partitions;
+    // Seed partition 0 with (s, ~s).
+    b.initCell(b.cell(nsLane, 0), true);
+    b.notInto(srcCell, b.cell(nsLane, 0), false);
+    b.initCell(b.cell(sLane, 0), true);
+    b.notInto(b.cell(nsLane, 0), b.cell(sLane, 0), false);
+    for (uint32_t d = n / 2; d >= 1; d /= 2) {
+        const uint32_t step = 2 * d;
+        const uint32_t last = n - d;
+        const uint32_t pStep = (d == last) ? 0 : step;
+        b.periodic(Gate::Init1, 0, 0, b.cell(sLane, d), last, pStep);
+        b.periodic(Gate::Init1, 0, 0, b.cell(nsLane, d), last, pStep);
+        // NOT swaps polarities between the lanes.
+        b.periodic(Gate::Not, b.cell(nsLane, 0), b.cell(nsLane, 0),
+                   b.cell(sLane, d), last, pStep);
+        b.periodic(Gate::Not, b.cell(sLane, 0), b.cell(sLane, 0),
+                   b.cell(nsLane, d), last, pStep);
+    }
+}
+
+/** Lanes of the Brent-Kung prefix state (both polarities). */
+struct PrefixLanes
+{
+    uint32_t g, ng, p, np, t1;
+};
+
+/**
+ * Periodic combine at nodes {first, first+step, ..., last}, each
+ * reading from @p dist partitions to its left:
+ *   G[j] <- G[j] OR (P[j] AND G[j-dist]),
+ *   P[j] <- P[j] AND P[j-dist]            (when @p updateP).
+ * Constant micro-op count regardless of the node count.
+ */
+void
+combineNodes(GateBuilder &b, const PrefixLanes &L, uint32_t first,
+             uint32_t last, uint32_t step, uint32_t dist, bool updateP)
+{
+    const uint32_t pStep = (first == last) ? 0 : step;
+    auto init = [&](uint32_t lane) {
+        b.periodic(Gate::Init1, 0, 0, b.cell(lane, first), last, pStep);
+    };
+    // t1 = P[j] AND G[j-dist] = NOR(nG[j-dist], nP[j])
+    init(L.t1);
+    b.periodic(Gate::Nor, b.cell(L.ng, first - dist),
+               b.cell(L.np, first), b.cell(L.t1, first), last, pStep);
+    // nG[j] = NOR(G[j], t1[j]);  G[j] = NOT(nG[j])
+    init(L.ng);
+    b.periodic(Gate::Nor, b.cell(L.g, first), b.cell(L.t1, first),
+               b.cell(L.ng, first), last, pStep);
+    init(L.g);
+    b.periodic(Gate::Not, b.cell(L.ng, first), b.cell(L.ng, first),
+               b.cell(L.g, first), last, pStep);
+    if (!updateP)
+        return;
+    // P[j] = NOR(nP[j-dist], nP[j]);  nP[j] = NOT(P[j])
+    init(L.p);
+    b.periodic(Gate::Nor, b.cell(L.np, first - dist),
+               b.cell(L.np, first), b.cell(L.p, first), last, pStep);
+    init(L.np);
+    b.periodic(Gate::Not, b.cell(L.p, first), b.cell(L.p, first),
+               b.cell(L.np, first), last, pStep);
+}
+
+/** Carry-lookahead core: rd <- ra + (bInvert ? ~rb : rb) + bInvert. */
+void
+claAddSub(BVOps &v, const RTypeInstr &in, bool bInvert)
+{
+    GateBuilder &b = v.builder();
+    const uint32_t n = b.geometry().partitions;
+    panicIf((n & (n - 1)) != 0, "CLA requires pow2 partitions");
+
+    uint32_t rbSlot = in.rb;
+    uint32_t nbLane = 0;
+    if (bInvert) {
+        nbLane = b.pool().allocLane();
+        b.laneNot(in.rb, nbLane);
+        rbSlot = nbLane;
+    }
+
+    // Initial (g, p) with both polarities; px keeps the original
+    // propagate (a XOR b) for the sum stage.
+    const uint32_t x1 = b.pool().allocLane();
+    const uint32_t x2 = b.pool().allocLane();
+    const uint32_t x3 = b.pool().allocLane();
+    b.laneNor(in.ra, rbSlot, x1);
+    b.laneNor(in.ra, x1, x2);
+    b.laneNor(rbSlot, x1, x3);
+    const uint32_t npx = b.pool().allocLane();
+    b.laneNor(x2, x3, npx);          // XNOR = NOT(a XOR b)
+    const uint32_t px = b.pool().allocLane();
+    b.laneNot(npx, px);              // propagate = a XOR b
+    PrefixLanes L;
+    L.g = b.pool().allocLane();
+    b.laneNor(x1, px, L.g);          // generate = a AND b
+    L.ng = b.pool().allocLane();
+    b.laneNot(L.g, L.ng);
+    // Working copies of (P, nP) — the sweeps clobber node positions.
+    L.p = b.pool().allocLane();
+    b.laneNot(npx, L.p);
+    L.np = b.pool().allocLane();
+    b.laneNot(px, L.np);
+    L.t1 = b.pool().allocLane();
+
+    if (bInvert) {
+        // Carry-in of 1: g[0] <- g[0] OR p[0] (both polarities).
+        b.initCell(b.cell(L.ng, 0), true);
+        b.norInto(b.cell(L.g, 0), b.cell(L.p, 0), b.cell(L.ng, 0),
+                  false);
+        b.initCell(b.cell(L.g, 0), true);
+        b.notInto(b.cell(L.ng, 0), b.cell(L.g, 0), false);
+    }
+
+    // Brent-Kung up-sweep: nodes step-1, 2*step-1, ... at distance
+    // step/2; the prefix at the last node needs no P update.
+    for (uint32_t step = 2; step <= n; step *= 2)
+        combineNodes(b, L, step - 1, n - 1, step, step / 2, step < n);
+    // Down-sweep: fill the intermediate prefixes.
+    for (uint32_t dist = n / 4; dist >= 1; dist /= 2) {
+        const uint32_t step = 2 * dist;
+        const uint32_t first = 3 * dist - 1;
+        const uint32_t last =
+            first + ((n - 1 - first) / step) * step;
+        combineNodes(b, L, first, last, step, dist, false);
+    }
+
+    // Carry lane: c[j] = G[j-1] for j >= 1 (two-phase one-partition
+    // shift through a complement lane), c[0] = carry-in.
+    const uint32_t nc = b.pool().allocLane();
+    const uint32_t c = b.pool().allocLane();
+    b.runInit(nc, 1, n - 1, true);
+    b.periodic(Gate::Not, b.cell(L.g, 0), b.cell(L.g, 0),
+               b.cell(nc, 1), n - 1, 2);
+    if (n > 2)
+        b.periodic(Gate::Not, b.cell(L.g, 1), b.cell(L.g, 1),
+                   b.cell(nc, 2), n - 2, 2);
+    b.runNot(nc, c, 1, n - 1);
+    b.initCell(b.cell(c, 0), bInvert);
+
+    // Sum: rd = px XOR c (reusing the x lanes as temporaries).
+    b.laneNor(px, c, x1);
+    b.laneNor(px, x1, x2);
+    b.laneNor(c, x1, x3);
+    b.laneNor(x2, x3, npx);
+    b.laneNot(npx, in.rd);
+
+    for (uint32_t lane : {x1, x2, x3, npx, px, L.g, L.ng, L.p, L.np,
+                          L.t1, nc, c})
+        b.pool().freeLane(lane);
+    if (bInvert)
+        b.pool().freeLane(nbLane);
+}
+
+} // namespace
+
+void
+intAddParallel(BVOps &v, const RTypeInstr &in)
+{
+    claAddSub(v, in, false);
+}
+
+void
+intSubParallel(BVOps &v, const RTypeInstr &in)
+{
+    claAddSub(v, in, true);
+}
+
+void
+intMulParallel(BVOps &v, const RTypeInstr &in)
+{
+    GateBuilder &b = v.builder();
+    const uint32_t n = b.geometry().partitions;
+    const BV bReg = v.reg(in.rb);
+    const BV d = v.reg(in.rd);
+
+    // na = ~a (constant across iterations).
+    const uint32_t na = b.pool().allocLane();
+    b.laneNot(in.ra, na);
+    // Carry-save state.
+    uint32_t sL = b.pool().allocLane();
+    uint32_t cL = b.pool().allocLane();
+    b.initLane(sL, false);
+    b.initLane(cL, false);
+    const uint32_t selS = b.pool().allocLane();
+    const uint32_t selNs = b.pool().allocLane();
+    const uint32_t pp = b.pool().allocLane();
+    // Lane full-adder temporaries; x1 doubles as the shift lane.
+    const uint32_t x1 = b.pool().allocLane();
+    const uint32_t x2 = b.pool().allocLane();
+    const uint32_t x3 = b.pool().allocLane();
+    const uint32_t x4 = b.pool().allocLane();
+    const uint32_t y1 = b.pool().allocLane();
+    const uint32_t y2 = b.pool().allocLane();
+    const uint32_t y3 = b.pool().allocLane();
+    const uint32_t t = b.pool().allocLane();
+    uint32_t m = b.pool().allocLane();
+
+    for (uint32_t i = 0; i < n; ++i) {
+        // pp = a AND b_i, with b_i broadcast to every partition.
+        logBroadcast(b, bReg[i], selS, selNs);
+        b.laneNor(na, selNs, pp);
+        // Lane full adder: t = S ^ C ^ pp, m = maj(S, C, pp).
+        b.laneNor(sL, cL, x1);
+        b.laneNor(sL, x1, x2);
+        b.laneNor(cL, x1, x3);
+        b.laneNor(x2, x3, x4);
+        b.laneNor(x4, pp, y1);
+        b.laneNor(x4, y1, y2);
+        b.laneNor(pp, y1, y3);
+        b.laneNor(y2, y3, t);
+        b.laneNor(x1, y1, m);
+        // Product bit i = t[0] (copied with two NOTs via x2[0], which
+        // is re-initialised next iteration anyway).
+        b.initCell(b.cell(x2, 0), true);
+        b.notInto(b.cell(t, 0), b.cell(x2, 0), false);
+        b.notInto(b.cell(x2, 0), d[i]);
+        // S' = t >> 1 (two-phase one-partition shift via x1),
+        // C' = m (lane role swap).
+        b.runInit(x1, 0, n - 1, true);
+        b.periodic(Gate::Not, b.cell(t, 1), b.cell(t, 1),
+                   b.cell(x1, 0), n - 2, 2);
+        if (n > 2)
+            b.periodic(Gate::Not, b.cell(t, 2), b.cell(t, 2),
+                       b.cell(x1, 1), n - 3, 2);
+        b.runNot(x1, sL, 0, n - 2);
+        b.initCell(b.cell(sL, n - 1), false);
+        std::swap(cL, m);
+    }
+
+    for (uint32_t lane : {na, sL, cL, selS, selNs, pp, x1, x2, x3, x4,
+                          y1, y2, y3, t, m})
+        b.pool().freeLane(lane);
+}
+
+} // namespace pypim::emit

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Bit-serial element-parallel fixed-point arithmetic (paper Fig. 4(a),
+ * AritPIM serial suite).
+ *
+ * Addition/subtraction use the 9-NOR full adder with slot-aligned
+ * temporary lanes so every lane is bulk-initialised once and each of
+ * the 9N gates is a single micro-op — matching AritPIM's
+ * O(N)-cycles-with-small-constant serial adders. Multiplication is
+ * the truncated 32-bit schoolbook accumulation (the paper's driver
+ * truncates integer multiplication to 32 bits, §V fn. 4); division is
+ * restoring long division with signed fix-ups matching C semantics.
+ */
+#include "driver/emit.hpp"
+
+#include "common/error.hpp"
+#include "driver/mulcore.hpp"
+
+namespace pypim::emit
+{
+
+namespace
+{
+
+/**
+ * Lane set for the 9-gate full-adder chain. Lanes are bulk-initialised
+ * so the per-bit gates skip their INITs: cell (j, lane) is consumed
+ * exactly once, by bit j.
+ */
+struct AdderLanes
+{
+    explicit AdderLanes(GateBuilder &b)
+        : b_(&b)
+    {
+        for (auto &l : lanes)
+            l = b.pool().allocLane();
+    }
+
+    ~AdderLanes()
+    {
+        for (auto l : lanes)
+            b_->pool().freeLane(l);
+    }
+
+    void
+    initAll()
+    {
+        for (auto l : lanes)
+            b_->initLane(l, true);
+    }
+
+    GateBuilder *b_;
+    // x1..x4, y1..y3, carry
+    uint32_t lanes[8] = {};
+    uint32_t x1() const { return lanes[0]; }
+    uint32_t x2() const { return lanes[1]; }
+    uint32_t x3() const { return lanes[2]; }
+    uint32_t x4() const { return lanes[3]; }
+    uint32_t y1() const { return lanes[4]; }
+    uint32_t y2() const { return lanes[5]; }
+    uint32_t y3() const { return lanes[6]; }
+    uint32_t carry() const { return lanes[7]; }
+};
+
+/**
+ * Emit the 9-gate full adder for bit @p j with lane temps: inputs
+ * @p aCell, @p bCell and carry (carry lane, partition j); sum lands in
+ * @p sumCell (pre-initialised unless @p initSum), carry-out in the
+ * carry lane at partition j+1 (or @p lastCout for the final bit).
+ */
+void
+laneFullAdder(GateBuilder &b, const AdderLanes &L, uint32_t j,
+              uint32_t aCell, uint32_t bCell, uint32_t sumCell,
+              uint32_t coutCell, bool initSum)
+{
+    const auto cl = [&](uint32_t lane) { return b.cell(lane, j); };
+    const uint32_t cin = cl(L.carry());
+    b.norInto(aCell, bCell, cl(L.x1()), false);
+    b.norInto(aCell, cl(L.x1()), cl(L.x2()), false);
+    b.norInto(bCell, cl(L.x1()), cl(L.x3()), false);
+    b.norInto(cl(L.x2()), cl(L.x3()), cl(L.x4()), false);  // XNOR(a,b)
+    b.norInto(cl(L.x4()), cin, cl(L.y1()), false);
+    b.norInto(cl(L.x4()), cl(L.y1()), cl(L.y2()), false);
+    b.norInto(cin, cl(L.y1()), cl(L.y3()), false);
+    b.norInto(cl(L.y2()), cl(L.y3()), sumCell, initSum);
+    b.norInto(cl(L.x1()), cl(L.y1()), coutCell, false);
+}
+
+/** Shared ripple core for add/sub: rd <- ra + (bInvert ? ~rb : rb) + c0. */
+void
+rippleAddSub(BVOps &v, const RTypeInstr &in, bool bInvert)
+{
+    GateBuilder &b = v.builder();
+    const uint32_t n = b.geometry().wordBits;
+    const BV a = v.reg(in.ra);
+    const BV y = v.reg(in.rb);
+    const BV d = v.reg(in.rd);
+
+    AdderLanes L(b);
+    uint32_t nb = 0;
+    if (bInvert) {
+        nb = b.pool().allocLane();
+        b.laneNot(in.rb, nb);
+    }
+    L.initAll();
+    b.initLane(in.rd, true);
+    // c0 = 0 for add, 1 for subtract (two's complement +1).
+    b.initCell(b.cell(L.carry(), 0), bInvert);
+    // The final carry-out has nowhere to go in the carry lane; park it
+    // in the (already consumed) x1 cell of bit 0 after re-init.
+    const uint32_t lastCout = b.cell(L.x1(), 0);
+    for (uint32_t j = 0; j < n; ++j) {
+        const uint32_t bCell = bInvert ? b.cell(nb, j) : y[j];
+        const bool last = j + 1 == n;
+        if (last)
+            b.initCell(lastCout, true);
+        laneFullAdder(b, L, j, a[j], bCell,
+                      d[j], last ? lastCout : b.cell(L.carry(), j + 1),
+                      false);
+    }
+    if (bInvert)
+        b.pool().freeLane(nb);
+}
+
+} // namespace
+
+void
+intAddSerial(BVOps &v, const RTypeInstr &in)
+{
+    rippleAddSub(v, in, false);
+}
+
+void
+intSubSerial(BVOps &v, const RTypeInstr &in)
+{
+    rippleAddSub(v, in, true);
+}
+
+void
+intMulSerial(BVOps &v, const RTypeInstr &in)
+{
+    // Truncated low-N-bit product (the paper's driver truncates
+    // integer multiplication to 32 bits, §V fn. 4) via the shared
+    // shift-add core: the low bits retire directly into rd.
+    GateBuilder &b = v.builder();
+    const uint32_t n = b.geometry().wordBits;
+    const BV a = v.reg(in.ra);
+    const BV y = v.reg(in.rb);
+    const BV d = v.reg(in.rd);
+    shiftAddMultiply(v, a, y, d.cells, n, /*keepHigh=*/false);
+}
+
+void
+intDivSerial(BVOps &v, const RTypeInstr &in, bool wantMod)
+{
+    GateBuilder &b = v.builder();
+    const uint32_t n = b.geometry().wordBits;
+    const BV a = v.reg(in.ra);
+    const BV y = v.reg(in.rb);
+    BV d = v.reg(in.rd);
+
+    const uint32_t zero = v.constCell(false);
+    const BV zeros = BVOps::repeat(zero, n);
+
+    // |a| and |b| (two's complement negation muxed on the sign bits).
+    const uint32_t sA = a[n - 1];
+    const uint32_t sB = y[n - 1];
+    BV negA = v.sub(zeros, a);
+    BV ua = v.muxCell(sA, negA, a);
+    v.free(negA);
+    BV negB = v.sub(zeros, y);
+    BV ub = v.muxCell(sB, negB, y);
+    v.free(negB);
+
+    // Restoring long division producing floor(|a| / |b|): R tracks the
+    // partial remainder in n+1 bits (R < |b| <= 2^n - 1; R<<1 | bit
+    // fits in n+1 bits).
+    BV ubx = v.zext(ub, n + 1, zero);
+    BV r = v.alloc(n + 1);
+    v.setConst(r, 0);
+    BV q = v.alloc(n);
+    for (uint32_t k = 0; k < n; ++k) {
+        const uint32_t i = n - 1 - k;
+        // rsh = (r << 1) | ua[i]  — a view, no data movement.
+        BV rsh = BVOps::concat(BVOps::repeat(ua[i], 1),
+                               BVOps::slice(r, 0, n));
+        BV rsub = v.alloc(n + 1);
+        uint32_t ge = 0;
+        v.subInto(rsh, ubx, rsub, &ge);
+        BV rnew = v.muxCell(ge, rsub, rsh);
+        b.copyCell(ge, q[i]);
+        b.pool().freeBit(ge);
+        v.free(rsub);
+        v.free(r);
+        r = rnew;
+    }
+
+    // Signed fix-ups (C semantics): quotient sign = sA ^ sB, remainder
+    // sign = sA.
+    if (wantMod) {
+        BV rem = BVOps::slice(r, 0, n);
+        BV negR = v.sub(zeros, rem);
+        BV res = v.muxCell(sA, negR, rem);
+        v.copyInto(res, d);
+        v.free(res);
+        v.free(negR);
+    } else {
+        const uint32_t sQ = b.xor_(sA, sB);
+        BV negQ = v.sub(zeros, q);
+        BV res = v.muxCell(sQ, negQ, q);
+        v.copyInto(res, d);
+        v.free(res);
+        v.free(negQ);
+        b.pool().freeBit(sQ);
+    }
+    v.free(q);
+    v.free(r);
+    v.free(ua);
+    v.free(ub);
+    b.pool().freeBit(zero);
+}
+
+} // namespace pypim::emit

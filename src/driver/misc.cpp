@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Miscellaneous emitters (Table II: neg, sign, zero, abs, mux, copy
+ * for int32 and float32).
+ *
+ * Int semantics follow C two's complement (neg(INT_MIN) wraps).
+ * Float semantics follow IEEE-754: neg/abs are pure sign-bit
+ * operations (valid for NaN too); sign(x) returns ±1.0 for nonzero
+ * finite/infinite x, preserves signed zeros, and propagates NaN
+ * (matching numpy.sign).
+ */
+#include "driver/emit.hpp"
+
+#include "common/error.hpp"
+
+namespace pypim::emit
+{
+
+void
+intNeg(BVOps &v, const RTypeInstr &in)
+{
+    const BV a = v.reg(in.ra);
+    BV d = v.reg(in.rd);
+    const uint32_t zero = v.constCell(false);
+    const BV zeros = BVOps::repeat(zero, a.width());
+    v.subInto(zeros, a, d);
+    v.builder().pool().freeBit(zero);
+}
+
+void
+intAbs(BVOps &v, const RTypeInstr &in)
+{
+    const BV a = v.reg(in.ra);
+    BV d = v.reg(in.rd);
+    const uint32_t zero = v.constCell(false);
+    const BV zeros = BVOps::repeat(zero, a.width());
+    BV neg = v.sub(zeros, a);
+    SelLanes sel = v.broadcastSelect(a[a.width() - 1]);
+    v.muxInto(sel, neg, a, d);
+    v.freeSelect(sel);
+    v.free(neg);
+    v.builder().pool().freeBit(zero);
+}
+
+void
+intSign(BVOps &v, const RTypeInstr &in)
+{
+    GateBuilder &b = v.builder();
+    const BV a = v.reg(in.ra);
+    const BV d = v.reg(in.rd);
+    const uint32_t s = a[a.width() - 1];
+    // -1 (all ones) when negative, else 0: broadcast the sign bit.
+    b.broadcastToLane(s, in.rd);
+    // Bit 0: 1 for any nonzero value that is not negative... combined
+    // with the broadcast: bit0 = s OR (a != 0).
+    const uint32_t z = v.isZero(a);
+    const uint32_t nz = b.not_(z);
+    const uint32_t bit0 = b.or_(s, nz);
+    b.copyCell(bit0, d[0]);
+    for (uint32_t c : {z, nz, bit0})
+        b.pool().freeBit(c);
+}
+
+void
+intZero(BVOps &v, const RTypeInstr &in)
+{
+    const BV a = v.reg(in.ra);
+    const uint32_t z = v.isZero(a);
+    writeBoolResult(v, in.rd, z);
+    v.builder().pool().freeBit(z);
+}
+
+void
+floatNeg(BVOps &v, const RTypeInstr &in)
+{
+    const BV a = v.reg(in.ra);
+    BV d = v.reg(in.rd);
+    BV dMag = BVOps::slice(d, 0, 31);
+    const BV aMag = BVOps::slice(a, 0, 31);
+    v.copyInto(aMag, dMag);
+    v.builder().notInto(a[31], d[31]);
+}
+
+void
+floatAbs(BVOps &v, const RTypeInstr &in)
+{
+    const BV a = v.reg(in.ra);
+    BV d = v.reg(in.rd);
+    BV dMag = BVOps::slice(d, 0, 31);
+    const BV aMag = BVOps::slice(a, 0, 31);
+    v.copyInto(aMag, dMag);
+    v.builder().initCell(d[31], false);
+}
+
+void
+floatZero(BVOps &v, const RTypeInstr &in)
+{
+    const BV a = v.reg(in.ra);
+    const uint32_t z = v.isZero(BVOps::slice(a, 0, 31));
+    writeBoolResult(v, in.rd, z);
+    v.builder().pool().freeBit(z);
+}
+
+void
+floatSign(BVOps &v, const RTypeInstr &in)
+{
+    GateBuilder &b = v.builder();
+    const BV a = v.reg(in.ra);
+    BV d = v.reg(in.rd);
+    // NaN detection.
+    const uint32_t expOnes = v.andTree(BVOps::slice(a, 23, 31));
+    const uint32_t fracAny = v.orTree(BVOps::slice(a, 0, 23));
+    const uint32_t nan = b.and_(expOnes, fracAny);
+    const uint32_t magZ = v.isZero(BVOps::slice(a, 0, 31));
+    // magnitude = NaN ? qNaN : (zero ? 0 : 1.0f)
+    BV one31 = v.constant(31, 0x3F800000u);
+    BV zero31 = v.constant(31, 0);
+    BV m1 = v.muxCell(magZ, zero31, one31);
+    BV nan31 = v.constant(31, 0x7FC00000u);
+    BV m2 = v.muxCell(nan, nan31, m1);
+    BV dMag = BVOps::slice(d, 0, 31);
+    v.copyInto(m2, dMag);
+    // sign preserved (also for ±0), cleared for NaN.
+    const uint32_t nn = b.not_(nan);
+    const uint32_t s = b.and_(a[31], nn);
+    b.copyCell(s, d[31]);
+    v.free(one31);
+    v.free(zero31);
+    v.free(m1);
+    v.free(nan31);
+    v.free(m2);
+    for (uint32_t c : {expOnes, fracAny, nan, magZ, nn, s})
+        b.pool().freeBit(c);
+}
+
+void
+muxOp(BVOps &v, const RTypeInstr &in)
+{
+    const BV a = v.reg(in.ra);
+    const BV y = v.reg(in.rb);
+    const BV c = v.reg(in.rc);
+    BV d = v.reg(in.rd);
+    SelLanes sel = v.broadcastSelect(c[0]);
+    v.muxInto(sel, a, y, d);
+    v.freeSelect(sel);
+}
+
+void
+copyReg(BVOps &v, const RTypeInstr &in)
+{
+    const BV a = v.reg(in.ra);
+    BV d = v.reg(in.rd);
+    v.copyInto(a, d);
+}
+
+} // namespace pypim::emit

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Move-instruction lowering (paper §III-E, §III-F, §IV).
+ *
+ * Intra-warp moves transfer one register between two threads of every
+ * mask-selected warp using vertical (transposed) stateful logic. A
+ * stateful NOT inverts, so the copy needs an even number of
+ * inversions; the lowering uses four NOT stages (two horizontal lane
+ * NOTs, one vertical NOT, one horizontal pair on the destination row):
+ *
+ *   srcRow:  tmp  <- NOT reg      (horizontal lane NOT)
+ *   vert:    dstRow.tmp <- NOT srcRow.tmp
+ *   dstRow:  tmp2 <- NOT tmp;  dstReg <- NOT tmp2
+ *
+ * Inter-warp moves lower to a single H-tree move micro-op: the
+ * crossbar mask names the source warps (step must be a power of 4,
+ * paper §III-F) and the op carries the destination start, rows and
+ * register indices. One op transfers one thread per warp pair —
+ * warp-parallel, thread-serial, exactly the ISA's move semantics.
+ */
+#include "driver/driver.hpp"
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace pypim
+{
+
+void
+Driver::execute(const MoveInstr &in)
+{
+    fatalIf(in.srcReg >= geo_->userRegs || in.dstReg >= geo_->userRegs,
+            "move register out of range");
+    fatalIf(in.srcRow >= geo_->rows || in.dstRow >= geo_->rows,
+            "move row out of range");
+    in.warps.validate(geo_->numCrossbars, "warp");
+    builder_.pool().reset();
+
+    if (in.kind == MoveInstr::Kind::InterWarp) {
+        fatalIf(!isPow2(in.warps.step) ||
+                (log2Floor(in.warps.step) % 2) != 0,
+                "inter-warp move: warp step must be a power of 4");
+        const int64_t dist = static_cast<int64_t>(in.dstStartWarp) -
+                             static_cast<int64_t>(in.warps.start);
+        const int64_t last = static_cast<int64_t>(in.warps.stop) + dist;
+        fatalIf(in.dstStartWarp >= geo_->numCrossbars || last < 0 ||
+                last >= geo_->numCrossbars,
+                "inter-warp move: destination out of range");
+        builder_.setWarpMask(in.warps);
+        builder_.emit(enc::move(in.dstStartWarp, in.srcRow, in.dstRow,
+                                in.srcReg, in.dstReg));
+        builder_.flush();
+        ++stats_.instructions;
+        return;
+    }
+
+    // Intra-warp move.
+    if (in.srcRow == in.dstRow) {
+        if (in.srcReg != in.dstReg) {
+            builder_.setWarpMask(in.warps);
+            builder_.setRowMask(Range::single(in.srcRow));
+            builder_.laneCopy(in.srcReg, in.dstReg);
+        }
+        builder_.flush();
+        ++stats_.instructions;
+        return;
+    }
+
+    const uint32_t tmp = builder_.pool().allocLane();
+    const uint32_t tmp2 = builder_.pool().allocLane();
+    builder_.setWarpMask(in.warps);
+    // Stage 1 (source row): tmp <- NOT(srcReg).
+    builder_.setRowMask(Range::single(in.srcRow));
+    builder_.laneNot(in.srcReg, tmp);
+    // Stage 2 (vertical): dstRow.tmp <- NOT(srcRow.tmp). Vertical ops
+    // name their rows explicitly; the row mask does not apply.
+    builder_.emit(enc::logicV(Gate::Init1, 0, in.dstRow, tmp));
+    builder_.emit(enc::logicV(Gate::Not, in.srcRow, in.dstRow, tmp));
+    // Stage 3 (destination row): dstReg <- NOT(NOT(tmp)).
+    builder_.setRowMask(Range::single(in.dstRow));
+    builder_.laneNot(tmp, tmp2);
+    builder_.laneNot(tmp2, in.dstReg);
+    builder_.pool().freeLane(tmp);
+    builder_.pool().freeLane(tmp2);
+    builder_.flush();
+    ++stats_.instructions;
+}
+
+} // namespace pypim

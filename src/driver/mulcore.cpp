@@ -1,0 +1,114 @@
+#include "driver/mulcore.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pypim::emit
+{
+
+BV
+shiftAddMultiply(BVOps &v, const BV &a, const BV &b,
+                 const std::vector<uint32_t> &lowOut,
+                 uint32_t truncateTo, bool keepHigh)
+{
+    GateBuilder &g = v.builder();
+    const Geometry &geo = g.geometry();
+    const uint32_t pw = geo.partitionWidth();
+    const uint32_t wa = a.width();
+    const uint32_t wb = b.width();
+    panicIf(wa > geo.partitions, "shiftAddMultiply: multiplicand wider "
+            "than the partition count");
+    for (uint32_t j = 0; j < wa; ++j)
+        panicIf(a[j] / pw != j,
+                "shiftAddMultiply: multiplicand is not lane-aligned");
+    panicIf(lowOut.size() <
+            std::min<uint64_t>(wb, truncateTo),
+            "shiftAddMultiply: lowOut too small");
+
+    const uint32_t aSlot = a[0] % pw;
+    uint32_t accCur = g.pool().allocLane();
+    uint32_t accNext = g.pool().allocLane();
+    g.initLane(accCur, false);  // accumulator starts at 0
+    const uint32_t pp = g.pool().allocLane();
+    // ~b_i broadcast lane (only the complement is needed).
+    const uint32_t nsLane = g.pool().allocLane();
+    // x1..x4, y1..y3, carry
+    uint32_t fa[8];
+    for (auto &l : fa)
+        l = g.pool().allocLane();
+    const uint32_t zeroCin = v.constCell(false);
+
+    for (uint32_t i = 0; i < wb && i < truncateTo; ++i) {
+        const uint32_t u =
+            std::min(wa, truncateTo - i);  // useful sum width
+        const bool dropCout = i + u >= truncateTo;
+        // ns[p] <- ~b_i everywhere.
+        g.initLane(nsLane, true);
+        for (uint32_t p = 0; p < geo.partitions; ++p)
+            g.notInto(b[i], g.cell(nsLane, p), false);
+        // pp[j] = a[j] AND b_i = NOR(NOR(a[j], ns[j]), ns[j]),
+        // borrowing the x1 lane for the intermediate (re-armed below).
+        g.runInit(fa[0], 0, u - 1, true);
+        g.runNor(aSlot, nsLane, fa[0], 0, u - 1, false);
+        g.runInit(pp, 0, u - 1, true);
+        g.runNor(fa[0], nsLane, pp, 0, u - 1, false);
+        // Re-arm the scratch lanes.
+        for (uint32_t k = 0; k < 7; ++k)
+            g.runInit(fa[k], 0, u - 1, true);
+        if (u >= 2) {
+            g.runInit(fa[7], 0, u - 2, true);      // carries
+            g.runInit(accNext, 0, u - 1, true);    // next accumulator
+        } else {
+            g.runInit(accNext, 0, 0, true);
+        }
+        uint32_t c = zeroCin;
+        for (uint32_t j = 0; j < u; ++j) {
+            auto cl = [&](uint32_t k) { return g.cell(fa[k], j); };
+            const uint32_t aj = g.cell(accCur, j);
+            const uint32_t pj = g.cell(pp, j);
+            g.norInto(aj, pj, cl(0), false);
+            g.norInto(aj, cl(0), cl(1), false);
+            g.norInto(pj, cl(0), cl(2), false);
+            g.norInto(cl(1), cl(2), cl(3), false);  // XNOR
+            g.norInto(cl(3), c, cl(4), false);
+            g.norInto(cl(3), cl(4), cl(5), false);
+            g.norInto(c, cl(4), cl(6), false);
+            if (j == 0) {
+                // Final product bit i.
+                g.norInto(cl(5), cl(6), lowOut[i], true);
+            } else {
+                // Sum bit j lands one partition left: the free shift.
+                g.norInto(cl(5), cl(6), g.cell(accNext, j - 1), false);
+            }
+            if (j + 1 == u) {
+                if (!dropCout)
+                    g.norInto(cl(0), cl(4), g.cell(accNext, u - 1),
+                              false);
+            } else {
+                g.norInto(cl(0), cl(4), cl(7), false);
+                c = cl(7);
+            }
+        }
+        std::swap(accCur, accNext);
+    }
+
+    g.pool().freeBit(zeroCin);
+    g.pool().freeLane(nsLane);
+    g.pool().freeLane(pp);
+    for (auto l : fa)
+        g.pool().freeLane(l);
+    g.pool().freeLane(accNext);
+    if (!keepHigh) {
+        g.pool().freeLane(accCur);
+        return BV{};
+    }
+    BV high;
+    high.ownedLanes.push_back(accCur);
+    high.cells.reserve(wa);
+    for (uint32_t j = 0; j < wa; ++j)
+        high.cells.push_back(g.cell(accCur, j));
+    return high;
+}
+
+} // namespace pypim::emit

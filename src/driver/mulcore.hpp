@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shift-add multiplication core shared by the serial integer
+ * multiplier and the float significand multiplier.
+ *
+ * Iteration i adds the partial product (a AND b_i) to a running
+ * accumulator, retires the lowest sum bit as final product bit i
+ * (written to lowOut[i]) and keeps the high part in a ping-pong
+ * accumulator lane with each sum bit emitted one partition to the
+ * left — the "shift" costs nothing because a stateful-logic output may
+ * sit at the boundary of its gate's section. All full-adder gates run
+ * against bulk-initialised scratch lanes: ~9 gates per bit, the
+ * AritPIM-style serial multiplication structure.
+ */
+#ifndef PYPIM_DRIVER_MULCORE_HPP
+#define PYPIM_DRIVER_MULCORE_HPP
+
+#include "driver/bitvec.hpp"
+
+namespace pypim::emit
+{
+
+/**
+ * Multiply @p a (lane-aligned: bit j in partition j) by the bits of
+ * @p b, writing product bits [0, min(b.width, truncateTo)) into
+ * @p lowOut. @p truncateTo bounds the computed product width (pass
+ * a.width + b.width for the full product). When @p keepHigh, returns
+ * an owned BV with product bits [b.width, b.width + a.width);
+ * otherwise returns an empty BV.
+ */
+BV shiftAddMultiply(BVOps &v, const BV &a, const BV &b,
+                    const std::vector<uint32_t> &lowOut,
+                    uint32_t truncateTo, bool keepHigh);
+
+} // namespace pypim::emit
+
+#endif // PYPIM_DRIVER_MULCORE_HPP

@@ -1,0 +1,132 @@
+#include "driver/scratch.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace pypim
+{
+
+ScratchPool::ScratchPool(const Geometry &geo)
+    : geo_(&geo),
+      slots_(geo.scratchSlots())
+{
+}
+
+uint32_t
+ScratchPool::takeFreeSlot(SlotKind kind)
+{
+    for (uint32_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].kind == SlotKind::Free) {
+            slots_[i].kind = kind;
+            slots_[i].usedBits = 0;
+            ++slotsInUse_;
+            highWater_ = std::max(highWater_, slotsInUse_);
+            return i;
+        }
+    }
+    panic("scratch pool exhausted: a driver routine exceeded its "
+          "slot budget (" + std::to_string(slots_.size()) +
+          " scratch slots)");
+}
+
+void
+ScratchPool::releaseSlot(uint32_t idx)
+{
+    slots_[idx].kind = SlotKind::Free;
+    slots_[idx].usedBits = 0;
+    --slotsInUse_;
+}
+
+uint32_t
+ScratchPool::allocLane()
+{
+    return takeFreeSlot(SlotKind::Lane) + geo_->userRegs;
+}
+
+void
+ScratchPool::freeLane(uint32_t slot)
+{
+    panicIf(slot < geo_->userRegs || slot >= geo_->slots(),
+            "freeLane: not a scratch slot");
+    const uint32_t idx = slot - geo_->userRegs;
+    panicIf(slots_[idx].kind != SlotKind::Lane,
+            "freeLane: slot is not an allocated lane");
+    releaseSlot(idx);
+}
+
+uint32_t
+ScratchPool::allocBitIn(uint32_t part)
+{
+    panicIf(part >= geo_->partitions, "allocBitIn: bad partition");
+    const uint64_t bit = 1ull << part;
+    for (uint32_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].kind == SlotKind::Bits && !(slots_[i].usedBits & bit)) {
+            slots_[i].usedBits |= bit;
+            return part * geo_->partitionWidth() + geo_->userRegs + i;
+        }
+    }
+    const uint32_t idx = takeFreeSlot(SlotKind::Bits);
+    slots_[idx].usedBits = bit;
+    return part * geo_->partitionWidth() + geo_->userRegs + idx;
+}
+
+uint32_t
+ScratchPool::allocBitOutside(uint32_t lo, uint32_t hi)
+{
+    // Prefer partitions at/above hi (closest first), then at/below lo.
+    for (uint32_t p = hi; p < geo_->partitions; ++p) {
+        for (uint32_t i = 0; i < slots_.size(); ++i) {
+            if (slots_[i].kind == SlotKind::Bits &&
+                !(slots_[i].usedBits & (1ull << p))) {
+                slots_[i].usedBits |= 1ull << p;
+                return p * geo_->partitionWidth() + geo_->userRegs + i;
+            }
+        }
+    }
+    for (uint32_t q = 0; q <= lo; ++q) {
+        const uint32_t p = lo - q;
+        for (uint32_t i = 0; i < slots_.size(); ++i) {
+            if (slots_[i].kind == SlotKind::Bits &&
+                !(slots_[i].usedBits & (1ull << p))) {
+                slots_[i].usedBits |= 1ull << p;
+                return p * geo_->partitionWidth() + geo_->userRegs + i;
+            }
+        }
+    }
+    // No existing bit slot has room in a legal partition: take a fresh
+    // slot and use partition hi.
+    const uint32_t idx = takeFreeSlot(SlotKind::Bits);
+    slots_[idx].usedBits = 1ull << hi;
+    return hi * geo_->partitionWidth() + geo_->userRegs + idx;
+}
+
+void
+ScratchPool::freeBit(uint32_t col)
+{
+    const uint32_t pw = geo_->partitionWidth();
+    const uint32_t slot = col % pw;
+    const uint32_t part = col / pw;
+    panicIf(slot < geo_->userRegs || slot >= geo_->slots(),
+            "freeBit: not a scratch cell");
+    const uint32_t idx = slot - geo_->userRegs;
+    panicIf(slots_[idx].kind != SlotKind::Bits,
+            "freeBit: slot is not bit-allocated");
+    panicIf(!(slots_[idx].usedBits & (1ull << part)),
+            "freeBit: double free");
+    slots_[idx].usedBits &= ~(1ull << part);
+    if (slots_[idx].usedBits == 0)
+        releaseSlot(idx);
+}
+
+void
+ScratchPool::reset()
+{
+    for (auto &s : slots_) {
+        s.kind = SlotKind::Free;
+        s.usedBits = 0;
+    }
+    slotsInUse_ = 0;
+}
+
+} // namespace pypim

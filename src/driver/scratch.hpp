@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Scratch-cell allocator for the host driver.
+ *
+ * The driver computes with the memory itself: every row offers
+ * cols/partitions register "slots" in the strided layout (bit j of
+ * slot s lives at column j*(w/N) + s, i.e. in partition j). Slots
+ * [0, userRegs) are ISA-visible registers; the rest are driver
+ * scratch managed here.
+ *
+ * Two allocation granularities:
+ *  - lanes: a whole slot (one cell per partition). Lane-aligned
+ *    operands allow single-micro-op bulk INIT and per-partition
+ *    parallel gates.
+ *  - bits: individual cells (partition, slot), used for flags and
+ *    loose temporaries. Bit allocation can be constrained to a
+ *    specific partition or away from a partition interval so that the
+ *    half-gate span restriction (uarch/partition.hpp) is honoured.
+ *
+ * Scratch state never survives a macro-instruction: the driver calls
+ * reset() as part of each instruction prologue. Exhaustion raises
+ * InternalError — it indicates a driver routine exceeding its budget.
+ */
+#ifndef PYPIM_DRIVER_SCRATCH_HPP
+#define PYPIM_DRIVER_SCRATCH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace pypim
+{
+
+/** Allocator over the scratch slots of a row. */
+class ScratchPool
+{
+  public:
+    explicit ScratchPool(const Geometry &geo);
+
+    /** Allocate a whole slot (lane). */
+    uint32_t allocLane();
+    /** Release a lane previously returned by allocLane. */
+    void freeLane(uint32_t slot);
+
+    /** Allocate one cell in partition @p part; returns column address. */
+    uint32_t allocBitIn(uint32_t part);
+
+    /**
+     * Allocate one cell in any partition NOT strictly inside the open
+     * interval (lo, hi), preferring partitions near @p hi then @p lo.
+     * Used to place NOR outputs so the gate span stays valid.
+     */
+    uint32_t allocBitOutside(uint32_t lo, uint32_t hi);
+
+    /** Release a cell previously returned by an allocBit call. */
+    void freeBit(uint32_t col);
+
+    /** Release everything (instruction prologue). */
+    void reset();
+
+    /** Lanes currently allocated (lanes + bit-backing slots). */
+    uint32_t slotsInUse() const { return slotsInUse_; }
+    /** Worst slots-in-use seen since construction (budget telemetry). */
+    uint32_t highWater() const { return highWater_; }
+
+  private:
+    enum class SlotKind : uint8_t { Free, Lane, Bits };
+
+    struct Slot
+    {
+        SlotKind kind = SlotKind::Free;
+        uint64_t usedBits = 0;  //!< bit p set iff cell in partition p used
+    };
+
+    uint32_t takeFreeSlot(SlotKind kind);
+    void releaseSlot(uint32_t idx);
+
+    const Geometry *geo_;
+    std::vector<Slot> slots_;   //!< index 0 == slot userRegs
+    uint32_t slotsInUse_ = 0;
+    uint32_t highWater_ = 0;
+};
+
+} // namespace pypim
+
+#endif // PYPIM_DRIVER_SCRATCH_HPP

@@ -1,0 +1,100 @@
+#include "isa/instruction.hpp"
+
+#include <sstream>
+
+namespace pypim
+{
+
+const char *
+dtypeName(DType t)
+{
+    return t == DType::Int32 ? "int32" : "float32";
+}
+
+const char *
+ropName(ROp op)
+{
+    switch (op) {
+      case ROp::Add:    return "add";
+      case ROp::Sub:    return "sub";
+      case ROp::Mul:    return "mul";
+      case ROp::Div:    return "div";
+      case ROp::Mod:    return "mod";
+      case ROp::Neg:    return "neg";
+      case ROp::Lt:     return "lt";
+      case ROp::Le:     return "le";
+      case ROp::Gt:     return "gt";
+      case ROp::Ge:     return "ge";
+      case ROp::Eq:     return "eq";
+      case ROp::Ne:     return "ne";
+      case ROp::BitNot: return "bit_not";
+      case ROp::BitAnd: return "bit_and";
+      case ROp::BitOr:  return "bit_or";
+      case ROp::BitXor: return "bit_xor";
+      case ROp::Sign:   return "sign";
+      case ROp::Zero:   return "zero";
+      case ROp::Abs:    return "abs";
+      case ROp::Mux:    return "mux";
+      case ROp::Copy:   return "copy";
+      default:          return "?";
+    }
+}
+
+uint32_t
+ropArity(ROp op)
+{
+    switch (op) {
+      case ROp::Neg:
+      case ROp::BitNot:
+      case ROp::Sign:
+      case ROp::Zero:
+      case ROp::Abs:
+      case ROp::Copy:
+        return 1;
+      case ROp::Mux:
+        return 3;
+      default:
+        return 2;
+    }
+}
+
+bool
+ropSupported(ROp op, DType dtype)
+{
+    if (op == ROp::Mod)
+        return dtype == DType::Int32;
+    return true;
+}
+
+bool
+ropProducesBool(ROp op)
+{
+    switch (op) {
+      case ROp::Lt:
+      case ROp::Le:
+      case ROp::Gt:
+      case ROp::Ge:
+      case ROp::Eq:
+      case ROp::Ne:
+      case ROp::Zero:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+RTypeInstr::toString() const
+{
+    std::ostringstream os;
+    os << ropName(op) << "." << dtypeName(dtype)
+       << " r" << static_cast<int>(rd) << ", r" << static_cast<int>(ra);
+    if (ropArity(op) >= 2)
+        os << ", r" << static_cast<int>(rb);
+    if (ropArity(op) >= 3)
+        os << ", r" << static_cast<int>(rc);
+    os << " warps=" << warps.toString() << " rows=" << rows.toString();
+    return os.str();
+}
+
+} // namespace pypim

@@ -1,0 +1,111 @@
+#include "pim/alloc.hpp"
+
+#include <string>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace pypim
+{
+
+MemoryManager::MemoryManager(const Geometry &geo)
+    : geo_(&geo),
+      used_(geo.userRegs,
+            std::vector<bool>(geo.numCrossbars, false))
+{
+}
+
+bool
+MemoryManager::rangeFree(uint32_t reg, uint32_t warpStart,
+                         uint32_t warpCount) const
+{
+    for (uint32_t w = warpStart; w < warpStart + warpCount; ++w)
+        if (used_[reg][w])
+            return false;
+    return true;
+}
+
+void
+MemoryManager::markRange(uint32_t reg, uint32_t warpStart,
+                         uint32_t warpCount, bool used)
+{
+    for (uint32_t w = warpStart; w < warpStart + warpCount; ++w)
+        used_[reg][w] = used;
+}
+
+Allocation
+MemoryManager::allocAt(uint32_t warpStart, uint32_t warpCount,
+                       uint64_t elements)
+{
+    fatalIf(warpCount == 0 || elements == 0,
+            "alloc: empty tensors are not allocatable");
+    fatalIf(warpStart + warpCount > geo_->numCrossbars,
+            "alloc: warp range out of bounds");
+    fatalIf(elements > static_cast<uint64_t>(warpCount) * geo_->rows,
+            "alloc: elements exceed the warp range capacity");
+    for (uint32_t reg = 0; reg < geo_->userRegs; ++reg) {
+        if (!rangeFree(reg, warpStart, warpCount))
+            continue;
+        markRange(reg, warpStart, warpCount, true);
+        ++live_;
+        slotsInUse_ += warpCount;
+        return Allocation{reg, warpStart, warpCount, elements};
+    }
+    fatal("out of PIM memory: no free register covers warps [" +
+          std::to_string(warpStart) + ", " +
+          std::to_string(warpStart + warpCount) + ")");
+}
+
+Allocation
+MemoryManager::alloc(uint64_t elements, const Allocation *hint)
+{
+    fatalIf(elements == 0, "alloc: empty tensors are not allocatable");
+    const uint32_t warps = static_cast<uint32_t>(
+        divCeil(elements, geo_->rows));
+    fatalIf(warps > geo_->numCrossbars,
+            "alloc: tensor of " + std::to_string(elements) +
+            " elements exceeds the memory (" +
+            std::to_string(static_cast<uint64_t>(geo_->numCrossbars) *
+                           geo_->rows) + " threads)");
+    // Reference-tensor alignment (paper §V-A): try the hinted warp
+    // range first so subsequent arithmetic needs no fall-back copy.
+    if (hint && hint->warpCount >= warps &&
+        hint->warpStart + warps <= geo_->numCrossbars) {
+        for (uint32_t reg = 0; reg < geo_->userRegs; ++reg) {
+            if (rangeFree(reg, hint->warpStart, warps)) {
+                markRange(reg, hint->warpStart, warps, true);
+                ++live_;
+                slotsInUse_ += warps;
+                return Allocation{reg, hint->warpStart, warps, elements};
+            }
+        }
+    }
+    // First fit across registers and warp offsets.
+    for (uint32_t reg = 0; reg < geo_->userRegs; ++reg) {
+        for (uint32_t w = 0; w + warps <= geo_->numCrossbars; ++w) {
+            if (rangeFree(reg, w, warps)) {
+                markRange(reg, w, warps, true);
+                ++live_;
+                slotsInUse_ += warps;
+                return Allocation{reg, w, warps, elements};
+            }
+        }
+    }
+    fatal("out of PIM memory: no register/warp range fits " +
+          std::to_string(elements) + " elements");
+}
+
+void
+MemoryManager::free(const Allocation &a)
+{
+    panicIf(a.reg >= geo_->userRegs ||
+            a.warpStart + a.warpCount > geo_->numCrossbars,
+            "free: allocation out of range");
+    for (uint32_t w = a.warpStart; w < a.warpStart + a.warpCount; ++w)
+        panicIf(!used_[a.reg][w], "free: slot already free");
+    markRange(a.reg, a.warpStart, a.warpCount, false);
+    --live_;
+    slotsInUse_ -= a.warpCount;
+}
+
+} // namespace pypim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * PIM-optimised dynamic memory management (paper §V-A).
+ *
+ * Tensors are allocated at one register index across the rows of a
+ * contiguous range of warps. Parallel arithmetic requires its operands
+ * to live in the *same threads* (same warp range, same rows), so the
+ * allocator supports a reference hint: "place this tensor on the same
+ * warp range as that one" — the library then avoids the fall-back
+ * alignment copies.
+ */
+#ifndef PYPIM_PIM_ALLOC_HPP
+#define PYPIM_PIM_ALLOC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace pypim
+{
+
+/** One tensor's footprint: a register index over a warp range. */
+struct Allocation
+{
+    uint32_t reg = 0;
+    uint32_t warpStart = 0;
+    uint32_t warpCount = 0;
+    uint64_t elements = 0;
+
+    bool
+    sameWarpRange(const Allocation &o) const
+    {
+        return warpStart == o.warpStart && warpCount == o.warpCount;
+    }
+};
+
+/** Register/warp-range allocator for PIM tensors. */
+class MemoryManager
+{
+  public:
+    explicit MemoryManager(const Geometry &geo);
+
+    /**
+     * Allocate @p elements (one per thread). With a @p hint the
+     * allocator first tries the hint's exact warp range (a different
+     * register), so the new tensor is thread-aligned with it.
+     */
+    Allocation alloc(uint64_t elements, const Allocation *hint = nullptr);
+
+    /**
+     * Allocate a register over the exact warp range [warpStart,
+     * warpStart + warpCount); throws pypim::Error when no register is
+     * free there.
+     */
+    Allocation allocAt(uint32_t warpStart, uint32_t warpCount,
+                       uint64_t elements);
+
+    /** Release an allocation. */
+    void free(const Allocation &a);
+
+    /** Live allocations (leak checks in tests). */
+    uint32_t liveAllocations() const { return live_; }
+    /** Register-warp slots currently occupied. */
+    uint64_t slotsInUse() const { return slotsInUse_; }
+
+  private:
+    bool rangeFree(uint32_t reg, uint32_t warpStart,
+                   uint32_t warpCount) const;
+    void markRange(uint32_t reg, uint32_t warpStart, uint32_t warpCount,
+                   bool used);
+
+    const Geometry *geo_;
+    /** used_[reg][warp] == true iff occupied. */
+    std::vector<std::vector<bool>> used_;
+    uint32_t live_ = 0;
+    uint64_t slotsInUse_ = 0;
+};
+
+} // namespace pypim
+
+#endif // PYPIM_PIM_ALLOC_HPP

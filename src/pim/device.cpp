@@ -1,0 +1,26 @@
+#include "pim/device.hpp"
+
+namespace pypim
+{
+
+Device::Device(const Geometry &geo, Driver::Mode mode)
+    : geo_(geo),
+      sim_(geo_),
+      drv_(sim_, geo_, mode),
+      mm_(geo_)
+{
+}
+
+Device &
+Device::defaultDevice()
+{
+    static const Geometry g = [] {
+        Geometry x;  // Table III crossbar geometry
+        x.numCrossbars = 16;
+        return x;
+    }();
+    static Device dev(g);
+    return dev;
+}
+
+} // namespace pypim

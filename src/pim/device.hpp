@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A PIM device: the bundle of simulator (standing in for the physical
+ * chip), host driver and dynamic memory manager that the tensor
+ * library programs against (paper Fig. 2, runtime dependencies).
+ */
+#ifndef PYPIM_PIM_DEVICE_HPP
+#define PYPIM_PIM_DEVICE_HPP
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "driver/driver.hpp"
+#include "pim/alloc.hpp"
+#include "sim/simulator.hpp"
+
+namespace pypim
+{
+
+/** One digital PIM chip (simulated) plus its host-side software. */
+class Device
+{
+  public:
+    /**
+     * Create a device with its own simulator instance.
+     * @param geo memory geometry (validated)
+     * @param mode driver arithmetic mode (paper Fig. 4)
+     */
+    explicit Device(const Geometry &geo,
+                    Driver::Mode mode = Driver::Mode::Parallel);
+
+    Device(const Device &) = delete;
+    Device &operator=(const Device &) = delete;
+
+    /**
+     * Process-wide default device (created on first use): 16 crossbars
+     * of the Table III geometry — large enough for the examples, small
+     * enough to simulate instantly.
+     */
+    static Device &defaultDevice();
+
+    const Geometry &geometry() const { return geo_; }
+    Simulator &simulator() { return sim_; }
+    Driver &driver() { return drv_; }
+    MemoryManager &allocator() { return mm_; }
+
+    /** Simulator-side micro-op statistics. */
+    const Stats &stats() const { return sim_.stats(); }
+    Stats &stats() { return sim_.stats(); }
+
+  private:
+    Geometry geo_;
+    Simulator sim_;
+    Driver drv_;
+    MemoryManager mm_;
+};
+
+} // namespace pypim
+
+#endif // PYPIM_PIM_DEVICE_HPP

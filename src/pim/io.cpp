@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Host I/O for tensors: element get/set and bulk vector transfer via
+ * read/write instructions (the standard memory interface retained by
+ * the PIM architecture, paper §III-C).
+ */
+#include "pim/tensor.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace pypim
+{
+
+namespace
+{
+
+uint32_t
+readBits(const Tensor &t, uint64_t i)
+{
+    const auto [warp, row] = t.position(i);
+    ReadInstr rd;
+    rd.reg = static_cast<uint8_t>(t.reg());
+    rd.warp = warp;
+    rd.row = row;
+    return t.device().driver().execute(rd);
+}
+
+void
+writeBits(Tensor &t, uint64_t i, uint32_t bits)
+{
+    const auto [warp, row] = t.position(i);
+    WriteInstr w;
+    w.reg = static_cast<uint8_t>(t.reg());
+    w.value = bits;
+    w.warps = Range::single(warp);
+    w.rows = Range::single(row);
+    t.device().driver().execute(w);
+}
+
+} // namespace
+
+float
+Tensor::getF(uint64_t i) const
+{
+    fatalIf(!valid(), "getF: invalid tensor");
+    fatalIf(dtype() != DType::Float32, "getF: tensor is not float32");
+    return std::bit_cast<float>(readBits(*this, i));
+}
+
+int32_t
+Tensor::getI(uint64_t i) const
+{
+    fatalIf(!valid(), "getI: invalid tensor");
+    fatalIf(dtype() != DType::Int32, "getI: tensor is not int32");
+    return static_cast<int32_t>(readBits(*this, i));
+}
+
+void
+Tensor::set(uint64_t i, float value)
+{
+    fatalIf(!valid(), "set: invalid tensor");
+    fatalIf(dtype() != DType::Float32, "set: tensor is not float32");
+    writeBits(*this, i, std::bit_cast<uint32_t>(value));
+}
+
+void
+Tensor::set(uint64_t i, int32_t value)
+{
+    fatalIf(!valid(), "set: invalid tensor");
+    fatalIf(dtype() != DType::Int32, "set: tensor is not int32");
+    writeBits(*this, i, static_cast<uint32_t>(value));
+}
+
+std::vector<float>
+Tensor::toFloatVector() const
+{
+    fatalIf(!valid(), "toFloatVector: invalid tensor");
+    fatalIf(dtype() != DType::Float32,
+            "toFloatVector: tensor is not float32");
+    std::vector<float> out(len_);
+    for (uint64_t i = 0; i < len_; ++i)
+        out[i] = std::bit_cast<float>(readBits(*this, i));
+    return out;
+}
+
+std::vector<int32_t>
+Tensor::toIntVector() const
+{
+    fatalIf(!valid(), "toIntVector: invalid tensor");
+    fatalIf(dtype() != DType::Int32, "toIntVector: tensor is not int32");
+    std::vector<int32_t> out(len_);
+    for (uint64_t i = 0; i < len_; ++i)
+        out[i] = static_cast<int32_t>(readBits(*this, i));
+    return out;
+}
+
+} // namespace pypim

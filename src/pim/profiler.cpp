@@ -1,0 +1,43 @@
+#include "pim/profiler.hpp"
+
+namespace pypim
+{
+
+Profiler::Profiler(Device &dev)
+    : dev_(&dev),
+      start_(dev.stats())
+{
+}
+
+void
+Profiler::reset()
+{
+    start_ = dev_->stats();
+}
+
+Stats
+Profiler::delta() const
+{
+    return dev_->stats() - start_;
+}
+
+uint64_t
+Profiler::cycles() const
+{
+    return delta().totalCycles();
+}
+
+uint64_t
+Profiler::microOps() const
+{
+    return delta().totalOps();
+}
+
+double
+Profiler::pimSeconds() const
+{
+    return static_cast<double>(cycles()) /
+           static_cast<double>(dev_->geometry().clockHz);
+}
+
+} // namespace pypim

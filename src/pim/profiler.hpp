@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Profiling window over a device's micro-op statistics — the
+ * counterpart of the paper's `with pim.Profiler():` context (artifact
+ * §F): captures the simulator counters at construction and reports the
+ * delta, including the derived PIM execution time at the configured
+ * clock.
+ */
+#ifndef PYPIM_PIM_PROFILER_HPP
+#define PYPIM_PIM_PROFILER_HPP
+
+#include "common/stats.hpp"
+#include "pim/device.hpp"
+
+namespace pypim
+{
+
+/** Captures device statistics over a scope. */
+class Profiler
+{
+  public:
+    explicit Profiler(Device &dev);
+
+    /** Restart the window. */
+    void reset();
+
+    /** Counters accumulated since construction/reset. */
+    Stats delta() const;
+
+    /** PIM cycles consumed in the window. */
+    uint64_t cycles() const;
+    /** Micro-operations issued in the window. */
+    uint64_t microOps() const;
+    /** PIM wall-clock time of the window at the device clock. */
+    double pimSeconds() const;
+
+  private:
+    Device *dev_;
+    Stats start_;
+};
+
+} // namespace pypim
+
+#endif // PYPIM_PIM_PROFILER_HPP

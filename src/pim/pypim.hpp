@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Umbrella header for the PyPIM development library: include this to
+ * program PIM tensors (the C++ analogue of `import pypim as pim`).
+ */
+#ifndef PYPIM_PIM_PYPIM_HPP
+#define PYPIM_PIM_PYPIM_HPP
+
+#include "pim/device.hpp"
+#include "pim/profiler.hpp"
+#include "pim/tensor.hpp"
+
+#endif // PYPIM_PIM_PYPIM_HPP

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Logarithmic-depth reductions (paper §V-A: ".sum() for aggregation
+ * ... in logarithmic time [41]").
+ *
+ * The view is first canonicalised, then folded in halves: an
+ * inter-warp phase transfers the upper half of the warps onto the
+ * lower half through the H-tree (one move per row, parallel across
+ * warp pairs — warp-parallel thread-serial, paper §IV), followed by an
+ * intra-warp phase using vertical-logic moves. Each fold level costs
+ * O(rows) moves plus one combining instruction: log2(n) combining
+ * steps in total.
+ *
+ * Sum and Prod combine with one Add/Mul instruction; Min and Max
+ * combine with a comparison followed by a Mux.
+ */
+#include "pim/tensor.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+#include "pim/lowering.hpp"
+
+namespace pypim
+{
+
+namespace
+{
+
+enum class ReduceKind { Sum, Prod, Min, Max };
+
+/** res[0, n) <- combine(a[0, n), b[0, n)) on aligned registers. */
+void
+combine(ReduceKind kind, DType dt, const Tensor &res, const Tensor &a,
+        const Tensor &b)
+{
+    switch (kind) {
+      case ReduceKind::Sum:
+        lowering::rtypeOp(ROp::Add, dt, res, a, &b);
+        return;
+      case ReduceKind::Prod:
+        lowering::rtypeOp(ROp::Mul, dt, res, a, &b);
+        return;
+      case ReduceKind::Min:
+      case ReduceKind::Max: {
+        Tensor cmp = lowering::allocLikePattern(a, DType::Int32);
+        lowering::rtypeOp(ROp::Lt, dt, cmp, a, &b);
+        if (kind == ReduceKind::Min)
+            lowering::rtypeOp(ROp::Mux, dt, res, a, &b, &cmp);
+        else
+            lowering::rtypeOp(ROp::Mux, dt, res, b, &a, &cmp);
+        return;
+      }
+    }
+}
+
+uint32_t
+reduceBits(const Tensor &t, ReduceKind kind)
+{
+    fatalIf(!t.valid(), "reduce: invalid tensor");
+    fatalIf(t.size() == 0, "reduce: empty tensor");
+    Device &dev = t.device();
+    const uint32_t rows = dev.geometry().rows;
+    const DType dt = t.dtype();
+
+    Tensor acc = t.clone();  // canonical contiguous working copy
+
+    // Inter-warp phase: fold the upper warps onto the lower half.
+    while (acc.size() > rows) {
+        const Allocation &a = acc.allocation();
+        const uint32_t half = (a.warpCount + 1) / 2;
+        const uint64_t lowLen = static_cast<uint64_t>(half) * rows;
+        const uint64_t hiLen = acc.size() - lowLen;
+        // tmp over the lower warps receives the upper elements.
+        Tensor hi = acc.slice(lowLen, acc.size());
+        Tensor lowPattern = acc.slice(0, hiLen);
+        Tensor tmp = hi.materializeLike(lowPattern);
+        // Fresh result register over the lower half.
+        Tensor res = lowering::allocLikePattern(acc.slice(0, lowLen), dt);
+        combine(kind, dt, res.slice(0, hiLen), acc.slice(0, hiLen), tmp);
+        if (lowLen > hiLen) {
+            Tensor carry = res.slice(hiLen, lowLen);
+            lowering::rtypeOp(ROp::Copy, dt, carry,
+                              acc.slice(hiLen, lowLen));
+        }
+        acc = res;
+    }
+
+    // Intra-warp phase.
+    while (acc.size() > 1) {
+        const uint64_t len = acc.size();
+        const uint64_t half = (len + 1) / 2;
+        const uint64_t hiLen = len - half;
+        Tensor hi = acc.slice(half, len);
+        Tensor tmp = hi.materializeLike(acc.slice(0, hiLen));
+        Tensor res = lowering::allocLikePattern(acc.slice(0, half), dt);
+        combine(kind, dt, res.slice(0, hiLen), acc.slice(0, hiLen), tmp);
+        if (half > hiLen) {
+            Tensor carry = res.slice(hiLen, half);
+            lowering::rtypeOp(ROp::Copy, dt, carry,
+                              acc.slice(hiLen, half));
+        }
+        acc = res;
+    }
+
+    const auto [warp, row] = acc.position(0);
+    ReadInstr rd;
+    rd.reg = static_cast<uint8_t>(acc.reg());
+    rd.warp = warp;
+    rd.row = row;
+    return dev.driver().execute(rd);
+}
+
+template <typename T>
+T
+castResult(uint32_t bits)
+{
+    if constexpr (std::is_same_v<T, float>)
+        return std::bit_cast<float>(bits);
+    else
+        return static_cast<T>(bits);
+}
+
+template <typename T>
+void
+checkDtype(const Tensor &t)
+{
+    if constexpr (std::is_same_v<T, float>) {
+        fatalIf(t.dtype() != DType::Float32,
+                "reduce: expected a float32 tensor");
+    } else {
+        fatalIf(t.dtype() != DType::Int32,
+                "reduce: expected an int32 tensor");
+    }
+}
+
+} // namespace
+
+template <typename T>
+T
+Tensor::sum() const
+{
+    checkDtype<T>(*this);
+    return castResult<T>(reduceBits(*this, ReduceKind::Sum));
+}
+
+template <typename T>
+T
+Tensor::prod() const
+{
+    checkDtype<T>(*this);
+    return castResult<T>(reduceBits(*this, ReduceKind::Prod));
+}
+
+template <typename T>
+T
+Tensor::min() const
+{
+    checkDtype<T>(*this);
+    return castResult<T>(reduceBits(*this, ReduceKind::Min));
+}
+
+template <typename T>
+T
+Tensor::max() const
+{
+    checkDtype<T>(*this);
+    return castResult<T>(reduceBits(*this, ReduceKind::Max));
+}
+
+template float Tensor::sum<float>() const;
+template int32_t Tensor::sum<int32_t>() const;
+template float Tensor::prod<float>() const;
+template int32_t Tensor::prod<int32_t>() const;
+template float Tensor::min<float>() const;
+template int32_t Tensor::min<int32_t>() const;
+template float Tensor::max<float>() const;
+template int32_t Tensor::max<int32_t>() const;
+
+} // namespace pypim

@@ -1,0 +1,322 @@
+#include "pim/tensor.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "pim/lowering.hpp"
+
+namespace pypim
+{
+
+Device &
+Tensor::resolve(Device *dev)
+{
+    return dev ? *dev : Device::defaultDevice();
+}
+
+Tensor
+Tensor::allocate(uint64_t n, DType dtype, Device &dev,
+                 const Allocation *hint)
+{
+    const Allocation a = dev.allocator().alloc(n, hint);
+    Tensor t;
+    t.st_ = std::make_shared<TensorStorage>(dev, a, dtype);
+    t.viewStart_ = 0;
+    t.viewStep_ = 1;
+    t.len_ = n;
+    return t;
+}
+
+Tensor
+Tensor::wrap(std::shared_ptr<TensorStorage> st, uint64_t start,
+             uint64_t step, uint64_t len)
+{
+    Tensor t;
+    t.st_ = std::move(st);
+    t.viewStart_ = start;
+    t.viewStep_ = step;
+    t.len_ = len;
+    return t;
+}
+
+// --- factories ----------------------------------------------------------
+
+namespace
+{
+
+/** Broadcast one constant into every segment of @p t. */
+void
+writeConstant(Tensor &t, uint32_t bits)
+{
+    WriteInstr w;
+    w.reg = static_cast<uint8_t>(t.reg());
+    w.value = bits;
+    for (const auto &seg : lowering::segments(t)) {
+        w.warps = seg.warps;
+        w.rows = seg.rows;
+        t.device().driver().execute(w);
+    }
+}
+
+} // namespace
+
+Tensor
+Tensor::zeros(uint64_t n, DType dtype, Device *dev)
+{
+    Tensor t = allocate(n, dtype, resolve(dev), nullptr);
+    writeConstant(t, 0);
+    return t;
+}
+
+Tensor
+Tensor::ones(uint64_t n, DType dtype, Device *dev)
+{
+    if (dtype == DType::Float32)
+        return full(n, 1.0f, dev);
+    return full(n, int32_t{1}, dev);
+}
+
+Tensor
+Tensor::full(uint64_t n, float value, Device *dev)
+{
+    Tensor t = allocate(n, DType::Float32, resolve(dev), nullptr);
+    writeConstant(t, std::bit_cast<uint32_t>(value));
+    return t;
+}
+
+Tensor
+Tensor::full(uint64_t n, int32_t value, Device *dev)
+{
+    Tensor t = allocate(n, DType::Int32, resolve(dev), nullptr);
+    writeConstant(t, static_cast<uint32_t>(value));
+    return t;
+}
+
+Tensor
+Tensor::fullLike(const Tensor &like, float value)
+{
+    fatalIf(!like.valid(), "fullLike: invalid tensor");
+    fatalIf(like.dtype() != DType::Float32,
+            "fullLike: float constant on a non-float tensor");
+    Tensor t = lowering::allocLikePattern(like, DType::Float32);
+    writeConstant(t, std::bit_cast<uint32_t>(value));
+    return t;
+}
+
+Tensor
+Tensor::fullLike(const Tensor &like, int32_t value)
+{
+    fatalIf(!like.valid(), "fullLike: invalid tensor");
+    fatalIf(like.dtype() != DType::Int32,
+            "fullLike: int constant on a non-int tensor");
+    Tensor t = lowering::allocLikePattern(like, DType::Int32);
+    writeConstant(t, static_cast<uint32_t>(value));
+    return t;
+}
+
+Tensor
+Tensor::fromVector(const std::vector<float> &v, Device *dev)
+{
+    Tensor t = allocate(v.size(), DType::Float32, resolve(dev), nullptr);
+    for (uint64_t i = 0; i < v.size(); ++i)
+        t.set(i, v[i]);
+    return t;
+}
+
+Tensor
+Tensor::fromVector(const std::vector<int32_t> &v, Device *dev)
+{
+    Tensor t = allocate(v.size(), DType::Int32, resolve(dev), nullptr);
+    for (uint64_t i = 0; i < v.size(); ++i)
+        t.set(i, v[i]);
+    return t;
+}
+
+Tensor
+Tensor::iota(uint64_t n, Device *dev)
+{
+    Device &d = resolve(dev);
+    const uint32_t rows = d.geometry().rows;
+    Tensor t = allocate(n, DType::Int32, d, nullptr);
+    // Element index = warp base + row index, built from masked
+    // constant writes: one write per row (broadcast over all warps,
+    // value = row) plus one write per warp (adding the base would need
+    // arithmetic, so instead each warp's rows are written directly
+    // when the tensor spans several warps).
+    const Allocation &a = t.allocation();
+    WriteInstr w;
+    w.reg = static_cast<uint8_t>(t.reg());
+    if (a.warpCount == 1) {
+        for (uint64_t i = 0; i < n; ++i) {
+            w.value = static_cast<uint32_t>(i);
+            w.warps = Range::single(a.warpStart);
+            w.rows = Range::single(static_cast<uint32_t>(i));
+            d.driver().execute(w);
+        }
+        return t;
+    }
+    // Multi-warp: write the row index broadcast across all warps, then
+    // add the per-warp base via a base tensor and one Add instruction.
+    for (uint32_t r = 0; r < rows; ++r) {
+        if (r >= n)
+            break;
+        const uint32_t lastWarp = a.warpStart +
+            static_cast<uint32_t>((n - 1 - r) / rows);
+        w.value = r;
+        w.warps = Range(a.warpStart, lastWarp, 1);
+        w.rows = Range::single(r);
+        d.driver().execute(w);
+    }
+    Tensor base = lowering::allocLikePattern(t, DType::Int32);
+    WriteInstr wb;
+    wb.reg = static_cast<uint8_t>(base.reg());
+    for (uint32_t k = 0; k < a.warpCount; ++k) {
+        const uint64_t first = static_cast<uint64_t>(k) * rows;
+        if (first >= n)
+            break;
+        const uint32_t lastRow = static_cast<uint32_t>(
+            std::min<uint64_t>(rows, n - first) - 1);
+        wb.value = static_cast<uint32_t>(first);
+        wb.warps = Range::single(a.warpStart + k);
+        wb.rows = Range(0, lastRow, 1);
+        d.driver().execute(wb);
+    }
+    Tensor out = lowering::allocLikePattern(t, DType::Int32);
+    lowering::rtypeOp(ROp::Add, DType::Int32, out, t, &base);
+    return out;
+}
+
+// --- metadata -----------------------------------------------------------
+
+DType
+Tensor::dtype() const
+{
+    fatalIf(!valid(), "dtype: invalid tensor");
+    return st_->dtype;
+}
+
+Device &
+Tensor::device() const
+{
+    fatalIf(!valid(), "device: invalid tensor");
+    return *st_->dev;
+}
+
+bool
+Tensor::isView() const
+{
+    if (!valid())
+        return false;
+    return viewStart_ != 0 || viewStep_ != 1 ||
+           len_ != st_->alloc.elements;
+}
+
+const Allocation &
+Tensor::allocation() const
+{
+    fatalIf(!valid(), "allocation: invalid tensor");
+    return st_->alloc;
+}
+
+uint32_t
+Tensor::reg() const
+{
+    return allocation().reg;
+}
+
+std::pair<uint32_t, uint32_t>
+Tensor::position(uint64_t i) const
+{
+    fatalIf(i >= len_, "position: index out of range");
+    const uint32_t rows = device().geometry().rows;
+    const uint64_t s = storageRow(i);
+    return {allocation().warpStart + static_cast<uint32_t>(s / rows),
+            static_cast<uint32_t>(s % rows)};
+}
+
+uint64_t
+Tensor::absoluteRow(uint64_t i) const
+{
+    const uint32_t rows = device().geometry().rows;
+    return static_cast<uint64_t>(allocation().warpStart) * rows +
+           storageRow(i);
+}
+
+// --- views --------------------------------------------------------------
+
+Tensor
+Tensor::slice(uint64_t start, uint64_t stop, uint64_t step) const
+{
+    fatalIf(!valid(), "slice: invalid tensor");
+    fatalIf(step == 0, "slice: step must be >= 1");
+    fatalIf(start > len_ || stop > len_,
+            "slice: bounds exceed tensor size");
+    fatalIf(stop <= start, "slice: empty slices are not supported");
+    const uint64_t n = (stop - start + step - 1) / step;
+    return wrap(st_, viewStart_ + start * viewStep_, viewStep_ * step, n);
+}
+
+Tensor
+Tensor::every(uint64_t step, uint64_t offset) const
+{
+    fatalIf(!valid(), "every: invalid tensor");
+    fatalIf(offset >= len_, "every: offset exceeds tensor size");
+    return slice(offset, len_, step);
+}
+
+// --- data movement --------------------------------------------------------
+
+Tensor
+Tensor::clone() const
+{
+    fatalIf(!valid(), "clone: invalid tensor");
+    Device &d = device();
+    Tensor out = allocate(len_, dtype(), d, &allocation());
+    lowering::moveElements(*this, out);
+    return out;
+}
+
+Tensor
+Tensor::materializeLike(const Tensor &pattern) const
+{
+    fatalIf(!valid() || !pattern.valid(), "materializeLike: invalid");
+    fatalIf(pattern.size() != len_,
+            "materializeLike: length mismatch");
+    Tensor out = lowering::allocLikePattern(pattern, dtype());
+    lowering::moveElements(*this, out);
+    return out;
+}
+
+void
+Tensor::assignFrom(const Tensor &src)
+{
+    fatalIf(!valid() || !src.valid(), "assignFrom: invalid tensor");
+    fatalIf(src.size() != len_, "assignFrom: length mismatch");
+    fatalIf(src.dtype() != dtype(), "assignFrom: dtype mismatch");
+    lowering::moveElements(src, *this);
+}
+
+std::string
+Tensor::toString(uint64_t maxElems) const
+{
+    std::ostringstream os;
+    os << (isView() ? "TensorView" : "Tensor") << "(shape=(" << len_
+       << ",), dtype=" << (valid() ? dtypeName(dtype()) : "none") << "):\n[";
+    const uint64_t n = std::min(len_, maxElems);
+    for (uint64_t i = 0; i < n; ++i) {
+        if (i)
+            os << ", ";
+        if (dtype() == DType::Float32)
+            os << getF(i);
+        else
+            os << getI(i);
+    }
+    if (n < len_)
+        os << ", ...";
+    os << "]";
+    return os.str();
+}
+
+} // namespace pypim

@@ -1,0 +1,139 @@
+#include "sim/crossbar.hpp"
+
+#include "common/error.hpp"
+
+namespace pypim
+{
+
+Crossbar::Crossbar(const Geometry &geo)
+    : geo_(&geo),
+      wordsPerCol_((geo.rows + 63) / 64),
+      state_(static_cast<size_t>(geo.cols) * wordsPerCol_, 0)
+{
+}
+
+void
+Crossbar::logicH(const HalfGates &hg, std::span<const uint64_t> rowMask)
+{
+    panicIf(rowMask.size() != wordsPerCol_,
+            "logicH: row mask width mismatch");
+    for (uint32_t s = 0; s < hg.numSections; ++s) {
+        const Section &sec = hg.sections[s];
+        if (!sec.active())
+            continue;
+        uint64_t *out = colWords(static_cast<uint32_t>(sec.outCol));
+        switch (hg.gate) {
+          case Gate::Init0:
+            for (uint32_t w = 0; w < wordsPerCol_; ++w)
+                out[w] &= ~rowMask[w];
+            break;
+          case Gate::Init1:
+            for (uint32_t w = 0; w < wordsPerCol_; ++w)
+                out[w] |= rowMask[w];
+            break;
+          case Gate::Not:
+          case Gate::Nor: {
+            const uint64_t *inA =
+                colWords(static_cast<uint32_t>(sec.inCol[0]));
+            const uint64_t *inB = sec.numIn == 2
+                ? colWords(static_cast<uint32_t>(sec.inCol[1]))
+                : inA;
+            for (uint32_t w = 0; w < wordsPerCol_; ++w)
+                out[w] &= ~((inA[w] | inB[w]) & rowMask[w]);
+            break;
+          }
+        }
+    }
+}
+
+void
+Crossbar::logicV(Gate g, uint32_t rowIn, uint32_t rowOut, uint32_t slot)
+{
+    const uint32_t pw = geo_->partitionWidth();
+    for (uint32_t p = 0; p < geo_->partitions; ++p) {
+        const uint32_t col = p * pw + slot;
+        uint64_t *words = colWords(col);
+        const uint64_t outBit = 1ull << (rowOut % 64);
+        switch (g) {
+          case Gate::Init0:
+            words[rowOut / 64] &= ~outBit;
+            break;
+          case Gate::Init1:
+            words[rowOut / 64] |= outBit;
+            break;
+          case Gate::Not: {
+            const bool in = (words[rowIn / 64] >> (rowIn % 64)) & 1;
+            if (in)
+                words[rowOut / 64] &= ~outBit;
+            break;
+          }
+          case Gate::Nor:
+            panic("logicV: NOR is not supported vertically");
+        }
+    }
+}
+
+void
+Crossbar::write(uint32_t slot, uint32_t value,
+                std::span<const uint64_t> rowMask)
+{
+    panicIf(rowMask.size() != wordsPerCol_,
+            "write: row mask width mismatch");
+    const uint32_t pw = geo_->partitionWidth();
+    for (uint32_t p = 0; p < geo_->wordBits; ++p) {
+        uint64_t *words = colWords(p * pw + slot);
+        if ((value >> p) & 1) {
+            for (uint32_t w = 0; w < wordsPerCol_; ++w)
+                words[w] |= rowMask[w];
+        } else {
+            for (uint32_t w = 0; w < wordsPerCol_; ++w)
+                words[w] &= ~rowMask[w];
+        }
+    }
+}
+
+uint32_t
+Crossbar::read(uint32_t slot, uint32_t row) const
+{
+    const uint32_t pw = geo_->partitionWidth();
+    uint32_t value = 0;
+    for (uint32_t p = 0; p < geo_->wordBits; ++p) {
+        const uint64_t *words = colWords(p * pw + slot);
+        const uint32_t b =
+            static_cast<uint32_t>((words[row / 64] >> (row % 64)) & 1);
+        value |= b << p;
+    }
+    return value;
+}
+
+void
+Crossbar::writeRow(uint32_t slot, uint32_t value, uint32_t row)
+{
+    const uint32_t pw = geo_->partitionWidth();
+    const uint64_t bit = 1ull << (row % 64);
+    for (uint32_t p = 0; p < geo_->wordBits; ++p) {
+        uint64_t *words = colWords(p * pw + slot);
+        if ((value >> p) & 1)
+            words[row / 64] |= bit;
+        else
+            words[row / 64] &= ~bit;
+    }
+}
+
+bool
+Crossbar::bit(uint32_t row, uint32_t col) const
+{
+    return (colWords(col)[row / 64] >> (row % 64)) & 1;
+}
+
+void
+Crossbar::setBit(uint32_t row, uint32_t col, bool v)
+{
+    uint64_t *words = colWords(col);
+    if (v)
+        words[row / 64] |= 1ull << (row % 64);
+    else
+        words[row / 64] &= ~(1ull << (row % 64));
+}
+
+} // namespace pypim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Bit-level state of one memristive crossbar array.
+ *
+ * Storage is column-major: each bitline (column) is kept as
+ * ceil(rows/64) 64-bit words, so one horizontal stateful-logic gate
+ * over all rows costs O(rows/64) word operations — the CPU analogue of
+ * the paper's condensed-format GPU optimisation (§VI "Memory"/"Logic").
+ *
+ * Stateful-logic fidelity: NOT/NOR can only switch the output memristor
+ * from 1 towards 0 (paper §II-A — the output is expected to be
+ * initialised to logical one first). We model exactly that:
+ * out_new = out_old AND NOT(OR of inputs). A driver that forgets the
+ * INIT therefore computes device-accurate garbage, which the test
+ * suite detects.
+ */
+#ifndef PYPIM_SIM_CROSSBAR_HPP
+#define PYPIM_SIM_CROSSBAR_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/config.hpp"
+#include "uarch/microop.hpp"
+#include "uarch/partition.hpp"
+
+namespace pypim
+{
+
+/** One h x w crossbar array with stateful-logic semantics. */
+class Crossbar
+{
+  public:
+    explicit Crossbar(const Geometry &geo);
+
+    /**
+     * Execute an expanded horizontal logic op on all mask-selected
+     * rows (@p rowMask is the realized row-mask bit vector).
+     */
+    void logicH(const HalfGates &hg, std::span<const uint64_t> rowMask);
+
+    /**
+     * Execute a vertical logic op: gate from @p rowIn to @p rowOut on
+     * the column at intra-partition index @p slot of every partition.
+     */
+    void logicV(Gate g, uint32_t rowIn, uint32_t rowOut, uint32_t slot);
+
+    /** Strided N-bit write to all mask-selected rows (paper Fig. 6). */
+    void write(uint32_t slot, uint32_t value,
+               std::span<const uint64_t> rowMask);
+
+    /** Strided N-bit read of one row. */
+    uint32_t read(uint32_t slot, uint32_t row) const;
+
+    /** Unconditional single-row N-bit write (used by move ops). */
+    void writeRow(uint32_t slot, uint32_t value, uint32_t row);
+
+    /** Raw bit access for tests. */
+    bool bit(uint32_t row, uint32_t col) const;
+    void setBit(uint32_t row, uint32_t col, bool v);
+
+    const Geometry &geometry() const { return *geo_; }
+
+  private:
+    uint64_t *colWords(uint32_t col)
+    {
+        return state_.data() + static_cast<size_t>(col) * wordsPerCol_;
+    }
+    const uint64_t *
+    colWords(uint32_t col) const
+    {
+        return state_.data() + static_cast<size_t>(col) * wordsPerCol_;
+    }
+
+    const Geometry *geo_;
+    uint32_t wordsPerCol_;
+    std::vector<uint64_t> state_;
+};
+
+} // namespace pypim
+
+#endif // PYPIM_SIM_CROSSBAR_HPP

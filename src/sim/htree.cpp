@@ -1,0 +1,75 @@
+#include "sim/htree.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace pypim
+{
+
+HTree::HTree(uint32_t numCrossbars)
+    : numCrossbars_(numCrossbars)
+{
+    fatalIf(!isPow4(numCrossbars),
+            "htree: crossbar count must be a power of four");
+    levels_ = log2Floor(numCrossbars) / 2;
+}
+
+uint32_t
+HTree::lcaLevel(uint32_t a, uint32_t b)
+{
+    uint32_t level = 0;
+    while (a != b) {
+        a >>= 2;
+        b >>= 2;
+        ++level;
+    }
+    return level;
+}
+
+uint64_t
+HTree::moveCycles(const Range &src, int64_t dist) const
+{
+    const CacheKey key{src, dist};
+    if (cacheValid_ && key == cacheKey_)
+        return cacheVal_;
+    cacheKey_ = key;
+    cacheVal_ = computeMoveCycles(src, dist);
+    cacheValid_ = true;
+    return cacheVal_;
+}
+
+uint64_t
+HTree::computeMoveCycles(const Range &src, int64_t dist) const
+{
+    // Link id: (level l, child group id at level l-1). A transfer
+    // s -> d with LCA level L uses the uplinks of s's ancestors and
+    // the downlinks of d's ancestors for l = 1..L; up- and downlink
+    // of the same child group are distinct wires, but since every
+    // transfer in one op flows in a single direction per link we can
+    // key both by the child group id without double counting.
+    std::unordered_map<uint64_t, uint32_t> load;
+    uint32_t maxLevel = 0;
+    src.forEach([&](uint32_t s) {
+        const uint32_t d = static_cast<uint32_t>(s + dist);
+        const uint32_t lca = lcaLevel(s, d);
+        maxLevel = std::max(maxLevel, lca);
+        for (uint32_t l = 1; l <= lca; ++l) {
+            const uint64_t upKey =
+                (static_cast<uint64_t>(l) << 32) | (s >> (2 * (l - 1)));
+            const uint64_t downKey =
+                (static_cast<uint64_t>(l) << 48) | (d >> (2 * (l - 1)));
+            ++load[upKey];
+            ++load[downKey];
+        }
+    });
+    if (maxLevel == 0)
+        return 1;  // degenerate same-crossbar move
+    uint32_t maxLoad = 0;
+    for (const auto &[key, n] : load)
+        maxLoad = std::max(maxLoad, n);
+    return 2ull * maxLevel + (maxLoad - 1);
+}
+
+} // namespace pypim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Hierarchical H-tree interconnect model (paper §III-F, Fig. 9).
+ *
+ * Crossbars are numbered so that each group of the recursive 4-ary
+ * hierarchy shares an id prefix (group 10xx = crossbars 1000..1011 in
+ * base 2 — i.e. base-4 digit prefixes). A distributed move op
+ * transfers one N-bit register per (source, destination) crossbar
+ * pair, where the source set is the current crossbar mask (step must
+ * be a power of 4) and every pair has the same signed distance.
+ *
+ * Latency model (the paper does not fix one; documented here):
+ *  - an N-bit beat crosses one link (child group <-> parent group)
+ *    in 1 cycle;
+ *  - a transfer with lowest-common-ancestor level L traverses 2L
+ *    links (L up, L down);
+ *  - links serve beats serially but the tree is pipelined, so a move
+ *    op costs  2 * maxL + (maxLinkLoad - 1)  cycles, where
+ *    maxLinkLoad is the worst number of transfers crossing any
+ *    single link.
+ *
+ * For the paper's canonical pattern (crossbars xx01 -> xx10 for all
+ * xx) every pair stays inside its own level-1 group: maxL = 1,
+ * load = 1, cost = 2 cycles, fully parallel across groups — matching
+ * §III-F's description of intra-group parallelism.
+ */
+#ifndef PYPIM_SIM_HTREE_HPP
+#define PYPIM_SIM_HTREE_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "uarch/range.hpp"
+
+namespace pypim
+{
+
+/** Latency/contention model of the inter-crossbar H-tree. */
+class HTree
+{
+  public:
+    /** @p numCrossbars must be a power of four. */
+    explicit HTree(uint32_t numCrossbars);
+
+    uint32_t numCrossbars() const { return numCrossbars_; }
+    /** Tree depth in 4-ary levels (log4 of the crossbar count). */
+    uint32_t levels() const { return levels_; }
+
+    /**
+     * Lowest level L >= 0 such that @p a and @p b belong to the same
+     * level-L group (L = 0 iff a == b).
+     */
+    static uint32_t lcaLevel(uint32_t a, uint32_t b);
+
+    /**
+     * Cycle cost of one distributed move op: sources @p src (crossbar
+     * mask), each transferring to source + @p dist. Caches the last
+     * query since tensor-level shifts repeat the same pattern per row.
+     */
+    uint64_t moveCycles(const Range &src, int64_t dist) const;
+
+  private:
+    uint64_t computeMoveCycles(const Range &src, int64_t dist) const;
+
+    uint32_t numCrossbars_;
+    uint32_t levels_;
+
+    struct CacheKey
+    {
+        Range src;
+        int64_t dist;
+        bool operator==(const CacheKey &) const = default;
+    };
+    mutable CacheKey cacheKey_{};
+    mutable uint64_t cacheVal_ = 0;
+    mutable bool cacheValid_ = false;
+};
+
+} // namespace pypim
+
+#endif // PYPIM_SIM_HTREE_HPP

@@ -1,0 +1,57 @@
+#include "sim/sink.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pypim
+{
+
+BufferSink::BufferSink(size_t capacity) : buf_(capacity, 0)
+{
+}
+
+void
+BufferSink::performBatch(const Word *ops, size_t n)
+{
+    total_ += n;
+    const size_t cap = buf_.size();
+    if (n >= cap) {
+        std::memcpy(buf_.data(), ops + (n - cap), cap * sizeof(Word));
+        pos_ = 0;
+        return;
+    }
+    const size_t first = std::min(n, cap - pos_);
+    std::memcpy(buf_.data() + pos_, ops, first * sizeof(Word));
+    if (n > first) {
+        std::memcpy(buf_.data(), ops + first,
+                    (n - first) * sizeof(Word));
+        pos_ = n - first;
+    } else {
+        pos_ += first;
+        if (pos_ == cap)
+            pos_ = 0;
+    }
+}
+
+uint32_t
+BufferSink::performRead(Word op)
+{
+    perform(op);
+    return 0;
+}
+
+void
+CountingSink::performBatch(const Word *ops, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        stats_.record(static_cast<OpClass>(enc::peekType(ops[i])));
+}
+
+uint32_t
+CountingSink::performRead(Word op)
+{
+    perform(op);
+    return 0;
+}
+
+} // namespace pypim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Micro-operation sinks.
+ *
+ * The host driver emits encoded micro-operations into an
+ * OperationSink. The cycle-accurate Simulator is the drop-in
+ * replacement for a physical PIM chip (paper §VI); BufferSink models
+ * the "ideal chip" used to measure the host driver's maximal
+ * throughput (artifact appendix E: micro-ops are rerouted to a memory
+ * buffer); CountingSink merely classifies ops for quick profiling.
+ *
+ * Batching: the driver accumulates the micro-ops of one
+ * macro-instruction and forwards them in one performBatch call,
+ * mirroring the paper's batching optimisation (§VI "the
+ * micro-operations are performed in batches").
+ */
+#ifndef PYPIM_SIM_SINK_HPP
+#define PYPIM_SIM_SINK_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "uarch/microop.hpp"
+
+namespace pypim
+{
+
+/** Abstract consumer of encoded micro-operations. */
+class OperationSink
+{
+  public:
+    virtual ~OperationSink() = default;
+
+    /** Execute @p n encoded micro-operations in order. */
+    virtual void performBatch(const Word *ops, size_t n) = 0;
+
+    /**
+     * Execute a Read micro-op and return its N-bit response.
+     * Non-simulating sinks return 0.
+     */
+    virtual uint32_t performRead(Word op) = 0;
+
+    /** Convenience single-op path. */
+    void perform(Word op) { performBatch(&op, 1); }
+};
+
+/**
+ * Stores micro-ops into a fixed ring buffer without executing them.
+ * Used by bench_driver to measure the generation rate of the host
+ * driver against the chip's consumption rate (1 op/cycle at clockHz).
+ */
+class BufferSink : public OperationSink
+{
+  public:
+    explicit BufferSink(size_t capacity = 1 << 16);
+
+    void performBatch(const Word *ops, size_t n) override;
+    uint32_t performRead(Word op) override;
+
+    /** Total micro-ops received (including wrapped-over ones). */
+    uint64_t total() const { return total_; }
+    /** Ring buffer contents (most recent ops). */
+    const std::vector<Word> &buffer() const { return buf_; }
+
+  private:
+    std::vector<Word> buf_;
+    size_t pos_ = 0;
+    uint64_t total_ = 0;
+};
+
+/** Counts micro-ops by class without executing them. */
+class CountingSink : public OperationSink
+{
+  public:
+    void performBatch(const Word *ops, size_t n) override;
+    uint32_t performRead(Word op) override;
+
+    const Stats &stats() const { return stats_; }
+    void clear() { stats_.clear(); }
+
+  private:
+    Stats stats_;
+};
+
+} // namespace pypim
+
+#endif // PYPIM_SIM_SINK_HPP

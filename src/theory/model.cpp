@@ -1,0 +1,102 @@
+#include "theory/model.hpp"
+
+#include "common/bitops.hpp"
+#include "driver/driver.hpp"
+#include "sim/sink.hpp"
+#include "uarch/microop.hpp"
+
+namespace pypim::theory
+{
+
+namespace
+{
+
+/** Sink classifying logic gates/inits without executing anything. */
+class GateCountSink : public OperationSink
+{
+  public:
+    void
+    performBatch(const Word *ops, size_t n) override
+    {
+        for (size_t i = 0; i < n; ++i) {
+            const OpType t = enc::peekType(ops[i]);
+            if (t != OpType::LogicH && t != OpType::LogicV)
+                continue;
+            const MicroOp op = MicroOp::decode(ops[i]);
+            if (op.gate == Gate::Nor || op.gate == Gate::Not)
+                ++gates;
+            else
+                ++inits;
+        }
+    }
+
+    uint32_t performRead(Word op) override
+    {
+        perform(op);
+        return 0;
+    }
+
+    uint64_t gates = 0;
+    uint64_t inits = 0;
+};
+
+} // namespace
+
+uint64_t
+theoreticalCycles(const Stats &s, const Geometry &geo)
+{
+    const uint64_t gates = s.logicGates;
+    const uint64_t amortisedInits = divCeil(gates, geo.partitions);
+    const uint64_t moves =
+        s.cycleCount[static_cast<size_t>(OpClass::Move)];
+    const uint64_t io =
+        s.cycleCount[static_cast<size_t>(OpClass::Read)] +
+        s.cycleCount[static_cast<size_t>(OpClass::Write)];
+    return gates + amortisedInits + moves + io;
+}
+
+uint64_t
+conventionCycles(const Stats &s, const Geometry &geo)
+{
+    (void)geo;
+    const uint64_t moves =
+        s.cycleCount[static_cast<size_t>(OpClass::Move)];
+    const uint64_t io =
+        s.cycleCount[static_cast<size_t>(OpClass::Read)] +
+        s.cycleCount[static_cast<size_t>(OpClass::Write)];
+    return s.logicGates + s.logicInits + moves + io;
+}
+
+uint64_t
+instructionCycles(const Geometry &geo, bool parallelMode, ROp op,
+                  DType dtype)
+{
+    GateCountSink sink;
+    Driver drv(sink, geo,
+               parallelMode ? Driver::Mode::Parallel
+                            : Driver::Mode::Serial);
+    RTypeInstr in;
+    in.op = op;
+    in.dtype = dtype;
+    in.rd = 3;
+    in.ra = 0;
+    in.rb = 1;
+    in.rc = 2;
+    in.warps = Range::all(geo.numCrossbars);
+    in.rows = Range::all(geo.rows);
+    drv.execute(in);
+    return sink.gates + divCeil(sink.gates, geo.partitions);
+}
+
+double
+throughput(uint64_t latencyCycles, uint64_t elementOps,
+           const Geometry &deployment)
+{
+    if (latencyCycles == 0)
+        return 0.0;
+    return static_cast<double>(elementOps) *
+           static_cast<double>(deployment.clockHz) /
+           static_cast<double>(latencyCycles);
+}
+
+} // namespace pypim::theory

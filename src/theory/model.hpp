@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Theoretical PIM cost model — the "Theoretical PIM" series of the
+ * paper's Figure 13.
+ *
+ * The paper compares the measured micro-op counts against "the
+ * theoretical lower-bound required based on previous works (e.g.,
+ * AritPIM)". We use the equivalent algorithm-level bound, derived
+ * mechanically from the executed stream itself:
+ *
+ *    theoretical cycles =
+ *        logic gates (every NOR/NOT is one mandatory cycle)
+ *      + ceil(gates / N)   (every gate output must be initialised and
+ *                           an INIT micro-op can prime at most N cells
+ *                           — one per partition — per cycle)
+ *      + move cycles       (inherent data movement)
+ *      + read/write cycles (inherent host I/O)
+ *
+ * i.e. the cycles a perfectly-scheduled controller would need for the
+ * same gate-level algorithm with ideally amortised initialisation and
+ * zero mask/bookkeeping overhead. The gap "measured / theoretical - 1"
+ * therefore isolates exactly the integration overhead that the paper
+ * reports as 5% mean / 16% worst-case.
+ *
+ * The model also provides the host-driver throughput bound used for
+ * the third series of Fig. 13 (artifact appendix E): the rate at which
+ * the driver can generate micro-ops, measured against the chip's
+ * consumption rate of one op per cycle at clockHz.
+ */
+#ifndef PYPIM_THEORY_MODEL_HPP
+#define PYPIM_THEORY_MODEL_HPP
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "isa/instruction.hpp"
+
+namespace pypim
+{
+
+class Driver;
+
+namespace theory
+{
+
+/** Theoretical minimum cycles for the stream summarised by @p s. */
+uint64_t theoreticalCycles(const Stats &s, const Geometry &geo);
+
+/**
+ * Algorithm-level cycles under the AritPIM counting convention: every
+ * gate AND every initialisation of the algorithm costs one cycle
+ * (this is how the paper's reference lower bounds count), but mask
+ * and bookkeeping micro-ops are excluded. The gap of the measured
+ * stream against THIS number is the integration overhead the paper
+ * reports as 5% mean / 16% worst-case.
+ */
+uint64_t conventionCycles(const Stats &s, const Geometry &geo);
+
+/**
+ * Theoretical minimum cycles for one element-parallel R-type
+ * instruction (executes the driver against a counting sink; no
+ * simulation state is touched).
+ */
+uint64_t instructionCycles(const Geometry &geo, bool parallelMode,
+                           ROp op, DType dtype);
+
+/**
+ * Throughput in element-operations per second via the paper's Eq. (1):
+ * parallelism / latency * frequency, with parallelism = the number of
+ * rows of the (deployment-scale) memory.
+ */
+double throughput(uint64_t latencyCycles, uint64_t elementOps,
+                  const Geometry &deployment);
+
+} // namespace theory
+
+} // namespace pypim
+
+#endif // PYPIM_THEORY_MODEL_HPP

@@ -1,0 +1,132 @@
+#include "uarch/microop.hpp"
+
+#include <sstream>
+
+namespace pypim
+{
+
+const char *
+gateName(Gate g)
+{
+    switch (g) {
+      case Gate::Init0: return "INIT0";
+      case Gate::Init1: return "INIT1";
+      case Gate::Not:   return "NOT";
+      case Gate::Nor:   return "NOR";
+      default:          return "?";
+    }
+}
+
+const char *
+opTypeName(OpType t)
+{
+    switch (t) {
+      case OpType::CrossbarMask: return "XB_MASK";
+      case OpType::RowMask:      return "ROW_MASK";
+      case OpType::Read:         return "READ";
+      case OpType::Write:        return "WRITE";
+      case OpType::LogicH:       return "LOGIC_H";
+      case OpType::LogicV:       return "LOGIC_V";
+      case OpType::Move:         return "MOVE";
+      default:                   return "?";
+    }
+}
+
+Word
+MicroOp::encode() const
+{
+    switch (type) {
+      case OpType::CrossbarMask:
+        return enc::crossbarMask(range);
+      case OpType::RowMask:
+        return enc::rowMask(range);
+      case OpType::Read:
+        return enc::read(index);
+      case OpType::Write:
+        return enc::write(index, value);
+      case OpType::LogicH:
+        return enc::logicH(gate, inA, inB, out, pEnd, pStep);
+      case OpType::LogicV:
+        return enc::logicV(gate, rowIn, rowOut, index);
+      case OpType::Move:
+        return enc::move(dstStart, srcRow, dstRow, srcIdx, dstIdx);
+      default:
+        panic("encode: unknown op type");
+    }
+}
+
+MicroOp
+MicroOp::decode(Word w)
+{
+    using namespace fmt;
+    const OpType t = enc::peekType(w);
+    switch (t) {
+      case OpType::CrossbarMask:
+      case OpType::RowMask: {
+        Range r(static_cast<uint32_t>(bitsGet(w, startLo, maskW)),
+                static_cast<uint32_t>(bitsGet(w, stopLo, maskW)),
+                static_cast<uint32_t>(bitsGet(w, stepLo, maskW)));
+        return t == OpType::CrossbarMask ? crossbarMask(r) : rowMask(r);
+      }
+      case OpType::Read:
+        return read(static_cast<uint32_t>(bitsGet(w, idxLo, idxW)));
+      case OpType::Write:
+        return write(static_cast<uint32_t>(bitsGet(w, idxLo, idxW)),
+                     static_cast<uint32_t>(bitsGet(w, valLo, valW)));
+      case OpType::LogicH:
+        return logicH(static_cast<Gate>(bitsGet(w, gateLo, gateW)),
+                      static_cast<uint32_t>(bitsGet(w, inALo, colW)),
+                      static_cast<uint32_t>(bitsGet(w, inBLo, colW)),
+                      static_cast<uint32_t>(bitsGet(w, outLo, colW)),
+                      static_cast<uint32_t>(bitsGet(w, pEndLo, partW)),
+                      static_cast<uint32_t>(bitsGet(w, pStepLo, partW)));
+      case OpType::LogicV:
+        return logicV(static_cast<Gate>(bitsGet(w, gateLo, gateW)),
+                      static_cast<uint32_t>(bitsGet(w, rowInLo, rowW)),
+                      static_cast<uint32_t>(bitsGet(w, rowOutLo, rowW)),
+                      static_cast<uint32_t>(bitsGet(w, vIdxLo, idxW)));
+      case OpType::Move:
+        return move(static_cast<uint32_t>(bitsGet(w, dstStartLo, maskW)),
+                    static_cast<uint32_t>(bitsGet(w, srcRowLo, rowW)),
+                    static_cast<uint32_t>(bitsGet(w, dstRowLo, rowW)),
+                    static_cast<uint32_t>(bitsGet(w, srcIdxLo, idxW)),
+                    static_cast<uint32_t>(bitsGet(w, dstIdxLo, idxW)));
+      default:
+        panic("decode: unknown op type");
+    }
+}
+
+std::string
+MicroOp::toString() const
+{
+    std::ostringstream os;
+    os << opTypeName(type);
+    switch (type) {
+      case OpType::CrossbarMask:
+      case OpType::RowMask:
+        os << " " << range.toString();
+        break;
+      case OpType::Read:
+        os << " idx=" << index;
+        break;
+      case OpType::Write:
+        os << " idx=" << index << " val=0x" << std::hex << value;
+        break;
+      case OpType::LogicH:
+        os << " " << gateName(gate) << " inA=" << inA << " inB=" << inB
+           << " out=" << out << " pEnd=" << pEnd << " pStep=" << pStep;
+        break;
+      case OpType::LogicV:
+        os << " " << gateName(gate) << " rowIn=" << rowIn
+           << " rowOut=" << rowOut << " idx=" << index;
+        break;
+      case OpType::Move:
+        os << " dstStart=" << dstStart << " srcRow=" << srcRow
+           << " dstRow=" << dstRow << " srcIdx=" << srcIdx
+           << " dstIdx=" << dstIdx;
+        break;
+    }
+    return os.str();
+}
+
+} // namespace pypim

@@ -1,0 +1,44 @@
+#include "uarch/range.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pypim
+{
+
+void
+Range::validate(uint32_t limit, const char *what) const
+{
+    // Hot path (checked on every instruction): build messages lazily.
+    if (step == 0)
+        fatal(std::string(what) + " mask: step must be >= 1");
+    if (start > stop)
+        fatal(std::string(what) + " mask: start > stop");
+    if (stop >= limit) {
+        fatal(std::string(what) + " mask: stop " + std::to_string(stop) +
+              " out of range [0, " + std::to_string(limit) + ")");
+    }
+    if ((stop - start) % step != 0)
+        fatal(std::string(what) + " mask: step must divide stop - start");
+}
+
+std::vector<uint64_t>
+Range::expand(uint32_t limit) const
+{
+    std::vector<uint64_t> words((limit + 63) / 64, 0);
+    forEach([&](uint32_t i) {
+        words[i / 64] |= (1ull << (i % 64));
+    });
+    return words;
+}
+
+std::string
+Range::toString() const
+{
+    std::ostringstream os;
+    os << "{" << start << ":" << stop << ":" << step << "}";
+    return os.str();
+}
+
+} // namespace pypim

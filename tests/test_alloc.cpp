@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Dynamic memory manager tests (paper §V-A): aligned allocation,
+ * reference hints, exhaustion, release.
+ */
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "pim/alloc.hpp"
+
+using namespace pypim;
+
+namespace
+{
+
+class AllocTest : public ::testing::Test
+{
+  protected:
+    AllocTest() : geo(testGeometry()), mm(geo) {}
+
+    Geometry geo;
+    MemoryManager mm;
+};
+
+} // namespace
+
+TEST_F(AllocTest, SingleWarpAllocation)
+{
+    const Allocation a = mm.alloc(10);
+    EXPECT_EQ(a.warpCount, 1u);
+    EXPECT_EQ(a.elements, 10u);
+    EXPECT_LT(a.reg, geo.userRegs);
+}
+
+TEST_F(AllocTest, MultiWarpAllocation)
+{
+    const Allocation a = mm.alloc(geo.rows * 3);
+    EXPECT_EQ(a.warpCount, 3u);
+}
+
+TEST_F(AllocTest, PartialLastWarp)
+{
+    const Allocation a = mm.alloc(geo.rows + 1);
+    EXPECT_EQ(a.warpCount, 2u);
+}
+
+TEST_F(AllocTest, HintAlignsWarpRanges)
+{
+    const Allocation a = mm.alloc(geo.rows * 2);
+    const Allocation b = mm.alloc(geo.rows * 2, &a);
+    EXPECT_TRUE(b.sameWarpRange(a));
+    EXPECT_NE(b.reg, a.reg);
+}
+
+TEST_F(AllocTest, HintHonouredForSmallerTensors)
+{
+    Allocation big = mm.alloc(geo.rows * 3);
+    const Allocation small = mm.alloc(geo.rows, &big);
+    EXPECT_EQ(small.warpStart, big.warpStart);
+    EXPECT_EQ(small.warpCount, 1u);
+}
+
+TEST_F(AllocTest, AllocAtExactRange)
+{
+    const Allocation a = mm.allocAt(2, 2, geo.rows * 2);
+    EXPECT_EQ(a.warpStart, 2u);
+    EXPECT_EQ(a.warpCount, 2u);
+    // All registers over that range eventually exhaust.
+    for (uint32_t i = 1; i < geo.userRegs; ++i)
+        mm.allocAt(2, 2, 1);
+    EXPECT_THROW(mm.allocAt(2, 2, 1), Error);
+    // Other warps still available.
+    EXPECT_NO_THROW(mm.allocAt(0, 2, 1));
+}
+
+TEST_F(AllocTest, ExhaustionAndRelease)
+{
+    std::vector<Allocation> all;
+    for (uint32_t r = 0; r < geo.userRegs; ++r)
+        all.push_back(mm.alloc(geo.rows * geo.numCrossbars));
+    EXPECT_THROW(mm.alloc(1), Error);
+    mm.free(all.back());
+    all.pop_back();
+    EXPECT_NO_THROW(mm.alloc(1));
+}
+
+TEST_F(AllocTest, OversizeRejected)
+{
+    EXPECT_THROW(mm.alloc(uint64_t(geo.rows) * geo.numCrossbars + 1),
+                 Error);
+    EXPECT_THROW(mm.alloc(0), Error);
+}
+
+TEST_F(AllocTest, LiveAccountingBalances)
+{
+    const Allocation a = mm.alloc(5);
+    const Allocation b = mm.alloc(geo.rows * 2);
+    EXPECT_EQ(mm.liveAllocations(), 2u);
+    EXPECT_EQ(mm.slotsInUse(), 3u);
+    mm.free(a);
+    mm.free(b);
+    EXPECT_EQ(mm.liveAllocations(), 0u);
+    EXPECT_EQ(mm.slotsInUse(), 0u);
+}
+
+TEST_F(AllocTest, DistinctAllocationsNeverOverlap)
+{
+    std::vector<Allocation> all;
+    for (int i = 0; i < 30; ++i)
+        all.push_back(mm.alloc(1 + (i * 37) % (geo.rows * 2)));
+    for (size_t i = 0; i < all.size(); ++i) {
+        for (size_t j = i + 1; j < all.size(); ++j) {
+            if (all[i].reg != all[j].reg)
+                continue;
+            const bool disjoint =
+                all[i].warpStart + all[i].warpCount <= all[j].warpStart ||
+                all[j].warpStart + all[j].warpCount <= all[i].warpStart;
+            EXPECT_TRUE(disjoint) << "allocations " << i << "/" << j;
+        }
+    }
+}

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * BitVec layer tests: word-level combinational primitives verified
+ * against host arithmetic on randomised rows (property-style sweeps).
+ */
+#include <gtest/gtest.h>
+
+#include "pim_test_util.hpp"
+
+using namespace pypim;
+using pypim::test::PimFixture;
+
+namespace
+{
+
+class BitVecTest : public PimFixture
+{
+  protected:
+    /** Fill a BV with per-row values from @p fn on warp 0. */
+    template <typename Fn>
+    void
+    load(const BV &x, Fn fn)
+    {
+        for (uint32_t r = 0; r < geo.rows; ++r)
+            pokeBV(0, r, x, fn(r));
+    }
+};
+
+} // namespace
+
+TEST_F(BitVecTest, ConstantAndSetConst)
+{
+    BV x = bv.constant(32, 0xDEADBEEF);
+    builder.flush();
+    for (uint32_t r = 0; r < geo.rows; ++r)
+        EXPECT_EQ(peekBV(0, r, x), 0xDEADBEEFull);
+    bv.setConst(x, 0x00FF00FF);
+    builder.flush();
+    EXPECT_EQ(peekBV(0, 5, x), 0x00FF00FFull);
+}
+
+TEST_F(BitVecTest, BitwiseOpsMatchHost)
+{
+    BV a = bv.alloc(32), b = bv.alloc(32);
+    std::vector<uint32_t> av(geo.rows), bvv(geo.rows);
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        av[r] = rng.word();
+        bvv[r] = rng.word();
+    }
+    load(a, [&](uint32_t r) { return av[r]; });
+    load(b, [&](uint32_t r) { return bvv[r]; });
+    BV o_and = bv.and_(a, b);
+    BV o_or = bv.or_(a, b);
+    BV o_xor = bv.xor_(a, b);
+    BV o_not = bv.not_(a);
+    builder.flush();
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        EXPECT_EQ(peekBV(0, r, o_and), (av[r] & bvv[r]));
+        EXPECT_EQ(peekBV(0, r, o_or), (av[r] | bvv[r]));
+        EXPECT_EQ(peekBV(0, r, o_xor), (av[r] ^ bvv[r]));
+        EXPECT_EQ(peekBV(0, r, o_not), (~av[r]) & 0xFFFFFFFFull);
+    }
+}
+
+TEST_F(BitVecTest, CopyAndViews)
+{
+    BV a = bv.alloc(24);
+    load(a, [&](uint32_t r) { return (r * 0x9E3779B9u) & 0xFFFFFF; });
+    BV c = bv.copy(a);
+    builder.flush();
+    for (uint32_t r = 0; r < geo.rows; ++r)
+        EXPECT_EQ(peekBV(0, r, c), (r * 0x9E3779B9u) & 0xFFFFFFull);
+    // Slices view the same cells.
+    BV hi = BVOps::slice(c, 12, 24);
+    EXPECT_EQ(peekBV(0, 3, hi),
+              ((3 * 0x9E3779B9u) & 0xFFFFFFull) >> 12);
+}
+
+TEST_F(BitVecTest, AddMatchesHost)
+{
+    BV a = bv.alloc(32), b = bv.alloc(32), out = bv.alloc(32);
+    std::vector<uint32_t> av(geo.rows), bvv(geo.rows);
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        av[r] = rng.word();
+        bvv[r] = rng.word();
+    }
+    load(a, [&](uint32_t r) { return av[r]; });
+    load(b, [&](uint32_t r) { return bvv[r]; });
+    bv.addInto(a, b, out);
+    builder.flush();
+    for (uint32_t r = 0; r < geo.rows; ++r)
+        EXPECT_EQ(peekBV(0, r, out),
+                  (uint64_t(av[r]) + bvv[r]) & 0xFFFFFFFF)
+            << "row " << r << ": " << av[r] << " + " << bvv[r];
+}
+
+TEST_F(BitVecTest, AddCarryInAndOut)
+{
+    BV a = bv.alloc(8), b = bv.alloc(8), out = bv.alloc(8);
+    load(a, [&](uint32_t r) { return r; });
+    load(b, [&](uint32_t r) { return 0xFF - r + (r % 2); });
+    const uint32_t cin = bv.constCell(true);
+    uint32_t cout = 0;
+    bv.addInto(a, b, out, cin, &cout);
+    builder.flush();
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        const uint32_t sum = r + (0xFF - r + (r % 2)) + 1;
+        EXPECT_EQ(peekBV(0, r, out), sum & 0xFF) << "row " << r;
+        EXPECT_EQ(peekCell(0, r, cout), sum > 0xFF) << "row " << r;
+    }
+}
+
+TEST_F(BitVecTest, SubMatchesHost)
+{
+    BV a = bv.alloc(32), b = bv.alloc(32), out = bv.alloc(32);
+    std::vector<uint32_t> av(geo.rows), bvv(geo.rows);
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        av[r] = rng.word();
+        bvv[r] = rng.word();
+    }
+    load(a, [&](uint32_t r) { return av[r]; });
+    load(b, [&](uint32_t r) { return bvv[r]; });
+    uint32_t noBorrow = 0;
+    bv.subInto(a, b, out, &noBorrow);
+    builder.flush();
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        EXPECT_EQ(peekBV(0, r, out),
+                  (uint64_t(av[r]) - bvv[r]) & 0xFFFFFFFF);
+        EXPECT_EQ(peekCell(0, r, noBorrow), av[r] >= bvv[r]);
+    }
+}
+
+TEST_F(BitVecTest, AddShiftedInPlaceAccumulates)
+{
+    // acc(16) += x(4) << 7, emulating one multiplier step.
+    BV acc = bv.alloc(16), x = bv.alloc(4);
+    std::vector<uint32_t> accv(geo.rows), xv(geo.rows);
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        accv[r] = rng.word() & 0x07FF;  // headroom for the carry bit
+        xv[r] = rng.word() & 0xF;
+    }
+    load(acc, [&](uint32_t r) { return accv[r]; });
+    load(x, [&](uint32_t r) { return xv[r]; });
+    bv.addShiftedInPlace(acc, x, 7, 1);
+    builder.flush();
+    for (uint32_t r = 0; r < geo.rows; ++r)
+        EXPECT_EQ(peekBV(0, r, acc),
+                  (accv[r] + (xv[r] << 7)) & 0xFFFF) << "row " << r;
+}
+
+TEST_F(BitVecTest, IncInto)
+{
+    BV x = bv.alloc(12), out = bv.alloc(12);
+    load(x, [&](uint32_t r) { return (r * 341) & 0xFFF; });
+    const uint32_t cond = builder.pool().allocBitIn(0);
+    for (uint32_t r = 0; r < geo.rows; ++r)
+        sim.crossbar(0).setBit(r, cond, r % 2);
+    bv.incInto(x, cond, out);
+    builder.flush();
+    for (uint32_t r = 0; r < geo.rows; ++r)
+        EXPECT_EQ(peekBV(0, r, out), ((r * 341) + (r % 2)) & 0xFFF);
+}
+
+TEST_F(BitVecTest, ReductionsAndCompares)
+{
+    BV a = bv.alloc(16), b = bv.alloc(16);
+    std::vector<uint32_t> av(geo.rows), bvv(geo.rows);
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        av[r] = (r % 4 == 0) ? 0 : (rng.word() & 0xFFFF);
+        bvv[r] = (r % 8 < 2) ? av[r] : (rng.word() & 0xFFFF);
+    }
+    load(a, [&](uint32_t r) { return av[r]; });
+    load(b, [&](uint32_t r) { return bvv[r]; });
+    const uint32_t any = bv.orTree(a);
+    const uint32_t zero = bv.isZero(a);
+    const uint32_t all = bv.andTree(a);
+    const uint32_t lt = bv.ltU(a, b);
+    const uint32_t equal = bv.eq(a, b);
+    builder.flush();
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        EXPECT_EQ(peekCell(0, r, any), av[r] != 0) << "row " << r;
+        EXPECT_EQ(peekCell(0, r, zero), av[r] == 0) << "row " << r;
+        EXPECT_EQ(peekCell(0, r, all), av[r] == 0xFFFF) << "row " << r;
+        EXPECT_EQ(peekCell(0, r, lt), av[r] < bvv[r]) << "row " << r;
+        EXPECT_EQ(peekCell(0, r, equal), av[r] == bvv[r]) << "row " << r;
+    }
+}
+
+TEST_F(BitVecTest, MuxSelectsPerRow)
+{
+    BV a = bv.alloc(20), b = bv.alloc(20), out = bv.alloc(20);
+    load(a, [&](uint32_t r) { return r | 0x10000; });
+    load(b, [&](uint32_t r) { return r * 3; });
+    const uint32_t s = builder.pool().allocBitIn(0);
+    for (uint32_t r = 0; r < geo.rows; ++r)
+        sim.crossbar(0).setBit(r, s, r % 3 == 0);
+    SelLanes sel = bv.broadcastSelect(s);
+    bv.muxInto(sel, a, b, out);
+    bv.freeSelect(sel);
+    builder.flush();
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        const uint64_t expect =
+            (r % 3 == 0) ? (r | 0x10000) : ((r * 3) & 0xFFFFF);
+        EXPECT_EQ(peekBV(0, r, out), expect) << "row " << r;
+    }
+}
+
+TEST_F(BitVecTest, MuxCellNarrowPath)
+{
+    BV a = bv.alloc(4), b = bv.alloc(4);
+    load(a, [&](uint32_t r) { return r & 0xF; });
+    load(b, [&](uint32_t r) { return (r + 7) & 0xF; });
+    const uint32_t s = builder.pool().allocBitIn(11);
+    for (uint32_t r = 0; r < geo.rows; ++r)
+        sim.crossbar(0).setBit(r, s, r & 1);
+    BV out = bv.muxCell(s, a, b);
+    builder.flush();
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        const uint64_t expect = (r & 1) ? (r & 0xF) : ((r + 7) & 0xF);
+        EXPECT_EQ(peekBV(0, r, out), expect) << "row " << r;
+    }
+}
+
+TEST_F(BitVecTest, ShiftRightVariableWithSticky)
+{
+    BV x = bv.alloc(27), sh = bv.alloc(5);
+    std::vector<uint32_t> xvv(geo.rows), shv(geo.rows);
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        xvv[r] = rng.word() & 0x7FFFFFF;
+        shv[r] = r % 32;
+    }
+    load(x, [&](uint32_t r) { return xvv[r]; });
+    load(sh, [&](uint32_t r) { return shv[r]; });
+    uint32_t sticky = bv.constCell(false);
+    BV out = bv.shrVar(x, sh, &sticky);
+    builder.flush();
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        const uint32_t expect = xvv[r] >> shv[r];
+        const bool expectSticky =
+            (xvv[r] & ((1u << shv[r]) - 1)) != 0;
+        EXPECT_EQ(peekBV(0, r, out), expect & 0x7FFFFFF) << "row " << r;
+        EXPECT_EQ(peekCell(0, r, sticky), expectSticky) << "row " << r;
+    }
+}
+
+TEST_F(BitVecTest, ShiftRightOversizedGoesToZeroAndSticky)
+{
+    BV x = bv.alloc(8), sh = bv.alloc(8);
+    load(x, [&](uint32_t r) { return (r % 5) + 1; });
+    load(sh, [&](uint32_t r) { return 8 + (r % 200); });
+    uint32_t sticky = bv.constCell(false);
+    BV out = bv.shrVar(x, sh, &sticky);
+    builder.flush();
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        EXPECT_EQ(peekBV(0, r, out), 0u) << "row " << r;
+        EXPECT_TRUE(peekCell(0, r, sticky)) << "row " << r;
+    }
+}
+
+TEST_F(BitVecTest, ShiftLeftVariable)
+{
+    BV x = bv.alloc(27), sh = bv.alloc(5);
+    std::vector<uint32_t> xvv(geo.rows), shv(geo.rows);
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        xvv[r] = rng.word() & 0x7FFFFFF;
+        shv[r] = r % 27;
+    }
+    load(x, [&](uint32_t r) { return xvv[r]; });
+    load(sh, [&](uint32_t r) { return shv[r]; });
+    BV out = bv.shlVar(x, sh);
+    builder.flush();
+    for (uint32_t r = 0; r < geo.rows; ++r)
+        EXPECT_EQ(peekBV(0, r, out),
+                  (uint64_t(xvv[r]) << shv[r]) & 0x7FFFFFF)
+            << "row " << r;
+}
+
+TEST_F(BitVecTest, LeadingZeroCount)
+{
+    BV x = bv.alloc(27);
+    std::vector<uint32_t> xvv(geo.rows);
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        // Cover values with varied leading-zero counts, nonzero only.
+        xvv[r] = std::max<uint32_t>(1, rng.word() & (0x7FFFFFF >> (r % 27)));
+    }
+    load(x, [&](uint32_t r) { return xvv[r]; });
+    BV cnt = bv.lzc(x);
+    builder.flush();
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        uint32_t expect = 0;
+        for (int j = 26; j >= 0 && !((xvv[r] >> j) & 1); --j)
+            ++expect;
+        EXPECT_EQ(peekBV(0, r, cnt), expect)
+            << "row " << r << " value " << xvv[r];
+    }
+}
+
+TEST_F(BitVecTest, ZextSextViews)
+{
+    BV x = bv.alloc(8);
+    load(x, [&](uint32_t r) { return (r * 37) & 0xFF; });
+    const uint32_t zero = bv.constCell(false);
+    BV zx = bv.zext(x, 12, zero);
+    BV sx = BVOps::sext(x, 12);
+    builder.flush();
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        const uint32_t v = (r * 37) & 0xFF;
+        EXPECT_EQ(peekBV(0, r, zx), v);
+        const uint32_t expectS = (v & 0x80) ? (v | 0xF00) : v;
+        EXPECT_EQ(peekBV(0, r, sx), expectS);
+    }
+}
+
+TEST_F(BitVecTest, ScratchIsReleasedByFree)
+{
+    const uint32_t before = builder.pool().slotsInUse();
+    BV a = bv.alloc(32);
+    BV b = bv.alloc(48);
+    bv.free(a);
+    bv.free(b);
+    EXPECT_EQ(builder.pool().slotsInUse(), before);
+}

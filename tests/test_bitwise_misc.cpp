@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Bitwise and miscellaneous instruction tests (Table II): not/and/or/
+ * xor, mux, copy, plus driver-level validation (masked execution,
+ * unsupported combinations, register aliasing).
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "pim_test_util.hpp"
+
+using namespace pypim;
+using pypim::test::DriverFixture;
+
+namespace
+{
+
+class BitwiseMisc : public DriverFixture
+{
+  protected:
+    std::vector<uint32_t>
+    words(uint64_t seed)
+    {
+        Rng r(seed);
+        std::vector<uint32_t> v(threads());
+        for (auto &x : v)
+            x = r.word();
+        return v;
+    }
+};
+
+} // namespace
+
+TEST_F(BitwiseMisc, BitwiseOpsMatchHost)
+{
+    const auto a = words(1);
+    const auto b = words(2);
+    loadReg(0, a);
+    loadReg(1, b);
+    run(ROp::BitAnd, DType::Int32, 2, 0, 1);
+    run(ROp::BitOr, DType::Int32, 3, 0, 1);
+    run(ROp::BitXor, DType::Int32, 4, 0, 1);
+    run(ROp::BitNot, DType::Int32, 5, 0);
+    const auto o_and = readReg(2);
+    const auto o_or = readReg(3);
+    const auto o_xor = readReg(4);
+    const auto o_not = readReg(5);
+    for (uint32_t i = 0; i < threads(); ++i) {
+        ASSERT_EQ(o_and[i], a[i] & b[i]);
+        ASSERT_EQ(o_or[i], a[i] | b[i]);
+        ASSERT_EQ(o_xor[i], a[i] ^ b[i]);
+        ASSERT_EQ(o_not[i], ~a[i]);
+    }
+}
+
+TEST_F(BitwiseMisc, BitwiseWorksForFloatDtypeOnRawBits)
+{
+    const auto a = words(3);
+    const auto b = words(4);
+    loadReg(0, a);
+    loadReg(1, b);
+    run(ROp::BitAnd, DType::Float32, 2, 0, 1);
+    const auto got = readReg(2);
+    for (uint32_t i = 0; i < threads(); ++i)
+        ASSERT_EQ(got[i], a[i] & b[i]);
+}
+
+TEST_F(BitwiseMisc, MuxSelectsPerThread)
+{
+    const auto a = words(5);
+    const auto b = words(6);
+    std::vector<uint32_t> c(threads());
+    for (uint32_t i = 0; i < threads(); ++i)
+        c[i] = i % 3 == 0;
+    loadReg(0, a);
+    loadReg(1, b);
+    loadReg(2, c);
+    run(ROp::Mux, DType::Int32, 3, 0, 1, 2);
+    const auto got = readReg(3);
+    for (uint32_t i = 0; i < threads(); ++i)
+        ASSERT_EQ(got[i], c[i] ? a[i] : b[i]) << "thread " << i;
+}
+
+TEST_F(BitwiseMisc, CopyReplicatesRegister)
+{
+    const auto a = words(7);
+    loadReg(0, a);
+    run(ROp::Copy, DType::Int32, 9, 0);
+    EXPECT_EQ(readReg(9), a);
+}
+
+TEST_F(BitwiseMisc, MaskedExecutionLeavesOtherThreadsUntouched)
+{
+    const auto a = words(8);
+    const auto b = words(9);
+    loadReg(0, a);
+    loadReg(1, b);
+    loadReg(2, std::vector<uint32_t>(threads(), 0xDEAD0000u));
+    RTypeInstr in;
+    in.op = ROp::BitXor;
+    in.dtype = DType::Int32;
+    in.rd = 2;
+    in.ra = 0;
+    in.rb = 1;
+    in.warps = Range::single(1);
+    in.rows = Range(2, geo.rows - 2, 4);
+    drv.execute(in);
+    const auto got = readReg(2);
+    for (uint32_t w = 0; w < geo.numCrossbars; ++w) {
+        for (uint32_t r = 0; r < geo.rows; ++r) {
+            const uint32_t i = w * geo.rows + r;
+            const bool selected = w == 1 && in.rows.contains(r);
+            ASSERT_EQ(got[i],
+                      selected ? (a[i] ^ b[i]) : 0xDEAD0000u)
+                << "warp " << w << " row " << r;
+        }
+    }
+}
+
+TEST_F(BitwiseMisc, WriteAndReadInstructions)
+{
+    WriteInstr w;
+    w.reg = 4;
+    w.value = 0xFEED1234;
+    w.warps = Range(0, 2, 2);
+    w.rows = Range(1, 61, 10);
+    drv.execute(w);
+    ReadInstr rd;
+    rd.reg = 4;
+    rd.warp = 2;
+    rd.row = 31;
+    EXPECT_EQ(drv.execute(rd), 0xFEED1234u);
+    rd.warp = 1;
+    EXPECT_EQ(drv.execute(rd), 0u);
+}
+
+TEST_F(BitwiseMisc, RejectsUnsupportedAndMalformed)
+{
+    RTypeInstr in;
+    in.warps = Range::all(geo.numCrossbars);
+    in.rows = Range::all(geo.rows);
+    // Mod on float is not in Table II.
+    in.op = ROp::Mod;
+    in.dtype = DType::Float32;
+    in.rd = 2;
+    in.ra = 0;
+    in.rb = 1;
+    EXPECT_THROW(drv.execute(in), Error);
+    // Register out of range.
+    in.op = ROp::Add;
+    in.dtype = DType::Int32;
+    in.rd = static_cast<uint8_t>(geo.userRegs);
+    EXPECT_THROW(drv.execute(in), Error);
+    // Destination aliases a source.
+    in.rd = 1;
+    EXPECT_THROW(drv.execute(in), Error);
+    // Bad row mask.
+    in.rd = 2;
+    in.rows = Range(0, geo.rows, 1);
+    EXPECT_THROW(drv.execute(in), Error);
+}
+
+TEST_F(BitwiseMisc, ScratchPoolFullyReleasedBetweenInstructions)
+{
+    const auto a = words(10);
+    const auto b = words(11);
+    loadReg(0, a);
+    loadReg(1, b);
+    run(ROp::Mul, DType::Float32, 2, 0, 1);
+    EXPECT_EQ(drv.builder().pool().slotsInUse(), 0u)
+        << "float mul leaked scratch slots";
+    run(ROp::Div, DType::Float32, 3, 0, 1);
+    EXPECT_EQ(drv.builder().pool().slotsInUse(), 0u)
+        << "float div leaked scratch slots";
+    run(ROp::Add, DType::Float32, 4, 0, 1);
+    EXPECT_EQ(drv.builder().pool().slotsInUse(), 0u)
+        << "float add leaked scratch slots";
+    run(ROp::Div, DType::Int32, 5, 0, 1);
+    EXPECT_EQ(drv.builder().pool().slotsInUse(), 0u)
+        << "int div leaked scratch slots";
+}
+
+TEST_F(BitwiseMisc, DriverCountsInstructions)
+{
+    const auto a = words(12);
+    loadReg(0, a);
+    const uint64_t before = drv.stats().instructions;
+    run(ROp::BitNot, DType::Int32, 1, 0);
+    run(ROp::Copy, DType::Int32, 2, 0);
+    EXPECT_EQ(drv.stats().instructions, before + 2);
+}

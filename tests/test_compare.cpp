@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Comparison tests (Table II): signed int32 and IEEE float32 ordered
+ * predicates, including NaN (all ordered predicates false, != true)
+ * and signed-zero equality.
+ */
+#include <gtest/gtest.h>
+
+#include "pim_test_util.hpp"
+
+using namespace pypim;
+using pypim::test::bitsFloat;
+using pypim::test::DriverFixture;
+using pypim::test::floatBits;
+
+namespace
+{
+
+class CompareTest : public DriverFixture
+{
+  protected:
+    template <typename HostFn>
+    void
+    checkInt(ROp op, HostFn host, const std::vector<uint32_t> &a,
+             const std::vector<uint32_t> &b)
+    {
+        loadReg(0, a);
+        loadReg(1, b);
+        run(op, DType::Int32, 2, 0, 1);
+        const auto got = readReg(2);
+        for (uint32_t i = 0; i < threads(); ++i) {
+            const int32_t x = static_cast<int32_t>(a[i]);
+            const int32_t y = static_cast<int32_t>(b[i]);
+            ASSERT_EQ(got[i], host(x, y) ? 1u : 0u)
+                << ropName(op) << "(" << x << ", " << y << ")";
+        }
+    }
+
+    template <typename HostFn>
+    void
+    checkFloat(ROp op, HostFn host, const std::vector<uint32_t> &a,
+               const std::vector<uint32_t> &b)
+    {
+        loadReg(0, a);
+        loadReg(1, b);
+        run(op, DType::Float32, 2, 0, 1);
+        const auto got = readReg(2);
+        for (uint32_t i = 0; i < threads(); ++i) {
+            const float x = bitsFloat(a[i]);
+            const float y = bitsFloat(b[i]);
+            ASSERT_EQ(got[i], host(x, y) ? 1u : 0u)
+                << ropName(op) << "(" << x << ", " << y << ") bits 0x"
+                << std::hex << a[i] << ", 0x" << b[i];
+        }
+    }
+
+    std::vector<uint32_t>
+    mixedInts(uint64_t seed)
+    {
+        Rng r(seed);
+        std::vector<uint32_t> v(threads());
+        for (uint32_t i = 0; i < threads(); ++i) {
+            switch (i % 4) {
+              case 0: v[i] = r.word(); break;
+              case 1: v[i] = static_cast<uint32_t>(r.int32In(-5, 5)); break;
+              case 2: v[i] = 0x80000000u + i; break;
+              default: v[i] = 0x7FFFFFFFu - i; break;
+            }
+        }
+        return v;
+    }
+
+    std::vector<uint32_t>
+    mixedFloats(uint64_t seed)
+    {
+        static const uint32_t edges[] = {
+            0x00000000u, 0x80000000u, 0x7F800000u, 0xFF800000u,
+            0x7FC00000u, 0x3F800000u, 0xBF800000u, 0x00000001u,
+        };
+        Rng r(seed);
+        std::vector<uint32_t> v(threads());
+        for (uint32_t i = 0; i < threads(); ++i) {
+            v[i] = (i % 3 == 0) ? edges[(i / 3 + seed) % std::size(edges)]
+                                : r.word();
+        }
+        return v;
+    }
+};
+
+} // namespace
+
+TEST_F(CompareTest, IntAllPredicates)
+{
+    const auto a = mixedInts(1);
+    auto b = mixedInts(2);
+    // Force exact equality on a subset.
+    for (uint32_t i = 0; i < threads(); i += 5)
+        b[i] = a[i];
+    checkInt(ROp::Lt, [](int32_t x, int32_t y) { return x < y; }, a, b);
+    checkInt(ROp::Le, [](int32_t x, int32_t y) { return x <= y; }, a, b);
+    checkInt(ROp::Gt, [](int32_t x, int32_t y) { return x > y; }, a, b);
+    checkInt(ROp::Ge, [](int32_t x, int32_t y) { return x >= y; }, a, b);
+    checkInt(ROp::Eq, [](int32_t x, int32_t y) { return x == y; }, a, b);
+    checkInt(ROp::Ne, [](int32_t x, int32_t y) { return x != y; }, a, b);
+}
+
+TEST_F(CompareTest, IntSignBoundaries)
+{
+    std::vector<uint32_t> a(threads()), b(threads());
+    for (uint32_t i = 0; i < threads(); ++i) {
+        a[i] = (i % 2) ? 0x80000000u : 0x7FFFFFFFu;
+        b[i] = (i % 4 < 2) ? 0u : 0xFFFFFFFFu;
+    }
+    checkInt(ROp::Lt, [](int32_t x, int32_t y) { return x < y; }, a, b);
+    checkInt(ROp::Ge, [](int32_t x, int32_t y) { return x >= y; }, a, b);
+}
+
+TEST_F(CompareTest, FloatAllPredicates)
+{
+    const auto a = mixedFloats(3);
+    auto b = mixedFloats(4);
+    for (uint32_t i = 0; i < threads(); i += 7)
+        b[i] = a[i];
+    checkFloat(ROp::Lt, [](float x, float y) { return x < y; }, a, b);
+    checkFloat(ROp::Le, [](float x, float y) { return x <= y; }, a, b);
+    checkFloat(ROp::Gt, [](float x, float y) { return x > y; }, a, b);
+    checkFloat(ROp::Ge, [](float x, float y) { return x >= y; }, a, b);
+    checkFloat(ROp::Eq, [](float x, float y) { return x == y; }, a, b);
+    checkFloat(ROp::Ne, [](float x, float y) { return x != y; }, a, b);
+}
+
+TEST_F(CompareTest, FloatNaNSemantics)
+{
+    std::vector<uint32_t> a(threads(), 0x7FC00000u);  // NaN
+    auto b = mixedFloats(5);
+    checkFloat(ROp::Lt, [](float x, float y) { return x < y; }, a, b);
+    checkFloat(ROp::Le, [](float x, float y) { return x <= y; }, a, b);
+    checkFloat(ROp::Eq, [](float x, float y) { return x == y; }, a, b);
+    checkFloat(ROp::Ne, [](float x, float y) { return x != y; }, a, b);
+    // And NaN on the right side.
+    checkFloat(ROp::Gt, [](float x, float y) { return x > y; }, b, a);
+    checkFloat(ROp::Ge, [](float x, float y) { return x >= y; }, b, a);
+}
+
+TEST_F(CompareTest, FloatSignedZeroEquality)
+{
+    std::vector<uint32_t> a(threads()), b(threads());
+    for (uint32_t i = 0; i < threads(); ++i) {
+        a[i] = (i % 2) ? 0x80000000u : 0u;           // -0 / +0
+        b[i] = (i % 4 < 2) ? 0u : 0x80000000u;
+    }
+    checkFloat(ROp::Eq, [](float x, float y) { return x == y; }, a, b);
+    checkFloat(ROp::Lt, [](float x, float y) { return x < y; }, a, b);
+    checkFloat(ROp::Ge, [](float x, float y) { return x >= y; }, a, b);
+}
+
+TEST_F(CompareTest, FloatOrderingAcrossSignsAndMagnitudes)
+{
+    Rng r(6);
+    std::vector<uint32_t> a(threads()), b(threads());
+    for (uint32_t i = 0; i < threads(); ++i) {
+        a[i] = floatBits(r.floatIn(-1e20f, 1e20f));
+        b[i] = floatBits(r.floatIn(-1e-20f, 1e-20f));
+        if (i % 2)
+            std::swap(a[i], b[i]);
+    }
+    checkFloat(ROp::Lt, [](float x, float y) { return x < y; }, a, b);
+    checkFloat(ROp::Gt, [](float x, float y) { return x > y; }, a, b);
+}

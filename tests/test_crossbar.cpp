@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Bit-level crossbar semantics: stateful logic (output switches only
+ * 1 -> 0), strided read/write, vertical ops, row masking.
+ */
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "sim/crossbar.hpp"
+#include "uarch/partition.hpp"
+
+using namespace pypim;
+
+namespace
+{
+
+class CrossbarTest : public ::testing::Test
+{
+  protected:
+    CrossbarTest()
+        : geo(testGeometry()),
+          xb(geo),
+          fullMask(Range::all(geo.rows).expand(geo.rows))
+    {
+    }
+
+    HalfGates
+    gate(Gate g, uint32_t a, uint32_t b, uint32_t out)
+    {
+        const uint32_t pOut = out / geo.partitionWidth();
+        return expandLogicH(MicroOp::logicH(g, a, b, out, pOut, 0), geo);
+    }
+
+    Geometry geo;
+    Crossbar xb;
+    std::vector<uint64_t> fullMask;
+};
+
+} // namespace
+
+TEST_F(CrossbarTest, NorTruthTable)
+{
+    // Columns 0, 1 as inputs; column 2 as output; rows 0..3 hold the
+    // four input combinations.
+    for (uint32_t r = 0; r < 4; ++r) {
+        xb.setBit(r, 0, r & 1);
+        xb.setBit(r, 1, (r >> 1) & 1);
+        xb.setBit(r, 2, true);  // INIT1
+    }
+    xb.logicH(gate(Gate::Nor, 0, 1, 2), fullMask);
+    EXPECT_TRUE(xb.bit(0, 2));    // NOR(0,0) = 1
+    EXPECT_FALSE(xb.bit(1, 2));   // NOR(1,0) = 0
+    EXPECT_FALSE(xb.bit(2, 2));   // NOR(0,1) = 0
+    EXPECT_FALSE(xb.bit(3, 2));   // NOR(1,1) = 0
+}
+
+TEST_F(CrossbarTest, StatefulOutputOnlySwitchesDown)
+{
+    // Output NOT initialised to 1: NOR(0,0) cannot switch it up.
+    xb.setBit(0, 0, false);
+    xb.setBit(0, 1, false);
+    xb.setBit(0, 2, false);  // stale 0
+    xb.logicH(gate(Gate::Nor, 0, 1, 2), fullMask);
+    EXPECT_FALSE(xb.bit(0, 2)) << "stateful logic must not set 0 -> 1";
+}
+
+TEST_F(CrossbarTest, NotGate)
+{
+    xb.setBit(0, 5, true);
+    xb.setBit(1, 5, false);
+    xb.setBit(0, 9, true);
+    xb.setBit(1, 9, true);
+    xb.logicH(gate(Gate::Not, 5, 5, 9), fullMask);
+    EXPECT_FALSE(xb.bit(0, 9));
+    EXPECT_TRUE(xb.bit(1, 9));
+}
+
+TEST_F(CrossbarTest, InitGates)
+{
+    xb.setBit(0, 7, false);
+    xb.logicH(gate(Gate::Init1, 0, 0, 7), fullMask);
+    EXPECT_TRUE(xb.bit(0, 7));
+    xb.logicH(gate(Gate::Init0, 0, 0, 7), fullMask);
+    EXPECT_FALSE(xb.bit(0, 7));
+}
+
+TEST_F(CrossbarTest, RowMaskSkipsDeselectedRows)
+{
+    // Only even rows selected (isolation voltage on odd rows).
+    const auto mask = Range(0, geo.rows - 2, 2).expand(geo.rows);
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        xb.setBit(r, 0, true);
+        xb.setBit(r, 2, true);
+    }
+    xb.logicH(gate(Gate::Not, 0, 0, 2), mask);
+    for (uint32_t r = 0; r < geo.rows; ++r)
+        EXPECT_EQ(xb.bit(r, 2), r % 2 == 1) << "row " << r;
+}
+
+TEST_F(CrossbarTest, ParallelPatternActsPerPartition)
+{
+    // NOR(slot0, slot1) -> slot2 in all 32 partitions in one op.
+    const HalfGates hg = expandLogicH(
+        MicroOp::logicH(Gate::Nor, geo.column(0, 0), geo.column(1, 0),
+                        geo.column(2, 0), geo.partitions - 1, 1), geo);
+    xb.writeRow(0, 0x0F0F0F0F, 3);
+    xb.writeRow(1, 0x00FF00FF, 3);
+    xb.writeRow(2, 0xFFFFFFFF, 3);  // INIT1 all bits
+    xb.logicH(hg, fullMask);
+    EXPECT_EQ(xb.read(2, 3), ~(0x0F0F0F0Fu | 0x00FF00FFu));
+}
+
+TEST_F(CrossbarTest, StridedReadWriteRoundTrip)
+{
+    xb.writeRow(4, 0xCAFEBABE, 10);
+    EXPECT_EQ(xb.read(4, 10), 0xCAFEBABEu);
+    // Bit p of the word lives in partition p (paper Fig. 6).
+    EXPECT_EQ(xb.bit(10, geo.column(4, 1)), (0xCAFEBABEu >> 1) & 1);
+    EXPECT_EQ(xb.bit(10, geo.column(4, 31)), (0xCAFEBABEu >> 31) & 1);
+}
+
+TEST_F(CrossbarTest, MaskedWriteAffectsSelectedRowsOnly)
+{
+    const auto mask = Range(8, 24, 8).expand(geo.rows);
+    xb.write(3, 0x12345678, mask);
+    EXPECT_EQ(xb.read(3, 8), 0x12345678u);
+    EXPECT_EQ(xb.read(3, 16), 0x12345678u);
+    EXPECT_EQ(xb.read(3, 24), 0x12345678u);
+    EXPECT_EQ(xb.read(3, 9), 0u);
+}
+
+TEST_F(CrossbarTest, VerticalNotTransfersBetweenRows)
+{
+    // Vertical NOT moves (inverted) slot data from row 2 to row 40.
+    xb.writeRow(6, 0xA5A5A5A5, 2);
+    xb.writeRow(6, 0xFFFFFFFF, 40);  // INIT1 destination
+    xb.logicV(Gate::Not, 2, 40, 6);
+    EXPECT_EQ(xb.read(6, 40), ~0xA5A5A5A5u);
+    // Source row unchanged.
+    EXPECT_EQ(xb.read(6, 2), 0xA5A5A5A5u);
+}
+
+TEST_F(CrossbarTest, VerticalInit)
+{
+    xb.logicV(Gate::Init1, 0, 17, 5);
+    EXPECT_EQ(xb.read(5, 17), 0xFFFFFFFFu);
+    xb.logicV(Gate::Init0, 0, 17, 5);
+    EXPECT_EQ(xb.read(5, 17), 0u);
+}
+
+TEST_F(CrossbarTest, VerticalNotRespectsStatefulSemantics)
+{
+    xb.writeRow(6, 0xFFFFFFFF, 2);
+    xb.writeRow(6, 0x0000FFFF, 40);  // half stale-0 destination
+    xb.logicV(Gate::Not, 2, 40, 6);
+    // NOT(1) = 0 everywhere; stale zeros stay zero.
+    EXPECT_EQ(xb.read(6, 40), 0u);
+    xb.writeRow(6, 0x00000000, 2);
+    xb.writeRow(6, 0x0000FFFF, 40);
+    xb.logicV(Gate::Not, 2, 40, 6);
+    // NOT(0) = 1, but only pre-initialised cells can show it.
+    EXPECT_EQ(xb.read(6, 40), 0x0000FFFFu);
+}

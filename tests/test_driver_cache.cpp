@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Driver stream-cache tests: replayed streams must be byte-identical
+ * to fresh translations, produce identical simulator state, keep the
+ * mask bookkeeping consistent, and respect mode/partition switches in
+ * the signature. Plus failure-injection tests for malformed
+ * micro-operation streams fed directly to the simulator.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "pim_test_util.hpp"
+
+using namespace pypim;
+using pypim::test::DriverFixture;
+
+namespace
+{
+
+class StreamCacheTest : public DriverFixture
+{
+  protected:
+    StreamCacheTest() : DriverFixture(Driver::Mode::Serial) {}
+};
+
+} // namespace
+
+TEST_F(StreamCacheTest, ReplayMatchesFreshTranslation)
+{
+    std::vector<uint32_t> va(threads()), vb(threads());
+    for (uint32_t i = 0; i < threads(); ++i) {
+        va[i] = rng.word();
+        vb[i] = rng.word();
+    }
+    loadReg(0, va);
+    loadReg(1, vb);
+    // First execution records; second replays from the cache.
+    run(ROp::Mul, DType::Int32, 2, 0, 1);
+    const auto first = readReg(2);
+    EXPECT_EQ(drv.streamCacheSize(), 1u);
+    // Change the data: the replayed stream must compute on new values.
+    for (auto &x : va)
+        x ^= 0xA5A5A5A5u;
+    loadReg(0, va);
+    run(ROp::Mul, DType::Int32, 2, 0, 1);
+    EXPECT_EQ(drv.streamCacheSize(), 1u) << "same signature must hit";
+    const auto second = readReg(2);
+    for (uint32_t i = 0; i < threads(); ++i)
+        ASSERT_EQ(second[i], va[i] * vb[i]) << "thread " << i;
+    (void)first;
+}
+
+TEST_F(StreamCacheTest, CachedAndUncachedStreamsAgree)
+{
+    std::vector<uint32_t> va(threads()), vb(threads());
+    for (uint32_t i = 0; i < threads(); ++i) {
+        va[i] = rng.word();
+        vb[i] = rng.word() | 1;
+    }
+    loadReg(0, va);
+    loadReg(1, vb);
+    run(ROp::Div, DType::Int32, 2, 0, 1);   // cached path
+    drv.setStreamCacheEnabled(false);
+    run(ROp::Div, DType::Int32, 3, 0, 1);   // fresh path
+    EXPECT_EQ(readReg(2), readReg(3));
+}
+
+TEST_F(StreamCacheTest, DistinctSignaturesDistinctEntries)
+{
+    loadReg(0, std::vector<uint32_t>(threads(), 5));
+    loadReg(1, std::vector<uint32_t>(threads(), 3));
+    run(ROp::Add, DType::Int32, 2, 0, 1);
+    run(ROp::Add, DType::Int32, 3, 0, 1);   // different rd
+    run(ROp::Sub, DType::Int32, 4, 0, 1);   // different op
+    RTypeInstr in;
+    in.op = ROp::Add;
+    in.dtype = DType::Int32;
+    in.rd = 2;
+    in.ra = 0;
+    in.rb = 1;
+    in.warps = Range::single(1);            // different masks
+    in.rows = Range::all(geo.rows);
+    drv.execute(in);
+    EXPECT_EQ(drv.streamCacheSize(), 4u);
+}
+
+TEST_F(StreamCacheTest, ModeChangesMissTheCache)
+{
+    loadReg(0, std::vector<uint32_t>(threads(), 1000));
+    loadReg(1, std::vector<uint32_t>(threads(), 999));
+    run(ROp::Add, DType::Int32, 2, 0, 1);
+    drv.setMode(Driver::Mode::Parallel);
+    run(ROp::Add, DType::Int32, 2, 0, 1);
+    EXPECT_EQ(drv.streamCacheSize(), 2u);
+    EXPECT_EQ(readReg(2),
+              std::vector<uint32_t>(threads(), 1999u));
+}
+
+TEST_F(StreamCacheTest, MaskStateConsistentAfterReplay)
+{
+    loadReg(0, std::vector<uint32_t>(threads(), 2));
+    loadReg(1, std::vector<uint32_t>(threads(), 3));
+    // Masked instruction, twice (second replays), then a read that
+    // depends on correct mask bookkeeping in the builder.
+    RTypeInstr in;
+    in.op = ROp::Add;
+    in.dtype = DType::Int32;
+    in.rd = 2;
+    in.ra = 0;
+    in.rb = 1;
+    in.warps = Range::single(2);
+    in.rows = Range(4, 20, 8);
+    drv.execute(in);
+    drv.execute(in);
+    ReadInstr rd;
+    rd.reg = 2;
+    rd.warp = 2;
+    rd.row = 12;
+    EXPECT_EQ(drv.execute(rd), 5u);
+    // Unselected thread untouched.
+    rd.row = 5;
+    EXPECT_EQ(drv.execute(rd), 0u);
+    // A subsequent full-mask instruction must re-emit masks correctly.
+    run(ROp::Add, DType::Int32, 3, 0, 1);
+    EXPECT_EQ(readReg(3), std::vector<uint32_t>(threads(), 5u));
+}
+
+namespace
+{
+
+class FailureInjection : public pypim::test::PimFixture
+{
+};
+
+} // namespace
+
+TEST_F(FailureInjection, ForgottenInitComputesDeviceAccurateGarbage)
+{
+    // Stateful logic can only switch 1 -> 0: NOR into a stale-0 cell
+    // must stay 0 even when the true NOR value is 1.
+    const uint32_t a = builder.pool().allocBitIn(0);
+    const uint32_t b = builder.pool().allocBitIn(1);
+    const uint32_t out = builder.pool().allocBitIn(2);
+    sim.crossbar(0).setBit(0, a, false);
+    sim.crossbar(0).setBit(0, b, false);
+    sim.crossbar(0).setBit(0, out, false);  // stale 0, no INIT
+    builder.norInto(a, b, out, /*init=*/false);
+    builder.flush();
+    EXPECT_FALSE(peekCell(0, 0, out))
+        << "missing INIT must yield device-accurate garbage, not NOR";
+}
+
+TEST_F(FailureInjection, MalformedPartitionPatternsPanic)
+{
+    const uint32_t pw = geo.partitionWidth();
+    // Inner input outside the gate span.
+    sim.perform(MicroOp::rowMask(Range::all(geo.rows)));
+    EXPECT_THROW(sim.perform(MicroOp::logicH(Gate::Nor, 1 * pw, 9 * pw,
+                                             5 * pw, 5, 0)),
+                 InternalError);
+    // Overlapping repetition.
+    EXPECT_THROW(sim.perform(MicroOp::logicH(Gate::Nor, 0, 2 * pw,
+                                             2 * pw, 30, 2)),
+                 InternalError);
+    // Repetition leaving the partition range.
+    EXPECT_THROW(sim.perform(MicroOp::logicH(Gate::Nor, 0, 1, 2,
+                                             40, 1)),
+                 InternalError);
+}
+
+TEST_F(FailureInjection, IllegalMaskStatesAreUserErrors)
+{
+    // Reads with wide masks, out-of-range masks, bad move steps: all
+    // fatal (user-class) errors, not internal panics.
+    sim.perform(MicroOp::crossbarMask(Range::all(geo.numCrossbars)));
+    sim.perform(MicroOp::rowMask(Range::all(geo.rows)));
+    EXPECT_THROW(sim.read(MicroOp::read(0)), Error);
+    EXPECT_THROW(sim.perform(MicroOp::rowMask(
+                     Range(0, geo.rows, 1))), Error);
+    EXPECT_THROW(sim.perform(MicroOp::crossbarMask(
+                     Range(0, geo.numCrossbars, 1))), Error);
+    sim.perform(MicroOp::crossbarMask(Range(0, 3, 3)));
+    EXPECT_THROW(sim.perform(MicroOp::move(1, 0, 0, 0, 0)), Error);
+}
+
+TEST_F(FailureInjection, SimulatorStateSurvivesRejectedOps)
+{
+    pokeWord(1, 3, 0, 0xCAFEF00D);
+    try {
+        sim.perform(MicroOp::logicH(Gate::Nor, 0, 300, 150, 4, 0));
+    } catch (const InternalError &) {
+    }
+    EXPECT_EQ(peekWord(1, 3, 0), 0xCAFEF00Du)
+        << "rejected op must not corrupt memory";
+    // The simulator still works afterwards.
+    sim.perform(MicroOp::crossbarMask(Range::single(1)));
+    sim.perform(MicroOp::rowMask(Range::single(3)));
+    EXPECT_EQ(sim.read(MicroOp::read(0)), 0xCAFEF00Du);
+}

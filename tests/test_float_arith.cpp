@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Gate-level IEEE-754 float32 arithmetic verified bit-exactly against
+ * host SSE floats (round-to-nearest-even): randomised sweeps over
+ * normal values, fully random bit patterns (covering subnormals,
+ * infinities and NaNs), and directed edge cases. NaN results compare
+ * as "is NaN" (payloads are canonicalised by the gate FPU).
+ */
+#include <gtest/gtest.h>
+
+#include <cfenv>
+
+#include "pim_test_util.hpp"
+
+using namespace pypim;
+using pypim::test::bitsFloat;
+using pypim::test::DriverFixture;
+using pypim::test::floatBits;
+using pypim::test::floatBitsMatch;
+
+namespace
+{
+
+class FloatArith : public DriverFixture
+{
+  protected:
+    void
+    checkBinary(ROp op, float (*host)(float, float),
+                const std::vector<uint32_t> &a,
+                const std::vector<uint32_t> &b)
+    {
+        loadReg(0, a);
+        loadReg(1, b);
+        run(op, DType::Float32, 2, 0, 1);
+        const auto got = readReg(2);
+        for (uint32_t i = 0; i < threads(); ++i) {
+            const float fa = bitsFloat(a[i]);
+            const float fb = bitsFloat(b[i]);
+            ASSERT_TRUE(floatBitsMatch(host(fa, fb), got[i]))
+                << ropName(op) << "(" << fa << " [0x" << std::hex << a[i]
+                << "], " << fb << " [0x" << b[i] << "]) thread "
+                << std::dec << i;
+        }
+    }
+
+    std::vector<uint32_t>
+    normals(float lo, float hi, uint64_t seed)
+    {
+        Rng r(seed);
+        std::vector<uint32_t> v(threads());
+        for (auto &x : v)
+            x = floatBits(r.floatIn(lo, hi));
+        return v;
+    }
+
+    std::vector<uint32_t>
+    rawPatterns(uint64_t seed)
+    {
+        Rng r(seed);
+        std::vector<uint32_t> v(threads());
+        for (auto &x : v)
+            x = r.word();
+        return v;
+    }
+
+    std::vector<uint32_t>
+    edgePatterns(uint64_t salt)
+    {
+        static const uint32_t edges[] = {
+            0x00000000u, 0x80000000u,  // +-0
+            0x7F800000u, 0xFF800000u,  // +-inf
+            0x7FC00000u, 0xFFC00001u,  // NaNs
+            0x00000001u, 0x80000001u,  // smallest subnormals
+            0x007FFFFFu, 0x807FFFFFu,  // largest subnormals
+            0x00800000u, 0x80800000u,  // smallest normals
+            0x7F7FFFFFu, 0xFF7FFFFFu,  // largest finite
+            0x3F800000u, 0xBF800000u,  // +-1
+            0x3F800001u, 0x34000000u,  // 1+ulp, 2^-23
+            0x33FFFFFFu, 0x4B800000u,  // just below 2^-23, 2^24
+        };
+        std::vector<uint32_t> v(threads());
+        for (uint32_t i = 0; i < threads(); ++i) {
+            v[i] = edges[(i + salt * 7) % std::size(edges)];
+        }
+        return v;
+    }
+};
+
+float hostAdd(float a, float b) { return a + b; }
+float hostSub(float a, float b) { return a - b; }
+float hostMul(float a, float b) { return a * b; }
+float hostDiv(float a, float b) { return a / b; }
+
+} // namespace
+
+TEST_F(FloatArith, AddNormals)
+{
+    checkBinary(ROp::Add, hostAdd, normals(-1e6f, 1e6f, 1),
+                normals(-1e6f, 1e6f, 2));
+}
+
+TEST_F(FloatArith, AddMixedMagnitudes)
+{
+    // Exercise long alignment shifts: tiny + huge.
+    std::vector<uint32_t> a(threads()), b(threads());
+    Rng r(3);
+    for (uint32_t i = 0; i < threads(); ++i) {
+        a[i] = floatBits(r.floatIn(-1e30f, 1e30f));
+        b[i] = floatBits(r.floatIn(-1e-30f, 1e-30f));
+        if (i % 2)
+            std::swap(a[i], b[i]);
+    }
+    checkBinary(ROp::Add, hostAdd, a, b);
+}
+
+TEST_F(FloatArith, AddCancellation)
+{
+    // Nearby values with opposite signs: deep normalisation shifts.
+    std::vector<uint32_t> a(threads()), b(threads());
+    Rng r(4);
+    for (uint32_t i = 0; i < threads(); ++i) {
+        const float x = r.floatIn(1.0f, 2.0f);
+        a[i] = floatBits(x);
+        const uint32_t nudged = floatBits(x) + (r.word() % 5);
+        b[i] = floatBits(-bitsFloat(nudged));
+    }
+    checkBinary(ROp::Add, hostAdd, a, b);
+}
+
+TEST_F(FloatArith, AddRawPatterns)
+{
+    checkBinary(ROp::Add, hostAdd, rawPatterns(5), rawPatterns(6));
+}
+
+TEST_F(FloatArith, AddEdgeCombinations)
+{
+    for (uint64_t salt = 0; salt < 8; ++salt)
+        checkBinary(ROp::Add, hostAdd, edgePatterns(salt),
+                    edgePatterns(salt + 3));
+}
+
+TEST_F(FloatArith, SubNormalsAndRaw)
+{
+    checkBinary(ROp::Sub, hostSub, normals(-1e8f, 1e8f, 7),
+                normals(-1e8f, 1e8f, 8));
+    checkBinary(ROp::Sub, hostSub, rawPatterns(9), rawPatterns(10));
+}
+
+TEST_F(FloatArith, SubEdgeCombinations)
+{
+    for (uint64_t salt = 0; salt < 8; ++salt)
+        checkBinary(ROp::Sub, hostSub, edgePatterns(salt),
+                    edgePatterns(salt + 5));
+}
+
+TEST_F(FloatArith, MulNormals)
+{
+    checkBinary(ROp::Mul, hostMul, normals(-1e4f, 1e4f, 11),
+                normals(-1e4f, 1e4f, 12));
+}
+
+TEST_F(FloatArith, MulSubnormalResults)
+{
+    // Products dropping into the subnormal range.
+    std::vector<uint32_t> a(threads()), b(threads());
+    Rng r(13);
+    for (uint32_t i = 0; i < threads(); ++i) {
+        a[i] = floatBits(r.floatIn(-1e-20f, 1e-20f));
+        b[i] = floatBits(r.floatIn(-1e-20f, 1e-20f));
+    }
+    checkBinary(ROp::Mul, hostMul, a, b);
+}
+
+TEST_F(FloatArith, MulOverflowToInfinity)
+{
+    std::vector<uint32_t> a(threads()), b(threads());
+    Rng r(14);
+    for (uint32_t i = 0; i < threads(); ++i) {
+        a[i] = floatBits(r.floatIn(1e25f, 3e38f));
+        b[i] = floatBits(r.floatIn(1e25f, 3e38f));
+        if (i % 3 == 0)
+            a[i] ^= 0x80000000u;
+    }
+    checkBinary(ROp::Mul, hostMul, a, b);
+}
+
+TEST_F(FloatArith, MulRawPatterns)
+{
+    checkBinary(ROp::Mul, hostMul, rawPatterns(15), rawPatterns(16));
+}
+
+TEST_F(FloatArith, MulEdgeCombinations)
+{
+    for (uint64_t salt = 0; salt < 8; ++salt)
+        checkBinary(ROp::Mul, hostMul, edgePatterns(salt),
+                    edgePatterns(salt + 7));
+}
+
+TEST_F(FloatArith, DivNormals)
+{
+    checkBinary(ROp::Div, hostDiv, normals(-1e6f, 1e6f, 17),
+                normals(-1e6f, 1e6f, 18));
+}
+
+TEST_F(FloatArith, DivRawPatterns)
+{
+    checkBinary(ROp::Div, hostDiv, rawPatterns(19), rawPatterns(20));
+}
+
+TEST_F(FloatArith, DivSubnormalOperandsAndResults)
+{
+    std::vector<uint32_t> a(threads()), b(threads());
+    Rng r(21);
+    for (uint32_t i = 0; i < threads(); ++i) {
+        // Subnormal numerators and huge denominators (and vice versa).
+        a[i] = (i % 2) ? (r.word() & 0x007FFFFFu)
+                       : floatBits(r.floatIn(-1e-30f, 1e-30f));
+        b[i] = (i % 3) ? floatBits(r.floatIn(1e20f, 1e38f))
+                       : (r.word() & 0x807FFFFFu);
+    }
+    checkBinary(ROp::Div, hostDiv, a, b);
+}
+
+TEST_F(FloatArith, DivEdgeCombinations)
+{
+    for (uint64_t salt = 0; salt < 8; ++salt)
+        checkBinary(ROp::Div, hostDiv, edgePatterns(salt),
+                    edgePatterns(salt + 11));
+}
+
+TEST_F(FloatArith, NegAbsZeroSign)
+{
+    auto a = rawPatterns(22);
+    loadReg(0, a);
+    run(ROp::Neg, DType::Float32, 1, 0);
+    run(ROp::Abs, DType::Float32, 2, 0);
+    run(ROp::Zero, DType::Float32, 3, 0);
+    run(ROp::Sign, DType::Float32, 4, 0);
+    const auto neg = readReg(1);
+    const auto abs = readReg(2);
+    const auto zro = readReg(3);
+    const auto sgn = readReg(4);
+    for (uint32_t i = 0; i < threads(); ++i) {
+        // Neg and Abs are pure sign-bit ops in IEEE-754 (NaN included).
+        ASSERT_EQ(neg[i], a[i] ^ 0x80000000u) << "neg thread " << i;
+        ASSERT_EQ(abs[i], a[i] & 0x7FFFFFFFu) << "abs thread " << i;
+        const bool isZero = (a[i] & 0x7FFFFFFFu) == 0;
+        ASSERT_EQ(zro[i], isZero ? 1u : 0u) << "zero thread " << i;
+        const float x = bitsFloat(a[i]);
+        uint32_t expSign;
+        if (std::isnan(x))
+            expSign = 0x7FC00000u;
+        else if (isZero)
+            expSign = a[i];  // signed zero preserved
+        else
+            expSign = floatBits(x > 0 ? 1.0f : -1.0f);
+        if (std::isnan(x))
+            ASSERT_TRUE(std::isnan(bitsFloat(sgn[i])));
+        else
+            ASSERT_EQ(sgn[i], expSign) << "sign thread " << i;
+    }
+}
+
+TEST_F(FloatArith, RoundToNearestEvenTies)
+{
+    // 1 + 2^-24 is an exact tie: rounds to 1 (even); 1 + 3*2^-24
+    // rounds up to 1 + 2^-23.
+    std::vector<uint32_t> a(threads(), floatBits(1.0f));
+    std::vector<uint32_t> b(threads());
+    for (uint32_t i = 0; i < threads(); ++i) {
+        const float t = std::ldexp(1.0f + (i % 7), -24 - (i % 3));
+        b[i] = floatBits(t);
+    }
+    checkBinary(ROp::Add, hostAdd, a, b);
+}
+
+TEST_F(FloatArith, ChainedPolynomialMatchesHost)
+{
+    // r = a*b + a (the paper's myFunc, Fig. 2/12) over random normals.
+    auto a = normals(-100.f, 100.f, 23);
+    auto b = normals(-100.f, 100.f, 24);
+    loadReg(0, a);
+    loadReg(1, b);
+    run(ROp::Mul, DType::Float32, 2, 0, 1);
+    run(ROp::Add, DType::Float32, 3, 2, 0);
+    const auto got = readReg(3);
+    for (uint32_t i = 0; i < threads(); ++i) {
+        const float expect =
+            bitsFloat(a[i]) * bitsFloat(b[i]) + bitsFloat(a[i]);
+        ASSERT_TRUE(floatBitsMatch(expect, got[i])) << "thread " << i;
+    }
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * H-tree interconnect model tests (paper §III-F, Fig. 9).
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/htree.hpp"
+
+using namespace pypim;
+
+TEST(HTree, LevelsFromCrossbarCount)
+{
+    EXPECT_EQ(HTree(1).levels(), 0u);
+    EXPECT_EQ(HTree(4).levels(), 1u);
+    EXPECT_EQ(HTree(16).levels(), 2u);
+    EXPECT_EQ(HTree(64).levels(), 3u);
+    EXPECT_EQ(HTree(65536).levels(), 8u);
+}
+
+TEST(HTree, RejectsNonPow4)
+{
+    EXPECT_THROW(HTree(8), Error);
+    EXPECT_THROW(HTree(2), Error);
+    EXPECT_THROW(HTree(0), Error);
+}
+
+TEST(HTree, LcaLevel)
+{
+    EXPECT_EQ(HTree::lcaLevel(5, 5), 0u);
+    // Same group of 4: one level.
+    EXPECT_EQ(HTree::lcaLevel(0, 3), 1u);
+    EXPECT_EQ(HTree::lcaLevel(4, 7), 1u);
+    // Adjacent groups: two levels.
+    EXPECT_EQ(HTree::lcaLevel(3, 4), 2u);
+    EXPECT_EQ(HTree::lcaLevel(0, 15), 2u);
+    EXPECT_EQ(HTree::lcaLevel(0, 16), 3u);
+}
+
+TEST(HTree, CanonicalPatternIsFullyParallel)
+{
+    // Paper III-F: crossbars xx01 -> xx10 for all xx. Each pair stays
+    // inside its own level-1 group: 2 cycles, no contention.
+    const HTree ht(16);
+    const Range src(1, 13, 4);  // 0001, 0101, 1001, 1101
+    EXPECT_EQ(ht.moveCycles(src, 1), 2u);
+}
+
+TEST(HTree, RootContentionSerialises)
+{
+    // Fold the upper half of 64 crossbars onto the lower half: all 32
+    // transfers cross the root; two uplinks carry 16 each.
+    const HTree ht(64);
+    const Range src(32, 63, 1);
+    const uint64_t c = ht.moveCycles(src, -32);
+    // 2 * maxLevel + (maxLoad - 1) = 6 + 15.
+    EXPECT_EQ(c, 21u);
+}
+
+TEST(HTree, SingleTransferCostsPathLength)
+{
+    const HTree ht(64);
+    EXPECT_EQ(ht.moveCycles(Range::single(0), 1), 2u);    // level 1
+    EXPECT_EQ(ht.moveCycles(Range::single(0), 5), 4u);    // level 2
+    EXPECT_EQ(ht.moveCycles(Range::single(0), 21), 6u);   // level 3
+}
+
+TEST(HTree, DegenerateSameCrossbarMove)
+{
+    const HTree ht(16);
+    EXPECT_EQ(ht.moveCycles(Range::single(3), 0), 1u);
+}
+
+TEST(HTree, GroupLocalFoldBeatsRootFold)
+{
+    // Folding pairwise inside level-1 groups must be much cheaper than
+    // folding across the root (basis of the H-tree-aware reduction).
+    const HTree ht(64);
+    // Neighbour fold: crossbars x1 -> x0 within each group of 4.
+    const uint64_t local = ht.moveCycles(Range(1, 61, 4), -1);
+    const uint64_t root = ht.moveCycles(Range(32, 63, 1), -32);
+    EXPECT_LT(local, root);
+    EXPECT_EQ(local, 2u);
+}
+
+TEST(HTree, CacheReturnsConsistentValues)
+{
+    const HTree ht(64);
+    const Range src(0, 31, 1);
+    const uint64_t a = ht.moveCycles(src, 32);
+    const uint64_t b = ht.moveCycles(src, 32);
+    EXPECT_EQ(a, b);
+    // Different query invalidates the single-entry cache.
+    const uint64_t c = ht.moveCycles(Range::single(0), 1);
+    EXPECT_EQ(c, 2u);
+    EXPECT_EQ(ht.moveCycles(src, 32), a);
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * End-to-end integration tests reproducing the paper's example
+ * programs: the Fig. 12 application (myFunc = a*b + a, tensor writes,
+ * even-index view reduction printing 32.0) and the artifact §G
+ * interactive transcript (allocation, writes, views, sum, sort).
+ * Also checks the end-to-end stack only interacts with the simulator
+ * through micro-operations and that profiling windows behave.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pim/pypim.hpp"
+
+using namespace pypim;
+
+namespace
+{
+
+class Integration : public ::testing::Test
+{
+  protected:
+    Integration() : dev(testGeometry()) {}
+
+    /** The paper's myFunc (Fig. 2 / Fig. 12). */
+    static Tensor
+    myFunc(const Tensor &a, const Tensor &b)
+    {
+        return a * b + a;
+    }
+
+    Device dev;
+};
+
+} // namespace
+
+TEST_F(Integration, Figure12Program)
+{
+    // x = pim.zeros(n, float32); y = pim.zeros(n, float32)
+    const uint64_t n = 128;  // scaled-down 2**20
+    Tensor x = Tensor::zeros(n, DType::Float32, &dev);
+    Tensor y = Tensor::zeros(n, DType::Float32, &dev);
+    // x[4], y[4] = 8.0, 0.5 ; x[5], y[5] = 20.0, 1.0 ;
+    // x[8], y[8] = 10.0, 1.0
+    x.set(4, 8.0f);
+    y.set(4, 0.5f);
+    x.set(5, 20.0f);
+    y.set(5, 1.0f);
+    x.set(8, 10.0f);
+    y.set(8, 1.0f);
+    // z = myFunc(x, y)
+    Tensor z = myFunc(x, y);
+    EXPECT_EQ(z.getF(4), 8.0f * 0.5f + 8.0f);    // 12.0
+    EXPECT_EQ(z.getF(5), 20.0f * 1.0f + 20.0f);  // 40.0
+    EXPECT_EQ(z.getF(8), 10.0f * 1.0f + 10.0f);  // 20.0
+    EXPECT_EQ(z.getF(0), 0.0f);
+    // print(z[::2].sum())  ->  32.0 = 8*1.5 + 10*2
+    EXPECT_EQ(z.every(2).sum<float>(), 32.0f);
+}
+
+TEST_F(Integration, ArtifactInteractiveTranscript)
+{
+    // >>> x = pim.zeros(8, dtype=pim.float32)
+    Tensor x = Tensor::zeros(8, DType::Float32, &dev);
+    EXPECT_EQ(x.toFloatVector(),
+              (std::vector<float>{0, 0, 0, 0, 0, 0, 0, 0}));
+    // >>> x[2] = 2.5 ; x[3] = 1.25 ; x[4] = 2.25
+    x.set(2, 2.5f);
+    x.set(3, 1.25f);
+    x.set(4, 2.25f);
+    EXPECT_EQ(x.toFloatVector(),
+              (std::vector<float>{0, 0, 2.5f, 1.25f, 2.25f, 0, 0, 0}));
+    // >>> x[::2]
+    Tensor view = x.every(2);
+    EXPECT_TRUE(view.isView());
+    EXPECT_EQ(view.toFloatVector(),
+              (std::vector<float>{0, 2.5f, 2.25f, 0}));
+    // >>> x[::2].sum()  ->  4.75
+    EXPECT_EQ(view.sum<float>(), 4.75f);
+    // >>> x[::2].sort() -> [0.0, 0.0, 2.25, 2.5]
+    view.sort();
+    EXPECT_EQ(view.toFloatVector(),
+              (std::vector<float>{0, 0, 2.25f, 2.5f}));
+    // Odd elements are untouched by the view sort.
+    EXPECT_EQ(x.getF(3), 1.25f);
+}
+
+TEST_F(Integration, HybridIntPipeline)
+{
+    // A small "application": clamp negatives to zero, then dot product.
+    const uint64_t n = 64;
+    std::vector<int32_t> va(n), vb(n);
+    int64_t expect = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        va[i] = static_cast<int32_t>(i * 7) - 200;
+        vb[i] = static_cast<int32_t>(i) - 30;
+        const int32_t relu = va[i] < 0 ? 0 : va[i];
+        expect += static_cast<int64_t>(relu) * vb[i];
+    }
+    Tensor a = Tensor::fromVector(va, &dev);
+    Tensor b = Tensor::fromVector(vb, &dev);
+    Tensor zero = Tensor::zeros(n, DType::Int32, &dev);
+    Tensor relu = where(a < zero, zero, a);
+    const int32_t dot = (relu * b).sum<int32_t>();
+    EXPECT_EQ(dot, static_cast<int32_t>(expect));
+}
+
+TEST_F(Integration, ProfilerWindowsCount)
+{
+    Tensor a = Tensor::ones(64, DType::Float32, &dev);
+    Tensor b = Tensor::ones(64, DType::Float32, &dev);
+    Profiler prof(dev);
+    Tensor c = a * b;
+    const uint64_t mulOps = prof.microOps();
+    EXPECT_GT(mulOps, 0u);
+    EXPECT_GT(prof.cycles(), 0u);
+    EXPECT_GT(prof.pimSeconds(), 0.0);
+    prof.reset();
+    EXPECT_EQ(prof.microOps(), 0u);
+    Tensor d = c + a;
+    EXPECT_GT(prof.microOps(), 0u);
+    EXPECT_LT(prof.microOps(), mulOps)
+        << "float add should be cheaper than float mul";
+}
+
+TEST_F(Integration, DriverIsOnlyMicroOpInterface)
+{
+    // The library must drive the chip exclusively through micro-ops:
+    // total simulator ops grow with every tensor operation.
+    const uint64_t before = dev.stats().totalOps();
+    Tensor a = Tensor::full(32, 3.0f, &dev);
+    Tensor b = a * a;
+    (void)b.getF(7);
+    EXPECT_GT(dev.stats().totalOps(), before);
+}
+
+TEST_F(Integration, CordicSineMatchesStdSin)
+{
+    // CORDIC rotation-mode sine (paper §VI "CORDIC Sine/Cosine"),
+    // written purely with tensor ops, checked against std::sin.
+    const uint64_t n = 64;
+    std::vector<float> angles(n);
+    for (uint64_t i = 0; i < n; ++i)
+        angles[i] = -1.5f + 3.0f * static_cast<float>(i) / (n - 1);
+    Tensor z = Tensor::fromVector(angles, &dev);
+
+    const int iters = 20;
+    // Precomputed CORDIC gain 1/K and atan table.
+    double kinv = 1.0;
+    for (int k = 0; k < iters; ++k)
+        kinv *= std::sqrt(1.0 + std::ldexp(1.0, -2 * k));
+    Tensor x = Tensor::full(n, static_cast<float>(1.0 / kinv), &dev);
+    Tensor y = Tensor::zeros(n, DType::Float32, &dev);
+    Tensor zero = Tensor::zeros(n, DType::Float32, &dev);
+    for (int k = 0; k < iters; ++k) {
+        const float angle =
+            static_cast<float>(std::atan(std::ldexp(1.0, -k)));
+        const float p2 = static_cast<float>(std::ldexp(1.0, -k));
+        Tensor d = z >= 0.0f;  // rotate towards zero residual angle
+        Tensor xs = x * p2;
+        Tensor ys = y * p2;
+        Tensor xn = where(d, x - ys, x + ys);
+        Tensor yn = where(d, y + xs, y - xs);
+        Tensor zn = where(d, z - angle, z + angle);
+        x = xn;
+        y = yn;
+        z = zn;
+        (void)zero;
+    }
+    const auto sines = y.toFloatVector();
+    for (uint64_t i = 0; i < n; ++i)
+        EXPECT_NEAR(sines[i], std::sin(angles[i]), 2e-4)
+            << "angle " << angles[i];
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Move-instruction tests: intra-warp (vertical logic lowering with
+ * correct inversion parity) and inter-warp (H-tree) moves, including
+ * warp-parallel broadcast behaviour and validation.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "pim_test_util.hpp"
+
+using namespace pypim;
+using pypim::test::DriverFixture;
+
+namespace
+{
+
+class MoveTest : public DriverFixture
+{
+};
+
+} // namespace
+
+TEST_F(MoveTest, IntraWarpMoveCopiesRegisterBetweenRows)
+{
+    for (uint32_t w = 0; w < geo.numCrossbars; ++w)
+        sim.crossbar(w).writeRow(3, 0xA0B0C0D0u + w, 5);
+    MoveInstr mv;
+    mv.kind = MoveInstr::Kind::IntraWarp;
+    mv.srcReg = 3;
+    mv.dstReg = 7;
+    mv.srcRow = 5;
+    mv.dstRow = 40;
+    mv.warps = Range::all(geo.numCrossbars);
+    drv.execute(mv);
+    for (uint32_t w = 0; w < geo.numCrossbars; ++w) {
+        EXPECT_EQ(sim.crossbar(w).read(7, 40), 0xA0B0C0D0u + w)
+            << "warp " << w;
+        // Source intact.
+        EXPECT_EQ(sim.crossbar(w).read(3, 5), 0xA0B0C0D0u + w);
+    }
+}
+
+TEST_F(MoveTest, IntraWarpMoveSameRowDifferentRegister)
+{
+    sim.crossbar(2).writeRow(1, 123456u, 9);
+    MoveInstr mv;
+    mv.kind = MoveInstr::Kind::IntraWarp;
+    mv.srcReg = 1;
+    mv.dstReg = 2;
+    mv.srcRow = 9;
+    mv.dstRow = 9;
+    mv.warps = Range::single(2);
+    drv.execute(mv);
+    EXPECT_EQ(sim.crossbar(2).read(2, 9), 123456u);
+}
+
+TEST_F(MoveTest, IntraWarpMoveRespectsWarpMask)
+{
+    for (uint32_t w = 0; w < geo.numCrossbars; ++w) {
+        sim.crossbar(w).writeRow(0, 1000 + w, 0);
+        sim.crossbar(w).writeRow(4, 77, 8);
+    }
+    MoveInstr mv;
+    mv.kind = MoveInstr::Kind::IntraWarp;
+    mv.srcReg = 0;
+    mv.dstReg = 4;
+    mv.srcRow = 0;
+    mv.dstRow = 8;
+    mv.warps = Range(1, 3, 2);
+    drv.execute(mv);
+    EXPECT_EQ(sim.crossbar(0).read(4, 8), 77u);
+    EXPECT_EQ(sim.crossbar(1).read(4, 8), 1001u);
+    EXPECT_EQ(sim.crossbar(2).read(4, 8), 77u);
+    EXPECT_EQ(sim.crossbar(3).read(4, 8), 1003u);
+}
+
+TEST_F(MoveTest, InterWarpMoveTransfersAcrossHTree)
+{
+    sim.crossbar(0).writeRow(2, 0x11111111u, 7);
+    sim.crossbar(1).writeRow(2, 0x22222222u, 7);
+    MoveInstr mv;
+    mv.kind = MoveInstr::Kind::InterWarp;
+    mv.srcReg = 2;
+    mv.dstReg = 5;
+    mv.srcRow = 7;
+    mv.dstRow = 13;
+    mv.warps = Range(0, 1, 1);
+    mv.dstStartWarp = 2;
+    drv.execute(mv);
+    EXPECT_EQ(sim.crossbar(2).read(5, 13), 0x11111111u);
+    EXPECT_EQ(sim.crossbar(3).read(5, 13), 0x22222222u);
+}
+
+TEST_F(MoveTest, InterWarpMoveBackward)
+{
+    sim.crossbar(3).writeRow(1, 9999u, 0);
+    MoveInstr mv;
+    mv.kind = MoveInstr::Kind::InterWarp;
+    mv.srcReg = 1;
+    mv.dstReg = 1;
+    mv.srcRow = 0;
+    mv.dstRow = 0;
+    mv.warps = Range::single(3);
+    mv.dstStartWarp = 0;
+    drv.execute(mv);
+    EXPECT_EQ(sim.crossbar(0).read(1, 0), 9999u);
+}
+
+TEST_F(MoveTest, InterWarpRejectsBadPatterns)
+{
+    MoveInstr mv;
+    mv.kind = MoveInstr::Kind::InterWarp;
+    mv.warps = Range(0, 3, 3);  // step 3 is not a power of 4
+    mv.dstStartWarp = 1;
+    EXPECT_THROW(drv.execute(mv), Error);
+    mv.warps = Range(0, 3, 1);
+    mv.dstStartWarp = 2;  // 3 + 2 out of range
+    EXPECT_THROW(drv.execute(mv), Error);
+}
+
+TEST_F(MoveTest, MoveCostsMatchHTreeModel)
+{
+    sim.stats().clear();
+    MoveInstr mv;
+    mv.kind = MoveInstr::Kind::InterWarp;
+    mv.srcReg = 0;
+    mv.dstReg = 0;
+    mv.srcRow = 0;
+    mv.dstRow = 0;
+    mv.warps = Range::single(0);
+    mv.dstStartWarp = 1;  // same level-1 group: 2 cycles
+    drv.execute(mv);
+    EXPECT_EQ(sim.stats().cycleCount[size_t(OpClass::Move)], 2u);
+    EXPECT_EQ(sim.stats().opCount[size_t(OpClass::Move)], 1u);
+}
+
+TEST_F(MoveTest, IntraWarpMovePreservesOtherRows)
+{
+    std::vector<uint32_t> before(geo.rows);
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        before[r] = 0x5000 + r;
+        sim.crossbar(0).writeRow(6, before[r], r);
+    }
+    MoveInstr mv;
+    mv.kind = MoveInstr::Kind::IntraWarp;
+    mv.srcReg = 6;
+    mv.dstReg = 6;
+    mv.srcRow = 10;
+    mv.dstRow = 20;
+    mv.warps = Range::single(0);
+    drv.execute(mv);
+    for (uint32_t r = 0; r < geo.rows; ++r) {
+        const uint32_t expect = r == 20 ? before[10] : before[r];
+        EXPECT_EQ(sim.crossbar(0).read(6, r), expect) << "row " << r;
+    }
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the {start, stop, step} range mask (paper §III-B).
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "uarch/range.hpp"
+
+using namespace pypim;
+
+TEST(Range, CountSingle)
+{
+    EXPECT_EQ(Range::single(5).count(), 1u);
+    EXPECT_EQ(Range(0, 0, 1).count(), 1u);
+}
+
+TEST(Range, CountStrided)
+{
+    EXPECT_EQ(Range(0, 30, 2).count(), 16u);
+    EXPECT_EQ(Range(3, 3 + 7 * 5, 5).count(), 8u);
+    EXPECT_EQ(Range::all(1024).count(), 1024u);
+}
+
+TEST(Range, Contains)
+{
+    const Range r(4, 20, 4);
+    EXPECT_TRUE(r.contains(4));
+    EXPECT_TRUE(r.contains(12));
+    EXPECT_TRUE(r.contains(20));
+    EXPECT_FALSE(r.contains(5));
+    EXPECT_FALSE(r.contains(0));
+    EXPECT_FALSE(r.contains(24));
+}
+
+TEST(Range, At)
+{
+    const Range r(10, 40, 10);
+    EXPECT_EQ(r.at(0), 10u);
+    EXPECT_EQ(r.at(3), 40u);
+}
+
+TEST(Range, ForEachVisitsAllAscending)
+{
+    const Range r(1, 13, 3);
+    std::vector<uint32_t> seen;
+    r.forEach([&](uint32_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, (std::vector<uint32_t>{1, 4, 7, 10, 13}));
+}
+
+TEST(Range, ValidateRejectsBadRanges)
+{
+    EXPECT_THROW(Range(0, 10, 0).validate(16, "t"), Error);
+    EXPECT_THROW(Range(5, 4, 1).validate(16, "t"), Error);
+    EXPECT_THROW(Range(0, 16, 1).validate(16, "t"), Error);
+    EXPECT_THROW(Range(0, 10, 3).validate(16, "t"), Error);  // 3 !| 10
+    EXPECT_NO_THROW(Range(0, 15, 3).validate(16, "t"));
+}
+
+TEST(Range, ExpandMatchesContains)
+{
+    const Range r(2, 62, 4);
+    const auto words = r.expand(70);
+    ASSERT_EQ(words.size(), 2u);
+    for (uint32_t i = 0; i < 70; ++i) {
+        const bool bit = (words[i / 64] >> (i % 64)) & 1;
+        EXPECT_EQ(bit, r.contains(i)) << "bit " << i;
+    }
+}
+
+TEST(Range, ExpandPartialWord)
+{
+    const auto words = Range::all(10).expand(10);
+    ASSERT_EQ(words.size(), 1u);
+    EXPECT_EQ(words[0], 0x3FFull);
+}
+
+TEST(Range, Equality)
+{
+    EXPECT_EQ(Range(1, 5, 2), Range(1, 5, 2));
+    EXPECT_NE(Range(1, 5, 2), Range(1, 5, 1));
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Reduction tests (paper §VI "Reduction" benchmark): logarithmic
+ * sum/prod/min/max over int and float tensors, including strided views
+ * and multi-warp tensors that exercise the inter-warp H-tree folds.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "pim/pypim.hpp"
+
+using namespace pypim;
+
+namespace
+{
+
+class ReduceTest : public ::testing::Test
+{
+  protected:
+    ReduceTest() : dev(testGeometry()) {}
+
+    Device dev;
+    Rng rng;
+};
+
+} // namespace
+
+TEST_F(ReduceTest, IntSumSmall)
+{
+    std::vector<int32_t> v(37);
+    for (size_t i = 0; i < v.size(); ++i)
+        v[i] = static_cast<int32_t>(i) - 5;
+    Tensor t = Tensor::fromVector(v, &dev);
+    EXPECT_EQ(t.sum<int32_t>(),
+              std::accumulate(v.begin(), v.end(), int32_t{0}));
+}
+
+TEST_F(ReduceTest, IntSumMultiWarp)
+{
+    const uint64_t n = dev.geometry().rows * 3 + 17;
+    std::vector<int32_t> v(n);
+    int32_t expect = 0;
+    for (size_t i = 0; i < v.size(); ++i) {
+        v[i] = rng.int32In(-10000, 10000);
+        expect += v[i];
+    }
+    Tensor t = Tensor::fromVector(v, &dev);
+    EXPECT_EQ(t.sum<int32_t>(), expect);
+}
+
+TEST_F(ReduceTest, FloatSumMatchesSequentialFoldOrder)
+{
+    // The PIM reduction folds pairwise (tree order); emulate the same
+    // tree on the host for bit-exact comparison.
+    const uint64_t n = 64;
+    std::vector<float> v = rng.floatVec(n, -100.f, 100.f);
+    Tensor t = Tensor::fromVector(v, &dev);
+    std::vector<float> host = v;
+    while (host.size() > 1) {
+        const size_t half = (host.size() + 1) / 2;
+        const size_t hiLen = host.size() - half;
+        std::vector<float> next(half);
+        for (size_t i = 0; i < hiLen; ++i)
+            next[i] = host[i] + host[half + i];
+        for (size_t i = hiLen; i < half; ++i)
+            next[i] = host[i];
+        host = next;
+    }
+    EXPECT_EQ(t.sum<float>(), host[0]);
+}
+
+TEST_F(ReduceTest, FloatSumApproximatesTotal)
+{
+    const uint64_t n = dev.geometry().rows * 2;
+    std::vector<float> v = rng.floatVec(n, 0.f, 1.f);
+    Tensor t = Tensor::fromVector(v, &dev);
+    const double expect =
+        std::accumulate(v.begin(), v.end(), 0.0);
+    EXPECT_NEAR(t.sum<float>(), expect, 1e-2);
+}
+
+TEST_F(ReduceTest, ProdIntExact)
+{
+    std::vector<int32_t> v = {3, -2, 5, 1, 7, 2};
+    Tensor t = Tensor::fromVector(v, &dev);
+    EXPECT_EQ(t.prod<int32_t>(), 3 * -2 * 5 * 1 * 7 * 2);
+}
+
+TEST_F(ReduceTest, ProdFloat)
+{
+    std::vector<float> v = {1.5f, -2.0f, 0.25f, 8.0f, 3.0f};
+    Tensor t = Tensor::fromVector(v, &dev);
+    // Powers of two and small factors: exact in float for any order.
+    EXPECT_EQ(t.prod<float>(), 1.5f * -2.0f * 0.25f * 8.0f * 3.0f);
+}
+
+TEST_F(ReduceTest, MinMaxIntAndFloat)
+{
+    const uint64_t n = dev.geometry().rows + 13;
+    std::vector<int32_t> vi(n);
+    for (auto &x : vi)
+        x = rng.int32();
+    Tensor ti = Tensor::fromVector(vi, &dev);
+    EXPECT_EQ(ti.min<int32_t>(), *std::min_element(vi.begin(), vi.end()));
+    EXPECT_EQ(ti.max<int32_t>(), *std::max_element(vi.begin(), vi.end()));
+
+    std::vector<float> vf = rng.floatVec(n, -1e6f, 1e6f);
+    Tensor tf = Tensor::fromVector(vf, &dev);
+    EXPECT_EQ(tf.min<float>(), *std::min_element(vf.begin(), vf.end()));
+    EXPECT_EQ(tf.max<float>(), *std::max_element(vf.begin(), vf.end()));
+}
+
+TEST_F(ReduceTest, SumOfStridedView)
+{
+    // The paper's Fig. 12: z[::2].sum().
+    std::vector<float> v(64, 0.0f);
+    v[4] = 8.0f * 1.5f;
+    v[8] = 10.0f * 2.0f;
+    v[5] = 123.0f;  // odd index: excluded
+    Tensor t = Tensor::fromVector(v, &dev);
+    EXPECT_EQ(t.every(2).sum<float>(), 32.0f);
+}
+
+TEST_F(ReduceTest, SingleElementAndIdentities)
+{
+    Tensor t = Tensor::fromVector(std::vector<int32_t>{42}, &dev);
+    EXPECT_EQ(t.sum<int32_t>(), 42);
+    EXPECT_EQ(t.min<int32_t>(), 42);
+    Tensor ones = Tensor::ones(33, DType::Int32, &dev);
+    EXPECT_EQ(ones.sum<int32_t>(), 33);
+    EXPECT_EQ(ones.prod<int32_t>(), 1);
+}
+
+TEST_F(ReduceTest, ReductionDoesNotDisturbInput)
+{
+    std::vector<int32_t> v(100);
+    for (size_t i = 0; i < v.size(); ++i)
+        v[i] = static_cast<int32_t>(i);
+    Tensor t = Tensor::fromVector(v, &dev);
+    (void)t.sum<int32_t>();
+    EXPECT_EQ(t.toIntVector(), v);
+}
+
+TEST_F(ReduceTest, NoStorageLeaksAcrossReductions)
+{
+    Tensor t = Tensor::ones(dev.geometry().rows * 2, DType::Int32, &dev);
+    const uint32_t before = dev.allocator().liveAllocations();
+    for (int i = 0; i < 3; ++i)
+        (void)t.sum<int32_t>();
+    EXPECT_EQ(dev.allocator().liveAllocations(), before);
+}

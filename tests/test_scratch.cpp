@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Scratch allocator tests: lane/bit allocation, partition placement
+ * constraints, exhaustion, reset.
+ */
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "driver/scratch.hpp"
+
+using namespace pypim;
+
+namespace
+{
+
+class ScratchTest : public ::testing::Test
+{
+  protected:
+    ScratchTest() : geo(testGeometry()), pool(geo) {}
+
+    uint32_t partOf(uint32_t col) { return col / geo.partitionWidth(); }
+    uint32_t slotOf(uint32_t col) { return col % geo.partitionWidth(); }
+
+    Geometry geo;
+    ScratchPool pool;
+};
+
+} // namespace
+
+TEST_F(ScratchTest, LanesComeFromScratchRegion)
+{
+    const uint32_t lane = pool.allocLane();
+    EXPECT_GE(lane, geo.userRegs);
+    EXPECT_LT(lane, geo.slots());
+    pool.freeLane(lane);
+    EXPECT_EQ(pool.slotsInUse(), 0u);
+}
+
+TEST_F(ScratchTest, LanesAreDistinct)
+{
+    std::vector<uint32_t> lanes;
+    for (uint32_t i = 0; i < geo.scratchSlots(); ++i)
+        lanes.push_back(pool.allocLane());
+    std::sort(lanes.begin(), lanes.end());
+    EXPECT_EQ(std::unique(lanes.begin(), lanes.end()), lanes.end());
+}
+
+TEST_F(ScratchTest, ExhaustionPanics)
+{
+    for (uint32_t i = 0; i < geo.scratchSlots(); ++i)
+        pool.allocLane();
+    EXPECT_THROW(pool.allocLane(), InternalError);
+}
+
+TEST_F(ScratchTest, BitAllocationInRequestedPartition)
+{
+    const uint32_t c = pool.allocBitIn(7);
+    EXPECT_EQ(partOf(c), 7u);
+    EXPECT_GE(slotOf(c), geo.userRegs);
+}
+
+TEST_F(ScratchTest, BitsInSamePartitionShareASlotLane)
+{
+    const uint32_t a = pool.allocBitIn(3);
+    const uint32_t b = pool.allocBitIn(4);
+    // Different partitions of the same backing slot: only 1 slot used.
+    EXPECT_EQ(slotOf(a), slotOf(b));
+    EXPECT_EQ(pool.slotsInUse(), 1u);
+    const uint32_t c = pool.allocBitIn(3);
+    // Partition 3 already used in that slot: new backing slot.
+    EXPECT_NE(slotOf(c), slotOf(a));
+    EXPECT_EQ(pool.slotsInUse(), 2u);
+}
+
+TEST_F(ScratchTest, AllocBitOutsideAvoidsOpenInterval)
+{
+    for (int i = 0; i < 200; ++i) {
+        const uint32_t c = pool.allocBitOutside(5, 20);
+        const uint32_t p = partOf(c);
+        EXPECT_TRUE(p <= 5 || p >= 20) << "partition " << p;
+    }
+}
+
+TEST_F(ScratchTest, FreeBitReleasesSlotWhenEmpty)
+{
+    const uint32_t a = pool.allocBitIn(0);
+    const uint32_t b = pool.allocBitIn(1);
+    EXPECT_EQ(pool.slotsInUse(), 1u);
+    pool.freeBit(a);
+    EXPECT_EQ(pool.slotsInUse(), 1u);
+    pool.freeBit(b);
+    EXPECT_EQ(pool.slotsInUse(), 0u);
+}
+
+TEST_F(ScratchTest, DoubleFreePanics)
+{
+    const uint32_t a = pool.allocBitIn(0);
+    pool.freeBit(a);
+    EXPECT_THROW(pool.freeBit(a), InternalError);
+}
+
+TEST_F(ScratchTest, MixedLaneAndBitSlotsDoNotCollide)
+{
+    const uint32_t lane = pool.allocLane();
+    const uint32_t bit = pool.allocBitIn(0);
+    EXPECT_NE(lane, slotOf(bit));
+    EXPECT_THROW(pool.freeBit(geo.column(0, lane)), InternalError);
+    EXPECT_THROW(pool.freeLane(slotOf(bit)), InternalError);
+}
+
+TEST_F(ScratchTest, ResetReleasesEverything)
+{
+    pool.allocLane();
+    pool.allocBitIn(2);
+    pool.allocBitOutside(0, 0);
+    pool.reset();
+    EXPECT_EQ(pool.slotsInUse(), 0u);
+    // All slots allocatable again.
+    for (uint32_t i = 0; i < geo.scratchSlots(); ++i)
+        pool.allocLane();
+}
+
+TEST_F(ScratchTest, HighWaterTracksPeak)
+{
+    const uint32_t a = pool.allocLane();
+    const uint32_t b = pool.allocLane();
+    pool.freeLane(a);
+    pool.freeLane(b);
+    EXPECT_EQ(pool.highWater(), 2u);
+    EXPECT_EQ(pool.slotsInUse(), 0u);
+}

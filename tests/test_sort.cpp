@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Bitonic sorting tests (paper §VI "Sorting"): intra-warp and
+ * inter-warp (multi-crossbar) sorts on int and float tensors, views,
+ * and validation.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "pim/pypim.hpp"
+
+using namespace pypim;
+
+namespace
+{
+
+class SortTest : public ::testing::Test
+{
+  protected:
+    SortTest() : dev(testGeometry()) {}
+
+    Device dev;
+    Rng rng;
+};
+
+} // namespace
+
+TEST_F(SortTest, SmallIntSort)
+{
+    std::vector<int32_t> v = {5, -3, 8, 0, -3, 2, 7, 1};
+    Tensor t = Tensor::fromVector(v, &dev);
+    t.sort();
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(t.toIntVector(), v);
+}
+
+TEST_F(SortTest, IntraWarpFloatSort)
+{
+    const uint64_t n = dev.geometry().rows;  // one full warp
+    std::vector<float> v = rng.floatVec(n, -1e4f, 1e4f);
+    Tensor t = Tensor::fromVector(v, &dev);
+    t.sort();
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(t.toFloatVector(), v);
+}
+
+TEST_F(SortTest, InterWarpSortAcrossCrossbars)
+{
+    const uint64_t n = dev.geometry().rows * dev.geometry().numCrossbars;
+    std::vector<int32_t> v(n);
+    for (auto &x : v)
+        x = rng.int32();
+    Tensor t = Tensor::fromVector(v, &dev);
+    t.sort();
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(t.toIntVector(), v);
+}
+
+TEST_F(SortTest, TwoWarpSort)
+{
+    const uint64_t n = dev.geometry().rows * 2;
+    std::vector<float> v = rng.floatVec(n, -1.f, 1.f);
+    Tensor t = Tensor::fromVector(v, &dev);
+    t.sort();
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(t.toFloatVector(), v);
+}
+
+TEST_F(SortTest, SortedIsNonDestructive)
+{
+    std::vector<int32_t> v = {4, 1, 3, 2};
+    Tensor t = Tensor::fromVector(v, &dev);
+    Tensor s = t.sorted();
+    EXPECT_EQ(t.toIntVector(), v);
+    EXPECT_EQ(s.toIntVector(), (std::vector<int32_t>{1, 2, 3, 4}));
+}
+
+TEST_F(SortTest, SortThroughView)
+{
+    // The artifact's x[::2].sort() example (§G).
+    std::vector<float> v = {0.f, 0.f, 2.5f, 1.25f, 2.25f, 0.f, 0.f, 0.f};
+    Tensor x = Tensor::fromVector(v, &dev);
+    Tensor view = x.every(2);
+    view.sort();
+    EXPECT_EQ(view.toFloatVector(),
+              (std::vector<float>{0.f, 0.f, 2.25f, 2.5f}));
+    // Odd elements untouched.
+    EXPECT_EQ(x.getF(1), 0.f);
+    EXPECT_EQ(x.getF(3), 1.25f);
+}
+
+TEST_F(SortTest, AlreadySortedAndReversed)
+{
+    std::vector<int32_t> inc(64), dec(64);
+    for (int i = 0; i < 64; ++i) {
+        inc[i] = i;
+        dec[i] = 63 - i;
+    }
+    Tensor a = Tensor::fromVector(inc, &dev);
+    a.sort();
+    EXPECT_EQ(a.toIntVector(), inc);
+    Tensor b = Tensor::fromVector(dec, &dev);
+    b.sort();
+    EXPECT_EQ(b.toIntVector(), inc);
+}
+
+TEST_F(SortTest, DuplicatesAndNegatives)
+{
+    std::vector<int32_t> v(128);
+    for (auto &x : v)
+        x = rng.int32In(-3, 3);
+    Tensor t = Tensor::fromVector(v, &dev);
+    t.sort();
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(t.toIntVector(), v);
+}
+
+TEST_F(SortTest, RejectsNonPowerOfTwo)
+{
+    Tensor t = Tensor::zeros(12, DType::Int32, &dev);
+    EXPECT_THROW(t.sort(), Error);
+}
+
+TEST_F(SortTest, TrivialLengths)
+{
+    Tensor one = Tensor::fromVector(std::vector<int32_t>{9}, &dev);
+    one.sort();
+    EXPECT_EQ(one.getI(0), 9);
+    Tensor two = Tensor::fromVector(std::vector<int32_t>{7, -7}, &dev);
+    two.sort();
+    EXPECT_EQ(two.toIntVector(), (std::vector<int32_t>{-7, 7}));
+}
+
+TEST_F(SortTest, NoStorageLeaks)
+{
+    std::vector<int32_t> v(64);
+    for (auto &x : v)
+        x = rng.int32();
+    Tensor t = Tensor::fromVector(v, &dev);
+    const uint32_t before = dev.allocator().liveAllocations();
+    t.sort();
+    EXPECT_EQ(dev.allocator().liveAllocations(), before);
+}

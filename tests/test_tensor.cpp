@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tensor library tests: factories, host I/O, views, elementwise
+ * operators (with alignment fall-backs), scalar broadcasts, where/abs/
+ * sign, and storage lifetime.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "pim/pypim.hpp"
+
+using namespace pypim;
+
+namespace
+{
+
+class TensorTest : public ::testing::Test
+{
+  protected:
+    TensorTest() : dev(testGeometry()) {}
+
+    std::vector<float>
+    randFloats(size_t n, float lo = -100.f, float hi = 100.f)
+    {
+        return rng.floatVec(n, lo, hi);
+    }
+
+    std::vector<int32_t>
+    randInts(size_t n, int32_t lo = -1000, int32_t hi = 1000)
+    {
+        std::vector<int32_t> v(n);
+        for (auto &x : v)
+            x = rng.int32In(lo, hi);
+        return v;
+    }
+
+    Device dev;
+    Rng rng;
+};
+
+} // namespace
+
+TEST_F(TensorTest, ZerosAndFull)
+{
+    Tensor z = Tensor::zeros(100, DType::Float32, &dev);
+    EXPECT_EQ(z.size(), 100u);
+    EXPECT_EQ(z.dtype(), DType::Float32);
+    for (uint64_t i : {0ull, 50ull, 99ull})
+        EXPECT_EQ(z.getF(i), 0.0f);
+    Tensor f = Tensor::full(80, 2.5f, &dev);
+    for (uint64_t i : {0ull, 79ull})
+        EXPECT_EQ(f.getF(i), 2.5f);
+    Tensor n = Tensor::full(10, int32_t{-7}, &dev);
+    EXPECT_EQ(n.getI(3), -7);
+}
+
+TEST_F(TensorTest, MultiWarpFactories)
+{
+    const uint64_t n = dev.geometry().rows * 3 + 5;
+    Tensor f = Tensor::full(n, 1.5f, &dev);
+    EXPECT_EQ(f.getF(0), 1.5f);
+    EXPECT_EQ(f.getF(n - 1), 1.5f);
+    EXPECT_EQ(f.getF(dev.geometry().rows * 2), 1.5f);
+}
+
+TEST_F(TensorTest, FromToVectorRoundTrip)
+{
+    const auto v = randFloats(150);
+    Tensor t = Tensor::fromVector(v, &dev);
+    EXPECT_EQ(t.toFloatVector(), v);
+    const auto w = randInts(150);
+    Tensor u = Tensor::fromVector(w, &dev);
+    EXPECT_EQ(u.toIntVector(), w);
+}
+
+TEST_F(TensorTest, SetGetElementwise)
+{
+    Tensor t = Tensor::zeros(8, DType::Float32, &dev);
+    t.set(4, 8.0f);
+    t.set(5, 20.0f);
+    EXPECT_EQ(t.getF(4), 8.0f);
+    EXPECT_EQ(t.getF(5), 20.0f);
+    EXPECT_EQ(t.getF(0), 0.0f);
+}
+
+TEST_F(TensorTest, IotaSingleAndMultiWarp)
+{
+    Tensor small = Tensor::iota(50, &dev);
+    for (uint64_t i : {0ull, 17ull, 49ull})
+        EXPECT_EQ(small.getI(i), static_cast<int32_t>(i));
+    const uint64_t n = dev.geometry().rows * 2 + 9;
+    Tensor big = Tensor::iota(n, &dev);
+    const auto v = big.toIntVector();
+    for (uint64_t i = 0; i < n; ++i)
+        ASSERT_EQ(v[i], static_cast<int32_t>(i)) << "i=" << i;
+}
+
+TEST_F(TensorTest, ElementwiseFloatArithmetic)
+{
+    const auto va = randFloats(200);
+    const auto vb = randFloats(200);
+    Tensor a = Tensor::fromVector(va, &dev);
+    Tensor b = Tensor::fromVector(vb, &dev);
+    const auto sum = (a + b).toFloatVector();
+    const auto dif = (a - b).toFloatVector();
+    const auto prd = (a * b).toFloatVector();
+    const auto quo = (a / b).toFloatVector();
+    for (size_t i = 0; i < va.size(); ++i) {
+        ASSERT_EQ(sum[i], va[i] + vb[i]) << i;
+        ASSERT_EQ(dif[i], va[i] - vb[i]) << i;
+        ASSERT_EQ(prd[i], va[i] * vb[i]) << i;
+        ASSERT_EQ(quo[i], va[i] / vb[i]) << i;
+    }
+}
+
+TEST_F(TensorTest, ElementwiseIntArithmetic)
+{
+    const auto va = randInts(200);
+    auto vb = randInts(200);
+    for (auto &x : vb)
+        if (x == 0)
+            x = 3;
+    Tensor a = Tensor::fromVector(va, &dev);
+    Tensor b = Tensor::fromVector(vb, &dev);
+    const auto sum = (a + b).toIntVector();
+    const auto prd = (a * b).toIntVector();
+    const auto quo = (a / b).toIntVector();
+    const auto rem = (a % b).toIntVector();
+    const auto neg = (-a).toIntVector();
+    for (size_t i = 0; i < va.size(); ++i) {
+        ASSERT_EQ(sum[i], va[i] + vb[i]) << i;
+        ASSERT_EQ(prd[i], va[i] * vb[i]) << i;
+        ASSERT_EQ(quo[i], va[i] / vb[i]) << i;
+        ASSERT_EQ(rem[i], va[i] % vb[i]) << i;
+        ASSERT_EQ(neg[i], -va[i]) << i;
+    }
+}
+
+TEST_F(TensorTest, ScalarBroadcasts)
+{
+    const auto va = randFloats(64);
+    Tensor a = Tensor::fromVector(va, &dev);
+    const auto r1 = (a * 2.0f).toFloatVector();
+    const auto r2 = (1.0f + a).toFloatVector();
+    const auto r3 = (a - 0.5f).toFloatVector();
+    const auto r4 = (10.0f / a).toFloatVector();
+    for (size_t i = 0; i < va.size(); ++i) {
+        ASSERT_EQ(r1[i], va[i] * 2.0f);
+        ASSERT_EQ(r2[i], 1.0f + va[i]);
+        ASSERT_EQ(r3[i], va[i] - 0.5f);
+        ASSERT_EQ(r4[i], 10.0f / va[i]);
+    }
+}
+
+TEST_F(TensorTest, ComparisonsAndWhere)
+{
+    const auto va = randFloats(128);
+    const auto vb = randFloats(128);
+    Tensor a = Tensor::fromVector(va, &dev);
+    Tensor b = Tensor::fromVector(vb, &dev);
+    const auto lt = (a < b).toIntVector();
+    const auto ge = (a >= b).toIntVector();
+    const auto sel = where(a < b, a, b).toFloatVector();  // min
+    const auto mx = maximum(a, b).toFloatVector();
+    for (size_t i = 0; i < va.size(); ++i) {
+        ASSERT_EQ(lt[i], va[i] < vb[i] ? 1 : 0);
+        ASSERT_EQ(ge[i], va[i] >= vb[i] ? 1 : 0);
+        ASSERT_EQ(sel[i], std::min(va[i], vb[i]));
+        ASSERT_EQ(mx[i], std::max(va[i], vb[i]));
+    }
+}
+
+TEST_F(TensorTest, AbsSignZero)
+{
+    auto va = randFloats(96);
+    va[0] = 0.0f;
+    va[1] = -0.0f;
+    Tensor a = Tensor::fromVector(va, &dev);
+    const auto ab = abs(a).toFloatVector();
+    const auto zz = isZero(a).toIntVector();
+    for (size_t i = 0; i < va.size(); ++i) {
+        ASSERT_EQ(ab[i], std::fabs(va[i]));
+        ASSERT_EQ(zz[i], va[i] == 0.0f ? 1 : 0);
+    }
+}
+
+TEST_F(TensorTest, SliceViewsReadThrough)
+{
+    const auto v = randFloats(100);
+    Tensor t = Tensor::fromVector(v, &dev);
+    Tensor even = t.every(2);
+    EXPECT_EQ(even.size(), 50u);
+    EXPECT_TRUE(even.isView());
+    for (uint64_t i = 0; i < 50; ++i)
+        ASSERT_EQ(even.getF(i), v[2 * i]);
+    Tensor mid = t.slice(10, 40, 3);
+    EXPECT_EQ(mid.size(), 10u);
+    for (uint64_t i = 0; i < 10; ++i)
+        ASSERT_EQ(mid.getF(i), v[10 + 3 * i]);
+    // Writing through a view hits the underlying storage.
+    even.set(3, 999.0f);
+    EXPECT_EQ(t.getF(6), 999.0f);
+}
+
+TEST_F(TensorTest, AlignedViewArithmeticUsesRowMasks)
+{
+    const auto v = randFloats(128);
+    Tensor t = Tensor::fromVector(v, &dev);
+    Tensor u = Tensor::fromVector(v, &dev);
+    // Same slicing pattern on both: directly maskable, no moves.
+    const auto got = (t.every(2) * u.every(2)).toFloatVector();
+    for (uint64_t i = 0; i < 64; ++i)
+        ASSERT_EQ(got[i], v[2 * i] * v[2 * i]);
+}
+
+TEST_F(TensorTest, MisalignedViewArithmeticFallsBackToMoves)
+{
+    const auto v = randFloats(128);
+    Tensor t = Tensor::fromVector(v, &dev);
+    // x[::2] + x[1::2]: the paper's Fig. 2 example — requires moving
+    // the odd elements onto the even rows first.
+    const auto got = (t.every(2) + t.every(2, 1)).toFloatVector();
+    for (uint64_t i = 0; i < 64; ++i)
+        ASSERT_EQ(got[i], v[2 * i] + v[2 * i + 1]) << "i=" << i;
+}
+
+TEST_F(TensorTest, CrossWarpViewArithmetic)
+{
+    const uint64_t rows = dev.geometry().rows;
+    const auto v = randFloats(rows * 4);
+    Tensor t = Tensor::fromVector(v, &dev);
+    // First half + second half: operands live in different warps.
+    Tensor lo = t.slice(0, rows * 2);
+    Tensor hi = t.slice(rows * 2, rows * 4);
+    const auto got = (lo + hi).toFloatVector();
+    for (uint64_t i = 0; i < rows * 2; ++i)
+        ASSERT_EQ(got[i], v[i] + v[rows * 2 + i]) << "i=" << i;
+}
+
+TEST_F(TensorTest, CloneAndAssignFrom)
+{
+    const auto v = randFloats(64);
+    Tensor t = Tensor::fromVector(v, &dev);
+    Tensor c = t.every(2).clone();
+    EXPECT_FALSE(c.isView());
+    for (uint64_t i = 0; i < 32; ++i)
+        ASSERT_EQ(c.getF(i), v[2 * i]);
+    // Scatter back through a view.
+    Tensor z = Tensor::zeros(32, DType::Float32, &dev);
+    t.every(2).assignFrom(z);
+    for (uint64_t i = 0; i < 64; ++i)
+        ASSERT_EQ(t.getF(i), i % 2 ? v[i] : 0.0f) << "i=" << i;
+}
+
+TEST_F(TensorTest, StorageFreedWhenHandlesDie)
+{
+    const uint32_t before = dev.allocator().liveAllocations();
+    {
+        Tensor a = Tensor::zeros(10, DType::Int32, &dev);
+        Tensor view = a.every(2);  // shares storage
+        Tensor b = a + a.every(1);
+        EXPECT_GT(dev.allocator().liveAllocations(), before);
+    }
+    EXPECT_EQ(dev.allocator().liveAllocations(), before);
+}
+
+TEST_F(TensorTest, DtypeAndSizeValidation)
+{
+    Tensor f = Tensor::zeros(10, DType::Float32, &dev);
+    Tensor i = Tensor::zeros(10, DType::Int32, &dev);
+    Tensor s = Tensor::zeros(5, DType::Float32, &dev);
+    EXPECT_THROW(f + i, Error);
+    EXPECT_THROW(f + s, Error);
+    EXPECT_THROW(f % f, Error);   // Mod is int-only (Table II)
+    EXPECT_NO_THROW(f & f);       // bitwise is dtype-agnostic (Table II)
+    EXPECT_THROW(f + int32_t{1}, Error);
+    EXPECT_THROW(i + 1.0f, Error);
+    EXPECT_THROW(f.getI(0), Error);
+    EXPECT_THROW(f.slice(0, 11), Error);
+    EXPECT_THROW(f.slice(3, 3), Error);
+}
+
+TEST_F(TensorTest, ToStringShape)
+{
+    Tensor t = Tensor::fromVector(std::vector<float>{1.f, 2.f, 3.f},
+                                  &dev);
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("shape=(3,)"), std::string::npos);
+    EXPECT_NE(s.find("float32"), std::string::npos);
+    EXPECT_NE(t.every(2).toString().find("TensorView"),
+              std::string::npos);
+}

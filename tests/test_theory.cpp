@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Theory-model tests: the theoretical bound must be a true lower bound
+ * on measured cycles, close for lane-optimised ops, and consistent
+ * between the stats-based and instruction-based entry points.
+ */
+#include <gtest/gtest.h>
+
+#include "pim_test_util.hpp"
+#include "theory/model.hpp"
+
+using namespace pypim;
+using pypim::test::DriverFixture;
+
+namespace
+{
+
+class TheoryTest : public DriverFixture
+{
+  protected:
+    TheoryTest() : DriverFixture(Driver::Mode::Serial) {}
+
+    /** Measured cycles and theory bound for one full-mask op. */
+    std::pair<uint64_t, uint64_t>
+    measuredVsTheory(ROp op, DType dt)
+    {
+        loadReg(0, std::vector<uint32_t>(threads(), 1234567));
+        loadReg(1, std::vector<uint32_t>(threads(), 89));
+        sim.stats().clear();
+        run(op, dt, 2, 0, 1);
+        const Stats s = sim.stats();
+        return {s.totalCycles(), theory::theoreticalCycles(s, geo)};
+    }
+};
+
+} // namespace
+
+TEST_F(TheoryTest, TheoryIsALowerBoundForEveryOp)
+{
+    for (DType dt : {DType::Int32, DType::Float32}) {
+        for (ROp op : {ROp::Add, ROp::Sub, ROp::Mul, ROp::Div, ROp::Lt,
+                       ROp::Eq, ROp::BitXor, ROp::Abs, ROp::Sign}) {
+            const auto [measured, bound] = measuredVsTheory(op, dt);
+            EXPECT_LE(bound, measured)
+                << ropName(op) << " " << dtypeName(dt);
+            EXPECT_GT(bound, 0u) << ropName(op);
+        }
+    }
+}
+
+TEST_F(TheoryTest, LaneOptimisedOpsSitNearTheBound)
+{
+    // Serial int add: 288 gates + 9 amortised inits vs 301 measured.
+    const auto [measured, bound] = measuredVsTheory(ROp::Add,
+                                                    DType::Int32);
+    EXPECT_LE(measured, bound + bound / 10)
+        << "int add should be within 10% of theory";
+}
+
+TEST_F(TheoryTest, InstructionCyclesMatchesStatsPath)
+{
+    const auto [measured, bound] = measuredVsTheory(ROp::Mul,
+                                                    DType::Int32);
+    (void)measured;
+    const uint64_t viaInstr = theory::instructionCycles(
+        geo, /*parallelMode=*/false, ROp::Mul, DType::Int32);
+    EXPECT_EQ(viaInstr, bound);
+}
+
+TEST_F(TheoryTest, ParallelBoundBelowSerialBound)
+{
+    const uint64_t serial = theory::instructionCycles(
+        geo, false, ROp::Add, DType::Int32);
+    const uint64_t parallel = theory::instructionCycles(
+        geo, true, ROp::Add, DType::Int32);
+    EXPECT_LT(parallel, serial);
+}
+
+TEST_F(TheoryTest, ThroughputEquation)
+{
+    // Paper Eq. (1): parallelism / latency * frequency.
+    Geometry dep = tableIIIGeometry();
+    const double tput = theory::throughput(300, dep.totalRows(), dep);
+    EXPECT_DOUBLE_EQ(tput, static_cast<double>(dep.totalRows()) *
+                               dep.clockHz / 300.0);
+    EXPECT_EQ(theory::throughput(0, 100, dep), 0.0);
+}
+
+TEST_F(TheoryTest, MovesAndIoCountedInBound)
+{
+    sim.stats().clear();
+    sim.perform(MicroOp::crossbarMask(Range::single(0)));
+    sim.perform(MicroOp::move(1, 0, 0, 0, 0));  // 2 cycles at level 1
+    sim.perform(MicroOp::rowMask(Range::single(0)));
+    sim.perform(MicroOp::write(0, 7));
+    const uint64_t bound = theory::theoreticalCycles(sim.stats(), geo);
+    EXPECT_EQ(bound, 2u + 1u);  // move cycles + write, masks excluded
+}
