@@ -92,7 +92,7 @@ simulateInstr(benchmark::State &state, ROp op, DType dt)
 {
     const Geometry g = benchGeometry(
         static_cast<uint32_t>(state.range(0)));
-    Simulator sim(g);
+    Simulator sim(g, engineConfig());
     Driver drv(sim, g, Driver::Mode::Parallel);
     Rng rng(1);
     fillRegister(sim, 0, rng, dt == DType::Float32);
@@ -120,10 +120,12 @@ BENCHMARK_CAPTURE(simulateInstr, fp_mul, ROp::Mul, DType::Float32)
 int
 main(int argc, char **argv)
 {
+    applyEngineFlags(argc, argv);
     benchmark::Initialize(&argc, argv);
+    printEngineBanner();
 
     const Geometry g = benchGeometry();
-    Simulator sim(g);
+    Simulator sim(g, engineConfig());
     Driver drv(sim, g, Driver::Mode::Parallel);
     Rng rng(42);
     fillRegister(sim, 0, rng, false);

@@ -21,9 +21,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "pim/pypim.hpp"
 #include "sim/sink.hpp"
@@ -39,6 +41,69 @@ benchGeometry(uint32_t crossbars = 16)
     Geometry g;
     g.numCrossbars = crossbars;
     return g;
+}
+
+/**
+ * Process-wide execution-engine selection for bench simulators.
+ * Defaults from the PYPIM_ENGINE / PYPIM_THREADS environment (serial
+ * when unset); overridable on the command line via applyEngineFlags.
+ */
+inline EngineConfig &
+engineConfig()
+{
+    static EngineConfig cfg = EngineConfig::fromEnv();
+    return cfg;
+}
+
+/**
+ * Parse and strip --engine=serial|sharded and --threads=N from argv
+ * (before benchmark::Initialize, which rejects unknown flags), storing
+ * the result in engineConfig(). Invalid values abort, exactly like the
+ * PYPIM_ENGINE / PYPIM_THREADS environment path — a typo must never
+ * silently benchmark the wrong engine.
+ */
+inline void
+applyEngineFlags(int &argc, char **argv)
+{
+    EngineConfig &cfg = engineConfig();
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg(argv[i]);
+        if (arg.rfind("--engine=", 0) == 0) {
+            const std::string v = arg.substr(9);
+            if (v == "sharded")
+                cfg.kind = EngineKind::Sharded;
+            else if (v == "serial")
+                cfg.kind = EngineKind::Serial;
+            else
+                fatal("--engine=" + v +
+                      ": unknown engine (expected serial|sharded)");
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            const char *s = arg.c_str() + 10;
+            char *end = nullptr;
+            const long n = std::strtol(s, &end, 10);
+            fatalIf(*s == '\0' || *end != '\0' || n < 0 ||
+                        n > 1 << 20,
+                    "--threads=" + arg.substr(10) +
+                        ": expected a non-negative integer");
+            cfg.threads = static_cast<uint32_t>(n);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+}
+
+/** One-line engine banner for bench output. */
+inline void
+printEngineBanner()
+{
+    const EngineConfig &cfg = engineConfig();
+    std::printf("simulator engine: %s", engineKindName(cfg.kind));
+    if (cfg.kind == EngineKind::Sharded)
+        std::printf(" (%u threads)", cfg.resolvedThreads());
+    std::printf("  [--engine=serial|sharded --threads=N or "
+                "PYPIM_ENGINE/PYPIM_THREADS]\n");
 }
 
 /** Full-scale deployment (Table III: 64k crossbars, 64M rows). */

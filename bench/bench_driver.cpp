@@ -64,7 +64,12 @@ BENCHMARK_CAPTURE(generate, fp_div, ROp::Div, DType::Float32);
 int
 main(int argc, char **argv)
 {
+    applyEngineFlags(argc, argv);
     benchmark::Initialize(&argc, argv);
+    // The driver bench streams into a memory buffer (no simulator),
+    // but accepts the shared engine flags so sweep scripts can pass
+    // one uniform command line to every bench target.
+    printEngineBanner();
 
     const Geometry g = benchGeometry();
     const double chipRate = static_cast<double>(g.clockHz);

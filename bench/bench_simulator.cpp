@@ -4,11 +4,17 @@
  * CPU substitute uses the same condensed bit-packed storage). Reports
  * the host-side micro-op execution rate as the simulated memory scales
  * in crossbar count and rows — the quantities that determine the cost
- * of one broadcast logic op (O(crossbars * rows/64) word operations).
+ * of one broadcast logic op (O(crossbars * rows/64) word operations) —
+ * and sweeps the sharded execution engine across thread counts to show
+ * how simulation throughput scales with host cores the way real PIM
+ * scales with independent compute arrays.
  */
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "bench_common.hpp"
+#include "sim/sharded_engine.hpp"
 
 using namespace pypim;
 using namespace pypim::bench;
@@ -22,7 +28,7 @@ simScaling(benchmark::State &state)
 {
     Geometry g = benchGeometry(static_cast<uint32_t>(state.range(0)));
     g.rows = static_cast<uint32_t>(state.range(1));
-    Simulator sim(g);
+    Simulator sim(g, engineConfig());
     Driver drv(sim, g, Driver::Mode::Parallel);
     Rng rng(3);
     fillRegister(sim, 0, rng, true);
@@ -39,12 +45,10 @@ simScaling(benchmark::State &state)
         static_cast<double>(g.totalRows());
 }
 
-/** Raw logic micro-op execution rate (single periodic NOR). */
-void
-rawLogicOps(benchmark::State &state)
+/** The raw-logic batch both engine benchmarks replay. */
+std::vector<Word>
+logicBatch(const Geometry &g, int pairs = 512)
 {
-    Geometry g = benchGeometry(static_cast<uint32_t>(state.range(0)));
-    Simulator sim(g);
     const Word init = MicroOp::logicH(Gate::Init1, 0, 0,
                                       g.column(4, 0),
                                       g.partitions - 1, 1).encode();
@@ -52,10 +56,21 @@ rawLogicOps(benchmark::State &state)
                                      g.column(1, 0), g.column(4, 0),
                                      g.partitions - 1, 1).encode();
     std::vector<Word> batch;
-    for (int i = 0; i < 512; ++i) {
+    batch.reserve(2 * static_cast<size_t>(pairs));
+    for (int i = 0; i < pairs; ++i) {
         batch.push_back(init);
         batch.push_back(nor);
     }
+    return batch;
+}
+
+/** Raw logic micro-op execution rate (single periodic NOR). */
+void
+rawLogicOps(benchmark::State &state)
+{
+    Geometry g = benchGeometry(static_cast<uint32_t>(state.range(0)));
+    Simulator sim(g, engineConfig());
+    const std::vector<Word> batch = logicBatch(g);
     for (auto _ : state)
         sim.performBatch(batch.data(), batch.size());
     state.SetItemsProcessed(
@@ -63,12 +78,29 @@ rawLogicOps(benchmark::State &state)
         static_cast<int64_t>(batch.size()));
 }
 
+/** Sharded-engine logic rate: Args({crossbars, threads}). */
+void
+shardedLogicOps(benchmark::State &state)
+{
+    Geometry g = benchGeometry(static_cast<uint32_t>(state.range(0)));
+    Simulator sim(g, EngineConfig::sharded(
+                         static_cast<uint32_t>(state.range(1))));
+    const std::vector<Word> batch = logicBatch(g);
+    for (auto _ : state)
+        sim.performBatch(batch.data(), batch.size());
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(batch.size()));
+    state.counters["threads"] =
+        static_cast<double>(sim.engine().threads());
+}
+
 /** Move-op execution rate (H-tree transfers). */
 void
 moveOps(benchmark::State &state)
 {
     Geometry g = benchGeometry(static_cast<uint32_t>(state.range(0)));
-    Simulator sim(g);
+    Simulator sim(g, engineConfig());
     std::vector<Word> batch;
     batch.push_back(
         MicroOp::crossbarMask(Range(0, g.numCrossbars / 2 - 1, 1))
@@ -84,6 +116,78 @@ moveOps(benchmark::State &state)
         static_cast<int64_t>(state.iterations()) * 256);
 }
 
+/** Micro-ops per second replaying @p batch on @p sim. */
+double
+replayRate(Simulator &sim, const std::vector<Word> &batch,
+           double minSeconds = 0.25)
+{
+    sim.performBatch(batch.data(), batch.size());  // warm-up
+    using clock = std::chrono::steady_clock;
+    uint64_t reps = 0;
+    const auto t0 = clock::now();
+    double elapsed = 0.0;
+    do {
+        sim.performBatch(batch.data(), batch.size());
+        ++reps;
+        elapsed = std::chrono::duration<double>(clock::now() - t0)
+                      .count();
+    } while (elapsed < minSeconds);
+    return static_cast<double>(reps * batch.size()) / elapsed;
+}
+
+/**
+ * Serial-vs-sharded thread sweep: the headline table for the engine
+ * work. Broadcast logic dominates every workload in the repo, so the
+ * sweep replays the canonical INIT+NOR batch.
+ */
+void
+threadSweep()
+{
+    std::printf("\n=== Execution-engine thread sweep (INIT+NOR "
+                "batch, 1024 rows) ===\n");
+    std::printf("host hardware concurrency: %u\n",
+                std::thread::hardware_concurrency());
+    std::printf("%-10s %14s | %7s %25s %8s\n", "crossbars",
+                "serial [Mop/s]", "threads",
+                "sharded [Mop/s] (speedup)", "balance");
+    for (uint32_t crossbars : {16u, 64u, 256u}) {
+        const Geometry g = benchGeometry(crossbars);
+        const std::vector<Word> batch = logicBatch(g);
+        double serialRate = 0.0;
+        {
+            Simulator sim(g);
+            serialRate = replayRate(sim, batch);
+        }
+        bool first = true;
+        for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+            Simulator sim(g, EngineConfig::sharded(threads));
+            const double rate = replayRate(sim, batch);
+            // Shard load balance: min/max applied work across shards
+            // (1.00 = perfectly even).
+            const auto &eng =
+                static_cast<const ShardedEngine &>(sim.engine());
+            uint64_t lo = UINT64_MAX, hi = 0;
+            for (const Stats &w : eng.shardWork()) {
+                lo = std::min(lo, w.totalOps());
+                hi = std::max(hi, w.totalOps());
+            }
+            if (first)
+                std::printf("%-10u %14.2f", crossbars,
+                            serialRate / 1e6);
+            else
+                std::printf("%-10s %14s", "", "");
+            std::printf(" | %7u %15.2f (%5.2fx) %7.2f\n", threads,
+                        rate / 1e6, rate / serialRate,
+                        hi ? static_cast<double>(lo) /
+                                 static_cast<double>(hi)
+                           : 0.0);
+            first = false;
+        }
+    }
+    std::printf("(speedups require free host cores; this table is "
+                "the acceptance gauge for ISSUE 1)\n");
+}
+
 } // namespace
 
 BENCHMARK(simScaling)
@@ -94,6 +198,23 @@ BENCHMARK(simScaling)
     ->Args({16, 256})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(rawLogicOps)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(shardedLogicOps)
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->Args({64, 8})
+    ->Args({256, 4})
+    ->Args({256, 8});
 BENCHMARK(moveOps)->Arg(16)->Arg(64);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    applyEngineFlags(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    printEngineBanner();
+    threadSweep();
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

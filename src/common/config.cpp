@@ -1,6 +1,8 @@
 #include "common/config.hpp"
 
+#include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "common/bitops.hpp"
 #include "common/error.hpp"
@@ -59,6 +61,45 @@ tableIIIGeometry()
     g.clockHz = 300'000'000;
     g.userRegs = 14;
     return g;
+}
+
+const char *
+engineKindName(EngineKind k)
+{
+    switch (k) {
+      case EngineKind::Serial:  return "serial";
+      case EngineKind::Sharded: return "sharded";
+      default:                  return "unknown";
+    }
+}
+
+EngineConfig
+EngineConfig::fromEnv()
+{
+    EngineConfig c;
+    if (const char *e = std::getenv("PYPIM_ENGINE")) {
+        const std::string s(e);
+        if (s == "sharded")
+            c.kind = EngineKind::Sharded;
+        else if (!s.empty() && s != "serial")
+            fatal("PYPIM_ENGINE: unknown engine '" + s +
+                  "' (expected serial|sharded)");
+    }
+    if (const char *t = std::getenv("PYPIM_THREADS")) {
+        const long n = std::atol(t);
+        fatalIf(n < 0, "PYPIM_THREADS: must be >= 0");
+        c.threads = static_cast<uint32_t>(n);
+    }
+    return c;
+}
+
+uint32_t
+EngineConfig::resolvedThreads() const
+{
+    if (threads != 0)
+        return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
 }
 
 Geometry

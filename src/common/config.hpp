@@ -83,6 +83,53 @@ Geometry tableIIIGeometry();
 /** Small geometry for fast unit tests (64 rows, 4 crossbars). */
 Geometry testGeometry();
 
+/**
+ * Execution-engine backend of the simulator (sim/engine.hpp).
+ *
+ * Both engines are bit-accurate and produce identical crossbar state
+ * and statistics; they differ only in how the host simulates the
+ * broadcast: Serial replays every micro-op over all mask-selected
+ * crossbars on the calling thread, Sharded partitions the crossbars
+ * across a persistent worker pool and executes whole batches
+ * shard-parallel (serialising only at cross-crossbar ops).
+ */
+enum class EngineKind : uint8_t
+{
+    Serial = 0,
+    Sharded
+};
+
+const char *engineKindName(EngineKind k);
+
+/** Simulator execution-engine selection knob. */
+struct EngineConfig
+{
+    EngineKind kind = EngineKind::Serial;
+    /** Worker threads for Sharded (0 = hardware concurrency). */
+    uint32_t threads = 0;
+
+    static EngineConfig serial() { return {}; }
+
+    static EngineConfig
+    sharded(uint32_t threads = 0)
+    {
+        EngineConfig c;
+        c.kind = EngineKind::Sharded;
+        c.threads = threads;
+        return c;
+    }
+
+    /**
+     * Engine selection from the environment: PYPIM_ENGINE=serial|
+     * sharded and PYPIM_THREADS=N. Unset or unrecognised values fall
+     * back to the serial default, so existing callers are unaffected.
+     */
+    static EngineConfig fromEnv();
+
+    /** Worker count after resolving 0 to the hardware concurrency. */
+    uint32_t resolvedThreads() const;
+};
+
 } // namespace pypim
 
 #endif // PYPIM_COMMON_CONFIG_HPP

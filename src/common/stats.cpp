@@ -75,6 +75,15 @@ Stats::operator+=(const Stats &other)
     return *this;
 }
 
+Stats
+Stats::merged(std::span<const Stats> shards)
+{
+    Stats out;
+    for (const Stats &s : shards)
+        out += s;
+    return out;
+}
+
 std::string
 Stats::summary() const
 {

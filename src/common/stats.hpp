@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 
 namespace pypim
@@ -69,6 +70,16 @@ struct Stats
     /** this - other, element-wise (for profiling windows). */
     Stats operator-(const Stats &other) const;
     Stats &operator+=(const Stats &other);
+
+    /** Exact equality (engine-parity tests compare whole blocks). */
+    bool operator==(const Stats &other) const = default;
+
+    /**
+     * Element-wise sum of per-shard counter blocks. The sharded
+     * execution engine keeps one Stats per worker shard so the hot
+     * path records without synchronisation; merge when reporting.
+     */
+    static Stats merged(std::span<const Stats> shards);
 
     /** Multi-line human-readable summary. */
     std::string summary() const;

@@ -3,9 +3,10 @@
 namespace pypim
 {
 
-Device::Device(const Geometry &geo, Driver::Mode mode)
+Device::Device(const Geometry &geo, Driver::Mode mode,
+               const EngineConfig &ec)
     : geo_(geo),
-      sim_(geo_),
+      sim_(geo_, ec),
       drv_(sim_, geo_, mode),
       mm_(geo_)
 {

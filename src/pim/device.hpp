@@ -26,9 +26,13 @@ class Device
      * Create a device with its own simulator instance.
      * @param geo memory geometry (validated)
      * @param mode driver arithmetic mode (paper Fig. 4)
+     * @param ec simulator execution backend; the default honours the
+     *           PYPIM_ENGINE / PYPIM_THREADS environment knobs and
+     *           falls back to the serial engine
      */
     explicit Device(const Geometry &geo,
-                    Driver::Mode mode = Driver::Mode::Parallel);
+                    Driver::Mode mode = Driver::Mode::Parallel,
+                    const EngineConfig &ec = EngineConfig::fromEnv());
 
     Device(const Device &) = delete;
     Device &operator=(const Device &) = delete;

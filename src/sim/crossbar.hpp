@@ -60,6 +60,15 @@ class Crossbar
     bool bit(uint32_t row, uint32_t col) const;
     void setBit(uint32_t row, uint32_t col, bool v);
 
+    /**
+     * Bit-exact state comparison (engine-parity tests). Both crossbars
+     * must share a geometry.
+     */
+    bool sameState(const Crossbar &other) const
+    {
+        return state_ == other.state_;
+    }
+
     const Geometry &geometry() const { return *geo_; }
 
   private:

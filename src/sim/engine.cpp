@@ -1,0 +1,162 @@
+#include "sim/engine.hpp"
+
+#include <string>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "sim/serial_engine.hpp"
+#include "sim/sharded_engine.hpp"
+#include "uarch/partition.hpp"
+
+namespace pypim
+{
+
+void
+ExecutionEngine::serialPerform(const MicroOp &op)
+{
+    switch (op.type) {
+      case OpType::CrossbarMask:
+        doCrossbarMask(op);
+        break;
+      case OpType::RowMask:
+        doRowMask(op);
+        break;
+      case OpType::Read:
+        // A read issued through the data-less path: execute it for its
+        // cycle cost and drop the response.
+        executeRead(op);
+        return;
+      case OpType::Write:
+        doWrite(op);
+        break;
+      case OpType::LogicH:
+        doLogicH(op);
+        break;
+      case OpType::LogicV:
+        doLogicV(op);
+        break;
+      case OpType::Move:
+        doMove(op);
+        break;
+    }
+}
+
+void
+ExecutionEngine::doCrossbarMask(const MicroOp &op)
+{
+    op.range.validate(geo_.numCrossbars, "crossbar");
+    mask_.xb = op.range;
+    stats_.record(OpClass::CrossbarMask);
+}
+
+void
+ExecutionEngine::doRowMask(const MicroOp &op)
+{
+    op.range.validate(geo_.rows, "row");
+    mask_.setRow(op.range, geo_.rows);
+    stats_.record(OpClass::RowMask);
+}
+
+uint32_t
+ExecutionEngine::executeRead(const MicroOp &op)
+{
+    panicIf(op.type != OpType::Read, "read: wrong op type");
+    fatalIf(op.index >= geo_.slots(), "read: slot index out of range");
+    fatalIf(mask_.xb.count() != 1,
+            "read: crossbar mask must select exactly one crossbar "
+            "(paper III-C), selects " + std::to_string(mask_.xb.count()));
+    fatalIf(mask_.row.count() != 1,
+            "read: row mask must select exactly one row (paper III-C), "
+            "selects " + std::to_string(mask_.row.count()));
+    stats_.record(OpClass::Read);
+    return xbs_[mask_.xb.start].read(op.index, mask_.row.start);
+}
+
+void
+ExecutionEngine::doWrite(const MicroOp &op)
+{
+    fatalIf(op.index >= geo_.slots(), "write: slot index out of range");
+    mask_.xb.forEach([&](uint32_t xb) {
+        xbs_[xb].write(op.index, op.value, mask_.rowWords);
+    });
+    stats_.record(OpClass::Write);
+}
+
+void
+ExecutionEngine::doLogicH(const MicroOp &op)
+{
+    const HalfGates hg = expandLogicH(op, geo_);
+    mask_.xb.forEach([&](uint32_t xb) {
+        xbs_[xb].logicH(hg, mask_.rowWords);
+    });
+    stats_.record(OpClass::LogicH);
+    if (op.gate == Gate::Nor || op.gate == Gate::Not)
+        ++stats_.logicGates;
+    else
+        ++stats_.logicInits;
+}
+
+void
+ExecutionEngine::doLogicV(const MicroOp &op)
+{
+    fatalIf(op.index >= geo_.slots(), "logicV: slot index out of range");
+    fatalIf(op.rowIn >= geo_.rows || op.rowOut >= geo_.rows,
+            "logicV: row out of range");
+    mask_.xb.forEach([&](uint32_t xb) {
+        xbs_[xb].logicV(op.gate, op.rowIn, op.rowOut, op.index);
+    });
+    stats_.record(OpClass::LogicV);
+    if (op.gate == Gate::Not)
+        ++stats_.logicGates;
+    else
+        ++stats_.logicInits;
+}
+
+void
+ExecutionEngine::doMove(const MicroOp &op)
+{
+    fatalIf(!isPow4(mask_.xb.step),
+            "move: crossbar mask step must be a power of four "
+            "(paper III-F)");
+    fatalIf(op.srcIdx >= geo_.slots() || op.dstIdx >= geo_.slots(),
+            "move: slot index out of range");
+    fatalIf(op.srcRow >= geo_.rows || op.dstRow >= geo_.rows,
+            "move: row out of range");
+    const int64_t dist = static_cast<int64_t>(op.dstStart) -
+                         static_cast<int64_t>(mask_.xb.start);
+    // Read-all-then-write-all semantics: overlapping source and
+    // destination sets (shift chains) behave as a parallel transfer.
+    std::vector<uint32_t> values;
+    values.reserve(mask_.xb.count());
+    mask_.xb.forEach([&](uint32_t src) {
+        const int64_t dst = static_cast<int64_t>(src) + dist;
+        fatalIf(dst < 0 || dst >= geo_.numCrossbars,
+                "move: destination crossbar out of range");
+        values.push_back(xbs_[src].read(op.srcIdx, op.srcRow));
+    });
+    size_t i = 0;
+    mask_.xb.forEach([&](uint32_t src) {
+        const uint32_t dst = static_cast<uint32_t>(src + dist);
+        xbs_[dst].writeRow(op.dstIdx, values[i++], op.dstRow);
+    });
+    stats_.record(OpClass::Move, htree_.moveCycles(mask_.xb, dist));
+}
+
+std::unique_ptr<ExecutionEngine>
+makeEngine(const EngineConfig &cfg, const Geometry &geo,
+           std::vector<Crossbar> &xbs, const HTree &htree,
+           MaskState &mask, Stats &stats)
+{
+    switch (cfg.kind) {
+      case EngineKind::Sharded:
+        return std::make_unique<ShardedEngine>(geo, xbs, htree, mask,
+                                               stats,
+                                               cfg.resolvedThreads());
+      case EngineKind::Serial:
+      default:
+        return std::make_unique<SerialEngine>(geo, xbs, htree, mask,
+                                              stats);
+    }
+}
+
+} // namespace pypim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Pluggable micro-op execution engines for the simulator.
+ *
+ * The simulator's job splits cleanly in two: *what* a micro-op does to
+ * the crossbar state (bit-accurate semantics, paper §III) and *how*
+ * the host machine replays it over the simulated memory. ExecutionEngine
+ * captures the "how" behind a narrow seam so the semantics are written
+ * once (in this base class) and backends only choose a replay strategy:
+ *
+ *  - SerialEngine (serial_engine.hpp): the reference backend; every op
+ *    is applied to all mask-selected crossbars on the calling thread.
+ *  - ShardedEngine (sharded_engine.hpp): partitions the crossbars into
+ *    per-worker shards and executes whole batches shard-parallel on a
+ *    persistent thread pool — the host-side analogue of the paper's
+ *    observation (§VI) that crossbars are independent between the
+ *    cross-crossbar ops (Read, H-tree Move), which serialise.
+ *
+ * Engines operate on state OWNED BY the Simulator (crossbars, H-tree,
+ * in-stream mask state, stats), so engines can be swapped at runtime
+ * without losing memory contents, and both engines are guaranteed
+ * bit-identical by the parity test suite (tests/test_engine_parity.cpp).
+ */
+#ifndef PYPIM_SIM_ENGINE_HPP
+#define PYPIM_SIM_ENGINE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "sim/crossbar.hpp"
+#include "sim/htree.hpp"
+#include "uarch/microop.hpp"
+
+namespace pypim
+{
+
+/**
+ * In-stream mask state (paper §III-B): the crossbar activation range
+ * and the stored row mask, kept together with the row mask's expanded
+ * bit-vector realisation so read/write/logic ops reuse it.
+ */
+struct MaskState
+{
+    Range xb;
+    Range row;
+    std::vector<uint64_t> rowWords;
+
+    /** Power-on state: all crossbars and all rows selected. */
+    void
+    reset(const Geometry &geo)
+    {
+        xb = Range::all(geo.numCrossbars);
+        setRow(Range::all(geo.rows), geo.rows);
+    }
+
+    /** Install a new row mask and (re)expand it, reusing rowWords. */
+    void
+    setRow(const Range &r, uint32_t rows)
+    {
+        row = r;
+        row.expandInto(rows, rowWords);
+    }
+};
+
+/**
+ * One micro-op replay backend. Owns no simulated state; executes
+ * encoded micro-op batches against the Simulator's crossbars, mask
+ * state and statistics counters (all passed in by reference).
+ */
+class ExecutionEngine
+{
+  public:
+    ExecutionEngine(const Geometry &geo, std::vector<Crossbar> &xbs,
+                    const HTree &htree, MaskState &mask, Stats &stats)
+        : geo_(geo), xbs_(xbs), htree_(htree), mask_(mask),
+          stats_(stats)
+    {
+    }
+
+    virtual ~ExecutionEngine() = default;
+
+    ExecutionEngine(const ExecutionEngine &) = delete;
+    ExecutionEngine &operator=(const ExecutionEngine &) = delete;
+
+    /** Backend name ("serial", "sharded") for reporting. */
+    virtual const char *name() const = 0;
+
+    /** Host threads participating in execution (1 for serial). */
+    virtual uint32_t threads() const { return 1; }
+
+    /** Execute @p n encoded micro-operations in order. */
+    virtual void execute(const Word *ops, size_t n) = 0;
+
+    /**
+     * Execute a Read micro-op and return the N-bit response. Reads
+     * address exactly one (crossbar, row) and are inherently serial,
+     * so all backends share this implementation.
+     */
+    uint32_t executeRead(const MicroOp &op);
+
+  protected:
+    /** Reference semantics: apply one op to the full crossbar array. */
+    void serialPerform(const MicroOp &op);
+
+    void doCrossbarMask(const MicroOp &op);
+    void doRowMask(const MicroOp &op);
+    void doWrite(const MicroOp &op);
+    void doLogicH(const MicroOp &op);
+    void doLogicV(const MicroOp &op);
+    void doMove(const MicroOp &op);
+
+    const Geometry &geo_;
+    std::vector<Crossbar> &xbs_;
+    const HTree &htree_;
+    MaskState &mask_;
+    Stats &stats_;
+};
+
+/** Instantiate the backend selected by @p cfg over the given state. */
+std::unique_ptr<ExecutionEngine>
+makeEngine(const EngineConfig &cfg, const Geometry &geo,
+           std::vector<Crossbar> &xbs, const HTree &htree,
+           MaskState &mask, Stats &stats);
+
+} // namespace pypim
+
+#endif // PYPIM_SIM_ENGINE_HPP

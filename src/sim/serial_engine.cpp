@@ -1,0 +1,13 @@
+#include "sim/serial_engine.hpp"
+
+namespace pypim
+{
+
+void
+SerialEngine::execute(const Word *ops, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        serialPerform(MicroOp::decode(ops[i]));
+}
+
+} // namespace pypim

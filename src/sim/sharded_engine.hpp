@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shard-parallel execution engine.
+ *
+ * Crossbars are independent for every broadcast micro-op except the
+ * cross-crossbar ones (Read and the H-tree Move) — the same structural
+ * property the paper's GPU simulator exploits (§VI). The engine
+ * partitions the crossbar array into contiguous per-worker shards and
+ * replays whole batches shard-parallel on a persistent thread pool:
+ *
+ *  1. The batch is split into SEGMENTS at each Move/Read op.
+ *  2. For each segment the coordinator (calling thread) first
+ *     pre-scans it serially: decodes every op once into a reusable
+ *     buffer, validates it exactly as the serial engine would,
+ *     pre-expands LogicH half-gates, records the architectural
+ *     statistics, and advances the authoritative mask state. This
+ *     pass touches no crossbar, so it is O(segment), not O(segment *
+ *     crossbars).
+ *  3. The workers then each replay the segment over their own shard,
+ *     starting from a snapshot of the segment-entry mask state and
+ *     tracking mask ops in a private MaskState replica — no shared
+ *     mutable state, no locks, no false sharing on the hot path.
+ *  4. Move/Read ops form a barrier: they run on the coordinator over
+ *     the full array via the shared base-class implementation.
+ *
+ * Guarantees for well-formed streams: crossbar state is bit-identical
+ * to SerialEngine at any thread count (workers apply the same ops
+ * under the same masks, just partitioned by crossbar id), and Stats
+ * are identical by construction (only the coordinator records them).
+ * Error streams differ intentionally: the pre-scan rejects a bad op
+ * BEFORE the segment touches any crossbar, whereas the serial engine
+ * applies the prefix first.
+ */
+#ifndef PYPIM_SIM_SHARDED_ENGINE_HPP
+#define PYPIM_SIM_SHARDED_ENGINE_HPP
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/thread_pool.hpp"
+#include "uarch/partition.hpp"
+
+namespace pypim
+{
+
+/** Multi-threaded backend executing batches shard-parallel. */
+class ShardedEngine : public ExecutionEngine
+{
+  public:
+    ShardedEngine(const Geometry &geo, std::vector<Crossbar> &xbs,
+                  const HTree &htree, MaskState &mask, Stats &stats,
+                  uint32_t threads);
+
+    const char *name() const override { return "sharded"; }
+    uint32_t threads() const override { return pool_.size(); }
+
+    void execute(const Word *ops, size_t n) override;
+
+    /**
+     * Per-shard applied-work counters (one op recorded per crossbar
+     * actually touched by that shard): a load-balance diagnostic, NOT
+     * the architectural stats. Merge with Stats::merged.
+     */
+    const std::vector<Stats> &shardWork() const { return work_; }
+
+  private:
+    struct Shard
+    {
+        uint32_t lo = 0;  //!< first owned crossbar (inclusive)
+        uint32_t hi = 0;  //!< last owned crossbar (exclusive)
+        MaskState mask;   //!< private replica of the in-stream masks
+    };
+
+    /** Coordinator pass 2-3: run one Move/Read-free segment. */
+    void runSegment(const Word *ops, size_t n);
+
+    /** Worker body: replay the decoded segment over one shard. */
+    void applySegment(Shard &s, Stats &work, size_t n) const;
+
+    ThreadPool pool_;
+    std::vector<Shard> shards_;
+    std::vector<Stats> work_;
+
+    // Segment-scoped scratch, reused across batches.
+    std::vector<MicroOp> decoded_;
+    std::vector<HalfGates> halfGates_;  //!< aligned with decoded_
+    Range entryXb_;
+    Range entryRow_;
+    std::vector<uint64_t> entryRowWords_;
+};
+
+} // namespace pypim
+
+#endif // PYPIM_SIM_SHARDED_ENGINE_HPP

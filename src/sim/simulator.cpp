@@ -1,15 +1,9 @@
 #include "sim/simulator.hpp"
 
-#include <string>
-
-#include "common/bitops.hpp"
-#include "common/error.hpp"
-#include "uarch/partition.hpp"
-
 namespace pypim
 {
 
-Simulator::Simulator(const Geometry &geo)
+Simulator::Simulator(const Geometry &geo, const EngineConfig &ec)
     : geo_(geo),
       htree_(geo.numCrossbars)
 {
@@ -17,154 +11,39 @@ Simulator::Simulator(const Geometry &geo)
     xbs_.reserve(geo_.numCrossbars);
     for (uint32_t i = 0; i < geo_.numCrossbars; ++i)
         xbs_.emplace_back(geo_);
-    xbMask_ = Range::all(geo_.numCrossbars);
-    rowMask_ = Range::all(geo_.rows);
-    rowMaskWords_ = rowMask_.expand(geo_.rows);
+    mask_.reset(geo_);
+    engine_ = makeEngine(ec, geo_, xbs_, htree_, mask_, stats_);
+}
+
+void
+Simulator::setEngine(const EngineConfig &ec)
+{
+    engine_ = makeEngine(ec, geo_, xbs_, htree_, mask_, stats_);
 }
 
 void
 Simulator::performBatch(const Word *ops, size_t n)
 {
-    for (size_t i = 0; i < n; ++i)
-        perform(MicroOp::decode(ops[i]));
+    engine_->execute(ops, n);
 }
 
 uint32_t
 Simulator::performRead(Word op)
 {
-    return read(MicroOp::decode(op));
+    return engine_->executeRead(MicroOp::decode(op));
 }
 
 void
 Simulator::perform(const MicroOp &op)
 {
-    switch (op.type) {
-      case OpType::CrossbarMask:
-        doCrossbarMask(op);
-        break;
-      case OpType::RowMask:
-        doRowMask(op);
-        break;
-      case OpType::Read:
-        // A read issued through the data-less path: execute it for its
-        // cycle cost and drop the response.
-        read(op);
-        return;
-      case OpType::Write:
-        doWrite(op);
-        break;
-      case OpType::LogicH:
-        doLogicH(op);
-        break;
-      case OpType::LogicV:
-        doLogicV(op);
-        break;
-      case OpType::Move:
-        doMove(op);
-        break;
-    }
-}
-
-void
-Simulator::doCrossbarMask(const MicroOp &op)
-{
-    op.range.validate(geo_.numCrossbars, "crossbar");
-    xbMask_ = op.range;
-    stats_.record(OpClass::CrossbarMask);
-}
-
-void
-Simulator::doRowMask(const MicroOp &op)
-{
-    op.range.validate(geo_.rows, "row");
-    rowMask_ = op.range;
-    rowMaskWords_ = rowMask_.expand(geo_.rows);
-    stats_.record(OpClass::RowMask);
+    const Word w = op.encode();
+    engine_->execute(&w, 1);
 }
 
 uint32_t
 Simulator::read(const MicroOp &op)
 {
-    panicIf(op.type != OpType::Read, "read: wrong op type");
-    fatalIf(op.index >= geo_.slots(), "read: slot index out of range");
-    fatalIf(xbMask_.count() != 1,
-            "read: crossbar mask must select exactly one crossbar "
-            "(paper III-C), selects " + std::to_string(xbMask_.count()));
-    fatalIf(rowMask_.count() != 1,
-            "read: row mask must select exactly one row (paper III-C), "
-            "selects " + std::to_string(rowMask_.count()));
-    stats_.record(OpClass::Read);
-    return xbs_[xbMask_.start].read(op.index, rowMask_.start);
-}
-
-void
-Simulator::doWrite(const MicroOp &op)
-{
-    fatalIf(op.index >= geo_.slots(), "write: slot index out of range");
-    xbMask_.forEach([&](uint32_t xb) {
-        xbs_[xb].write(op.index, op.value, rowMaskWords_);
-    });
-    stats_.record(OpClass::Write);
-}
-
-void
-Simulator::doLogicH(const MicroOp &op)
-{
-    const HalfGates hg = expandLogicH(op, geo_);
-    xbMask_.forEach([&](uint32_t xb) {
-        xbs_[xb].logicH(hg, rowMaskWords_);
-    });
-    stats_.record(OpClass::LogicH);
-    if (op.gate == Gate::Nor || op.gate == Gate::Not)
-        ++stats_.logicGates;
-    else
-        ++stats_.logicInits;
-}
-
-void
-Simulator::doLogicV(const MicroOp &op)
-{
-    fatalIf(op.index >= geo_.slots(), "logicV: slot index out of range");
-    fatalIf(op.rowIn >= geo_.rows || op.rowOut >= geo_.rows,
-            "logicV: row out of range");
-    xbMask_.forEach([&](uint32_t xb) {
-        xbs_[xb].logicV(op.gate, op.rowIn, op.rowOut, op.index);
-    });
-    stats_.record(OpClass::LogicV);
-    if (op.gate == Gate::Not)
-        ++stats_.logicGates;
-    else
-        ++stats_.logicInits;
-}
-
-void
-Simulator::doMove(const MicroOp &op)
-{
-    fatalIf(!isPow4(xbMask_.step),
-            "move: crossbar mask step must be a power of four "
-            "(paper III-F)");
-    fatalIf(op.srcIdx >= geo_.slots() || op.dstIdx >= geo_.slots(),
-            "move: slot index out of range");
-    fatalIf(op.srcRow >= geo_.rows || op.dstRow >= geo_.rows,
-            "move: row out of range");
-    const int64_t dist = static_cast<int64_t>(op.dstStart) -
-                         static_cast<int64_t>(xbMask_.start);
-    // Read-all-then-write-all semantics: overlapping source and
-    // destination sets (shift chains) behave as a parallel transfer.
-    std::vector<uint32_t> values;
-    values.reserve(xbMask_.count());
-    xbMask_.forEach([&](uint32_t src) {
-        const int64_t dst = static_cast<int64_t>(src) + dist;
-        fatalIf(dst < 0 || dst >= geo_.numCrossbars,
-                "move: destination crossbar out of range");
-        values.push_back(xbs_[src].read(op.srcIdx, op.srcRow));
-    });
-    size_t i = 0;
-    xbMask_.forEach([&](uint32_t src) {
-        const uint32_t dst = static_cast<uint32_t>(src + dist);
-        xbs_[dst].writeRow(op.dstIdx, values[i++], op.dstRow);
-    });
-    stats_.record(OpClass::Move, htree_.moveCycles(xbMask_, dist));
+    return engine_->executeRead(op);
 }
 
 } // namespace pypim

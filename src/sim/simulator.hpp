@@ -9,19 +9,25 @@
  * profiling counters from which the evaluation derives throughput via
  * the paper's Eq. (1).
  *
- * Mask state (the volatile crossbar activation bit and the stored row
- * mask start/stop/step of §III-B) lives here; the row mask is expanded
- * into a bit vector once per row-mask op and reused by subsequent
- * read/write/logic ops, exactly as described in the paper.
+ * The simulator owns the simulated state — crossbar arrays, H-tree,
+ * the in-stream mask state (the volatile crossbar activation bit and
+ * the stored row mask of §III-B, expanded once per row-mask op), and
+ * statistics — while HOW a micro-op stream is replayed over that
+ * state is delegated to a pluggable ExecutionEngine (sim/engine.hpp):
+ * the serial reference backend, or a sharded multi-threaded backend
+ * that scales with host cores like real PIM scales with crossbars.
+ * Engines can be swapped at runtime without losing memory contents.
  */
 #ifndef PYPIM_SIM_SIMULATOR_HPP
 #define PYPIM_SIM_SIMULATOR_HPP
 
+#include <memory>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "sim/crossbar.hpp"
+#include "sim/engine.hpp"
 #include "sim/htree.hpp"
 #include "sim/sink.hpp"
 #include "uarch/microop.hpp"
@@ -33,7 +39,13 @@ namespace pypim
 class Simulator : public OperationSink
 {
   public:
-    explicit Simulator(const Geometry &geo);
+    /** @p ec selects the execution backend (default: serial). */
+    explicit Simulator(const Geometry &geo,
+                       const EngineConfig &ec = {});
+
+    // The engine holds references into the simulator's state.
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
 
     // OperationSink interface
     void performBatch(const Word *ops, size_t n) override;
@@ -52,27 +64,29 @@ class Simulator : public OperationSink
     Crossbar &crossbar(uint32_t i) { return xbs_.at(i); }
     const Crossbar &crossbar(uint32_t i) const { return xbs_.at(i); }
 
-    const Range &crossbarMask() const { return xbMask_; }
-    const Range &rowMask() const { return rowMask_; }
+    const Range &crossbarMask() const { return mask_.xb; }
+    const Range &rowMask() const { return mask_.row; }
 
     Stats &stats() { return stats_; }
     const Stats &stats() const { return stats_; }
 
-  private:
-    void doCrossbarMask(const MicroOp &op);
-    void doRowMask(const MicroOp &op);
-    void doWrite(const MicroOp &op);
-    void doLogicH(const MicroOp &op);
-    void doLogicV(const MicroOp &op);
-    void doMove(const MicroOp &op);
+    /** Active execution backend. */
+    ExecutionEngine &engine() { return *engine_; }
+    const ExecutionEngine &engine() const { return *engine_; }
 
+    /**
+     * Replace the execution backend. Crossbar contents, mask state
+     * and statistics are owned by the simulator and survive the swap.
+     */
+    void setEngine(const EngineConfig &ec);
+
+  private:
     Geometry geo_;
     std::vector<Crossbar> xbs_;
     HTree htree_;
-    Range xbMask_;
-    Range rowMask_;
-    std::vector<uint64_t> rowMaskWords_;
+    MaskState mask_;
     Stats stats_;
+    std::unique_ptr<ExecutionEngine> engine_;
 };
 
 } // namespace pypim

@@ -12,7 +12,10 @@
  * Batching: the driver accumulates the micro-ops of one
  * macro-instruction and forwards them in one performBatch call,
  * mirroring the paper's batching optimisation (§VI "the
- * micro-operations are performed in batches").
+ * micro-operations are performed in batches"). Batches are also the
+ * unit of parallelism below this seam: the Simulator hands each batch
+ * to a pluggable ExecutionEngine (sim/engine.hpp), which may replay
+ * it shard-parallel across host threads.
  */
 #ifndef PYPIM_SIM_SINK_HPP
 #define PYPIM_SIM_SINK_HPP

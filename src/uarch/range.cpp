@@ -26,11 +26,18 @@ Range::validate(uint32_t limit, const char *what) const
 std::vector<uint64_t>
 Range::expand(uint32_t limit) const
 {
-    std::vector<uint64_t> words((limit + 63) / 64, 0);
+    std::vector<uint64_t> words;
+    expandInto(limit, words);
+    return words;
+}
+
+void
+Range::expandInto(uint32_t limit, std::vector<uint64_t> &words) const
+{
+    words.assign((limit + 63) / 64, 0);
     forEach([&](uint32_t i) {
         words[i / 64] |= (1ull << (i % 64));
     });
-    return words;
 }
 
 std::string

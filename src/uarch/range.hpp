@@ -62,6 +62,13 @@ struct Range
      */
     std::vector<uint64_t> expand(uint32_t limit) const;
 
+    /**
+     * Expand into @p words, reusing its storage (resized to
+     * ceil(limit/64) and zeroed first). The allocation-free variant of
+     * expand() for the simulator's per-RowMask-op hot path.
+     */
+    void expandInto(uint32_t limit, std::vector<uint64_t> &words) const;
+
     /** Invoke @p fn(i) for every selected element in ascending order. */
     template <typename Fn>
     void

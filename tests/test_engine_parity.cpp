@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Engine-parity tests (the sharded backend's correctness contract):
+ * for fuzzed valid micro-op streams and for driver-level tensor
+ * programs, the ShardedEngine must leave every crossbar in a
+ * bit-identical state and produce identical architectural Stats
+ * compared to the SerialEngine, at 1, 2 and 8 threads.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pim/pypim.hpp"
+#include "sim/sharded_engine.hpp"
+
+using namespace pypim;
+
+namespace
+{
+
+Geometry
+parityGeometry()
+{
+    Geometry g = testGeometry();
+    g.numCrossbars = 16;  // enough crossbars for 8 shards to matter
+    return g;
+}
+
+/** Seed both simulators with identical random register contents. */
+void
+seedState(Simulator &a, Simulator &b, Rng &rng)
+{
+    const Geometry &g = a.geometry();
+    for (uint32_t xb = 0; xb < g.numCrossbars; ++xb) {
+        for (uint32_t row = 0; row < g.rows; ++row) {
+            for (uint32_t slot = 0; slot < g.slots(); ++slot) {
+                const uint32_t v = rng.word();
+                a.crossbar(xb).writeRow(slot, v, row);
+                b.crossbar(xb).writeRow(slot, v, row);
+            }
+        }
+    }
+}
+
+::testing::AssertionResult
+sameCrossbarState(const Simulator &a, const Simulator &b)
+{
+    for (uint32_t xb = 0; xb < a.geometry().numCrossbars; ++xb) {
+        if (!a.crossbar(xb).sameState(b.crossbar(xb)))
+            return ::testing::AssertionFailure()
+                   << "crossbar " << xb << " state diverged";
+    }
+    return ::testing::AssertionSuccess();
+}
+
+/** Random valid Range over [0, limit). */
+Range
+randomRange(Rng &rng, uint32_t limit)
+{
+    const uint32_t start = rng.word() % limit;
+    const uint32_t step = 1 + rng.word() % 8;
+    const uint32_t maxN = (limit - 1 - start) / step;
+    const uint32_t span = (rng.word() % (maxN + 1)) * step;
+    return Range(start, start + span, step);
+}
+
+/**
+ * Generate a random valid micro-op stream over @p g. Tracks the mask
+ * state it sets up so that reads and moves are emitted legally.
+ */
+std::vector<Word>
+randomStream(Rng &rng, const Geometry &g, size_t len)
+{
+    std::vector<Word> ops;
+    ops.reserve(len + 2);
+    Range xbMask = Range::all(g.numCrossbars);
+    const auto setXbMask = [&](Range r) {
+        xbMask = r;
+        ops.push_back(MicroOp::crossbarMask(r).encode());
+    };
+    while (ops.size() < len) {
+        switch (rng.word() % 12) {
+          case 0:
+            setXbMask(randomRange(rng, g.numCrossbars));
+            break;
+          case 1:
+            ops.push_back(
+                MicroOp::rowMask(randomRange(rng, g.rows)).encode());
+            break;
+          case 2:
+          case 3:
+            ops.push_back(MicroOp::write(rng.word() % g.slots(),
+                                         rng.word()).encode());
+            break;
+          case 4: {
+            // INIT a whole slot across all partitions.
+            const uint32_t out = g.column(rng.word() % g.slots(), 0);
+            ops.push_back(
+                MicroOp::logicH(rng.word() % 2 ? Gate::Init1
+                                               : Gate::Init0,
+                                0, 0, out, g.partitions - 1, 1)
+                    .encode());
+            break;
+          }
+          case 5:
+          case 6: {
+            // Periodic NOR/NOT between distinct slot columns, the
+            // driver's canonical full-width pattern.
+            uint32_t a = rng.word() % g.slots();
+            uint32_t b = rng.word() % g.slots();
+            uint32_t c = rng.word() % g.slots();
+            if (a == c)
+                a = (a + 1) % g.slots();
+            if (b == c)
+                b = (b + 2) % g.slots();
+            if (b == c)
+                b = (b + 1) % g.slots();
+            const bool isNot = rng.word() % 2;
+            ops.push_back(MicroOp::logicH(isNot ? Gate::Not
+                                                : Gate::Nor,
+                                          g.column(a, 0),
+                                          g.column(isNot ? a : b, 0),
+                                          g.column(c, 0),
+                                          g.partitions - 1, 1)
+                              .encode());
+            break;
+          }
+          case 7: {
+            static const Gate kVGates[] = {Gate::Init0, Gate::Init1,
+                                           Gate::Not};
+            ops.push_back(MicroOp::logicV(kVGates[rng.word() % 3],
+                                          rng.word() % g.rows,
+                                          rng.word() % g.rows,
+                                          rng.word() % g.slots())
+                              .encode());
+            break;
+          }
+          case 8: {
+            // Read: needs single-crossbar single-row masks.
+            setXbMask(Range::single(rng.word() % g.numCrossbars));
+            ops.push_back(
+                MicroOp::rowMask(Range::single(rng.word() % g.rows))
+                    .encode());
+            ops.push_back(
+                MicroOp::read(rng.word() % g.slots()).encode());
+            break;
+          }
+          default: {
+            // Move: contiguous source block shifted within bounds.
+            const uint32_t n = 1 + rng.word() % (g.numCrossbars / 2);
+            const uint32_t src = rng.word() % (g.numCrossbars - n + 1);
+            const uint32_t dst = rng.word() % (g.numCrossbars - n + 1);
+            setXbMask(Range(src, src + n - 1, 1));
+            ops.push_back(MicroOp::move(dst, rng.word() % g.rows,
+                                        rng.word() % g.rows,
+                                        rng.word() % g.slots(),
+                                        rng.word() % g.slots())
+                              .encode());
+            break;
+          }
+        }
+    }
+    return ops;
+}
+
+class EngineParity : public ::testing::TestWithParam<
+                         std::tuple<uint64_t, uint32_t>>
+{
+};
+
+} // namespace
+
+TEST_P(EngineParity, FuzzedStreamsBitIdentical)
+{
+    const auto [seed, threads] = GetParam();
+    const Geometry g = parityGeometry();
+    Simulator serial(g);
+    Simulator sharded(g, EngineConfig::sharded(threads));
+    ASSERT_STREQ(serial.engine().name(), "serial");
+    ASSERT_STREQ(sharded.engine().name(), "sharded");
+
+    Rng rng(seed);
+    seedState(serial, sharded, rng);
+    const std::vector<Word> ops = randomStream(rng, g, 600);
+
+    // Feed both engines the identical stream in identical random-size
+    // batches, so segmenting boundaries vary across seeds.
+    size_t i = 0;
+    while (i < ops.size()) {
+        const size_t n =
+            std::min<size_t>(1 + rng.word() % 64, ops.size() - i);
+        serial.performBatch(ops.data() + i, n);
+        sharded.performBatch(ops.data() + i, n);
+        i += n;
+    }
+
+    EXPECT_TRUE(sameCrossbarState(serial, sharded));
+    EXPECT_EQ(serial.stats(), sharded.stats())
+        << "serial:\n" << serial.stats().summary()
+        << "sharded:\n" << sharded.stats().summary();
+    EXPECT_EQ(serial.crossbarMask(), sharded.crossbarMask());
+    EXPECT_EQ(serial.rowMask(), sharded.rowMask());
+}
+
+TEST_P(EngineParity, ReadsReturnIdenticalValues)
+{
+    const auto [seed, threads] = GetParam();
+    const Geometry g = parityGeometry();
+    Simulator serial(g);
+    Simulator sharded(g, EngineConfig::sharded(threads));
+    Rng rng(seed ^ 0xBEEF);
+    seedState(serial, sharded, rng);
+    const std::vector<Word> ops = randomStream(rng, g, 200);
+    serial.performBatch(ops.data(), ops.size());
+    sharded.performBatch(ops.data(), ops.size());
+    for (int i = 0; i < 50; ++i) {
+        const uint32_t xb = rng.word() % g.numCrossbars;
+        const uint32_t row = rng.word() % g.rows;
+        const uint32_t slot = rng.word() % g.slots();
+        const std::vector<Word> sel = {
+            MicroOp::crossbarMask(Range::single(xb)).encode(),
+            MicroOp::rowMask(Range::single(row)).encode(),
+        };
+        serial.performBatch(sel.data(), sel.size());
+        sharded.performBatch(sel.data(), sel.size());
+        EXPECT_EQ(serial.performRead(enc::read(slot)),
+                  sharded.performRead(enc::read(slot)));
+    }
+}
+
+TEST_P(EngineParity, EngineSwapPreservesState)
+{
+    const auto [seed, threads] = GetParam();
+    const Geometry g = parityGeometry();
+    Simulator oracle(g);
+    Simulator swapped(g);  // starts serial, swaps mid-stream
+    Rng rng(seed * 7 + 5);
+    seedState(oracle, swapped, rng);
+    const std::vector<Word> ops = randomStream(rng, g, 400);
+    const size_t half = ops.size() / 2;
+
+    oracle.performBatch(ops.data(), ops.size());
+    swapped.performBatch(ops.data(), half);
+    swapped.setEngine(EngineConfig::sharded(threads));
+    swapped.performBatch(ops.data() + half, ops.size() - half);
+
+    EXPECT_TRUE(sameCrossbarState(oracle, swapped));
+    EXPECT_EQ(oracle.stats(), swapped.stats());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndThreads, EngineParity,
+    ::testing::Combine(::testing::Values(11ull, 404ull, 90210ull),
+                       ::testing::Values(1u, 2u, 8u)));
+
+TEST(EngineParityWork, ShardWorkCountsEveryApplication)
+{
+    // Under full masks every work op applies to every crossbar, so
+    // the merged per-shard diagnostics must equal the architectural
+    // op counts scaled by the crossbar count.
+    const Geometry g = parityGeometry();
+    Simulator sim(g, EngineConfig::sharded(4));
+    std::vector<Word> ops;
+    for (int i = 0; i < 10; ++i) {
+        ops.push_back(MicroOp::write(0, 42u + i).encode());
+        ops.push_back(MicroOp::logicH(Gate::Init1, 0, 0,
+                                      g.column(1, 0),
+                                      g.partitions - 1, 1).encode());
+    }
+    sim.performBatch(ops.data(), ops.size());
+    const auto &eng =
+        static_cast<const ShardedEngine &>(sim.engine());
+    const Stats merged = Stats::merged(eng.shardWork());
+    EXPECT_EQ(merged.opCount[size_t(OpClass::Write)],
+              10ull * g.numCrossbars);
+    EXPECT_EQ(merged.opCount[size_t(OpClass::LogicH)],
+              10ull * g.numCrossbars);
+    // Contiguous shards over 16 crossbars at 4 threads: 4 each.
+    for (const Stats &w : eng.shardWork())
+        EXPECT_EQ(w.totalOps(), 20ull * (g.numCrossbars / 4));
+}
+
+namespace
+{
+
+/** Driver-level program parity: full tensor ops through both engines. */
+void
+runDriverProgram(Device &dev)
+{
+    const uint64_t n = 3 * dev.geometry().rows;  // spans 3 crossbars
+    std::vector<int32_t> a(n), b(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        a[i] = static_cast<int32_t>(i * 2654435761u);
+        b[i] = static_cast<int32_t>((i + 7) * 40503u);
+    }
+    Tensor ta = Tensor::fromVector(a, &dev);
+    Tensor tb = Tensor::fromVector(b, &dev);
+    Tensor sum = ta + tb;
+    Tensor prod = ta * tb;
+    Tensor sel = where(isZero(ta - ta), sum, prod);
+    (void)sel.toIntVector();
+}
+
+} // namespace
+
+TEST(EngineParityDriver, TensorProgramsMatchSerial)
+{
+    const Geometry g = parityGeometry();
+    for (uint32_t threads : {1u, 2u, 8u}) {
+        Device serialDev(g, Driver::Mode::Parallel,
+                         EngineConfig::serial());
+        Device shardedDev(g, Driver::Mode::Parallel,
+                          EngineConfig::sharded(threads));
+        EXPECT_EQ(shardedDev.simulator().engine().threads(),
+                  std::min(threads, g.numCrossbars));
+        runDriverProgram(serialDev);
+        runDriverProgram(shardedDev);
+        for (uint32_t xb = 0; xb < g.numCrossbars; ++xb)
+            ASSERT_TRUE(serialDev.simulator().crossbar(xb).sameState(
+                shardedDev.simulator().crossbar(xb)))
+                << "crossbar " << xb << " at " << threads
+                << " threads";
+        EXPECT_EQ(serialDev.stats(), shardedDev.stats());
+    }
+}
