@@ -90,10 +90,12 @@ appRow(const char *name, Device &dev, double driverRate, Fn &&body)
 int
 main(int argc, char **argv)
 {
+    applyEngineFlags(argc, argv);
     benchmark::Initialize(&argc, argv);
+    printEngineBanner();
 
     Geometry g16 = benchGeometry(16);
-    Device dev(g16);
+    Device dev(g16, Driver::Mode::Parallel, engineConfig());
     Rng rng(11);
 
     // Representative host generation rate (float add stream).
@@ -147,7 +149,7 @@ main(int argc, char **argv)
 
     {
         Geometry g64 = benchGeometry(64);
-        Device dev64(g64);
+        Device dev64(g64, Driver::Mode::Parallel, engineConfig());
         Tensor t = Tensor::fromVector(
             rng.floatVec(65536, -1e3f, 1e3f), &dev64);
         rows.push_back(appRow("FP Sort 64k", dev64, driverRate,

@@ -56,11 +56,11 @@ engineConfig()
 }
 
 /**
- * Parse and strip --engine=serial|sharded and --threads=N from argv
- * (before benchmark::Initialize, which rejects unknown flags), storing
- * the result in engineConfig(). Invalid values abort, exactly like the
- * PYPIM_ENGINE / PYPIM_THREADS environment path — a typo must never
- * silently benchmark the wrong engine.
+ * Parse and strip --engine=serial|sharded|trace and --threads=N from
+ * argv (before benchmark::Initialize, which rejects unknown flags),
+ * storing the result in engineConfig(). Invalid values abort, exactly
+ * like the PYPIM_ENGINE / PYPIM_THREADS environment path — a typo must
+ * never silently benchmark the wrong engine.
  */
 inline void
 applyEngineFlags(int &argc, char **argv)
@@ -73,11 +73,14 @@ applyEngineFlags(int &argc, char **argv)
             const std::string v = arg.substr(9);
             if (v == "sharded")
                 cfg.kind = EngineKind::Sharded;
+            else if (v == "trace")
+                cfg.kind = EngineKind::Trace;
             else if (v == "serial")
                 cfg.kind = EngineKind::Serial;
             else
                 fatal("--engine=" + v +
-                      ": unknown engine (expected serial|sharded)");
+                      ": unknown engine (expected serial|sharded|"
+                      "trace)");
         } else if (arg.rfind("--threads=", 0) == 0) {
             const char *s = arg.c_str() + 10;
             char *end = nullptr;
@@ -102,7 +105,7 @@ printEngineBanner()
     std::printf("simulator engine: %s", engineKindName(cfg.kind));
     if (cfg.kind == EngineKind::Sharded)
         std::printf(" (%u threads)", cfg.resolvedThreads());
-    std::printf("  [--engine=serial|sharded --threads=N or "
+    std::printf("  [--engine=serial|sharded|trace --threads=N or "
                 "PYPIM_ENGINE/PYPIM_THREADS]\n");
 }
 

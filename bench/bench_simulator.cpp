@@ -5,9 +5,10 @@
  * the host-side micro-op execution rate as the simulated memory scales
  * in crossbar count and rows — the quantities that determine the cost
  * of one broadcast logic op (O(crossbars * rows/64) word operations) —
- * and sweeps the sharded execution engine across thread counts to show
- * how simulation throughput scales with host cores the way real PIM
- * scales with independent compute arrays.
+ * and sweeps the execution engines (op-major serial, crossbar-major
+ * trace, sharded across thread counts) to show how simulation
+ * throughput scales with cache blocking and host cores the way real
+ * PIM scales with independent compute arrays.
  */
 #include <benchmark/benchmark.h>
 
@@ -78,6 +79,20 @@ rawLogicOps(benchmark::State &state)
         static_cast<int64_t>(batch.size()));
 }
 
+/** Trace-engine logic rate (crossbar-major serial replay). */
+void
+traceLogicOps(benchmark::State &state)
+{
+    Geometry g = benchGeometry(static_cast<uint32_t>(state.range(0)));
+    Simulator sim(g, EngineConfig::trace());
+    const std::vector<Word> batch = logicBatch(g);
+    for (auto _ : state)
+        sim.performBatch(batch.data(), batch.size());
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(batch.size()));
+}
+
 /** Sharded-engine logic rate: Args({crossbars, threads}). */
 void
 shardedLogicOps(benchmark::State &state)
@@ -136,27 +151,40 @@ replayRate(Simulator &sim, const std::vector<Word> &batch,
 }
 
 /**
- * Serial-vs-sharded thread sweep: the headline table for the engine
- * work. Broadcast logic dominates every workload in the repo, so the
- * sweep replays the canonical INIT+NOR batch.
+ * Serial-vs-trace-vs-sharded scaling sweep: the headline table for
+ * the engine work. Broadcast logic dominates every workload in the
+ * repo, so the sweep replays the canonical INIT+NOR batch. Speedups
+ * over the op-major serial reference come from two separable
+ * mechanisms, both visible here: the trace column isolates
+ * decode-once + crossbar-major cache blocking + INIT/NOR fusion on a
+ * single thread, and the sharded rows add shard parallelism on top of
+ * the same trace replay. The 1024-crossbar row is the ISSUE 2
+ * acceptance gauge: op-major replay streams the whole 128 MB array
+ * through the cache once per op there, while crossbar-major keeps a
+ * 128 KB crossbar hot for the entire segment.
  */
 void
-threadSweep()
+engineSweep()
 {
-    std::printf("\n=== Execution-engine thread sweep (INIT+NOR "
+    std::printf("\n=== Execution-engine scaling sweep (INIT+NOR "
                 "batch, 1024 rows) ===\n");
     std::printf("host hardware concurrency: %u\n",
                 std::thread::hardware_concurrency());
-    std::printf("%-10s %14s | %7s %25s %8s\n", "crossbars",
-                "serial [Mop/s]", "threads",
-                "sharded [Mop/s] (speedup)", "balance");
-    for (uint32_t crossbars : {16u, 64u, 256u}) {
+    std::printf("%-10s %14s %24s | %7s %25s %8s\n", "crossbars",
+                "serial [Kop/s]", "trace [Kop/s] (speedup)",
+                "threads", "sharded [Kop/s] (speedup)", "balance");
+    for (uint32_t crossbars : {16u, 64u, 256u, 1024u}) {
         const Geometry g = benchGeometry(crossbars);
         const std::vector<Word> batch = logicBatch(g);
         double serialRate = 0.0;
         {
             Simulator sim(g);
             serialRate = replayRate(sim, batch);
+        }
+        double traceRate = 0.0;
+        {
+            Simulator sim(g, EngineConfig::trace());
+            traceRate = replayRate(sim, batch);
         }
         bool first = true;
         for (uint32_t threads : {1u, 2u, 4u, 8u}) {
@@ -172,20 +200,23 @@ threadSweep()
                 hi = std::max(hi, w.totalOps());
             }
             if (first)
-                std::printf("%-10u %14.2f", crossbars,
-                            serialRate / 1e6);
+                std::printf("%-10u %14.2f %15.2f (%5.2fx)",
+                            crossbars, serialRate / 1e3,
+                            traceRate / 1e3,
+                            traceRate / serialRate);
             else
-                std::printf("%-10s %14s", "", "");
+                std::printf("%-10s %14s %24s", "", "", "");
             std::printf(" | %7u %15.2f (%5.2fx) %7.2f\n", threads,
-                        rate / 1e6, rate / serialRate,
+                        rate / 1e3, rate / serialRate,
                         hi ? static_cast<double>(lo) /
                                  static_cast<double>(hi)
                            : 0.0);
             first = false;
         }
     }
-    std::printf("(speedups require free host cores; this table is "
-                "the acceptance gauge for ISSUE 1)\n");
+    std::printf("(sharded speedups require free host cores; the "
+                "trace column and the 1024-crossbar row are the "
+                "acceptance gauges for ISSUE 2)\n");
 }
 
 } // namespace
@@ -198,6 +229,7 @@ BENCHMARK(simScaling)
     ->Args({16, 256})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(rawLogicOps)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(traceLogicOps)->Arg(4)->Arg(16)->Arg(64)->Arg(1024);
 BENCHMARK(shardedLogicOps)
     ->Args({64, 1})
     ->Args({64, 2})
@@ -213,7 +245,7 @@ main(int argc, char **argv)
     applyEngineFlags(argc, argv);
     benchmark::Initialize(&argc, argv);
     printEngineBanner();
-    threadSweep();
+    engineSweep();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

@@ -69,6 +69,7 @@ engineKindName(EngineKind k)
     switch (k) {
       case EngineKind::Serial:  return "serial";
       case EngineKind::Sharded: return "sharded";
+      case EngineKind::Trace:   return "trace";
       default:                  return "unknown";
     }
 }
@@ -81,9 +82,11 @@ EngineConfig::fromEnv()
         const std::string s(e);
         if (s == "sharded")
             c.kind = EngineKind::Sharded;
+        else if (s == "trace")
+            c.kind = EngineKind::Trace;
         else if (!s.empty() && s != "serial")
             fatal("PYPIM_ENGINE: unknown engine '" + s +
-                  "' (expected serial|sharded)");
+                  "' (expected serial|sharded|trace)");
     }
     if (const char *t = std::getenv("PYPIM_THREADS")) {
         const long n = std::atol(t);

@@ -86,17 +86,22 @@ Geometry testGeometry();
 /**
  * Execution-engine backend of the simulator (sim/engine.hpp).
  *
- * Both engines are bit-accurate and produce identical crossbar state
+ * All engines are bit-accurate and produce identical crossbar state
  * and statistics; they differ only in how the host simulates the
  * broadcast: Serial replays every micro-op over all mask-selected
- * crossbars on the calling thread, Sharded partitions the crossbars
- * across a persistent worker pool and executes whole batches
- * shard-parallel (serialising only at cross-crossbar ops).
+ * crossbars on the calling thread (op-major; the reference oracle),
+ * Trace decodes each barrier-free segment once and replays it
+ * crossbar-major on the calling thread (one crossbar's state stays
+ * hot in cache for the whole segment), and Sharded partitions the
+ * crossbars across a persistent worker pool and replays segment
+ * traces crossbar-major within each shard (serialising only at
+ * cross-crossbar ops).
  */
 enum class EngineKind : uint8_t
 {
     Serial = 0,
-    Sharded
+    Sharded,
+    Trace
 };
 
 const char *engineKindName(EngineKind k);
@@ -119,10 +124,19 @@ struct EngineConfig
         return c;
     }
 
+    static EngineConfig
+    trace()
+    {
+        EngineConfig c;
+        c.kind = EngineKind::Trace;
+        return c;
+    }
+
     /**
      * Engine selection from the environment: PYPIM_ENGINE=serial|
-     * sharded and PYPIM_THREADS=N. Unset or unrecognised values fall
-     * back to the serial default, so existing callers are unaffected.
+     * sharded|trace and PYPIM_THREADS=N. Unset values fall back to
+     * the serial default, so existing callers are unaffected;
+     * unrecognised values abort.
      */
     static EngineConfig fromEnv();
 

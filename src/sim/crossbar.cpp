@@ -1,6 +1,8 @@
 #include "sim/crossbar.hpp"
 
 #include "common/error.hpp"
+#include "common/stats.hpp"
+#include "sim/segment_trace.hpp"
 
 namespace pypim
 {
@@ -47,28 +49,97 @@ Crossbar::logicH(const HalfGates &hg, std::span<const uint64_t> rowMask)
 }
 
 void
+Crossbar::logicHFusedInit1(const HalfGates &hg,
+                           std::span<const uint64_t> rowMask)
+{
+    panicIf(rowMask.size() != wordsPerCol_,
+            "logicH: row mask width mismatch");
+    for (uint32_t s = 0; s < hg.numSections; ++s) {
+        const Section &sec = hg.sections[s];
+        if (!sec.active())
+            continue;
+        uint64_t *out = colWords(static_cast<uint32_t>(sec.outCol));
+        const uint64_t *inA =
+            colWords(static_cast<uint32_t>(sec.inCol[0]));
+        const uint64_t *inB = sec.numIn == 2
+            ? colWords(static_cast<uint32_t>(sec.inCol[1]))
+            : inA;
+        for (uint32_t w = 0; w < wordsPerCol_; ++w)
+            out[w] = (out[w] & ~rowMask[w]) |
+                     (~(inA[w] | inB[w]) & rowMask[w]);
+    }
+}
+
+void
 Crossbar::logicV(Gate g, uint32_t rowIn, uint32_t rowOut, uint32_t slot)
 {
+    // All loop-invariants hoisted: word indices, bit masks and the
+    // gate dispatch are identical for every partition.
     const uint32_t pw = geo_->partitionWidth();
-    for (uint32_t p = 0; p < geo_->partitions; ++p) {
-        const uint32_t col = p * pw + slot;
-        uint64_t *words = colWords(col);
-        const uint64_t outBit = 1ull << (rowOut % 64);
-        switch (g) {
-          case Gate::Init0:
-            words[rowOut / 64] &= ~outBit;
+    const uint32_t numPart = geo_->partitions;
+    const uint32_t outWord = rowOut / 64;
+    const uint64_t outBit = 1ull << (rowOut % 64);
+    switch (g) {
+      case Gate::Init0:
+        for (uint32_t p = 0; p < numPart; ++p)
+            colWords(p * pw + slot)[outWord] &= ~outBit;
+        break;
+      case Gate::Init1:
+        for (uint32_t p = 0; p < numPart; ++p)
+            colWords(p * pw + slot)[outWord] |= outBit;
+        break;
+      case Gate::Not: {
+        const uint32_t inWord = rowIn / 64;
+        const uint32_t inShift = rowIn % 64;
+        for (uint32_t p = 0; p < numPart; ++p) {
+            uint64_t *words = colWords(p * pw + slot);
+            if ((words[inWord] >> inShift) & 1)
+                words[outWord] &= ~outBit;
+        }
+        break;
+      }
+      case Gate::Nor:
+        panic("logicV: NOR is not supported vertically");
+    }
+}
+
+void
+Crossbar::replaySegment(const SegmentTrace &trace, uint32_t self,
+                        Stats *work)
+{
+    for (const TraceOp &op : trace.ops) {
+        if (!op.xb.contains(self))
+            continue;
+        switch (op.type) {
+          case OpType::Write:
+            write(op.index, op.value, trace.rowMask(op.rowMask));
+            if (work)
+                work->record(OpClass::Write);
             break;
-          case Gate::Init1:
-            words[rowOut / 64] |= outBit;
-            break;
-          case Gate::Not: {
-            const bool in = (words[rowIn / 64] >> (rowIn % 64)) & 1;
-            if (in)
-                words[rowOut / 64] &= ~outBit;
+          case OpType::LogicH: {
+            const HalfGates &hg = trace.halfGates[op.hg];
+            const auto rm = trace.rowMask(op.rowMask);
+            if (op.fusedInit) {
+                logicHFusedInit1(hg, rm);
+                // Two architectural ops applied in one pass.
+                if (work) {
+                    work->record(OpClass::LogicH);
+                    work->record(OpClass::LogicH);
+                }
+            } else {
+                logicH(hg, rm);
+                if (work)
+                    work->record(OpClass::LogicH);
+            }
             break;
           }
-          case Gate::Nor:
-            panic("logicV: NOR is not supported vertically");
+          case OpType::LogicV:
+            logicV(op.gate, op.rowIn, op.rowOut, op.index);
+            if (work)
+                work->record(OpClass::LogicV);
+            break;
+          default:
+            break;  // unreachable: the builder emits work ops only
         }
     }
 }

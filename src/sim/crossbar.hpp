@@ -28,6 +28,9 @@
 namespace pypim
 {
 
+struct SegmentTrace;
+struct Stats;
+
 /** One h x w crossbar array with stateful-logic semantics. */
 class Crossbar
 {
@@ -39,6 +42,28 @@ class Crossbar
      * rows (@p rowMask is the realized row-mask bit vector).
      */
     void logicH(const HalfGates &hg, std::span<const uint64_t> rowMask);
+
+    /**
+     * INIT1 of the output columns fused with the NOR/NOT expanded in
+     * @p hg: one pass computing out = (out & ~mask) | (~(inA|inB) &
+     * mask), bit-identical to logicH(INIT1) followed by logicH(@p hg)
+     * when no input aliases an output (the trace builder's fusion
+     * precondition).
+     */
+    void logicHFusedInit1(const HalfGates &hg,
+                          std::span<const uint64_t> rowMask);
+
+    /**
+     * Crossbar-major replay: apply every op of @p trace whose
+     * crossbar-mask snapshot selects this crossbar (index @p self),
+     * in segment order, while this crossbar's column-major state is
+     * hot in cache. The inner loop of the trace-based engines
+     * (sim/segment_trace.hpp). @p work, if non-null, accumulates one
+     * op per application (two for fused INIT+gate pairs) — the
+     * sharded engine's load-balance diagnostic.
+     */
+    void replaySegment(const SegmentTrace &trace, uint32_t self,
+                       Stats *work);
 
     /**
      * Execute a vertical logic op: gate from @p rowIn to @p rowOut on

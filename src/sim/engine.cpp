@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "sim/serial_engine.hpp"
 #include "sim/sharded_engine.hpp"
+#include "sim/trace_engine.hpp"
 #include "uarch/partition.hpp"
 
 namespace pypim
@@ -126,18 +127,20 @@ ExecutionEngine::doMove(const MicroOp &op)
                          static_cast<int64_t>(mask_.xb.start);
     // Read-all-then-write-all semantics: overlapping source and
     // destination sets (shift chains) behave as a parallel transfer.
-    std::vector<uint32_t> values;
-    values.reserve(mask_.xb.count());
+    // The staging buffer is a reused member: clear() keeps capacity,
+    // so steady-state moves never allocate.
+    moveValues_.clear();
+    moveValues_.reserve(mask_.xb.count());
     mask_.xb.forEach([&](uint32_t src) {
         const int64_t dst = static_cast<int64_t>(src) + dist;
         fatalIf(dst < 0 || dst >= geo_.numCrossbars,
                 "move: destination crossbar out of range");
-        values.push_back(xbs_[src].read(op.srcIdx, op.srcRow));
+        moveValues_.push_back(xbs_[src].read(op.srcIdx, op.srcRow));
     });
     size_t i = 0;
     mask_.xb.forEach([&](uint32_t src) {
         const uint32_t dst = static_cast<uint32_t>(src + dist);
-        xbs_[dst].writeRow(op.dstIdx, values[i++], op.dstRow);
+        xbs_[dst].writeRow(op.dstIdx, moveValues_[i++], op.dstRow);
     });
     stats_.record(OpClass::Move, htree_.moveCycles(mask_.xb, dist));
 }
@@ -152,6 +155,9 @@ makeEngine(const EngineConfig &cfg, const Geometry &geo,
         return std::make_unique<ShardedEngine>(geo, xbs, htree, mask,
                                                stats,
                                                cfg.resolvedThreads());
+      case EngineKind::Trace:
+        return std::make_unique<TraceEngine>(geo, xbs, htree, mask,
+                                             stats);
       case EngineKind::Serial:
       default:
         return std::make_unique<SerialEngine>(geo, xbs, htree, mask,

@@ -9,16 +9,22 @@
  * once (in this base class) and backends only choose a replay strategy:
  *
  *  - SerialEngine (serial_engine.hpp): the reference backend; every op
- *    is applied to all mask-selected crossbars on the calling thread.
+ *    is applied to all mask-selected crossbars on the calling thread,
+ *    op-major.
+ *  - TraceEngine (trace_engine.hpp): decodes each barrier-free segment
+ *    once into a SegmentTrace (sim/segment_trace.hpp) and replays it
+ *    crossbar-major on the calling thread, keeping one crossbar's
+ *    state hot in cache for the whole segment.
  *  - ShardedEngine (sharded_engine.hpp): partitions the crossbars into
- *    per-worker shards and executes whole batches shard-parallel on a
- *    persistent thread pool — the host-side analogue of the paper's
- *    observation (§VI) that crossbars are independent between the
- *    cross-crossbar ops (Read, H-tree Move), which serialise.
+ *    per-worker shards and replays segment traces crossbar-major
+ *    within each shard on a persistent thread pool — the host-side
+ *    analogue of the paper's observation (§VI) that crossbars are
+ *    independent between the cross-crossbar ops (Read, H-tree Move),
+ *    which serialise.
  *
  * Engines operate on state OWNED BY the Simulator (crossbars, H-tree,
  * in-stream mask state, stats), so engines can be swapped at runtime
- * without losing memory contents, and both engines are guaranteed
+ * without losing memory contents, and all engines are guaranteed
  * bit-identical by the parity test suite (tests/test_engine_parity.cpp).
  */
 #ifndef PYPIM_SIM_ENGINE_HPP
@@ -31,38 +37,11 @@
 #include "common/stats.hpp"
 #include "sim/crossbar.hpp"
 #include "sim/htree.hpp"
+#include "sim/segment_trace.hpp"
 #include "uarch/microop.hpp"
 
 namespace pypim
 {
-
-/**
- * In-stream mask state (paper §III-B): the crossbar activation range
- * and the stored row mask, kept together with the row mask's expanded
- * bit-vector realisation so read/write/logic ops reuse it.
- */
-struct MaskState
-{
-    Range xb;
-    Range row;
-    std::vector<uint64_t> rowWords;
-
-    /** Power-on state: all crossbars and all rows selected. */
-    void
-    reset(const Geometry &geo)
-    {
-        xb = Range::all(geo.numCrossbars);
-        setRow(Range::all(geo.rows), geo.rows);
-    }
-
-    /** Install a new row mask and (re)expand it, reusing rowWords. */
-    void
-    setRow(const Range &r, uint32_t rows)
-    {
-        row = r;
-        row.expandInto(rows, rowWords);
-    }
-};
 
 /**
  * One micro-op replay backend. Owns no simulated state; executes
@@ -84,7 +63,7 @@ class ExecutionEngine
     ExecutionEngine(const ExecutionEngine &) = delete;
     ExecutionEngine &operator=(const ExecutionEngine &) = delete;
 
-    /** Backend name ("serial", "sharded") for reporting. */
+    /** Backend name ("serial", "sharded", "trace") for reporting. */
     virtual const char *name() const = 0;
 
     /** Host threads participating in execution (1 for serial). */
@@ -104,6 +83,31 @@ class ExecutionEngine
     /** Reference semantics: apply one op to the full crossbar array. */
     void serialPerform(const MicroOp &op);
 
+    /**
+     * Split @p ops at the cross-crossbar barriers: barrier ops run
+     * immediately via the reference semantics, and @p fn(seg, len) is
+     * invoked for each maximal barrier-free segment in between — the
+     * segmentation every trace-consuming backend shares.
+     */
+    template <typename Fn>
+    void
+    forEachSegment(const Word *ops, size_t n, Fn &&fn)
+    {
+        size_t i = 0;
+        while (i < n) {
+            if (isBarrierOp(enc::peekType(ops[i]))) {
+                serialPerform(MicroOp::decode(ops[i]));
+                ++i;
+                continue;
+            }
+            size_t j = i + 1;
+            while (j < n && !isBarrierOp(enc::peekType(ops[j])))
+                ++j;
+            fn(ops + i, j - i);
+            i = j;
+        }
+    }
+
     void doCrossbarMask(const MicroOp &op);
     void doRowMask(const MicroOp &op);
     void doWrite(const MicroOp &op);
@@ -116,6 +120,11 @@ class ExecutionEngine
     const HTree &htree_;
     MaskState &mask_;
     Stats &stats_;
+
+  private:
+    /** doMove scratch (read-all-then-write-all staging), reused so
+     *  the per-op hot path never allocates. */
+    std::vector<uint32_t> moveValues_;
 };
 
 /** Instantiate the backend selected by @p cfg over the given state. */

@@ -1,0 +1,182 @@
+#include "sim/segment_trace.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pypim
+{
+
+namespace
+{
+
+/**
+ * True iff an INIT1 LogicH may be folded into the NOR/NOT that
+ * follows it: both must drive exactly the same set of output columns,
+ * and no input column of the NOR/NOT may alias any of those outputs
+ * (the gate must read pre-INIT state of nothing it initialises —
+ * otherwise the fused single pass would observe un-initialised
+ * inputs). Active sections are emitted in ascending partition order by
+ * expandLogicH, so the output sets compare positionally.
+ */
+bool
+fusableInitNor(const HalfGates &init, const HalfGates &nor)
+{
+    if (init.gate != Gate::Init1)
+        return false;
+    int32_t outs[maxPartitions];
+    uint32_t n = 0;
+    for (uint32_t s = 0; s < init.numSections; ++s) {
+        const Section &sec = init.sections[s];
+        if (sec.active())
+            outs[n++] = sec.outCol;
+    }
+    uint32_t m = 0;
+    for (uint32_t s = 0; s < nor.numSections; ++s) {
+        const Section &sec = nor.sections[s];
+        if (!sec.active())
+            continue;
+        if (m >= n || outs[m] != sec.outCol)
+            return false;
+        ++m;
+    }
+    if (m != n)
+        return false;
+    for (uint32_t s = 0; s < nor.numSections; ++s) {
+        const Section &sec = nor.sections[s];
+        for (uint32_t i = 0; i < sec.numIn; ++i)
+            for (uint32_t j = 0; j < n; ++j)
+                if (sec.inCol[i] == outs[j])
+                    return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+buildSegmentTrace(const Word *ops, size_t n, const Geometry &geo,
+                  MaskState &mask, Stats &stats, SegmentTrace &trace)
+{
+    trace.clear(geo.rows);
+
+    // Lazily-materialised row-mask snapshot: snapId/snapRange identify
+    // the last snapshot appended to the arena; snapCurrent says the
+    // live mask still matches it, so consecutive work ops (and
+    // re-issued identical row masks) share one snapshot.
+    int64_t snapId = -1;
+    Range snapRange;
+    bool snapCurrent = false;
+    const auto rowSnapshot = [&]() -> uint32_t {
+        if (!snapCurrent) {
+            snapId = static_cast<int64_t>(
+                trace.rowWords.size() / trace.wordsPerMask);
+            trace.rowWords.insert(trace.rowWords.end(),
+                                  mask.rowWords.begin(),
+                                  mask.rowWords.end());
+            snapRange = mask.row;
+            snapCurrent = true;
+        }
+        return static_cast<uint32_t>(snapId);
+    };
+
+    // Index of the trailing op iff it is a fusable (un-fused) INIT1
+    // LogicH; any other emission clears it. Intervening mask ops are
+    // fine: fusion compares the ops' effective mask snapshots.
+    int64_t lastInit = -1;
+
+    uint32_t lo = UINT32_MAX, hi = 0;
+    const auto emit = [&](const TraceOp &t) {
+        lo = std::min(lo, t.xb.start);
+        hi = std::max(hi, t.xb.stop + 1);
+        trace.ops.push_back(t);
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+        const MicroOp op = MicroOp::decode(ops[i]);
+        switch (op.type) {
+          case OpType::CrossbarMask:
+            op.range.validate(geo.numCrossbars, "crossbar");
+            mask.xb = op.range;
+            stats.record(OpClass::CrossbarMask);
+            break;
+          case OpType::RowMask:
+            op.range.validate(geo.rows, "row");
+            mask.setRow(op.range, geo.rows);
+            stats.record(OpClass::RowMask);
+            snapCurrent = snapId >= 0 && op.range == snapRange;
+            break;
+          case OpType::Write: {
+            fatalIf(op.index >= geo.slots(),
+                    "write: slot index out of range");
+            stats.record(OpClass::Write);
+            TraceOp t;
+            t.type = OpType::Write;
+            t.index = op.index;
+            t.value = op.value;
+            t.rowMask = rowSnapshot();
+            t.xb = mask.xb;
+            emit(t);
+            lastInit = -1;
+            break;
+          }
+          case OpType::LogicH: {
+            stats.record(OpClass::LogicH);
+            if (op.gate == Gate::Nor || op.gate == Gate::Not)
+                ++stats.logicGates;
+            else
+                ++stats.logicInits;
+            TraceOp t;
+            t.type = OpType::LogicH;
+            t.hg = static_cast<uint32_t>(trace.halfGates.size());
+            trace.halfGates.push_back(expandLogicH(op, geo));
+            t.rowMask = rowSnapshot();
+            t.xb = mask.xb;
+            if ((op.gate == Gate::Nor || op.gate == Gate::Not) &&
+                lastInit >= 0) {
+                const TraceOp &init = trace.ops[lastInit];
+                if (init.xb == t.xb && init.rowMask == t.rowMask &&
+                    fusableInitNor(trace.halfGates[init.hg],
+                                   trace.halfGates[t.hg])) {
+                    trace.ops.pop_back();
+                    t.fusedInit = true;
+                }
+            }
+            emit(t);
+            lastInit = (op.gate == Gate::Init1 && !t.fusedInit)
+                           ? static_cast<int64_t>(trace.ops.size()) - 1
+                           : -1;
+            break;
+          }
+          case OpType::LogicV: {
+            fatalIf(op.index >= geo.slots(),
+                    "logicV: slot index out of range");
+            fatalIf(op.rowIn >= geo.rows || op.rowOut >= geo.rows,
+                    "logicV: row out of range");
+            stats.record(OpClass::LogicV);
+            if (op.gate == Gate::Not)
+                ++stats.logicGates;
+            else
+                ++stats.logicInits;
+            TraceOp t;
+            t.type = OpType::LogicV;
+            t.gate = op.gate;
+            t.rowIn = op.rowIn;
+            t.rowOut = op.rowOut;
+            t.index = op.index;
+            t.xb = mask.xb;
+            emit(t);
+            lastInit = -1;
+            break;
+          }
+          default:
+            panic("segment trace: barrier op inside a segment");
+        }
+    }
+    if (!trace.ops.empty()) {
+        trace.xbLo = lo;
+        trace.xbHi = hi;
+    }
+}
+
+} // namespace pypim

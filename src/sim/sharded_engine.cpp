@@ -2,22 +2,8 @@
 
 #include <algorithm>
 
-#include "common/error.hpp"
-
 namespace pypim
 {
-
-namespace
-{
-
-/** True iff the op must serialise the whole crossbar array. */
-inline bool
-isBarrier(OpType t)
-{
-    return t == OpType::Move || t == OpType::Read;
-}
-
-} // namespace
 
 ShardedEngine::ShardedEngine(const Geometry &geo,
                              std::vector<Crossbar> &xbs,
@@ -36,161 +22,41 @@ ShardedEngine::ShardedEngine(const Geometry &geo,
     for (uint32_t s = 0; s < nShards; ++s) {
         shards_[s].lo = std::min(s * per, geo.numCrossbars);
         shards_[s].hi = std::min((s + 1) * per, geo.numCrossbars);
-        shards_[s].mask.reset(geo);
     }
 }
 
 void
 ShardedEngine::execute(const Word *ops, size_t n)
 {
-    size_t i = 0;
-    while (i < n) {
-        if (isBarrier(enc::peekType(ops[i]))) {
-            serialPerform(MicroOp::decode(ops[i]));
-            ++i;
-            continue;
-        }
-        size_t j = i + 1;
-        while (j < n && !isBarrier(enc::peekType(ops[j])))
-            ++j;
-        runSegment(ops + i, j - i);
-        i = j;
-    }
+    forEachSegment(ops, n, [&](const Word *seg, size_t len) {
+        runSegment(seg, len);
+    });
 }
 
 void
 ShardedEngine::runSegment(const Word *ops, size_t n)
 {
-    // Segment-entry snapshot: the workers' replicas start here, while
-    // the authoritative mask state advances during the pre-scan.
-    entryXb_ = mask_.xb;
-    entryRow_ = mask_.row;
-    entryRowWords_ = mask_.rowWords;
-
-    // Pre-scan: decode once, validate everything (so a malformed op
-    // aborts before any crossbar is touched), pre-expand half-gates,
-    // record the architectural stats and advance the mask state.
-    decoded_.resize(n);
-    halfGates_.clear();
-    size_t workOps = 0;
-    for (size_t i = 0; i < n; ++i) {
-        MicroOp &op = decoded_[i];
-        op = MicroOp::decode(ops[i]);
-        switch (op.type) {
-          case OpType::CrossbarMask:
-            op.range.validate(geo_.numCrossbars, "crossbar");
-            mask_.xb = op.range;
-            stats_.record(OpClass::CrossbarMask);
-            break;
-          case OpType::RowMask:
-            op.range.validate(geo_.rows, "row");
-            mask_.setRow(op.range, geo_.rows);
-            stats_.record(OpClass::RowMask);
-            break;
-          case OpType::Write:
-            fatalIf(op.index >= geo_.slots(),
-                    "write: slot index out of range");
-            stats_.record(OpClass::Write);
-            ++workOps;
-            break;
-          case OpType::LogicH:
-            // Stash the expansion index in the decoded op's unused
-            // value field so workers can look it up without a map.
-            op.value = static_cast<uint32_t>(halfGates_.size());
-            halfGates_.push_back(expandLogicH(op, geo_));
-            stats_.record(OpClass::LogicH);
-            if (op.gate == Gate::Nor || op.gate == Gate::Not)
-                ++stats_.logicGates;
-            else
-                ++stats_.logicInits;
-            ++workOps;
-            break;
-          case OpType::LogicV:
-            fatalIf(op.index >= geo_.slots(),
-                    "logicV: slot index out of range");
-            fatalIf(op.rowIn >= geo_.rows || op.rowOut >= geo_.rows,
-                    "logicV: row out of range");
-            stats_.record(OpClass::LogicV);
-            if (op.gate == Gate::Not)
-                ++stats_.logicGates;
-            else
-                ++stats_.logicInits;
-            ++workOps;
-            break;
-          default:
-            panic("sharded: barrier op inside a segment");
-        }
-    }
-    if (workOps == 0)
-        return;  // mask-only segment: already fully applied above
+    buildSegmentTrace(ops, n, geo_, mask_, stats_, trace_);
+    if (trace_.empty())
+        return;  // mask-only segment: fully absorbed by the pre-pass
 
     pool_.parallelFor(
         static_cast<uint32_t>(shards_.size()), [&](uint32_t s) {
-            Shard &shard = shards_[s];
-            shard.mask.xb = entryXb_;
-            shard.mask.row = entryRow_;
-            shard.mask.rowWords = entryRowWords_;
-            applySegment(shard, work_[s], n);
+            const Shard &shard = shards_[s];
+            const uint32_t lo = std::max(shard.lo, trace_.xbLo);
+            const uint32_t hi = std::min(shard.hi, trace_.xbHi);
+            if (lo >= hi)
+                return;
+            // Accumulate the applied-work diagnostics on the stack
+            // and flush once per segment: work_ entries are adjacent
+            // in memory, and per-application increments there would
+            // ping-pong cache lines between workers at shard
+            // boundaries.
+            Stats local;
+            for (uint32_t xb = lo; xb < hi; ++xb)
+                xbs_[xb].replaySegment(trace_, xb, &local);
+            work_[s] += local;
         });
-}
-
-void
-ShardedEngine::applySegment(Shard &s, Stats &work, size_t n) const
-{
-    // Accumulate the applied-work diagnostics on the stack and flush
-    // once per segment: work_ entries are adjacent in memory, and
-    // per-application increments there would ping-pong cache lines
-    // between workers at shard boundaries.
-    Stats local;
-    // Iterate the selected crossbars of the shard's current mask that
-    // fall inside the shard's block [lo, hi).
-    const auto forEachOwned = [&](auto &&fn) {
-        const Range &r = s.mask.xb;
-        if (r.start >= s.hi || r.stop < s.lo)
-            return;
-        uint64_t first = r.start;
-        if (first < s.lo)
-            first += (s.lo - r.start + r.step - 1) / r.step *
-                     static_cast<uint64_t>(r.step);
-        for (uint64_t i = first; i <= r.stop && i < s.hi; i += r.step)
-            fn(static_cast<uint32_t>(i));
-    };
-
-    for (size_t i = 0; i < n; ++i) {
-        const MicroOp &op = decoded_[i];
-        switch (op.type) {
-          case OpType::CrossbarMask:
-            s.mask.xb = op.range;
-            break;
-          case OpType::RowMask:
-            s.mask.setRow(op.range, geo_.rows);
-            break;
-          case OpType::Write:
-            forEachOwned([&](uint32_t xb) {
-                xbs_[xb].write(op.index, op.value, s.mask.rowWords);
-                local.record(OpClass::Write);
-            });
-            break;
-          case OpType::LogicH: {
-            const HalfGates &hg = halfGates_[op.value];
-            forEachOwned([&](uint32_t xb) {
-                xbs_[xb].logicH(hg, s.mask.rowWords);
-                local.record(OpClass::LogicH);
-            });
-            break;
-          }
-          case OpType::LogicV:
-            forEachOwned([&](uint32_t xb) {
-                xbs_[xb].logicV(op.gate, op.rowIn, op.rowOut,
-                                op.index);
-                local.record(OpClass::LogicV);
-            });
-            break;
-          default:
-            break;  // unreachable: pre-scan rejected barrier ops
-        }
-    }
-    work += local;
 }
 
 } // namespace pypim

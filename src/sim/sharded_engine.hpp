@@ -9,25 +9,28 @@
  * replays whole batches shard-parallel on a persistent thread pool:
  *
  *  1. The batch is split into SEGMENTS at each Move/Read op.
- *  2. For each segment the coordinator (calling thread) first
- *     pre-scans it serially: decodes every op once into a reusable
- *     buffer, validates it exactly as the serial engine would,
- *     pre-expands LogicH half-gates, records the architectural
- *     statistics, and advances the authoritative mask state. This
- *     pass touches no crossbar, so it is O(segment), not O(segment *
- *     crossbars).
- *  3. The workers then each replay the segment over their own shard,
- *     starting from a snapshot of the segment-entry mask state and
- *     tracking mask ops in a private MaskState replica — no shared
- *     mutable state, no locks, no false sharing on the hot path.
+ *  2. The coordinator (calling thread) decodes each segment exactly
+ *     once into a SegmentTrace via the shared pre-pass
+ *     (sim/segment_trace.hpp): decoded ops with pre-expanded LogicH
+ *     half-gates, mask ops absorbed into per-op crossbar-mask and
+ *     row-mask snapshots, INIT+gate pairs fused. The pre-pass
+ *     validates everything exactly as the serial engine would,
+ *     records the architectural statistics and advances the
+ *     authoritative mask state; it touches no crossbar, so it is
+ *     O(segment), not O(segment * crossbars).
+ *  3. The workers replay the trace CROSSBAR-MAJOR over their own
+ *     shards: for each owned crossbar, the entire segment is applied
+ *     while that crossbar's condensed column-major state is hot in
+ *     cache (Crossbar::replaySegment) — no shared mutable state, no
+ *     locks, no mask tracking on the hot path.
  *  4. Move/Read ops form a barrier: they run on the coordinator over
  *     the full array via the shared base-class implementation.
  *
  * Guarantees for well-formed streams: crossbar state is bit-identical
- * to SerialEngine at any thread count (workers apply the same ops
- * under the same masks, just partitioned by crossbar id), and Stats
+ * to SerialEngine at any thread count (each crossbar sees the same
+ * ops under the same mask snapshots, in segment order), and Stats
  * are identical by construction (only the coordinator records them).
- * Error streams differ intentionally: the pre-scan rejects a bad op
+ * Error streams differ intentionally: the pre-pass rejects a bad op
  * BEFORE the segment touches any crossbar, whereas the serial engine
  * applies the prefix first.
  */
@@ -38,7 +41,6 @@
 
 #include "sim/engine.hpp"
 #include "sim/thread_pool.hpp"
-#include "uarch/partition.hpp"
 
 namespace pypim
 {
@@ -68,25 +70,15 @@ class ShardedEngine : public ExecutionEngine
     {
         uint32_t lo = 0;  //!< first owned crossbar (inclusive)
         uint32_t hi = 0;  //!< last owned crossbar (exclusive)
-        MaskState mask;   //!< private replica of the in-stream masks
     };
 
-    /** Coordinator pass 2-3: run one Move/Read-free segment. */
+    /** Coordinator: decode one Move/Read-free segment, fan it out. */
     void runSegment(const Word *ops, size_t n);
-
-    /** Worker body: replay the decoded segment over one shard. */
-    void applySegment(Shard &s, Stats &work, size_t n) const;
 
     ThreadPool pool_;
     std::vector<Shard> shards_;
     std::vector<Stats> work_;
-
-    // Segment-scoped scratch, reused across batches.
-    std::vector<MicroOp> decoded_;
-    std::vector<HalfGates> halfGates_;  //!< aligned with decoded_
-    Range entryXb_;
-    Range entryRow_;
-    std::vector<uint64_t> entryRowWords_;
+    SegmentTrace trace_;  //!< arena reused across batches
 };
 
 } // namespace pypim

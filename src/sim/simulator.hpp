@@ -14,9 +14,10 @@
  * the stored row mask of §III-B, expanded once per row-mask op), and
  * statistics — while HOW a micro-op stream is replayed over that
  * state is delegated to a pluggable ExecutionEngine (sim/engine.hpp):
- * the serial reference backend, or a sharded multi-threaded backend
- * that scales with host cores like real PIM scales with crossbars.
- * Engines can be swapped at runtime without losing memory contents.
+ * the serial reference backend, a decode-once crossbar-major trace
+ * backend, or a sharded multi-threaded backend that scales with host
+ * cores like real PIM scales with crossbars. Engines can be swapped
+ * at runtime without losing memory contents.
  */
 #ifndef PYPIM_SIM_SIMULATOR_HPP
 #define PYPIM_SIM_SIMULATOR_HPP

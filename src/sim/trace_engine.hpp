@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Single-threaded trace-replay engine: decode once, replay
+ * crossbar-major.
+ *
+ * Each batch splits into barrier-free segments (at Read / H-tree Move
+ * ops). A segment is decoded exactly once into a SegmentTrace
+ * (sim/segment_trace.hpp) by the shared pre-pass — decoded ops,
+ * pre-expanded LogicH half-gates, per-op mask snapshots, INIT+gate
+ * fusion — and then replayed with the loops interchanged: for each
+ * crossbar, the ENTIRE segment is applied before moving to the next
+ * (Crossbar::replaySegment), so one crossbar's condensed column-major
+ * state (the cache-sized block of columns) stays hot in L1/L2 instead
+ * of being streamed through the cache once per op. At the ROADMAP's
+ * 1024+-crossbar scale this turns an O(segment * array) cache sweep
+ * into O(array) with an O(segment) working set.
+ *
+ * The trace arena is a member reused across batches, so steady-state
+ * execution is allocation-free. Barrier ops run through the shared
+ * reference implementation. Bit-identical state and identical Stats
+ * versus SerialEngine are enforced by tests/test_engine_parity.cpp.
+ */
+#ifndef PYPIM_SIM_TRACE_ENGINE_HPP
+#define PYPIM_SIM_TRACE_ENGINE_HPP
+
+#include "sim/engine.hpp"
+
+namespace pypim
+{
+
+/** Serial decode-once, crossbar-major replay backend. */
+class TraceEngine : public ExecutionEngine
+{
+  public:
+    using ExecutionEngine::ExecutionEngine;
+
+    const char *name() const override { return "trace"; }
+
+    void execute(const Word *ops, size_t n) override;
+
+  private:
+    SegmentTrace trace_;  //!< arena reused across batches
+};
+
+} // namespace pypim
+
+#endif // PYPIM_SIM_TRACE_ENGINE_HPP

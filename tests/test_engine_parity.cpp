@@ -1,10 +1,11 @@
 /**
  * @file
- * Engine-parity tests (the sharded backend's correctness contract):
- * for fuzzed valid micro-op streams and for driver-level tensor
- * programs, the ShardedEngine must leave every crossbar in a
- * bit-identical state and produce identical architectural Stats
- * compared to the SerialEngine, at 1, 2 and 8 threads.
+ * Engine-parity tests (the non-reference backends' correctness
+ * contract): for fuzzed valid micro-op streams, directed
+ * mask-interleaved segments and driver-level tensor programs, the
+ * ShardedEngine (at 1, 2 and 8 threads) and the TraceEngine must
+ * leave every crossbar in a bit-identical state and produce identical
+ * architectural Stats compared to the op-major SerialEngine.
  */
 #include <gtest/gtest.h>
 
@@ -28,6 +29,31 @@ parityGeometry()
     g.numCrossbars = 16;  // enough crossbars for 8 shards to matter
     return g;
 }
+
+/**
+ * The candidate backends tested against the serial oracle: sharded at
+ * the contract's thread counts, plus the serial trace engine (which
+ * exercises decode-once replay and INIT+gate fusion without
+ * threading).
+ */
+struct EngineCase
+{
+    const char *name;
+    EngineConfig cfg;
+};
+
+const EngineCase &
+engineCase(size_t i)
+{
+    static const EngineCase cases[] = {
+        {"sharded", EngineConfig::sharded(1)},
+        {"sharded", EngineConfig::sharded(2)},
+        {"sharded", EngineConfig::sharded(8)},
+        {"trace", EngineConfig::trace()},
+    };
+    return cases[i];
+}
+constexpr size_t numEngineCases = 4;
 
 /** Seed both simulators with identical random register contents. */
 void
@@ -70,6 +96,9 @@ randomRange(Rng &rng, uint32_t limit)
 /**
  * Generate a random valid micro-op stream over @p g. Tracks the mask
  * state it sets up so that reads and moves are emitted legally.
+ * Interleaves mask ops freely with Write/LogicH/LogicV, including the
+ * driver's canonical INIT1+NOR/NOT pairs (the trace builder's fusion
+ * candidates) with and without mask changes in between.
  */
 std::vector<Word>
 randomStream(Rng &rng, const Geometry &g, size_t len)
@@ -82,7 +111,7 @@ randomStream(Rng &rng, const Geometry &g, size_t len)
         ops.push_back(MicroOp::crossbarMask(r).encode());
     };
     while (ops.size() < len) {
-        switch (rng.word() % 12) {
+        switch (rng.word() % 13) {
           case 0:
             setXbMask(randomRange(rng, g.numCrossbars));
             break;
@@ -148,6 +177,37 @@ randomStream(Rng &rng, const Geometry &g, size_t len)
                 MicroOp::read(rng.word() % g.slots()).encode());
             break;
           }
+          case 9: {
+            // INIT1 immediately followed by NOR/NOT of the same
+            // output slot (the fusion candidate), optionally with a
+            // mask op in between (which may or may not defeat
+            // fusion — both paths must stay bit-identical).
+            uint32_t a = rng.word() % g.slots();
+            uint32_t b = rng.word() % g.slots();
+            uint32_t c = rng.word() % g.slots();
+            if (a == c)
+                a = (a + 1) % g.slots();
+            if (b == c)
+                b = (b + 2) % g.slots();
+            if (b == c)
+                b = (b + 1) % g.slots();
+            const uint32_t out = g.column(c, 0);
+            ops.push_back(MicroOp::logicH(Gate::Init1, 0, 0, out,
+                                          g.partitions - 1, 1)
+                              .encode());
+            if (rng.word() % 3 == 0)
+                ops.push_back(
+                    MicroOp::rowMask(randomRange(rng, g.rows))
+                        .encode());
+            const bool isNot = rng.word() % 2;
+            ops.push_back(MicroOp::logicH(isNot ? Gate::Not
+                                                : Gate::Nor,
+                                          g.column(a, 0),
+                                          g.column(isNot ? a : b, 0),
+                                          out, g.partitions - 1, 1)
+                              .encode());
+            break;
+          }
           default: {
             // Move: contiguous source block shifted within bounds.
             const uint32_t n = 1 + rng.word() % (g.numCrossbars / 2);
@@ -167,7 +227,7 @@ randomStream(Rng &rng, const Geometry &g, size_t len)
 }
 
 class EngineParity : public ::testing::TestWithParam<
-                         std::tuple<uint64_t, uint32_t>>
+                         std::tuple<uint64_t, size_t>>
 {
 };
 
@@ -175,15 +235,16 @@ class EngineParity : public ::testing::TestWithParam<
 
 TEST_P(EngineParity, FuzzedStreamsBitIdentical)
 {
-    const auto [seed, threads] = GetParam();
+    const auto [seed, caseIdx] = GetParam();
+    const EngineCase &ec = engineCase(caseIdx);
     const Geometry g = parityGeometry();
     Simulator serial(g);
-    Simulator sharded(g, EngineConfig::sharded(threads));
+    Simulator other(g, ec.cfg);
     ASSERT_STREQ(serial.engine().name(), "serial");
-    ASSERT_STREQ(sharded.engine().name(), "sharded");
+    ASSERT_STREQ(other.engine().name(), ec.name);
 
     Rng rng(seed);
-    seedState(serial, sharded, rng);
+    seedState(serial, other, rng);
     const std::vector<Word> ops = randomStream(rng, g, 600);
 
     // Feed both engines the identical stream in identical random-size
@@ -193,29 +254,30 @@ TEST_P(EngineParity, FuzzedStreamsBitIdentical)
         const size_t n =
             std::min<size_t>(1 + rng.word() % 64, ops.size() - i);
         serial.performBatch(ops.data() + i, n);
-        sharded.performBatch(ops.data() + i, n);
+        other.performBatch(ops.data() + i, n);
         i += n;
     }
 
-    EXPECT_TRUE(sameCrossbarState(serial, sharded));
-    EXPECT_EQ(serial.stats(), sharded.stats())
+    EXPECT_TRUE(sameCrossbarState(serial, other));
+    EXPECT_EQ(serial.stats(), other.stats())
         << "serial:\n" << serial.stats().summary()
-        << "sharded:\n" << sharded.stats().summary();
-    EXPECT_EQ(serial.crossbarMask(), sharded.crossbarMask());
-    EXPECT_EQ(serial.rowMask(), sharded.rowMask());
+        << ec.name << ":\n" << other.stats().summary();
+    EXPECT_EQ(serial.crossbarMask(), other.crossbarMask());
+    EXPECT_EQ(serial.rowMask(), other.rowMask());
 }
 
 TEST_P(EngineParity, ReadsReturnIdenticalValues)
 {
-    const auto [seed, threads] = GetParam();
+    const auto [seed, caseIdx] = GetParam();
+    const EngineCase &ec = engineCase(caseIdx);
     const Geometry g = parityGeometry();
     Simulator serial(g);
-    Simulator sharded(g, EngineConfig::sharded(threads));
+    Simulator other(g, ec.cfg);
     Rng rng(seed ^ 0xBEEF);
-    seedState(serial, sharded, rng);
+    seedState(serial, other, rng);
     const std::vector<Word> ops = randomStream(rng, g, 200);
     serial.performBatch(ops.data(), ops.size());
-    sharded.performBatch(ops.data(), ops.size());
+    other.performBatch(ops.data(), ops.size());
     for (int i = 0; i < 50; ++i) {
         const uint32_t xb = rng.word() % g.numCrossbars;
         const uint32_t row = rng.word() % g.rows;
@@ -225,15 +287,16 @@ TEST_P(EngineParity, ReadsReturnIdenticalValues)
             MicroOp::rowMask(Range::single(row)).encode(),
         };
         serial.performBatch(sel.data(), sel.size());
-        sharded.performBatch(sel.data(), sel.size());
+        other.performBatch(sel.data(), sel.size());
         EXPECT_EQ(serial.performRead(enc::read(slot)),
-                  sharded.performRead(enc::read(slot)));
+                  other.performRead(enc::read(slot)));
     }
 }
 
 TEST_P(EngineParity, EngineSwapPreservesState)
 {
-    const auto [seed, threads] = GetParam();
+    const auto [seed, caseIdx] = GetParam();
+    const EngineCase &ec = engineCase(caseIdx);
     const Geometry g = parityGeometry();
     Simulator oracle(g);
     Simulator swapped(g);  // starts serial, swaps mid-stream
@@ -244,7 +307,7 @@ TEST_P(EngineParity, EngineSwapPreservesState)
 
     oracle.performBatch(ops.data(), ops.size());
     swapped.performBatch(ops.data(), half);
-    swapped.setEngine(EngineConfig::sharded(threads));
+    swapped.setEngine(ec.cfg);
     swapped.performBatch(ops.data() + half, ops.size() - half);
 
     EXPECT_TRUE(sameCrossbarState(oracle, swapped));
@@ -252,15 +315,112 @@ TEST_P(EngineParity, EngineSwapPreservesState)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    SeedsAndThreads, EngineParity,
+    SeedsAndEngines, EngineParity,
     ::testing::Combine(::testing::Values(11ull, 404ull, 90210ull),
-                       ::testing::Values(1u, 2u, 8u)));
+                       ::testing::Range<size_t>(0, numEngineCases)));
+
+namespace
+{
+
+/**
+ * One directed batch interleaving mask ops with Write/LogicH/LogicV
+ * inside single segments: strided masks, fusable and fusion-defeated
+ * INIT1+NOR pairs, an input-aliases-output NOR (must not fuse), and a
+ * barrier in the middle. Deterministic — every engine must reproduce
+ * the serial oracle bit for bit.
+ */
+std::vector<Word>
+maskInterleavedBatch(const Geometry &g)
+{
+    std::vector<Word> ops;
+    const auto slotCol = [&](uint32_t s) { return g.column(s, 0); };
+    const uint32_t pEnd = g.partitions - 1;
+
+    // Segment 1: strided crossbar mask, full rows.
+    ops.push_back(
+        MicroOp::crossbarMask(Range(1, g.numCrossbars - 3, 2))
+            .encode());
+    ops.push_back(MicroOp::write(0, 0xA5A5A5A5u).encode());
+    // Fusable INIT1+NOR pair (same masks, same outputs).
+    ops.push_back(MicroOp::logicH(Gate::Init1, 0, 0, slotCol(4),
+                                  pEnd, 1).encode());
+    ops.push_back(MicroOp::logicH(Gate::Nor, slotCol(0), slotCol(1),
+                                  slotCol(4), pEnd, 1).encode());
+    // INIT1+NOT pair split by a row-mask change: must NOT fuse, and
+    // the NOT must see the new (strided) row mask.
+    ops.push_back(MicroOp::logicH(Gate::Init1, 0, 0, slotCol(5),
+                                  pEnd, 1).encode());
+    ops.push_back(
+        MicroOp::rowMask(Range(2, g.rows - 2, 4)).encode());
+    ops.push_back(MicroOp::logicH(Gate::Not, slotCol(2), slotCol(2),
+                                  slotCol(5), pEnd, 1).encode());
+    // INIT1+NOR whose input aliases the initialised output: the
+    // fusion guard must fall back to two sequential passes.
+    ops.push_back(MicroOp::logicH(Gate::Init1, 0, 0, slotCol(6),
+                                  pEnd, 1).encode());
+    ops.push_back(MicroOp::logicH(Gate::Nor, slotCol(6), slotCol(3),
+                                  slotCol(6), pEnd, 1).encode());
+    // Vertical logic and a crossbar-mask change mid-segment.
+    ops.push_back(
+        MicroOp::logicV(Gate::Init1, 0, 3, 7).encode());
+    ops.push_back(
+        MicroOp::crossbarMask(Range(0, g.numCrossbars - 4, 4))
+            .encode());
+    ops.push_back(
+        MicroOp::logicV(Gate::Not, 3, 5, 7).encode());
+    ops.push_back(MicroOp::write(1, 0x0F0F0F0Fu).encode());
+
+    // Barrier: H-tree move splits the batch into two segments.
+    ops.push_back(
+        MicroOp::crossbarMask(Range(0, g.numCrossbars / 2 - 1, 1))
+            .encode());
+    ops.push_back(
+        MicroOp::move(g.numCrossbars / 2, 1, 2, 0, 1).encode());
+
+    // Segment 2: INIT1+NOR pair with a re-issued identical crossbar
+    // mask in between (fusion must survive no-op mask traffic), then
+    // a re-issued identical row mask before a write (row-snapshot
+    // reuse inside the trace builder).
+    ops.push_back(
+        MicroOp::rowMask(Range(2, g.rows - 2, 4)).encode());
+    ops.push_back(MicroOp::logicH(Gate::Init1, 0, 0, slotCol(8),
+                                  pEnd, 1).encode());
+    ops.push_back(
+        MicroOp::crossbarMask(Range(0, g.numCrossbars / 2 - 1, 1))
+            .encode());
+    ops.push_back(MicroOp::logicH(Gate::Nor, slotCol(1), slotCol(2),
+                                  slotCol(8), pEnd, 1).encode());
+    ops.push_back(
+        MicroOp::rowMask(Range(2, g.rows - 2, 4)).encode());
+    ops.push_back(MicroOp::write(9, 0xDEADBEEFu).encode());
+    return ops;
+}
+
+} // namespace
+
+TEST(EngineParityDirected, MaskInterleavedSegments)
+{
+    const Geometry g = parityGeometry();
+    const std::vector<Word> ops = maskInterleavedBatch(g);
+    for (size_t c = 0; c < numEngineCases; ++c) {
+        const EngineCase &ec = engineCase(c);
+        Simulator serial(g);
+        Simulator other(g, ec.cfg);
+        Rng seedRng(2024);
+        seedState(serial, other, seedRng);
+        serial.performBatch(ops.data(), ops.size());
+        other.performBatch(ops.data(), ops.size());
+        EXPECT_TRUE(sameCrossbarState(serial, other)) << ec.name;
+        EXPECT_EQ(serial.stats(), other.stats()) << ec.name;
+    }
+}
 
 TEST(EngineParityWork, ShardWorkCountsEveryApplication)
 {
     // Under full masks every work op applies to every crossbar, so
     // the merged per-shard diagnostics must equal the architectural
-    // op counts scaled by the crossbar count.
+    // op counts scaled by the crossbar count. The stream alternates
+    // Write and INIT1 (no fusion), so applications map 1:1 to ops.
     const Geometry g = parityGeometry();
     Simulator sim(g, EngineConfig::sharded(4));
     std::vector<Word> ops;
@@ -281,6 +441,30 @@ TEST(EngineParityWork, ShardWorkCountsEveryApplication)
     // Contiguous shards over 16 crossbars at 4 threads: 4 each.
     for (const Stats &w : eng.shardWork())
         EXPECT_EQ(w.totalOps(), 20ull * (g.numCrossbars / 4));
+}
+
+TEST(EngineParityWork, FusedPairsCountBothApplications)
+{
+    // A fusable INIT1+NOR pair replays as one pass but represents two
+    // architectural ops; the work diagnostic must count both, keeping
+    // merged work == architectural ops * crossbars.
+    const Geometry g = parityGeometry();
+    Simulator sim(g, EngineConfig::sharded(4));
+    std::vector<Word> ops;
+    for (int i = 0; i < 8; ++i) {
+        ops.push_back(MicroOp::logicH(Gate::Init1, 0, 0,
+                                      g.column(4, 0),
+                                      g.partitions - 1, 1).encode());
+        ops.push_back(MicroOp::logicH(Gate::Nor, g.column(0, 0),
+                                      g.column(1, 0), g.column(4, 0),
+                                      g.partitions - 1, 1).encode());
+    }
+    sim.performBatch(ops.data(), ops.size());
+    const auto &eng =
+        static_cast<const ShardedEngine &>(sim.engine());
+    const Stats merged = Stats::merged(eng.shardWork());
+    EXPECT_EQ(merged.opCount[size_t(OpClass::LogicH)],
+              16ull * g.numCrossbars);
 }
 
 namespace
@@ -309,20 +493,23 @@ runDriverProgram(Device &dev)
 TEST(EngineParityDriver, TensorProgramsMatchSerial)
 {
     const Geometry g = parityGeometry();
-    for (uint32_t threads : {1u, 2u, 8u}) {
-        Device serialDev(g, Driver::Mode::Parallel,
-                         EngineConfig::serial());
-        Device shardedDev(g, Driver::Mode::Parallel,
-                          EngineConfig::sharded(threads));
-        EXPECT_EQ(shardedDev.simulator().engine().threads(),
-                  std::min(threads, g.numCrossbars));
-        runDriverProgram(serialDev);
-        runDriverProgram(shardedDev);
-        for (uint32_t xb = 0; xb < g.numCrossbars; ++xb)
+    Device serialDev(g, Driver::Mode::Parallel,
+                     EngineConfig::serial());
+    runDriverProgram(serialDev);
+    for (size_t c = 0; c < numEngineCases; ++c) {
+        const EngineCase &ec = engineCase(c);
+        Device otherDev(g, Driver::Mode::Parallel, ec.cfg);
+        if (ec.cfg.kind == EngineKind::Sharded) {
+            EXPECT_EQ(otherDev.simulator().engine().threads(),
+                      std::min(ec.cfg.threads, g.numCrossbars));
+        }
+        runDriverProgram(otherDev);
+        for (uint32_t xb = 0; xb < g.numCrossbars; ++xb) {
             ASSERT_TRUE(serialDev.simulator().crossbar(xb).sameState(
-                shardedDev.simulator().crossbar(xb)))
-                << "crossbar " << xb << " at " << threads
-                << " threads";
-        EXPECT_EQ(serialDev.stats(), shardedDev.stats());
+                otherDev.simulator().crossbar(xb)))
+                << "crossbar " << xb << " under " << ec.name
+                << " engine";
+        }
+        EXPECT_EQ(serialDev.stats(), otherDev.stats()) << ec.name;
     }
 }
