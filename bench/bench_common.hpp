@@ -56,11 +56,12 @@ engineConfig()
 }
 
 /**
- * Parse and strip --engine=serial|sharded|trace and --threads=N from
- * argv (before benchmark::Initialize, which rejects unknown flags),
- * storing the result in engineConfig(). Invalid values abort, exactly
- * like the PYPIM_ENGINE / PYPIM_THREADS environment path — a typo must
- * never silently benchmark the wrong engine.
+ * Parse and strip --engine=serial|sharded|trace, --threads=N and
+ * --pipeline=on|off from argv (before benchmark::Initialize, which
+ * rejects unknown flags), storing the result in engineConfig().
+ * Invalid values abort, exactly like the PYPIM_ENGINE / PYPIM_THREADS
+ * / PYPIM_PIPELINE environment path — a typo must never silently
+ * benchmark the wrong engine.
  */
 inline void
 applyEngineFlags(int &argc, char **argv)
@@ -69,7 +70,15 @@ applyEngineFlags(int &argc, char **argv)
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg(argv[i]);
-        if (arg.rfind("--engine=", 0) == 0) {
+        if (arg.rfind("--pipeline=", 0) == 0) {
+            const std::string v = arg.substr(11);
+            if (v == "on" || v == "1")
+                cfg.pipeline = true;
+            else if (v == "off" || v == "0")
+                cfg.pipeline = false;
+            else
+                fatal("--pipeline=" + v + ": expected on|off");
+        } else if (arg.rfind("--engine=", 0) == 0) {
             const std::string v = arg.substr(9);
             if (v == "sharded")
                 cfg.kind = EngineKind::Sharded;
@@ -105,8 +114,35 @@ printEngineBanner()
     std::printf("simulator engine: %s", engineKindName(cfg.kind));
     if (cfg.kind == EngineKind::Sharded)
         std::printf(" (%u threads)", cfg.resolvedThreads());
-    std::printf("  [--engine=serial|sharded|trace --threads=N or "
-                "PYPIM_ENGINE/PYPIM_THREADS]\n");
+    std::printf(", pipeline %s", cfg.pipeline ? "on" : "off");
+    std::printf("  [--engine=serial|sharded|trace --threads=N "
+                "--pipeline=on|off or PYPIM_ENGINE/PYPIM_THREADS/"
+                "PYPIM_PIPELINE]\n");
+}
+
+/**
+ * Timing skeleton shared by the end-to-end pipeline measurements:
+ * invoke @p body repeatedly until @p minSeconds of wall clock have
+ * elapsed, then @p drain — inside the timed window, so asynchronous
+ * sinks pay for all deferred replay — and return {reps, seconds}.
+ */
+template <typename BodyFn, typename DrainFn>
+inline std::pair<uint64_t, double>
+timedReps(BodyFn &&body, DrainFn &&drain, double minSeconds)
+{
+    using clock = std::chrono::steady_clock;
+    uint64_t reps = 0;
+    const auto t0 = clock::now();
+    double elapsed = 0.0;
+    do {
+        body();
+        ++reps;
+        elapsed = std::chrono::duration<double>(clock::now() - t0)
+                      .count();
+    } while (elapsed < minSeconds);
+    drain();
+    elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+    return {reps, elapsed};
 }
 
 /** Full-scale deployment (Table III: 64k crossbars, 64M rows). */

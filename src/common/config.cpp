@@ -93,6 +93,14 @@ EngineConfig::fromEnv()
         fatalIf(n < 0, "PYPIM_THREADS: must be >= 0");
         c.threads = static_cast<uint32_t>(n);
     }
+    if (const char *p = std::getenv("PYPIM_PIPELINE")) {
+        const std::string s(p);
+        if (s == "on" || s == "1")
+            c.pipeline = true;
+        else if (!s.empty() && s != "off" && s != "0")
+            fatal("PYPIM_PIPELINE: unknown value '" + s +
+                  "' (expected on|off)");
+    }
     return c;
 }
 

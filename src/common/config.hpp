@@ -112,6 +112,15 @@ struct EngineConfig
     EngineKind kind = EngineKind::Serial;
     /** Worker threads for Sharded (0 = hardware concurrency). */
     uint32_t threads = 0;
+    /**
+     * Asynchronous pipelined execution (sim/pipeline.hpp): submitted
+     * batches are decoded into segment traces on the caller thread and
+     * replayed by a dedicated consumer thread, overlapping driver
+     * translation of batch k+1 with replay of batch k. Off by default;
+     * `performBatch` stays synchronous either way, and reads, host
+     * readback, stats queries and engine swaps drain the pipeline.
+     */
+    bool pipeline = false;
 
     static EngineConfig serial() { return {}; }
 
@@ -132,11 +141,20 @@ struct EngineConfig
         return c;
     }
 
+    /** Copy of this config with the pipeline toggled. */
+    EngineConfig
+    withPipeline(bool on = true) const
+    {
+        EngineConfig c = *this;
+        c.pipeline = on;
+        return c;
+    }
+
     /**
      * Engine selection from the environment: PYPIM_ENGINE=serial|
-     * sharded|trace and PYPIM_THREADS=N. Unset values fall back to
-     * the serial default, so existing callers are unaffected;
-     * unrecognised values abort.
+     * sharded|trace, PYPIM_THREADS=N and PYPIM_PIPELINE=on|off.
+     * Unset values fall back to the serial synchronous default, so
+     * existing callers are unaffected; unrecognised values abort.
      */
     static EngineConfig fromEnv();
 

@@ -84,7 +84,7 @@ Driver::execute(const RTypeInstr &in)
             // Replay the memoised (self-contained) stream: the chip
             // ends up in the instruction's mask state.
             builder_.flush();
-            sink_->performBatch(it->second.data(), it->second.size());
+            sink_->submitBatch(it->second.data(), it->second.size());
             builder_.assumeMasks(in.warps, in.rows);
             ++stats_.instructions;
             return;
@@ -111,7 +111,7 @@ Driver::execute(const RTypeInstr &in)
             streamCache_.clear();  // simple bound; signatures are few
         const auto &cached =
             streamCache_.emplace(key, std::move(rec.ops)).first->second;
-        sink_->performBatch(cached.data(), cached.size());
+        sink_->submitBatch(cached.data(), cached.size());
         builder_.assumeMasks(in.warps, in.rows);
         ++stats_.instructions;
         return;

@@ -45,7 +45,10 @@ GateBuilder::flush()
 {
     if (buf_.empty())
         return;
-    sink_->performBatch(buf_.data(), buf_.size());
+    // Submit rather than perform: a pipelined sink overlaps replay of
+    // this batch with translation of the next; the buffer is only
+    // read during the call, so reusing it immediately is safe.
+    sink_->submitBatch(buf_.data(), buf_.size());
     buf_.clear();
 }
 

@@ -12,6 +12,13 @@ Device::Device(const Geometry &geo, Driver::Mode mode,
 {
 }
 
+void
+Device::flush()
+{
+    drv_.builder().flush();
+    sim_.flush();
+}
+
 Device &
 Device::defaultDevice()
 {

@@ -27,8 +27,9 @@ class Device
      * @param geo memory geometry (validated)
      * @param mode driver arithmetic mode (paper Fig. 4)
      * @param ec simulator execution backend; the default honours the
-     *           PYPIM_ENGINE / PYPIM_THREADS environment knobs and
-     *           falls back to the serial engine
+     *           PYPIM_ENGINE / PYPIM_THREADS / PYPIM_PIPELINE
+     *           environment knobs and falls back to the synchronous
+     *           serial engine
      */
     explicit Device(const Geometry &geo,
                     Driver::Mode mode = Driver::Mode::Parallel,
@@ -49,7 +50,18 @@ class Device
     Driver &driver() { return drv_; }
     MemoryManager &allocator() { return mm_; }
 
-    /** Simulator-side micro-op statistics. */
+    /**
+     * Push any micro-ops still batched in the driver to the simulator
+     * and drain its asynchronous pipeline (no-op when the pipeline is
+     * off). Reads and stats queries synchronise implicitly; call this
+     * before inspecting simulator state directly.
+     */
+    void flush();
+
+    /**
+     * Simulator-side micro-op statistics (drains the pipeline, so the
+     * counters cover every submitted batch).
+     */
     const Stats &stats() const { return sim_.stats(); }
     Stats &stats() { return sim_.stats(); }
 

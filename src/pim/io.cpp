@@ -3,6 +3,13 @@
  * Host I/O for tensors: element get/set and bulk vector transfer via
  * read/write instructions (the standard memory interface retained by
  * the PIM architecture, paper §III-C).
+ *
+ * Host readback is a synchronisation point of the asynchronous
+ * execution pipeline: every read funnels through the driver into
+ * OperationSink::performRead, which drains all submitted batches
+ * before touching state, so readback always observes the full
+ * submitted stream. Writes stream through submitBatch like any other
+ * instruction.
  */
 #include "pim/tensor.hpp"
 

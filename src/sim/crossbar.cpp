@@ -107,7 +107,22 @@ void
 Crossbar::replaySegment(const SegmentTrace &trace, uint32_t self,
                         Stats *work)
 {
-    for (const TraceOp &op : trace.ops) {
+    const size_t n = trace.ops.size();
+    for (size_t i = 0; i < n;) {
+        const TraceOp &op = trace.ops[i];
+        if (op.type == OpType::LogicV) {
+            // Runs of consecutive LogicV ops on the same
+            // intra-partition index address the same partition
+            // columns; replay the whole run column-major in one pass.
+            size_t j = i + 1;
+            while (j < n && trace.ops[j].type == OpType::LogicV &&
+                   trace.ops[j].index == op.index)
+                ++j;
+            replayLogicVRun(trace.ops.data() + i, j - i, self, work);
+            i = j;
+            continue;
+        }
+        ++i;
         if (!op.xb.contains(self))
             continue;
         switch (op.type) {
@@ -133,13 +148,73 @@ Crossbar::replaySegment(const SegmentTrace &trace, uint32_t self,
             }
             break;
           }
-          case OpType::LogicV:
-            logicV(op.gate, op.rowIn, op.rowOut, op.index);
-            if (work)
-                work->record(OpClass::LogicV);
-            break;
           default:
             break;  // unreachable: the builder emits work ops only
+        }
+    }
+}
+
+void
+Crossbar::replayLogicVRun(const TraceOp *run, size_t n, uint32_t self,
+                          Stats *work)
+{
+    // A LogicV op addresses two single rows of one column per
+    // partition, so op-major replay touches every partition column
+    // for two bits per op. Interchanging the loops applies the whole
+    // run to one column while its words stay hot. The run is
+    // processed in fixed-size chunks of decoded gate descriptors so
+    // no scratch allocation is needed; chunk order preserves stream
+    // order within each column, and columns are independent.
+    struct VGate
+    {
+        Gate gate;
+        uint32_t inWord, inShift;
+        uint32_t outWord;
+        uint64_t outBit;
+    };
+    constexpr size_t kChunk = 64;
+    VGate gates[kChunk];
+    const uint32_t pw = geo_->partitionWidth();
+    const uint32_t numPart = geo_->partitions;
+    const uint32_t slot = run[0].index;
+
+    size_t i = 0;
+    while (i < n) {
+        size_t m = 0;
+        for (; i < n && m < kChunk; ++i) {
+            const TraceOp &op = run[i];
+            if (!op.xb.contains(self))
+                continue;
+            gates[m].gate = op.gate;
+            gates[m].inWord = op.rowIn / 64;
+            gates[m].inShift = op.rowIn % 64;
+            gates[m].outWord = op.rowOut / 64;
+            gates[m].outBit = 1ull << (op.rowOut % 64);
+            ++m;
+            if (work)
+                work->record(OpClass::LogicV);
+        }
+        if (m == 0)
+            continue;
+        for (uint32_t p = 0; p < numPart; ++p) {
+            uint64_t *words = colWords(p * pw + slot);
+            for (size_t k = 0; k < m; ++k) {
+                const VGate &g = gates[k];
+                switch (g.gate) {
+                  case Gate::Init0:
+                    words[g.outWord] &= ~g.outBit;
+                    break;
+                  case Gate::Init1:
+                    words[g.outWord] |= g.outBit;
+                    break;
+                  case Gate::Not:
+                    if ((words[g.inWord] >> g.inShift) & 1)
+                        words[g.outWord] &= ~g.outBit;
+                    break;
+                  case Gate::Nor:
+                    break;  // unreachable: rejected at emission
+                }
+            }
         }
     }
 }

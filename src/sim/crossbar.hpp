@@ -30,6 +30,7 @@ namespace pypim
 
 struct SegmentTrace;
 struct Stats;
+struct TraceOp;
 
 /** One h x w crossbar array with stateful-logic semantics. */
 class Crossbar
@@ -64,6 +65,16 @@ class Crossbar
      */
     void replaySegment(const SegmentTrace &trace, uint32_t self,
                        Stats *work);
+
+    /**
+     * Replay a run of consecutive LogicV trace ops sharing one
+     * intra-partition index column-major: the whole run is applied to
+     * each partition column while its words are hot, instead of
+     * sweeping all partitions once per op. Ops whose crossbar-mask
+     * snapshot does not select @p self are skipped.
+     */
+    void replayLogicVRun(const TraceOp *run, size_t n, uint32_t self,
+                         Stats *work);
 
     /**
      * Execute a vertical logic op: gate from @p rowIn to @p rowOut on

@@ -58,19 +58,53 @@ ExecutionEngine::doRowMask(const MicroOp &op)
     stats_.record(OpClass::RowMask);
 }
 
+void
+validateRead(const MicroOp &op, const Range &xb, const Range &row,
+             const Geometry &geo)
+{
+    panicIf(op.type != OpType::Read, "read: wrong op type");
+    fatalIf(op.index >= geo.slots(), "read: slot index out of range");
+    fatalIf(xb.count() != 1,
+            "read: crossbar mask must select exactly one crossbar "
+            "(paper III-C), selects " + std::to_string(xb.count()));
+    fatalIf(row.count() != 1,
+            "read: row mask must select exactly one row (paper III-C), "
+            "selects " + std::to_string(row.count()));
+}
+
+int64_t
+validateMove(const MicroOp &op, const Range &xb, const Geometry &geo)
+{
+    fatalIf(!isPow4(xb.step),
+            "move: crossbar mask step must be a power of four "
+            "(paper III-F)");
+    fatalIf(op.srcIdx >= geo.slots() || op.dstIdx >= geo.slots(),
+            "move: slot index out of range");
+    fatalIf(op.srcRow >= geo.rows || op.dstRow >= geo.rows,
+            "move: row out of range");
+    const int64_t dist = static_cast<int64_t>(op.dstStart) -
+                         static_cast<int64_t>(xb.start);
+    // The destination set is the source Range shifted by dist, so the
+    // endpoints bound every element.
+    const int64_t lastDst = static_cast<int64_t>(xb.stop) + dist;
+    fatalIf(lastDst < 0 || lastDst >= geo.numCrossbars,
+            "move: destination crossbar out of range");
+    return dist;
+}
+
 uint32_t
 ExecutionEngine::executeRead(const MicroOp &op)
 {
-    panicIf(op.type != OpType::Read, "read: wrong op type");
-    fatalIf(op.index >= geo_.slots(), "read: slot index out of range");
-    fatalIf(mask_.xb.count() != 1,
-            "read: crossbar mask must select exactly one crossbar "
-            "(paper III-C), selects " + std::to_string(mask_.xb.count()));
-    fatalIf(mask_.row.count() != 1,
-            "read: row mask must select exactly one row (paper III-C), "
-            "selects " + std::to_string(mask_.row.count()));
+    validateRead(op, mask_.xb, mask_.row, geo_);
     stats_.record(OpClass::Read);
     return xbs_[mask_.xb.start].read(op.index, mask_.row.start);
+}
+
+void
+ExecutionEngine::replayTrace(const SegmentTrace &trace)
+{
+    for (uint32_t xb = trace.xbLo; xb < trace.xbHi; ++xb)
+        xbs_[xb].replaySegment(trace, xb, nullptr);
 }
 
 void
@@ -116,33 +150,30 @@ ExecutionEngine::doLogicV(const MicroOp &op)
 void
 ExecutionEngine::doMove(const MicroOp &op)
 {
-    fatalIf(!isPow4(mask_.xb.step),
-            "move: crossbar mask step must be a power of four "
-            "(paper III-F)");
-    fatalIf(op.srcIdx >= geo_.slots() || op.dstIdx >= geo_.slots(),
-            "move: slot index out of range");
-    fatalIf(op.srcRow >= geo_.rows || op.dstRow >= geo_.rows,
-            "move: row out of range");
+    const int64_t dist = validateMove(op, mask_.xb, geo_);
+    applyMove(op, mask_.xb);
+    stats_.record(OpClass::Move, htree_.moveCycles(mask_.xb, dist));
+}
+
+void
+ExecutionEngine::applyMove(const MicroOp &op, const Range &xb)
+{
     const int64_t dist = static_cast<int64_t>(op.dstStart) -
-                         static_cast<int64_t>(mask_.xb.start);
+                         static_cast<int64_t>(xb.start);
     // Read-all-then-write-all semantics: overlapping source and
     // destination sets (shift chains) behave as a parallel transfer.
     // The staging buffer is a reused member: clear() keeps capacity,
     // so steady-state moves never allocate.
     moveValues_.clear();
-    moveValues_.reserve(mask_.xb.count());
-    mask_.xb.forEach([&](uint32_t src) {
-        const int64_t dst = static_cast<int64_t>(src) + dist;
-        fatalIf(dst < 0 || dst >= geo_.numCrossbars,
-                "move: destination crossbar out of range");
+    moveValues_.reserve(xb.count());
+    xb.forEach([&](uint32_t src) {
         moveValues_.push_back(xbs_[src].read(op.srcIdx, op.srcRow));
     });
     size_t i = 0;
-    mask_.xb.forEach([&](uint32_t src) {
+    xb.forEach([&](uint32_t src) {
         const uint32_t dst = static_cast<uint32_t>(src + dist);
         xbs_[dst].writeRow(op.dstIdx, moveValues_[i++], op.dstRow);
     });
-    stats_.record(OpClass::Move, htree_.moveCycles(mask_.xb, dist));
 }
 
 std::unique_ptr<ExecutionEngine>

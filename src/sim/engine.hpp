@@ -73,6 +73,24 @@ class ExecutionEngine
     virtual void execute(const Word *ops, size_t n) = 0;
 
     /**
+     * Replay one pre-built segment trace over the crossbar array.
+     * This is the hand-off entry the pipelined path (sim/pipeline.hpp)
+     * feeds: the trace was already validated and recorded in the
+     * architectural stats by the pre-pass, so the engine only applies
+     * state changes. The default replays crossbar-major inline on the
+     * calling thread; ShardedEngine fans the hull out over its pool.
+     */
+    virtual void replayTrace(const SegmentTrace &trace);
+
+    /**
+     * Apply a pre-validated Move under the crossbar-mask snapshot
+     * @p xb: pure data movement, no validation, no stats. The
+     * pipelined consumer thread calls this for queued Move items
+     * (validation and stats were recorded at submit time).
+     */
+    void applyMove(const MicroOp &op, const Range &xb);
+
+    /**
      * Execute a Read micro-op and return the N-bit response. Reads
      * address exactly one (crossbar, row) and are inherently serial,
      * so all backends share this implementation.
@@ -132,6 +150,24 @@ std::unique_ptr<ExecutionEngine>
 makeEngine(const EngineConfig &cfg, const Geometry &geo,
            std::vector<Crossbar> &xbs, const HTree &htree,
            MaskState &mask, Stats &stats);
+
+/**
+ * Validate a Read against the mask state exactly as the serial
+ * reference would, without touching any crossbar. Shared between
+ * executeRead and the pipeline pre-pass (which validates at submit
+ * time so a malformed op is reported at the submitBatch containing
+ * it).
+ */
+void validateRead(const MicroOp &op, const Range &xb, const Range &row,
+                  const Geometry &geo);
+
+/**
+ * Validate a Move against the crossbar mask @p xb exactly as the
+ * serial reference would, without touching any crossbar. Returns the
+ * (signed) crossbar distance of the transfer.
+ */
+int64_t validateMove(const MicroOp &op, const Range &xb,
+                     const Geometry &geo);
 
 } // namespace pypim
 

@@ -1,0 +1,169 @@
+#include "sim/pipeline.hpp"
+
+#include "sim/engine.hpp"
+#include "sim/htree.hpp"
+
+namespace pypim
+{
+
+SimulatorPipeline::SimulatorPipeline(
+    const Geometry &geo, const HTree &htree, MaskState &mask,
+    Stats &stats, std::unique_ptr<ExecutionEngine> &engine)
+    : geo_(geo),
+      htree_(htree),
+      mask_(mask),
+      stats_(stats),
+      engine_(engine)
+{
+    free_.reserve(kBuffers);
+    for (uint32_t i = 0; i < kBuffers; ++i)
+        free_.push_back(i);
+    consumer_ = std::thread([this] { consumerLoop(); });
+}
+
+SimulatorPipeline::~SimulatorPipeline()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cvConsumer_.notify_one();
+    consumer_.join();
+}
+
+void
+SimulatorPipeline::buildBatch(BatchTrace &batch, const Word *ops,
+                              size_t n)
+{
+    size_t i = 0;
+    while (i < n) {
+        const OpType type = enc::peekType(ops[i]);
+        if (isBarrierOp(type)) {
+            const MicroOp op = MicroOp::decode(ops[i]);
+            if (type == OpType::Read) {
+                // Data-less read: the response is dropped and no state
+                // changes, so validating and counting it here absorbs
+                // the op entirely — nothing to queue.
+                validateRead(op, mask_.xb, mask_.row, geo_);
+                stats_.record(OpClass::Read);
+            } else {
+                const int64_t dist = validateMove(op, mask_.xb, geo_);
+                stats_.record(OpClass::Move,
+                              htree_.moveCycles(mask_.xb, dist));
+                BatchTrace::Item item;
+                item.kind = BatchTrace::Item::Kind::Move;
+                item.op = op;
+                item.xb = mask_.xb;
+                batch.items.push_back(item);
+            }
+            ++i;
+            continue;
+        }
+        size_t j = i + 1;
+        while (j < n && !isBarrierOp(enc::peekType(ops[j])))
+            ++j;
+        SegmentTrace &trace = batch.nextSegment(geo_.rows);
+        buildSegmentTrace(ops + i, j - i, geo_, mask_, stats_, trace);
+        if (trace.empty()) {
+            --batch.used;  // mask-only segment: arena back to the pool
+        } else {
+            BatchTrace::Item item;
+            item.kind = BatchTrace::Item::Kind::Segment;
+            item.seg = batch.used - 1;
+            batch.items.push_back(item);
+        }
+        i = j;
+    }
+}
+
+void
+SimulatorPipeline::submit(const Word *ops, size_t n)
+{
+    uint32_t buf;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (error_)
+            std::rethrow_exception(error_);
+        cvProducer_.wait(lock, [&] { return !free_.empty(); });
+        buf = free_.back();
+        free_.pop_back();
+    }
+    BatchTrace &batch = buffers_[buf];
+    batch.clear();
+    try {
+        buildBatch(batch, ops, n);
+    } catch (...) {
+        // Report the malformed op at the submitBatch that contained
+        // it; none of this batch reached a crossbar.
+        std::lock_guard<std::mutex> lock(mu_);
+        free_.push_back(buf);
+        cvProducer_.notify_all();
+        throw;
+    }
+    if (batch.items.empty()) {
+        // Fully absorbed (mask-only and data-less-read traffic).
+        std::lock_guard<std::mutex> lock(mu_);
+        free_.push_back(buf);
+        cvProducer_.notify_all();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queued_.push_back(buf);
+    }
+    cvConsumer_.notify_one();
+}
+
+void
+SimulatorPipeline::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cvProducer_.wait(lock,
+                     [&] { return queued_.empty() && !replaying_; });
+    if (error_)
+        std::rethrow_exception(error_);
+}
+
+void
+SimulatorPipeline::replayBatch(const BatchTrace &batch)
+{
+    for (const BatchTrace::Item &item : batch.items) {
+        if (item.kind == BatchTrace::Item::Kind::Segment)
+            engine_->replayTrace(batch.segments[item.seg]);
+        else
+            engine_->applyMove(item.op, item.xb);
+    }
+}
+
+void
+SimulatorPipeline::consumerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        cvConsumer_.wait(lock,
+                         [&] { return stop_ || !queued_.empty(); });
+        if (queued_.empty())
+            return;  // stop requested and nothing left to replay
+        const uint32_t buf = queued_.front();
+        queued_.pop_front();
+        replaying_ = true;
+        const bool skip = static_cast<bool>(error_);
+        lock.unlock();
+        std::exception_ptr err;
+        if (!skip) {
+            try {
+                replayBatch(buffers_[buf]);
+            } catch (...) {
+                err = std::current_exception();
+            }
+        }
+        lock.lock();
+        if (err && !error_)
+            error_ = err;  // sticky: rethrown at every sync point
+        replaying_ = false;
+        free_.push_back(buf);
+        cvProducer_.notify_all();
+    }
+}
+
+} // namespace pypim

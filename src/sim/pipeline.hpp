@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Double-buffered asynchronous execution pipeline (driver/replay
+ * overlap).
+ *
+ * The evaluation of the paper (§VII, reproduced by bench_driver) shows
+ * the host driver's translation rate competing with the chip's
+ * 1-op/cycle consumption; running the two strictly in sequence leaves
+ * one side of a multi-core host idle at all times. The pipeline splits
+ * the sink into two stages connected by a bounded hand-off queue of
+ * decoded batch buffers:
+ *
+ *   caller thread (producer)             consumer thread
+ *   ------------------------             -----------------------------
+ *   submitBatch(ops, n)
+ *     acquire a free BatchTrace   ---.
+ *     buildSegmentTrace per segment   \   dequeue BatchTrace k
+ *     (validate, record stats,         `> replay items in order:
+ *      advance the mask state)            - SegmentTrace -> engine->
+ *     enqueue; return immediately           replayTrace (sharded: fan
+ *                                           out over the worker pool)
+ *   ... translate batch k+1 ...           - Move -> engine->applyMove
+ *                                        release the buffer
+ *
+ * Double buffering: kBuffers (two) independent SegmentTrace arenas
+ * cycle through the queue, so the pre-pass for batch k+1 runs while
+ * the engine replays trace k; the producer blocks only when both
+ * buffers are in flight. All validation and architectural Stats
+ * recording happen on the producer inside submitBatch — a malformed
+ * op therefore throws at the submitBatch that contained it, before
+ * the batch touches any crossbar (the same error-stream semantics as
+ * the trace-based engines), and the consumer applies pre-validated
+ * state changes only, so the two threads share no mutable state
+ * outside the queue.
+ *
+ * Reads have no architectural state effect on the data-less path
+ * (validate + count, response dropped), so they are absorbed at
+ * submit time and never queued; performRead and every other
+ * synchronous access drain the pipeline first (Simulator::flush).
+ */
+#ifndef PYPIM_SIM_PIPELINE_HPP
+#define PYPIM_SIM_PIPELINE_HPP
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "sim/segment_trace.hpp"
+#include "uarch/microop.hpp"
+
+namespace pypim
+{
+
+class ExecutionEngine;
+class HTree;
+class Crossbar;
+
+/**
+ * One decoded, replay-ready batch: segment traces and pre-validated
+ * barrier Moves in stream order. The segment arenas are reused across
+ * batches (clear() keeps capacity), so steady-state building is
+ * allocation-free.
+ */
+struct BatchTrace
+{
+    /** One replay step of the batch. */
+    struct Item
+    {
+        enum class Kind : uint8_t
+        {
+            Segment,  //!< replay segments[seg]
+            Move      //!< apply op under the crossbar-mask snapshot xb
+        };
+        Kind kind = Kind::Segment;
+        uint32_t seg = 0;
+        MicroOp op;
+        Range xb;
+    };
+
+    std::vector<Item> items;
+    std::vector<SegmentTrace> segments;
+    uint32_t used = 0;  //!< segment arenas in use this batch
+
+    /** Fresh (cleared) segment arena for the next segment. */
+    SegmentTrace &
+    nextSegment(uint32_t rows)
+    {
+        if (used == segments.size())
+            segments.emplace_back();
+        SegmentTrace &t = segments[used++];
+        t.clear(rows);
+        return t;
+    }
+
+    void
+    clear()
+    {
+        items.clear();
+        used = 0;
+    }
+};
+
+/**
+ * The Simulator's asynchronous execution stage: owns the bounded
+ * hand-off queue, the double-buffered trace arenas and the consumer
+ * thread. Producer-side methods (submit, drain) must be called from
+ * one thread at a time — the same contract as OperationSink itself.
+ */
+class SimulatorPipeline
+{
+  public:
+    SimulatorPipeline(const Geometry &geo, const HTree &htree,
+                      MaskState &mask, Stats &stats,
+                      std::unique_ptr<ExecutionEngine> &engine);
+
+    /** Drains remaining batches, then joins the consumer. */
+    ~SimulatorPipeline();
+
+    SimulatorPipeline(const SimulatorPipeline &) = delete;
+    SimulatorPipeline &operator=(const SimulatorPipeline &) = delete;
+
+    /**
+     * Decode @p ops into the next free batch buffer and enqueue it for
+     * asynchronous replay. Blocks only while both buffers are in
+     * flight. Throws (on this thread) if any op is malformed — before
+     * the batch touches any crossbar — or if a previous batch failed
+     * on the consumer.
+     */
+    void submit(const Word *ops, size_t n);
+
+    /**
+     * Block until every queued batch has been replayed; rethrows any
+     * pending consumer-side error. The synchronisation point behind
+     * performRead, host readback, stats queries and setEngine.
+     */
+    void drain();
+
+  private:
+    static constexpr uint32_t kBuffers = 2;  // double buffering
+
+    void buildBatch(BatchTrace &batch, const Word *ops, size_t n);
+    void replayBatch(const BatchTrace &batch);
+    void consumerLoop();
+
+    const Geometry &geo_;
+    const HTree &htree_;
+    MaskState &mask_;
+    Stats &stats_;
+    /** Owned by the Simulator; swapped only while the queue is idle. */
+    std::unique_ptr<ExecutionEngine> &engine_;
+
+    std::array<BatchTrace, kBuffers> buffers_;
+
+    std::mutex mu_;
+    std::condition_variable cvProducer_;  //!< buffer freed / idle
+    std::condition_variable cvConsumer_;  //!< batch queued / stop
+    std::vector<uint32_t> free_;          //!< buffers ready for reuse
+    std::deque<uint32_t> queued_;         //!< FIFO of submitted buffers
+    bool replaying_ = false;
+    bool stop_ = false;
+    std::exception_ptr error_;  //!< first consumer-side failure (sticky)
+
+    std::thread consumer_;
+};
+
+} // namespace pypim
+
+#endif // PYPIM_SIM_PIPELINE_HPP

@@ -153,6 +153,8 @@ buildSegmentTrace(const Word *ops, size_t n, const Geometry &geo,
                     "logicV: slot index out of range");
             fatalIf(op.rowIn >= geo.rows || op.rowOut >= geo.rows,
                     "logicV: row out of range");
+            panicIf(op.gate == Gate::Nor,
+                    "logicV: NOR is not supported vertically");
             stats.record(OpClass::LogicV);
             if (op.gate == Gate::Not)
                 ++stats.logicGates;

@@ -10,53 +10,62 @@ ShardedEngine::ShardedEngine(const Geometry &geo,
                              const HTree &htree, MaskState &mask,
                              Stats &stats, uint32_t threads)
     : ExecutionEngine(geo, xbs, htree, mask, stats),
-      pool_(std::min(std::max(1u, threads), geo.numCrossbars))
+      pool_(std::min(std::max(1u, threads), geo.numCrossbars)),
+      work_(pool_.size())
 {
-    // Contiguous blocks of ceil(crossbars / shards) crossbars: dense
-    // crossbar masks (the common case) balance exactly, and block
-    // locality keeps each worker inside its own slice of the state.
-    const uint32_t nShards = pool_.size();
-    const uint32_t per = (geo.numCrossbars + nShards - 1) / nShards;
-    shards_.resize(nShards);
-    work_.resize(nShards);
-    for (uint32_t s = 0; s < nShards; ++s) {
-        shards_[s].lo = std::min(s * per, geo.numCrossbars);
-        shards_[s].hi = std::min((s + 1) * per, geo.numCrossbars);
-    }
 }
 
 void
 ShardedEngine::execute(const Word *ops, size_t n)
 {
     forEachSegment(ops, n, [&](const Word *seg, size_t len) {
-        runSegment(seg, len);
+        buildSegmentTrace(seg, len, geo_, mask_, stats_, trace_);
+        replayTrace(trace_);
     });
 }
 
 void
-ShardedEngine::runSegment(const Word *ops, size_t n)
+ShardedEngine::replayTrace(const SegmentTrace &trace)
 {
-    buildSegmentTrace(ops, n, geo_, mask_, stats_, trace_);
-    if (trace_.empty())
+    if (trace.empty())
         return;  // mask-only segment: fully absorbed by the pre-pass
-
-    pool_.parallelFor(
-        static_cast<uint32_t>(shards_.size()), [&](uint32_t s) {
-            const Shard &shard = shards_[s];
-            const uint32_t lo = std::max(shard.lo, trace_.xbLo);
-            const uint32_t hi = std::min(shard.hi, trace_.xbHi);
-            if (lo >= hi)
-                return;
-            // Accumulate the applied-work diagnostics on the stack
-            // and flush once per segment: work_ entries are adjacent
-            // in memory, and per-application increments there would
-            // ping-pong cache lines between workers at shard
-            // boundaries.
-            Stats local;
-            for (uint32_t xb = lo; xb < hi; ++xb)
-                xbs_[xb].replaySegment(trace_, xb, &local);
-            work_[s] += local;
-        });
+    const uint32_t lo = trace.xbLo;
+    const uint32_t hi = trace.xbHi;
+    const uint32_t workers = pool_.size();
+    if (workers == 1 || hi - lo <= 1) {
+        Stats local;
+        for (uint32_t xb = lo; xb < hi; ++xb)
+            xbs_[xb].replaySegment(trace, xb, &local);
+        work_[0] += local;
+        return;
+    }
+    // Work-stealing schedule over the segment's crossbar hull: chunks
+    // are claimed from a shared atomic counter instead of fixed
+    // contiguous per-worker blocks, so a strided crossbar mask (which
+    // leaves some blocks mostly masked-out) cannot load-imbalance the
+    // workers. The chunk is kept a few crossbars wide: small enough
+    // that expensive crossbars spread over the pool, large enough to
+    // amortise the atomic claim and preserve block locality.
+    const uint32_t chunk =
+        std::max(1u, (hi - lo) / (workers * 8));
+    next_.store(lo, std::memory_order_relaxed);
+    pool_.parallelFor(workers, [&](uint32_t w) {
+        // Accumulate the applied-work diagnostics on the stack and
+        // flush once per segment: work_ entries are adjacent in
+        // memory, and per-application increments there would
+        // ping-pong cache lines between workers.
+        Stats local;
+        for (;;) {
+            const uint32_t start =
+                next_.fetch_add(chunk, std::memory_order_relaxed);
+            if (start >= hi)
+                break;
+            const uint32_t end = std::min(start + chunk, hi);
+            for (uint32_t xb = start; xb < end; ++xb)
+                xbs_[xb].replaySegment(trace, xb, &local);
+        }
+        work_[w] += local;
+    });
 }
 
 } // namespace pypim

@@ -5,31 +5,37 @@
  * Crossbars are independent for every broadcast micro-op except the
  * cross-crossbar ones (Read and the H-tree Move) — the same structural
  * property the paper's GPU simulator exploits (§VI). The engine
- * partitions the crossbar array into contiguous per-worker shards and
- * replays whole batches shard-parallel on a persistent thread pool:
+ * replays whole batches crossbar-parallel on a persistent thread pool:
  *
  *  1. The batch is split into SEGMENTS at each Move/Read op.
- *  2. The coordinator (calling thread) decodes each segment exactly
- *     once into a SegmentTrace via the shared pre-pass
- *     (sim/segment_trace.hpp): decoded ops with pre-expanded LogicH
- *     half-gates, mask ops absorbed into per-op crossbar-mask and
- *     row-mask snapshots, INIT+gate pairs fused. The pre-pass
- *     validates everything exactly as the serial engine would,
- *     records the architectural statistics and advances the
- *     authoritative mask state; it touches no crossbar, so it is
- *     O(segment), not O(segment * crossbars).
- *  3. The workers replay the trace CROSSBAR-MAJOR over their own
- *     shards: for each owned crossbar, the entire segment is applied
- *     while that crossbar's condensed column-major state is hot in
- *     cache (Crossbar::replaySegment) — no shared mutable state, no
- *     locks, no mask tracking on the hot path.
+ *  2. The coordinator decodes each segment exactly once into a
+ *     SegmentTrace via the shared pre-pass (sim/segment_trace.hpp):
+ *     decoded ops with pre-expanded LogicH half-gates, mask ops
+ *     absorbed into per-op crossbar-mask and row-mask snapshots,
+ *     INIT+gate pairs fused. The pre-pass validates everything exactly
+ *     as the serial engine would, records the architectural statistics
+ *     and advances the authoritative mask state; it touches no
+ *     crossbar, so it is O(segment), not O(segment * crossbars).
+ *  3. The workers replay the trace CROSSBAR-MAJOR under a
+ *     WORK-STEALING schedule: the segment's crossbar hull is carved
+ *     into small chunks claimed from a shared atomic counter, so a
+ *     strided crossbar mask (where fixed contiguous blocks would give
+ *     some workers mostly masked-out crossbars) still load-balances —
+ *     each crossbar's entire segment is applied while its condensed
+ *     column-major state is hot in cache (Crossbar::replaySegment),
+ *     with no shared mutable state, no locks, no mask tracking on the
+ *     hot path.
  *  4. Move/Read ops form a barrier: they run on the coordinator over
  *     the full array via the shared base-class implementation.
+ *
+ * In the pipelined path (sim/pipeline.hpp) the consumer thread plays
+ * the coordinator role, handing pre-built traces to replayTrace while
+ * the caller thread translates and decodes the next batch.
  *
  * Guarantees for well-formed streams: crossbar state is bit-identical
  * to SerialEngine at any thread count (each crossbar sees the same
  * ops under the same mask snapshots, in segment order), and Stats
- * are identical by construction (only the coordinator records them).
+ * are identical by construction (only the pre-pass records them).
  * Error streams differ intentionally: the pre-pass rejects a bad op
  * BEFORE the segment touches any crossbar, whereas the serial engine
  * applies the prefix first.
@@ -37,6 +43,7 @@
 #ifndef PYPIM_SIM_SHARDED_ENGINE_HPP
 #define PYPIM_SIM_SHARDED_ENGINE_HPP
 
+#include <atomic>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -45,7 +52,7 @@
 namespace pypim
 {
 
-/** Multi-threaded backend executing batches shard-parallel. */
+/** Multi-threaded backend executing batches crossbar-parallel. */
 class ShardedEngine : public ExecutionEngine
 {
   public:
@@ -58,26 +65,22 @@ class ShardedEngine : public ExecutionEngine
 
     void execute(const Word *ops, size_t n) override;
 
+    /** Work-stealing crossbar-major replay over the worker pool. */
+    void replayTrace(const SegmentTrace &trace) override;
+
     /**
-     * Per-shard applied-work counters (one op recorded per crossbar
-     * actually touched by that shard): a load-balance diagnostic, NOT
-     * the architectural stats. Merge with Stats::merged.
+     * Per-worker applied-work counters (one op recorded per crossbar
+     * actually touched by that worker): a load-balance diagnostic, NOT
+     * the architectural stats. Which worker claims which chunk is
+     * scheduling-dependent, but the merged total (Stats::merged)
+     * always equals architectural work ops x touched crossbars.
      */
     const std::vector<Stats> &shardWork() const { return work_; }
 
   private:
-    struct Shard
-    {
-        uint32_t lo = 0;  //!< first owned crossbar (inclusive)
-        uint32_t hi = 0;  //!< last owned crossbar (exclusive)
-    };
-
-    /** Coordinator: decode one Move/Read-free segment, fan it out. */
-    void runSegment(const Word *ops, size_t n);
-
     ThreadPool pool_;
-    std::vector<Shard> shards_;
     std::vector<Stats> work_;
+    std::atomic<uint32_t> next_{0};  //!< chunk claim counter
     SegmentTrace trace_;  //!< arena reused across batches
 };
 

@@ -13,23 +13,56 @@ Simulator::Simulator(const Geometry &geo, const EngineConfig &ec)
         xbs_.emplace_back(geo_);
     mask_.reset(geo_);
     engine_ = makeEngine(ec, geo_, xbs_, htree_, mask_, stats_);
+    if (ec.pipeline)
+        pipeline_ = std::make_unique<SimulatorPipeline>(
+            geo_, htree_, mask_, stats_, engine_);
 }
+
+Simulator::~Simulator() = default;
 
 void
 Simulator::setEngine(const EngineConfig &ec)
 {
+    drainPipeline();
     engine_ = makeEngine(ec, geo_, xbs_, htree_, mask_, stats_);
+    if (ec.pipeline && !pipeline_)
+        pipeline_ = std::make_unique<SimulatorPipeline>(
+            geo_, htree_, mask_, stats_, engine_);
+    else if (!ec.pipeline)
+        pipeline_.reset();
 }
 
 void
 Simulator::performBatch(const Word *ops, size_t n)
 {
+    if (pipeline_) {
+        pipeline_->submit(ops, n);
+        pipeline_->drain();
+        return;
+    }
     engine_->execute(ops, n);
+}
+
+void
+Simulator::submitBatch(const Word *ops, size_t n)
+{
+    if (pipeline_) {
+        pipeline_->submit(ops, n);
+        return;
+    }
+    engine_->execute(ops, n);
+}
+
+void
+Simulator::flush()
+{
+    drainPipeline();
 }
 
 uint32_t
 Simulator::performRead(Word op)
 {
+    drainPipeline();
     return engine_->executeRead(MicroOp::decode(op));
 }
 
@@ -37,12 +70,13 @@ void
 Simulator::perform(const MicroOp &op)
 {
     const Word w = op.encode();
-    engine_->execute(&w, 1);
+    performBatch(&w, 1);
 }
 
 uint32_t
 Simulator::read(const MicroOp &op)
 {
+    drainPipeline();
     return engine_->executeRead(op);
 }
 

@@ -18,6 +18,14 @@
  * backend, or a sharded multi-threaded backend that scales with host
  * cores like real PIM scales with crossbars. Engines can be swapped
  * at runtime without losing memory contents.
+ *
+ * With EngineConfig::pipeline enabled the simulator additionally owns
+ * an asynchronous execution pipeline (sim/pipeline.hpp): submitBatch
+ * decodes batches into segment traces on the caller thread and a
+ * consumer thread replays them, overlapping driver translation with
+ * engine replay. Reads, direct state access, stats queries and engine
+ * swaps drain the pipeline, so synchronous callers observe identical
+ * behaviour.
  */
 #ifndef PYPIM_SIM_SIMULATOR_HPP
 #define PYPIM_SIM_SIMULATOR_HPP
@@ -30,6 +38,7 @@
 #include "sim/crossbar.hpp"
 #include "sim/engine.hpp"
 #include "sim/htree.hpp"
+#include "sim/pipeline.hpp"
 #include "sim/sink.hpp"
 #include "uarch/microop.hpp"
 
@@ -48,8 +57,17 @@ class Simulator : public OperationSink
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
-    // OperationSink interface
+    ~Simulator() override;
+
+    // OperationSink interface. With the pipeline enabled
+    // (EngineConfig::pipeline), submitBatch decodes on the calling
+    // thread and replays asynchronously; performBatch remains the
+    // synchronous wrapper (submit + flush), and performRead, direct
+    // crossbar access, stats queries and setEngine drain the pipeline
+    // first.
     void performBatch(const Word *ops, size_t n) override;
+    void submitBatch(const Word *ops, size_t n) override;
+    void flush() override;
     uint32_t performRead(Word op) override;
 
     /** Execute one decoded micro-op (test convenience). */
@@ -61,33 +79,92 @@ class Simulator : public OperationSink
     const Geometry &geometry() const { return geo_; }
     const HTree &htree() const { return htree_; }
 
-    /** Direct crossbar state access (tests and host-side loaders). */
-    Crossbar &crossbar(uint32_t i) { return xbs_.at(i); }
-    const Crossbar &crossbar(uint32_t i) const { return xbs_.at(i); }
+    /**
+     * Direct crossbar state access (tests and host-side loaders).
+     * Drains the pipeline so the returned state reflects every
+     * submitted batch.
+     */
+    Crossbar &
+    crossbar(uint32_t i)
+    {
+        drainPipeline();
+        return xbs_.at(i);
+    }
+    const Crossbar &
+    crossbar(uint32_t i) const
+    {
+        drainPipeline();
+        return xbs_.at(i);
+    }
 
+    // The mask state is advanced at submit time, so it reflects the
+    // whole submitted stream without a drain.
     const Range &crossbarMask() const { return mask_.xb; }
     const Range &rowMask() const { return mask_.row; }
 
-    Stats &stats() { return stats_; }
-    const Stats &stats() const { return stats_; }
+    /** Statistics queries drain the pipeline. */
+    Stats &
+    stats()
+    {
+        drainPipeline();
+        return stats_;
+    }
+    const Stats &
+    stats() const
+    {
+        drainPipeline();
+        return stats_;
+    }
 
-    /** Active execution backend. */
-    ExecutionEngine &engine() { return *engine_; }
-    const ExecutionEngine &engine() const { return *engine_; }
+    /** True iff the asynchronous pipeline is active. */
+    bool pipelined() const { return pipeline_ != nullptr; }
 
     /**
-     * Replace the execution backend. Crossbar contents, mask state
-     * and statistics are owned by the simulator and survive the swap.
+     * Active execution backend. Drains the pipeline: the engine's
+     * per-worker diagnostics (e.g. ShardedEngine::shardWork) are
+     * written by the consumer thread while batches are in flight.
+     */
+    ExecutionEngine &
+    engine()
+    {
+        drainPipeline();
+        return *engine_;
+    }
+    const ExecutionEngine &
+    engine() const
+    {
+        drainPipeline();
+        return *engine_;
+    }
+
+    /**
+     * Replace the execution backend (draining the pipeline first).
+     * Crossbar contents, mask state and statistics are owned by the
+     * simulator and survive the swap; the pipeline is enabled or
+     * disabled per @p ec.
      */
     void setEngine(const EngineConfig &ec);
 
   private:
+    /** Synchronise with the consumer thread (no-op when pipeline off). */
+    void
+    drainPipeline() const
+    {
+        if (pipeline_)
+            pipeline_->drain();
+    }
+
     Geometry geo_;
     std::vector<Crossbar> xbs_;
     HTree htree_;
     MaskState mask_;
     Stats stats_;
     std::unique_ptr<ExecutionEngine> engine_;
+    // Declared after engine_/xbs_ so the consumer thread is joined
+    // before the state it replays into is destroyed. Mutable: draining
+    // is not an observable state change, and const accessors
+    // synchronise through it.
+    mutable std::unique_ptr<SimulatorPipeline> pipeline_;
 };
 
 } // namespace pypim

@@ -39,6 +39,24 @@ class OperationSink
     virtual void performBatch(const Word *ops, size_t n) = 0;
 
     /**
+     * Submit @p n encoded micro-operations for (possibly asynchronous)
+     * execution. The ops buffer is only read during the call; the
+     * call may return before the ops have taken effect. Effects become
+     * observable in submission order, at the latest after flush().
+     * performRead is an implicit flush. The default forwards to the
+     * synchronous performBatch, so plain sinks need not care; the
+     * pipelined Simulator overrides it (sim/pipeline.hpp).
+     */
+    virtual void
+    submitBatch(const Word *ops, size_t n)
+    {
+        performBatch(ops, n);
+    }
+
+    /** Drain any pending submitted work (no-op for synchronous sinks). */
+    virtual void flush() {}
+
+    /**
      * Execute a Read micro-op and return its N-bit response.
      * Non-simulating sinks return 0.
      */

@@ -8,8 +8,7 @@ TraceEngine::execute(const Word *ops, size_t n)
 {
     forEachSegment(ops, n, [&](const Word *seg, size_t len) {
         buildSegmentTrace(seg, len, geo_, mask_, stats_, trace_);
-        for (uint32_t xb = trace_.xbLo; xb < trace_.xbHi; ++xb)
-            xbs_[xb].replaySegment(trace_, xb, nullptr);
+        replayTrace(trace_);
     });
 }
 

@@ -3,9 +3,14 @@
  * Engine-parity tests (the non-reference backends' correctness
  * contract): for fuzzed valid micro-op streams, directed
  * mask-interleaved segments and driver-level tensor programs, the
- * ShardedEngine (at 1, 2 and 8 threads) and the TraceEngine must
- * leave every crossbar in a bit-identical state and produce identical
- * architectural Stats compared to the op-major SerialEngine.
+ * ShardedEngine (at 1, 2 and 8 threads), the TraceEngine, and all
+ * three engines behind the asynchronous pipeline must leave every
+ * crossbar in a bit-identical state and produce identical
+ * architectural Stats compared to the synchronous op-major
+ * SerialEngine. Pipelined cases stream batches through submitBatch
+ * (genuinely asynchronous; state compares drain), plus directed tests
+ * for flush ordering around performRead/readback and for the
+ * report-at-submit error contract.
  */
 #include <gtest/gtest.h>
 
@@ -32,9 +37,10 @@ parityGeometry()
 
 /**
  * The candidate backends tested against the serial oracle: sharded at
- * the contract's thread counts, plus the serial trace engine (which
+ * the contract's thread counts, the serial trace engine (which
  * exercises decode-once replay and INIT+gate fusion without
- * threading).
+ * threading), and pipelined variants of all three engine kinds
+ * (asynchronous submit on the caller thread, replay on the consumer).
  */
 struct EngineCase
 {
@@ -50,10 +56,14 @@ engineCase(size_t i)
         {"sharded", EngineConfig::sharded(2)},
         {"sharded", EngineConfig::sharded(8)},
         {"trace", EngineConfig::trace()},
+        {"serial", EngineConfig::serial().withPipeline()},
+        {"trace", EngineConfig::trace().withPipeline()},
+        {"sharded", EngineConfig::sharded(2).withPipeline()},
+        {"sharded", EngineConfig::sharded(8).withPipeline()},
     };
     return cases[i];
 }
-constexpr size_t numEngineCases = 4;
+constexpr size_t numEngineCases = 8;
 
 /** Seed both simulators with identical random register contents. */
 void
@@ -248,15 +258,19 @@ TEST_P(EngineParity, FuzzedStreamsBitIdentical)
     const std::vector<Word> ops = randomStream(rng, g, 600);
 
     // Feed both engines the identical stream in identical random-size
-    // batches, so segmenting boundaries vary across seeds.
+    // batches, so segmenting boundaries vary across seeds. The
+    // candidate streams through submitBatch: for pipelined cases the
+    // batches queue up asynchronously (no drain between them), for
+    // synchronous cases it is identical to performBatch.
     size_t i = 0;
     while (i < ops.size()) {
         const size_t n =
             std::min<size_t>(1 + rng.word() % 64, ops.size() - i);
         serial.performBatch(ops.data() + i, n);
-        other.performBatch(ops.data() + i, n);
+        other.submitBatch(ops.data() + i, n);
         i += n;
     }
+    other.flush();
 
     EXPECT_TRUE(sameCrossbarState(serial, other));
     EXPECT_EQ(serial.stats(), other.stats())
@@ -277,7 +291,7 @@ TEST_P(EngineParity, ReadsReturnIdenticalValues)
     seedState(serial, other, rng);
     const std::vector<Word> ops = randomStream(rng, g, 200);
     serial.performBatch(ops.data(), ops.size());
-    other.performBatch(ops.data(), ops.size());
+    other.submitBatch(ops.data(), ops.size());
     for (int i = 0; i < 50; ++i) {
         const uint32_t xb = rng.word() % g.numCrossbars;
         const uint32_t row = rng.word() % g.rows;
@@ -286,8 +300,10 @@ TEST_P(EngineParity, ReadsReturnIdenticalValues)
             MicroOp::crossbarMask(Range::single(xb)).encode(),
             MicroOp::rowMask(Range::single(row)).encode(),
         };
+        // performRead is an implicit flush, so no explicit drain is
+        // needed between the submitted batches and the reads.
         serial.performBatch(sel.data(), sel.size());
-        other.performBatch(sel.data(), sel.size());
+        other.submitBatch(sel.data(), sel.size());
         EXPECT_EQ(serial.performRead(enc::read(slot)),
                   other.performRead(enc::read(slot)));
     }
@@ -418,9 +434,11 @@ TEST(EngineParityDirected, MaskInterleavedSegments)
 TEST(EngineParityWork, ShardWorkCountsEveryApplication)
 {
     // Under full masks every work op applies to every crossbar, so
-    // the merged per-shard diagnostics must equal the architectural
+    // the merged per-worker diagnostics must equal the architectural
     // op counts scaled by the crossbar count. The stream alternates
     // Write and INIT1 (no fusion), so applications map 1:1 to ops.
+    // Which worker claims which chunk is scheduling-dependent under
+    // the work-stealing schedule, so only the merged total is exact.
     const Geometry g = parityGeometry();
     Simulator sim(g, EngineConfig::sharded(4));
     std::vector<Word> ops;
@@ -438,9 +456,27 @@ TEST(EngineParityWork, ShardWorkCountsEveryApplication)
               10ull * g.numCrossbars);
     EXPECT_EQ(merged.opCount[size_t(OpClass::LogicH)],
               10ull * g.numCrossbars);
-    // Contiguous shards over 16 crossbars at 4 threads: 4 each.
-    for (const Stats &w : eng.shardWork())
-        EXPECT_EQ(w.totalOps(), 20ull * (g.numCrossbars / 4));
+}
+
+TEST(EngineParityWork, StridedMaskWorkCoversSelectedCrossbarsOnly)
+{
+    // A strided crossbar mask (the schedule the fixed contiguous
+    // blocks balanced worst) must apply each op to exactly the
+    // selected crossbars, and the work-stealing claim must account
+    // for every application exactly once across the workers.
+    const Geometry g = parityGeometry();
+    Simulator sim(g, EngineConfig::sharded(4));
+    const Range strided(1, g.numCrossbars - 3, 2);
+    std::vector<Word> ops;
+    ops.push_back(MicroOp::crossbarMask(strided).encode());
+    for (int i = 0; i < 12; ++i)
+        ops.push_back(MicroOp::write(0, 7u * i).encode());
+    sim.performBatch(ops.data(), ops.size());
+    const auto &eng =
+        static_cast<const ShardedEngine &>(sim.engine());
+    const Stats merged = Stats::merged(eng.shardWork());
+    EXPECT_EQ(merged.opCount[size_t(OpClass::Write)],
+              12ull * strided.count());
 }
 
 TEST(EngineParityWork, FusedPairsCountBothApplications)
@@ -503,7 +539,11 @@ TEST(EngineParityDriver, TensorProgramsMatchSerial)
             EXPECT_EQ(otherDev.simulator().engine().threads(),
                       std::min(ec.cfg.threads, g.numCrossbars));
         }
+        EXPECT_EQ(otherDev.simulator().pipelined(), ec.cfg.pipeline);
         runDriverProgram(otherDev);
+        // No explicit flush: crossbar() and stats() drain the
+        // pipeline themselves, and a Device::flush here would push
+        // builder-buffered mask ops the serial oracle never flushed.
         for (uint32_t xb = 0; xb < g.numCrossbars; ++xb) {
             ASSERT_TRUE(serialDev.simulator().crossbar(xb).sameState(
                 otherDev.simulator().crossbar(xb)))
@@ -512,4 +552,140 @@ TEST(EngineParityDriver, TensorProgramsMatchSerial)
         }
         EXPECT_EQ(serialDev.stats(), otherDev.stats()) << ec.name;
     }
+}
+
+namespace
+{
+
+/**
+ * Directed LogicV-run batch: consecutive vertical ops on the same
+ * intra-partition index (the column-major run-replay path), broken up
+ * by index changes and a crossbar-mask change mid-run (ops not
+ * selecting a crossbar must be skipped without disturbing run order).
+ */
+std::vector<Word>
+logicVRunBatch(const Geometry &g)
+{
+    std::vector<Word> ops;
+    // Seed two source rows, then a long Init1/Not chain on slot 3.
+    ops.push_back(MicroOp::logicV(Gate::Init1, 0, 1, 3).encode());
+    ops.push_back(MicroOp::logicV(Gate::Init0, 0, 2, 3).encode());
+    for (uint32_t r = 3; r < 12; ++r)
+        ops.push_back(
+            MicroOp::logicV(Gate::Not, r - 2, r, 3).encode());
+    // Mask change mid-run: the tail applies to half the crossbars.
+    ops.push_back(
+        MicroOp::crossbarMask(Range(0, g.numCrossbars - 2, 2))
+            .encode());
+    for (uint32_t r = 12; r < 20; ++r)
+        ops.push_back(
+            MicroOp::logicV(Gate::Not, r - 1, r, 3).encode());
+    // Index change splits the run.
+    ops.push_back(MicroOp::logicV(Gate::Init1, 0, 5, 4).encode());
+    ops.push_back(MicroOp::logicV(Gate::Not, 5, 6, 4).encode());
+    ops.push_back(MicroOp::logicV(Gate::Not, 6, 7, 3).encode());
+    return ops;
+}
+
+} // namespace
+
+TEST(EngineParityDirected, LogicVRunsBitIdentical)
+{
+    const Geometry g = parityGeometry();
+    const std::vector<Word> ops = logicVRunBatch(g);
+    for (size_t c = 0; c < numEngineCases; ++c) {
+        const EngineCase &ec = engineCase(c);
+        Simulator serial(g);
+        Simulator other(g, ec.cfg);
+        Rng seedRng(77);
+        seedState(serial, other, seedRng);
+        serial.performBatch(ops.data(), ops.size());
+        other.submitBatch(ops.data(), ops.size());
+        other.flush();
+        EXPECT_TRUE(sameCrossbarState(serial, other)) << ec.name;
+        EXPECT_EQ(serial.stats(), other.stats()) << ec.name;
+    }
+}
+
+TEST(EnginePipelineFlush, ReadDrainsAllSubmittedBatches)
+{
+    // Flush ordering around performRead: several asynchronously
+    // submitted batches write successive values; a read without any
+    // explicit flush must observe the last one.
+    const Geometry g = parityGeometry();
+    Simulator sim(g, EngineConfig::sharded(4).withPipeline());
+    for (uint32_t v = 1; v <= 8; ++v) {
+        const std::vector<Word> batch = {
+            MicroOp::write(2, 1000u + v).encode(),
+        };
+        sim.submitBatch(batch.data(), batch.size());
+    }
+    const std::vector<Word> sel = {
+        MicroOp::crossbarMask(Range::single(1)).encode(),
+        MicroOp::rowMask(Range::single(3)).encode(),
+    };
+    sim.submitBatch(sel.data(), sel.size());
+    EXPECT_EQ(sim.performRead(enc::read(2)), 1008u);
+    // Stats queries drain too and cover every submitted batch.
+    EXPECT_EQ(sim.stats().opCount[size_t(OpClass::Write)], 8u);
+}
+
+TEST(EnginePipelineFlush, TensorReadbackDrainsPipeline)
+{
+    // Host readback (pim/io.cpp) goes through performRead, which is
+    // an implicit flush: a pipelined device must return the same
+    // vectors as a synchronous serial one with no explicit flush.
+    const Geometry g = parityGeometry();
+    Device sync(g, Driver::Mode::Parallel, EngineConfig::serial());
+    Device piped(g, Driver::Mode::Parallel,
+                 EngineConfig::sharded(4).withPipeline());
+    for (Device *dev : {&sync, &piped}) {
+        const uint64_t n = 2 * g.rows;
+        std::vector<int32_t> a(n), b(n);
+        for (uint64_t i = 0; i < n; ++i) {
+            a[i] = static_cast<int32_t>(i * 7 + 1);
+            b[i] = static_cast<int32_t>(i * 3 + 2);
+        }
+        Tensor ta = Tensor::fromVector(a, dev);
+        Tensor tb = Tensor::fromVector(b, dev);
+        Tensor sum = ta + tb;
+        const std::vector<int32_t> out = sum.toIntVector();
+        for (uint64_t i = 0; i < n; ++i)
+            ASSERT_EQ(out[i], a[i] + b[i]) << "element " << i;
+    }
+}
+
+TEST(EnginePipelineErrors, MalformedOpReportedAtSubmit)
+{
+    // The pipelined path validates in the pre-pass on the caller
+    // thread: a malformed op must throw at the submitBatch that
+    // contained it (not at a later flush), and nothing from that
+    // batch — not even its valid prefix — may touch a crossbar.
+    const Geometry g = parityGeometry();
+    Simulator sim(g, EngineConfig::sharded(2).withPipeline());
+    Simulator before(g);
+    Rng rng(5150);
+    seedState(sim, before, rng);
+
+    const std::vector<Word> good = {
+        MicroOp::write(1, 0x1234u).encode(),
+    };
+    sim.submitBatch(good.data(), good.size());
+    before.performBatch(good.data(), good.size());
+
+    const std::vector<Word> bad = {
+        MicroOp::write(2, 0x5678u).encode(),  // valid prefix
+        MicroOp::write(g.slots(), 0u).encode(),  // slot out of range
+    };
+    EXPECT_THROW(sim.submitBatch(bad.data(), bad.size()), Error);
+
+    // The earlier good batch applied; the bad batch left no trace.
+    EXPECT_TRUE(sameCrossbarState(sim, before));
+    // The pipeline stays usable after the rejected submit. The
+    // architectural counters include the rejected batch's valid
+    // prefix — exactly like the synchronous trace engines, whose
+    // pre-pass also records ops up to the point of failure.
+    sim.submitBatch(good.data(), good.size());
+    sim.flush();
+    EXPECT_EQ(sim.stats().opCount[size_t(OpClass::Write)], 3u);
 }
