@@ -48,12 +48,96 @@ latency(const Geometry &g, Driver::Mode mode, bool partitions, ROp op)
     return sink.stats().totalOps();
 }
 
+/**
+ * Trace-cache / fusion ablation (ISSUE 4): warm steady-state
+ * throughput of one repeated instruction under the four cache/fusion
+ * combinations, with the driver's observability counters (trace-cache
+ * hits/misses, ops eliminated per fusion rewrite). --no-trace-cache
+ * and --no-fusion drop the respective "on" rows, pinning the
+ * ablation baseline.
+ */
+void
+fusionCacheAblation(bool allowTraceCache, bool allowFusion)
+{
+    const Geometry g = benchGeometry(16);
+    const RTypeInstr in = fullInstr(g, ROp::Mul, DType::Int32);
+    std::printf("=== Trace-cache / fusion ablation (repeated int "
+                "mul, %u crossbars) ===\n",
+                g.numCrossbars);
+    std::printf("%-26s %10s %8s | %8s %8s %8s %8s %8s\n", "config",
+                "instr/s", "speedup", "hits", "misses", "waw",
+                "chain", "window");
+    double base = 0.0;
+    for (const bool cache : {false, true}) {
+        if (cache && !allowTraceCache)
+            continue;
+        for (const bool fusion : {false, true}) {
+            if (!cache && fusion)
+                continue;  // fusion only runs on cached traces
+            if (fusion && !allowFusion)
+                continue;
+            Simulator sim(g, engineConfig());
+            Rng rng(5);
+            fillRegister(sim, 0, rng);
+            fillRegister(sim, 1, rng);
+            Driver drv(sim, g, Driver::Mode::Parallel);
+            drv.setTraceCacheEnabled(cache);
+            drv.setTraceFusionEnabled(fusion);
+            drv.execute(in);  // warm: record + build
+            sim.flush();
+            const auto [reps, elapsed] = timedReps(
+                [&] { drv.execute(in); }, [&] { sim.flush(); }, 0.2);
+            const double rate =
+                static_cast<double>(reps) / elapsed;
+            if (base == 0.0)
+                base = rate;
+            const Stats &s = drv.stats();
+            std::printf("%-26s %10.1f %7.2fx | %8llu %8llu %8llu "
+                        "%8llu %8llu\n",
+                        cache ? (fusion ? "trace cache + fusion"
+                                        : "trace cache, no fusion")
+                              : "stream cache only",
+                        rate, rate / base,
+                        static_cast<unsigned long long>(
+                            s.traceCacheHits),
+                        static_cast<unsigned long long>(
+                            s.traceCacheMisses),
+                        static_cast<unsigned long long>(s.fusionWaw),
+                        static_cast<unsigned long long>(
+                            s.fusionInitChain),
+                        static_cast<unsigned long long>(
+                            s.fusionWindow));
+        }
+    }
+    std::printf("\n");
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // Ablation flag pair: strip before benchmark::Initialize (which
+    // rejects unknown flags), after the shared engine flags.
+    bool allowTraceCache = true, allowFusion = true;
+    {
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg(argv[i]);
+            if (arg == "--no-trace-cache")
+                allowTraceCache = false;
+            else if (arg == "--no-fusion")
+                allowFusion = false;
+            else
+                argv[out++] = argv[i];
+        }
+        argc = out;
+    }
+    applyEngineFlags(argc, argv);
     benchmark::Initialize(&argc, argv);
+    printEngineBanner();
+
+    fusionCacheAblation(allowTraceCache, allowFusion);
 
     std::printf("=== Partition-parallelism ablation (paper Fig. 4 / "
                 "II-B) ===\n");

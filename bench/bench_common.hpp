@@ -56,12 +56,24 @@ engineConfig()
 }
 
 /**
- * Parse and strip --engine=serial|sharded|trace, --threads=N and
- * --pipeline=on|off from argv (before benchmark::Initialize, which
- * rejects unknown flags), storing the result in engineConfig().
- * Invalid values abort, exactly like the PYPIM_ENGINE / PYPIM_THREADS
- * / PYPIM_PIPELINE environment path — a typo must never silently
- * benchmark the wrong engine.
+ * Output path of the machine-readable benchmark record (--json=PATH);
+ * empty when no JSON output was requested.
+ */
+inline std::string &
+jsonOutPath()
+{
+    static std::string path;
+    return path;
+}
+
+/**
+ * Parse and strip --engine=serial|sharded|trace, --threads=N,
+ * --pipeline=on|off, --trace-cache=on|off and --json=PATH from argv
+ * (before benchmark::Initialize, which rejects unknown flags),
+ * storing the result in engineConfig() / jsonOutPath(). Invalid
+ * values abort, exactly like the PYPIM_ENGINE / PYPIM_THREADS /
+ * PYPIM_PIPELINE / PYPIM_TRACE_CACHE environment path — a typo must
+ * never silently benchmark the wrong engine.
  */
 inline void
 applyEngineFlags(int &argc, char **argv)
@@ -70,7 +82,19 @@ applyEngineFlags(int &argc, char **argv)
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg(argv[i]);
-        if (arg.rfind("--pipeline=", 0) == 0) {
+        if (arg.rfind("--json=", 0) == 0) {
+            jsonOutPath() = arg.substr(7);
+            fatalIf(jsonOutPath().empty(),
+                    "--json=: expected a file path");
+        } else if (arg.rfind("--trace-cache=", 0) == 0) {
+            const std::string v = arg.substr(14);
+            if (v == "on" || v == "1")
+                cfg.traceCache = true;
+            else if (v == "off" || v == "0")
+                cfg.traceCache = false;
+            else
+                fatal("--trace-cache=" + v + ": expected on|off");
+        } else if (arg.rfind("--pipeline=", 0) == 0) {
             const std::string v = arg.substr(11);
             if (v == "on" || v == "1")
                 cfg.pipeline = true;
@@ -115,9 +139,133 @@ printEngineBanner()
     if (cfg.kind == EngineKind::Sharded)
         std::printf(" (%u threads)", cfg.resolvedThreads());
     std::printf(", pipeline %s", cfg.pipeline ? "on" : "off");
+    std::printf(", trace cache %s", cfg.traceCache ? "on" : "off");
     std::printf("  [--engine=serial|sharded|trace --threads=N "
-                "--pipeline=on|off or PYPIM_ENGINE/PYPIM_THREADS/"
-                "PYPIM_PIPELINE]\n");
+                "--pipeline=on|off --trace-cache=on|off --json=PATH "
+                "or PYPIM_ENGINE/PYPIM_THREADS/PYPIM_PIPELINE/"
+                "PYPIM_TRACE_CACHE]\n");
+}
+
+/**
+ * Minimal JSON emitter for the machine-readable bench records
+ * (BENCH_<name>.json): nested objects/arrays with comma bookkeeping;
+ * keys and string values are plain identifiers, so no escaping is
+ * needed.
+ */
+class Json
+{
+  public:
+    void
+    beginObject(const char *key = nullptr)
+    {
+        open(key, '{');
+    }
+    void
+    beginArray(const char *key = nullptr)
+    {
+        open(key, '[');
+    }
+    void
+    end()
+    {
+        s_ += stack_.back();
+        stack_.pop_back();
+        comma_ = true;
+    }
+    void
+    field(const char *key, const char *v)
+    {
+        prefix(key);
+        s_ += '"';
+        s_ += v;
+        s_ += '"';
+    }
+    void
+    field(const char *key, const std::string &v)
+    {
+        field(key, v.c_str());
+    }
+    void
+    field(const char *key, double v)
+    {
+        prefix(key);
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        s_ += buf;
+    }
+    void
+    field(const char *key, uint64_t v)
+    {
+        prefix(key);
+        s_ += std::to_string(v);
+    }
+    void
+    field(const char *key, uint32_t v)
+    {
+        field(key, static_cast<uint64_t>(v));
+    }
+    void
+    field(const char *key, bool v)
+    {
+        prefix(key);
+        s_ += v ? "true" : "false";
+    }
+
+    /** Write the document to @p path (fatal on I/O failure). */
+    void
+    writeTo(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        fatalIf(f == nullptr, "cannot open " + path + " for writing");
+        std::fputs(s_.c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote benchmark record to %s\n", path.c_str());
+    }
+
+    const std::string &str() const { return s_; }
+
+  private:
+    void
+    prefix(const char *key)
+    {
+        if (comma_)
+            s_ += ", ";
+        comma_ = true;
+        if (key) {
+            s_ += '"';
+            s_ += key;
+            s_ += "\": ";
+        }
+    }
+    void
+    open(const char *key, char c)
+    {
+        prefix(key);
+        s_ += c;
+        stack_.push_back(c == '{' ? '}' : ']');
+        comma_ = false;
+    }
+
+    std::string s_;
+    std::vector<char> stack_;
+    bool comma_ = false;
+};
+
+/** Common config header of every JSON bench record. */
+inline void
+jsonConfig(Json &j, const Geometry &g)
+{
+    const EngineConfig &cfg = engineConfig();
+    j.beginObject("config");
+    j.field("engine", engineKindName(cfg.kind));
+    j.field("threads", cfg.resolvedThreads());
+    j.field("pipeline", cfg.pipeline);
+    j.field("trace_cache", cfg.traceCache);
+    j.field("crossbars", g.numCrossbars);
+    j.field("rows", g.rows);
+    j.field("partitions", g.partitions);
+    j.end();
 }
 
 /**

@@ -101,6 +101,123 @@ overlapReport()
                 "overlapped with replay; needs free host cores)\n");
 }
 
+/**
+ * Steady-state warm-cache throughput: the ISSUE 4 acceptance gauge.
+ * One repeated instruction (int Mul by default: the heaviest common
+ * kernel) runs end-to-end against the simulator in four driver
+ * configurations — translation every rep (all caches off), the
+ * stream cache alone (byte replay, full decode every rep), and the
+ * trace cache on top (decode-once shared handles) without and with
+ * the window fusion pass. Every configuration's destination register
+ * is checksummed: cached and fused replay MUST be bit-identical to
+ * fresh translation, and the function fails (returns false) when it
+ * is not — the CI bench smoke step relies on that.
+ */
+bool
+steadyStateReport(double minSeconds = 0.3)
+{
+    struct Config
+    {
+        const char *name;
+        bool streamCache, traceCache, fusion;
+    };
+    const Config kConfigs[] = {
+        {"no caches (translate)", false, false, false},
+        {"stream cache only", true, false, false},
+        {"trace cache, no fusion", true, true, false},
+        {"trace cache + fusion", true, true, true},
+    };
+
+    const Geometry g = benchGeometry(16);
+    const EngineConfig cfg = engineConfig();
+    const RTypeInstr in = fullInstr(g, ROp::Mul, DType::Int32);
+    std::printf("\n=== Warm-cache steady-state throughput (repeated "
+                "int mul, %u crossbars, engine %s%s) ===\n",
+                g.numCrossbars, engineKindName(cfg.kind),
+                cfg.pipeline ? ", pipelined" : "");
+    std::printf("%-24s %12s %9s %8s %8s %8s %8s\n", "configuration",
+                "instr/s", "speedup", "hits", "waw", "chain",
+                "window");
+
+    double rates[4] = {};
+    uint64_t checksums[4] = {};
+    struct Counters
+    {
+        uint64_t hits, waw, chain, window;
+    } counters[4] = {};
+    for (size_t c = 0; c < 4; ++c) {
+        const Config &conf = kConfigs[c];
+        Simulator sim(g, cfg);
+        Rng rng(1234);
+        fillRegister(sim, 0, rng);
+        fillRegister(sim, 1, rng);
+        Driver drv(sim, g, Driver::Mode::Parallel);
+        drv.setStreamCacheEnabled(conf.streamCache);
+        drv.setTraceCacheEnabled(conf.traceCache);
+        drv.setTraceFusionEnabled(conf.fusion);
+        // Warm: record + build + first replay outside the window.
+        drv.execute(in);
+        drv.execute(in);
+        sim.flush();
+        const auto [reps, elapsed] = timedReps(
+            [&] { drv.execute(in); }, [&] { sim.flush(); },
+            minSeconds);
+        rates[c] = static_cast<double>(reps) / elapsed;
+        counters[c] = {drv.stats().traceCacheHits,
+                       drv.stats().fusionWaw,
+                       drv.stats().fusionInitChain,
+                       drv.stats().fusionWindow};
+        uint64_t ck = 0;
+        for (uint32_t xb = 0; xb < g.numCrossbars; ++xb)
+            for (uint32_t row = 0; row < g.rows; row += 3)
+                ck = ck * 1099511628211ull ^
+                     sim.crossbar(xb).read(in.rd, row);
+        checksums[c] = ck;
+        std::printf("%-24s %12.1f %8.2fx %8llu %8llu %8llu %8llu\n",
+                    conf.name, rates[c],
+                    rates[1] > 0 ? rates[c] / rates[1] : 0.0,
+                    static_cast<unsigned long long>(counters[c].hits),
+                    static_cast<unsigned long long>(counters[c].waw),
+                    static_cast<unsigned long long>(counters[c].chain),
+                    static_cast<unsigned long long>(
+                        counters[c].window));
+    }
+    const bool identical = checksums[0] == checksums[1] &&
+                           checksums[0] == checksums[2] &&
+                           checksums[0] == checksums[3];
+    const double speedup = rates[3] / rates[1];
+    std::printf("warm-cache speedup (trace cache + fusion over "
+                "stream cache only): %.2fx [gauge: >=1.3x]; results "
+                "bit-identical: %s\n",
+                speedup, identical ? "yes" : "NO — BUG");
+
+    if (!jsonOutPath().empty()) {
+        Json j;
+        j.beginObject();
+        j.field("bench", "bench_driver");
+        jsonConfig(j, g);
+        j.beginArray("steady_state");
+        for (size_t c = 0; c < 4; ++c) {
+            j.beginObject();
+            j.field("name", kConfigs[c].name);
+            j.field("instr_per_s", rates[c]);
+            j.field("speedup_vs_stream_cache",
+                    rates[1] > 0 ? rates[c] / rates[1] : 0.0);
+            j.field("trace_cache_hits", counters[c].hits);
+            j.field("fusion_waw", counters[c].waw);
+            j.field("fusion_init_chain", counters[c].chain);
+            j.field("fusion_window", counters[c].window);
+            j.end();
+        }
+        j.end();
+        j.field("warm_cache_speedup", speedup);
+        j.field("bit_identical", identical);
+        j.end();
+        j.writeTo(jsonOutPath());
+    }
+    return identical;
+}
+
 void
 generate(benchmark::State &state, ROp op, DType dt)
 {
@@ -170,9 +287,13 @@ main(int argc, char **argv)
                 "bottleneck (paper: 6.8x worst case)\n",
                 headMin, headMin >= 1.0 ? "NOT" : "POTENTIALLY");
 
+    const bool identical = steadyStateReport();
+
     overlapReport();
 
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    return 0;
+    // Non-zero exit when cached replay diverged from fresh
+    // translation: the CI bench smoke step asserts bit-identity.
+    return identical ? 0 : 1;
 }

@@ -167,8 +167,10 @@ replayRate(Simulator &sim, const std::vector<Word> &batch,
  * 128 KB crossbar hot for the entire segment.
  */
 void
-engineSweep()
+engineSweep(Json *json)
 {
+    if (json)
+        json->beginArray("engine_sweep");
     std::printf("\n=== Execution-engine scaling sweep (INIT+NOR "
                 "batch, 1024 rows) ===\n");
     std::printf("host hardware concurrency: %u\n",
@@ -189,10 +191,25 @@ engineSweep()
             Simulator sim(g, EngineConfig::trace());
             traceRate = replayRate(sim, batch);
         }
+        if (json) {
+            json->beginObject();
+            json->field("crossbars", crossbars);
+            json->field("serial_ops_per_s", serialRate);
+            json->field("trace_ops_per_s", traceRate);
+            json->field("trace_speedup", traceRate / serialRate);
+            json->beginArray("sharded");
+        }
         bool first = true;
         for (uint32_t threads : {1u, 2u, 4u, 8u}) {
             Simulator sim(g, EngineConfig::sharded(threads));
             const double rate = replayRate(sim, batch);
+            if (json) {
+                json->beginObject();
+                json->field("threads", threads);
+                json->field("ops_per_s", rate);
+                json->field("speedup", rate / serialRate);
+                json->end();
+            }
             // Shard load balance: min/max applied work across shards
             // (1.00 = perfectly even).
             const auto &eng =
@@ -216,7 +233,13 @@ engineSweep()
                            : 0.0);
             first = false;
         }
+        if (json) {
+            json->end();  // sharded
+            json->end();  // row
+        }
     }
+    if (json)
+        json->end();  // engine_sweep
     std::printf("(sharded speedups require free host cores; the "
                 "trace column and the 1024-crossbar row are the "
                 "acceptance gauges for ISSUE 2)\n");
@@ -268,7 +291,7 @@ endToEndRate(const Geometry &g, const EngineConfig &ec,
  * stages time-share and the ratio stays near 1.
  */
 void
-pipelineSweep()
+pipelineSweep(Json *json)
 {
     const uint32_t threads = engineConfig().resolvedThreads();
     std::printf("\n=== Pipelined end-to-end sweep (driver fp-add + "
@@ -276,6 +299,8 @@ pipelineSweep()
     std::printf("%-10s %18s %18s %8s %10s\n", "crossbars",
                 "sync [Kop/s]", "pipelined [Kop/s]", "speedup",
                 "identical");
+    if (json)
+        json->beginArray("pipeline_sweep");
     for (uint32_t crossbars : {64u, 256u, 1024u}) {
         const Geometry g = benchGeometry(crossbars);
         uint64_t ckOff = 0, ckOn = 0;
@@ -286,7 +311,18 @@ pipelineSweep()
         std::printf("%-10u %18.2f %18.2f %7.2fx %10s\n", crossbars,
                     off / 1e3, on / 1e3, on / off,
                     ckOff == ckOn ? "yes" : "NO");
+        if (json) {
+            json->beginObject();
+            json->field("crossbars", crossbars);
+            json->field("sync_ops_per_s", off);
+            json->field("pipelined_ops_per_s", on);
+            json->field("speedup", on / off);
+            json->field("bit_identical", ckOff == ckOn);
+            json->end();
+        }
     }
+    if (json)
+        json->end();
     std::printf("(>=1.2x at >=256 crossbars on a multi-core host is "
                 "the ISSUE 3 acceptance gauge; 'identical' checks "
                 "bit-equality of the result register)\n");
@@ -318,8 +354,19 @@ main(int argc, char **argv)
     applyEngineFlags(argc, argv);
     benchmark::Initialize(&argc, argv);
     printEngineBanner();
-    engineSweep();
-    pipelineSweep();
+    Json json;
+    Json *j = jsonOutPath().empty() ? nullptr : &json;
+    if (j) {
+        j->beginObject();
+        j->field("bench", "bench_simulator");
+        jsonConfig(*j, benchGeometry());
+    }
+    engineSweep(j);
+    pipelineSweep(j);
+    if (j) {
+        j->end();
+        j->writeTo(jsonOutPath());
+    }
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

@@ -101,6 +101,14 @@ EngineConfig::fromEnv()
             fatal("PYPIM_PIPELINE: unknown value '" + s +
                   "' (expected on|off)");
     }
+    if (const char *tc = std::getenv("PYPIM_TRACE_CACHE")) {
+        const std::string s(tc);
+        if (s == "off" || s == "0")
+            c.traceCache = false;
+        else if (!s.empty() && s != "on" && s != "1")
+            fatal("PYPIM_TRACE_CACHE: unknown value '" + s +
+                  "' (expected on|off)");
+    }
     return c;
 }
 

@@ -67,6 +67,12 @@ struct Geometry
         return bit * partitionWidth() + slot;
     }
 
+    /** Register slot a column belongs to (inverse of column()). */
+    uint32_t slotOf(uint32_t col) const
+    {
+        return col % partitionWidth();
+    }
+
     /** Total threads (rows across all crossbars). */
     uint64_t totalRows() const
     {
@@ -121,6 +127,17 @@ struct EngineConfig
      * readback, stats queries and engine swaps drain the pipeline.
      */
     bool pipeline = false;
+    /**
+     * Driver-level trace cache (sim/batch_trace.hpp): on a stream-
+     * cache hit the driver submits a shared pre-built, fusion-
+     * optimised BatchTrace instead of re-translating the memoised
+     * micro-op stream — decode and optimise once per instruction
+     * signature, replay forever. On by default; Device forwards the
+     * flag to its Driver. Fused+cached replay is bit-identical to
+     * fresh translation on every engine (test_engine_parity,
+     * test_trace_fusion).
+     */
+    bool traceCache = true;
 
     static EngineConfig serial() { return {}; }
 
@@ -152,9 +169,10 @@ struct EngineConfig
 
     /**
      * Engine selection from the environment: PYPIM_ENGINE=serial|
-     * sharded|trace, PYPIM_THREADS=N and PYPIM_PIPELINE=on|off.
-     * Unset values fall back to the serial synchronous default, so
-     * existing callers are unaffected; unrecognised values abort.
+     * sharded|trace, PYPIM_THREADS=N, PYPIM_PIPELINE=on|off and
+     * PYPIM_TRACE_CACHE=on|off|1|0. Unset values fall back to the
+     * defaults (serial, synchronous, trace cache on), so existing
+     * callers are unaffected; unrecognised values abort.
      */
     static EngineConfig fromEnv();
 

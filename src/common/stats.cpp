@@ -46,6 +46,11 @@ Stats::clear()
     logicGates = 0;
     logicInits = 0;
     instructions = 0;
+    traceCacheHits = 0;
+    traceCacheMisses = 0;
+    fusionWaw = 0;
+    fusionInitChain = 0;
+    fusionWindow = 0;
 }
 
 Stats
@@ -59,6 +64,11 @@ Stats::operator-(const Stats &other) const
     out.logicGates = logicGates - other.logicGates;
     out.logicInits = logicInits - other.logicInits;
     out.instructions = instructions - other.instructions;
+    out.traceCacheHits = traceCacheHits - other.traceCacheHits;
+    out.traceCacheMisses = traceCacheMisses - other.traceCacheMisses;
+    out.fusionWaw = fusionWaw - other.fusionWaw;
+    out.fusionInitChain = fusionInitChain - other.fusionInitChain;
+    out.fusionWindow = fusionWindow - other.fusionWindow;
     return out;
 }
 
@@ -72,6 +82,11 @@ Stats::operator+=(const Stats &other)
     logicGates += other.logicGates;
     logicInits += other.logicInits;
     instructions += other.instructions;
+    traceCacheHits += other.traceCacheHits;
+    traceCacheMisses += other.traceCacheMisses;
+    fusionWaw += other.fusionWaw;
+    fusionInitChain += other.fusionInitChain;
+    fusionWindow += other.fusionWindow;
     return *this;
 }
 
@@ -99,6 +114,13 @@ Stats::summary() const
     os << "  logic gates / inits: " << logicGates << " / "
        << logicInits << "\n";
     os << "  macro-instructions: " << instructions << "\n";
+    if (traceCacheHits || traceCacheMisses)
+        os << "  trace cache: " << traceCacheHits << " hits / "
+           << traceCacheMisses << " misses\n";
+    if (fusionWaw || fusionInitChain || fusionWindow)
+        os << "  fusion eliminated: " << fusionWaw << " WAW writes, "
+           << fusionInitChain << " INIT-chain ops, " << fusionWindow
+           << " window INIT+gate ops\n";
     return os.str();
 }
 

@@ -51,6 +51,23 @@ struct Stats
     /** Macro-instructions executed by the driver. */
     uint64_t instructions = 0;
 
+    // --- host-side trace-cache / fusion observability ----------------
+    // Recorded by the DRIVER (which owns the trace cache), never by
+    // the simulator: the simulator's architectural counters stay
+    // engine- and cache-independent, which the parity suite checks by
+    // exact equality.
+
+    /** Stream-cache hits replayed via a pre-built trace. */
+    uint64_t traceCacheHits = 0;
+    /** Traces built (decode + fusion ran once for these). */
+    uint64_t traceCacheMisses = 0;
+    /** Writes eliminated by Write-after-Write fusion. */
+    uint64_t fusionWaw = 0;
+    /** INIT1 micro-ops merged into a chain peer. */
+    uint64_t fusionInitChain = 0;
+    /** INIT1 micro-ops window-fused into a following NOR/NOT. */
+    uint64_t fusionWindow = 0;
+
     /** Record one micro-op of class @p c costing @p cycles cycles. */
     void
     record(OpClass c, uint64_t cycles = 1)

@@ -5,6 +5,7 @@
 #include "common/bitops.hpp"
 #include "common/error.hpp"
 #include "driver/emit.hpp"
+#include "sim/batch_trace.hpp"
 
 namespace pypim
 {
@@ -41,6 +42,42 @@ void
 Driver::setPartitionsEnabled(bool on)
 {
     builder_.setPartitionsEnabled(on);
+}
+
+void
+Driver::setTraceFusionEnabled(bool on)
+{
+    if (on == traceFusionOn_)
+        return;
+    traceFusionOn_ = on;
+    // Handles were optimised under the old setting; keep the recorded
+    // streams and rebuild traces lazily on the next hit.
+    for (auto &kv : streamCache_)
+        kv.second.trace.reset();
+}
+
+void
+Driver::replayEntry(StreamEntry &e)
+{
+    if (traceCacheOn_) {
+        if (e.trace) {
+            ++stats_.traceCacheHits;
+        } else {
+            e.trace = sink_->prepareTrace(e.ops.data(), e.ops.size(),
+                                          traceFusionOn_);
+            if (e.trace) {
+                ++stats_.traceCacheMisses;
+                stats_.fusionWaw += e.trace->fusion.waw;
+                stats_.fusionInitChain += e.trace->fusion.initChain;
+                stats_.fusionWindow += e.trace->fusion.window;
+            }
+        }
+        if (e.trace) {
+            sink_->submitTrace(e.trace);
+            return;
+        }
+    }
+    sink_->submitBatch(e.ops.data(), e.ops.size());
 }
 
 void
@@ -81,10 +118,11 @@ Driver::execute(const RTypeInstr &in)
         const StreamKey key = makeKey(in);
         const auto it = streamCache_.find(key);
         if (it != streamCache_.end()) {
-            // Replay the memoised (self-contained) stream: the chip
-            // ends up in the instruction's mask state.
+            // Replay the memoised (self-contained) translation — via
+            // the pre-built trace handle when the trace cache is on:
+            // the chip ends up in the instruction's mask state.
             builder_.flush();
-            sink_->submitBatch(it->second.data(), it->second.size());
+            replayEntry(it->second);
             builder_.assumeMasks(in.warps, in.rows);
             ++stats_.instructions;
             return;
@@ -109,9 +147,14 @@ Driver::execute(const RTypeInstr &in)
         builder_.swapSink(real);
         if (streamCache_.size() >= 4096)
             streamCache_.clear();  // simple bound; signatures are few
-        const auto &cached =
-            streamCache_.emplace(key, std::move(rec.ops)).first->second;
-        sink_->submitBatch(cached.data(), cached.size());
+        StreamEntry &e =
+            streamCache_
+                .emplace(key, StreamEntry{std::move(rec.ops), nullptr})
+                .first->second;
+        // Decode-once even for the first execution: the miss path
+        // builds the trace and replays it, so the raw stream is never
+        // translated by the sink at all.
+        replayEntry(e);
         builder_.assumeMasks(in.warps, in.rows);
         ++stats_.instructions;
         return;

@@ -20,6 +20,7 @@
 #ifndef PYPIM_DRIVER_DRIVER_HPP
 #define PYPIM_DRIVER_DRIVER_HPP
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -69,6 +70,37 @@ class Driver
     /** Cached distinct instruction signatures. */
     size_t streamCacheSize() const { return streamCache_.size(); }
 
+    /**
+     * Enable/disable the trace cache layered over the stream cache
+     * (sim/batch_trace.hpp): per signature, the recorded stream is
+     * decoded, validated and fusion-optimised ONCE into a shared
+     * immutable BatchTrace, and every subsequent hit submits the
+     * pre-built trace handle — the pipeline and all engines replay it
+     * with zero decode work. Sinks without trace support (e.g. the
+     * bench BufferSink) fall back to raw stream replay transparently.
+     * Observability: Stats::traceCacheHits/Misses and the fusion*
+     * counters on stats().
+     */
+    void setTraceCacheEnabled(bool on) { traceCacheOn_ = on; }
+    bool traceCacheEnabled() const { return traceCacheOn_; }
+
+    /**
+     * Enable/disable the window fusion pass applied to freshly built
+     * traces (ablation knob). Changing it drops the cached trace
+     * handles — they were optimised under the old setting — while the
+     * recorded streams stay cached; traces rebuild lazily on the next
+     * hit.
+     */
+    void setTraceFusionEnabled(bool on);
+    bool traceFusionEnabled() const { return traceFusionOn_; }
+
+    /** Drop every memoised stream and trace handle. */
+    void
+    clearStreamCache()
+    {
+        streamCache_.clear();
+    }
+
     /** Execute an R-type instruction (Table II). */
     void execute(const RTypeInstr &in);
     /** Execute a constant write. */
@@ -112,6 +144,22 @@ class Driver
     };
     StreamKey makeKey(const RTypeInstr &in) const;
 
+    /**
+     * One memoised translation: the recorded self-contained micro-op
+     * stream plus (lazily, when the trace cache is on and the sink
+     * supports it) the decoded, fused, shared immutable trace built
+     * from it. The shared_ptr keeps in-flight pipelined replays alive
+     * even if this cache is cleared.
+     */
+    struct StreamEntry
+    {
+        std::vector<Word> ops;
+        std::shared_ptr<const BatchTrace> trace;
+    };
+
+    /** Replay one cache entry (trace handle fast path, else stream). */
+    void replayEntry(StreamEntry &e);
+
     const Geometry *geo_;
     OperationSink *sink_;
     GateBuilder builder_;
@@ -119,7 +167,9 @@ class Driver
     Mode mode_;
     Stats stats_;
     bool streamCacheOn_ = true;
-    std::unordered_map<StreamKey, std::vector<Word>, StreamKeyHash>
+    bool traceCacheOn_ = true;
+    bool traceFusionOn_ = true;
+    std::unordered_map<StreamKey, StreamEntry, StreamKeyHash>
         streamCache_;
 };
 

@@ -10,6 +10,7 @@ Device::Device(const Geometry &geo, Driver::Mode mode,
       drv_(sim_, geo_, mode),
       mm_(geo_)
 {
+    drv_.setTraceCacheEnabled(ec.traceCache);
 }
 
 void

@@ -27,9 +27,11 @@ class Device
      * @param geo memory geometry (validated)
      * @param mode driver arithmetic mode (paper Fig. 4)
      * @param ec simulator execution backend; the default honours the
-     *           PYPIM_ENGINE / PYPIM_THREADS / PYPIM_PIPELINE
-     *           environment knobs and falls back to the synchronous
-     *           serial engine
+     *           PYPIM_ENGINE / PYPIM_THREADS / PYPIM_PIPELINE /
+     *           PYPIM_TRACE_CACHE environment knobs and falls back to
+     *           the synchronous serial engine with the driver trace
+     *           cache enabled (ec.traceCache is forwarded to the
+     *           Driver)
      */
     explicit Device(const Geometry &geo,
                     Driver::Mode mode = Driver::Mode::Parallel,

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hpp"
 #include "common/error.hpp"
+#include "sim/batch_trace.hpp"
 #include "sim/serial_engine.hpp"
 #include "sim/sharded_engine.hpp"
 #include "sim/trace_engine.hpp"
@@ -105,6 +106,17 @@ ExecutionEngine::replayTrace(const SegmentTrace &trace)
 {
     for (uint32_t xb = trace.xbLo; xb < trace.xbHi; ++xb)
         xbs_[xb].replaySegment(trace, xb, nullptr);
+}
+
+void
+ExecutionEngine::replayBatch(const BatchTrace &batch)
+{
+    for (const BatchTrace::Item &item : batch.items) {
+        if (item.kind == BatchTrace::Item::Kind::Segment)
+            replayTrace(batch.segments[item.seg]);
+        else
+            applyMove(item.op, item.xb);
+    }
 }
 
 void

@@ -43,6 +43,8 @@
 namespace pypim
 {
 
+struct BatchTrace;
+
 /**
  * One micro-op replay backend. Owns no simulated state; executes
  * encoded micro-op batches against the Simulator's crossbars, mask
@@ -81,6 +83,15 @@ class ExecutionEngine
      * calling thread; ShardedEngine fans the hull out over its pool.
      */
     virtual void replayTrace(const SegmentTrace &trace);
+
+    /**
+     * Replay one pre-built batch (segments via replayTrace, Moves via
+     * applyMove, in stream order). Shared by the pipelined consumer
+     * and the synchronous trace-cache hit path — either way the batch
+     * was validated and its stats recorded at build time, so this is
+     * pure state application on any backend.
+     */
+    void replayBatch(const BatchTrace &batch);
 
     /**
      * Apply a pre-validated Move under the crossbar-mask snapshot

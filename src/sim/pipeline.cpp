@@ -32,51 +32,6 @@ SimulatorPipeline::~SimulatorPipeline()
 }
 
 void
-SimulatorPipeline::buildBatch(BatchTrace &batch, const Word *ops,
-                              size_t n)
-{
-    size_t i = 0;
-    while (i < n) {
-        const OpType type = enc::peekType(ops[i]);
-        if (isBarrierOp(type)) {
-            const MicroOp op = MicroOp::decode(ops[i]);
-            if (type == OpType::Read) {
-                // Data-less read: the response is dropped and no state
-                // changes, so validating and counting it here absorbs
-                // the op entirely — nothing to queue.
-                validateRead(op, mask_.xb, mask_.row, geo_);
-                stats_.record(OpClass::Read);
-            } else {
-                const int64_t dist = validateMove(op, mask_.xb, geo_);
-                stats_.record(OpClass::Move,
-                              htree_.moveCycles(mask_.xb, dist));
-                BatchTrace::Item item;
-                item.kind = BatchTrace::Item::Kind::Move;
-                item.op = op;
-                item.xb = mask_.xb;
-                batch.items.push_back(item);
-            }
-            ++i;
-            continue;
-        }
-        size_t j = i + 1;
-        while (j < n && !isBarrierOp(enc::peekType(ops[j])))
-            ++j;
-        SegmentTrace &trace = batch.nextSegment(geo_.rows);
-        buildSegmentTrace(ops + i, j - i, geo_, mask_, stats_, trace);
-        if (trace.empty()) {
-            --batch.used;  // mask-only segment: arena back to the pool
-        } else {
-            BatchTrace::Item item;
-            item.kind = BatchTrace::Item::Kind::Segment;
-            item.seg = batch.used - 1;
-            batch.items.push_back(item);
-        }
-        i = j;
-    }
-}
-
-void
 SimulatorPipeline::submit(const Word *ops, size_t n)
 {
     uint32_t buf;
@@ -91,15 +46,19 @@ SimulatorPipeline::submit(const Word *ops, size_t n)
     BatchTrace &batch = buffers_[buf];
     batch.clear();
     try {
-        buildBatch(batch, ops, n);
+        buildBatchTrace(ops, n, geo_, htree_, mask_, batch);
     } catch (...) {
         // Report the malformed op at the submitBatch that contained
-        // it; none of this batch reached a crossbar.
+        // it; none of this batch reached a crossbar, but the valid
+        // prefix was recorded, exactly like the synchronous trace
+        // engines.
+        stats_ += batch.stats;
         std::lock_guard<std::mutex> lock(mu_);
         free_.push_back(buf);
         cvProducer_.notify_all();
         throw;
     }
+    stats_ += batch.stats;
     if (batch.items.empty()) {
         // Fully absorbed (mask-only and data-less-read traffic).
         std::lock_guard<std::mutex> lock(mu_);
@@ -109,7 +68,33 @@ SimulatorPipeline::submit(const Word *ops, size_t n)
     }
     {
         std::lock_guard<std::mutex> lock(mu_);
-        queued_.push_back(buf);
+        queued_.push_back(Pending{buf, nullptr});
+    }
+    cvConsumer_.notify_one();
+}
+
+void
+SimulatorPipeline::submitShared(std::shared_ptr<const BatchTrace> trace)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (error_)
+            std::rethrow_exception(error_);
+        cvProducer_.wait(lock,
+                         [&] { return queued_.size() < kMaxQueued; });
+    }
+    // Producer-side effects, same as a freshly built batch: the
+    // pre-recorded architectural stats and the stream's final mask
+    // state apply at submit time (the consumer applies pre-validated
+    // crossbar changes only).
+    stats_ += trace->stats;
+    mask_.xb = trace->finalXb;
+    mask_.setRow(trace->finalRow, geo_.rows);
+    if (trace->items.empty())
+        return;  // mask-only stream: nothing to replay
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queued_.push_back(Pending{kNoBuffer, std::move(trace)});
     }
     cvConsumer_.notify_one();
 }
@@ -125,17 +110,6 @@ SimulatorPipeline::drain()
 }
 
 void
-SimulatorPipeline::replayBatch(const BatchTrace &batch)
-{
-    for (const BatchTrace::Item &item : batch.items) {
-        if (item.kind == BatchTrace::Item::Kind::Segment)
-            engine_->replayTrace(batch.segments[item.seg]);
-        else
-            engine_->applyMove(item.op, item.xb);
-    }
-}
-
-void
 SimulatorPipeline::consumerLoop()
 {
     std::unique_lock<std::mutex> lock(mu_);
@@ -144,24 +118,28 @@ SimulatorPipeline::consumerLoop()
                          [&] { return stop_ || !queued_.empty(); });
         if (queued_.empty())
             return;  // stop requested and nothing left to replay
-        const uint32_t buf = queued_.front();
+        Pending p = std::move(queued_.front());
         queued_.pop_front();
         replaying_ = true;
         const bool skip = static_cast<bool>(error_);
         lock.unlock();
+        const BatchTrace &batch =
+            p.shared ? *p.shared : buffers_[p.buf];
         std::exception_ptr err;
         if (!skip) {
             try {
-                replayBatch(buffers_[buf]);
+                engine_->replayBatch(batch);
             } catch (...) {
                 err = std::current_exception();
             }
         }
+        p.shared.reset();  // release the refcount outside the lock
         lock.lock();
         if (err && !error_)
             error_ = err;  // sticky: rethrown at every sync point
         replaying_ = false;
-        free_.push_back(buf);
+        if (p.buf != kNoBuffer)
+            free_.push_back(p.buf);
         cvProducer_.notify_all();
     }
 }

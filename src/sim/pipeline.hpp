@@ -25,7 +25,12 @@
  * Double buffering: kBuffers (two) independent SegmentTrace arenas
  * cycle through the queue, so the pre-pass for batch k+1 runs while
  * the engine replays trace k; the producer blocks only when both
- * buffers are in flight. All validation and architectural Stats
+ * buffers are in flight. Trace-cache hits bypass the arenas entirely:
+ * submitShared enqueues a shared immutable pre-built BatchTrace
+ * (sim/batch_trace.hpp) in FIFO order with the arena batches, with
+ * its own backpressure bound — the consumer replays it with zero
+ * decode work and the shared_ptr keeps it alive even if the owning
+ * cache is cleared mid-flight. All validation and architectural Stats
  * recording happen on the producer inside submitBatch — a malformed
  * op therefore throws at the submitBatch that contained it, before
  * the batch touches any crossbar (the same error-stream semantics as
@@ -53,6 +58,7 @@
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "sim/batch_trace.hpp"
 #include "sim/segment_trace.hpp"
 #include "uarch/microop.hpp"
 
@@ -62,51 +68,6 @@ namespace pypim
 class ExecutionEngine;
 class HTree;
 class Crossbar;
-
-/**
- * One decoded, replay-ready batch: segment traces and pre-validated
- * barrier Moves in stream order. The segment arenas are reused across
- * batches (clear() keeps capacity), so steady-state building is
- * allocation-free.
- */
-struct BatchTrace
-{
-    /** One replay step of the batch. */
-    struct Item
-    {
-        enum class Kind : uint8_t
-        {
-            Segment,  //!< replay segments[seg]
-            Move      //!< apply op under the crossbar-mask snapshot xb
-        };
-        Kind kind = Kind::Segment;
-        uint32_t seg = 0;
-        MicroOp op;
-        Range xb;
-    };
-
-    std::vector<Item> items;
-    std::vector<SegmentTrace> segments;
-    uint32_t used = 0;  //!< segment arenas in use this batch
-
-    /** Fresh (cleared) segment arena for the next segment. */
-    SegmentTrace &
-    nextSegment(uint32_t rows)
-    {
-        if (used == segments.size())
-            segments.emplace_back();
-        SegmentTrace &t = segments[used++];
-        t.clear(rows);
-        return t;
-    }
-
-    void
-    clear()
-    {
-        items.clear();
-        used = 0;
-    }
-};
 
 /**
  * The Simulator's asynchronous execution stage: owns the bounded
@@ -137,6 +98,17 @@ class SimulatorPipeline
     void submit(const Word *ops, size_t n);
 
     /**
+     * Enqueue a pre-built shared immutable trace (the trace-cache hit
+     * path, sim/batch_trace.hpp) for asynchronous replay: the batch's
+     * stats and final mask state apply here on the producer, the
+     * consumer replays with zero decode work, and the shared_ptr
+     * keeps the trace alive even if the owning cache is cleared while
+     * the batch is in flight. Ordered FIFO with submit()ed batches;
+     * blocks only when kMaxQueued traces are already pending.
+     */
+    void submitShared(std::shared_ptr<const BatchTrace> trace);
+
+    /**
      * Block until every queued batch has been replayed; rethrows any
      * pending consumer-side error. The synchronisation point behind
      * performRead, host readback, stats queries and setEngine.
@@ -144,10 +116,18 @@ class SimulatorPipeline
     void drain();
 
   private:
-    static constexpr uint32_t kBuffers = 2;  // double buffering
+    static constexpr uint32_t kBuffers = 2;   // double buffering
+    static constexpr uint32_t kNoBuffer = UINT32_MAX;
+    /** Backpressure bound for decode-free (shared-trace) submits. */
+    static constexpr size_t kMaxQueued = 8;
 
-    void buildBatch(BatchTrace &batch, const Word *ops, size_t n);
-    void replayBatch(const BatchTrace &batch);
+    /** One hand-off queue entry: a cycling arena or a shared trace. */
+    struct Pending
+    {
+        uint32_t buf = kNoBuffer;
+        std::shared_ptr<const BatchTrace> shared;
+    };
+
     void consumerLoop();
 
     const Geometry &geo_;
@@ -163,7 +143,7 @@ class SimulatorPipeline
     std::condition_variable cvProducer_;  //!< buffer freed / idle
     std::condition_variable cvConsumer_;  //!< batch queued / stop
     std::vector<uint32_t> free_;          //!< buffers ready for reuse
-    std::deque<uint32_t> queued_;         //!< FIFO of submitted buffers
+    std::deque<Pending> queued_;          //!< FIFO of submitted batches
     bool replaying_ = false;
     bool stop_ = false;
     std::exception_ptr error_;  //!< first consumer-side failure (sticky)

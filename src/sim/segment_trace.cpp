@@ -7,9 +7,6 @@
 namespace pypim
 {
 
-namespace
-{
-
 /**
  * True iff an INIT1 LogicH may be folded into the NOR/NOT that
  * follows it: both must drive exactly the same set of output columns,
@@ -51,8 +48,6 @@ fusableInitNor(const HalfGates &init, const HalfGates &nor)
     }
     return true;
 }
-
-} // namespace
 
 void
 buildSegmentTrace(const Word *ops, size_t n, const Geometry &geo,

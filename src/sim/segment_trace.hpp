@@ -144,6 +144,18 @@ struct SegmentTrace
     bool empty() const { return ops.empty(); }
 };
 
+struct HalfGates;
+
+/**
+ * True iff an INIT1 LogicH may be folded into the NOR/NOT @p nor:
+ * both must drive exactly the same set of output columns, and no
+ * input column of the NOR/NOT may alias any of those outputs (the
+ * gate must read pre-INIT state of nothing it initialises). Shared
+ * between the builder's adjacent fusion and the window fusion pass
+ * (sim/batch_trace.hpp).
+ */
+bool fusableInitNor(const HalfGates &init, const HalfGates &nor);
+
 /**
  * Decode the barrier-free segment @p ops[0..n) into @p trace.
  *

@@ -1,5 +1,8 @@
 #include "sim/simulator.hpp"
 
+#include "common/error.hpp"
+#include "sim/batch_trace.hpp"
+
 namespace pypim
 {
 
@@ -57,6 +60,49 @@ void
 Simulator::flush()
 {
     drainPipeline();
+}
+
+std::shared_ptr<const BatchTrace>
+Simulator::prepareTrace(const Word *ops, size_t n, bool fuse)
+{
+    if (!leadsWithMasks(ops, n))
+        return nullptr;
+    auto batch = std::make_shared<BatchTrace>();
+    // The stream re-establishes both masks before using them, so a
+    // local power-on mask state decodes it exactly as any entry state
+    // would — prepareTrace never touches the live mask.
+    MaskState local;
+    local.reset(geo_);
+    try {
+        buildBatchTrace(ops, n, geo_, htree_, local, *batch);
+    } catch (...) {
+        // Match the accounting of an uncached submit, which records
+        // the valid prefix before throwing.
+        stats_ += batch->stats;
+        throw;
+    }
+    if (fuse)
+        fuseBatchTrace(*batch, geo_);
+    return batch;
+}
+
+void
+Simulator::submitTrace(std::shared_ptr<const BatchTrace> trace)
+{
+    panicIf(trace == nullptr, "submitTrace: null trace");
+    panicIf(trace->geoRows != geo_.rows ||
+                trace->geoCols != geo_.cols ||
+                trace->geoPartitions != geo_.partitions ||
+                trace->geoCrossbars != geo_.numCrossbars,
+            "submitTrace: trace was built for a different geometry");
+    if (pipeline_) {
+        pipeline_->submitShared(std::move(trace));
+        return;
+    }
+    stats_ += trace->stats;
+    mask_.xb = trace->finalXb;
+    mask_.setRow(trace->finalRow, geo_.rows);
+    engine_->replayBatch(*trace);
 }
 
 uint32_t

@@ -70,6 +70,27 @@ class Simulator : public OperationSink
     void flush() override;
     uint32_t performRead(Word op) override;
 
+    /**
+     * Build a shared immutable replay-ready trace of a self-contained
+     * stream (one that sets both masks before its first non-mask op;
+     * returns null otherwise): the pre-pass decodes, validates and
+     * records stats once, and — when @p fuse is set — the window
+     * fusion pass (sim/batch_trace.hpp) optimises the trace before it
+     * is frozen. Does not execute and does not advance the mask
+     * state; replay it (any number of times) through submitTrace.
+     */
+    std::shared_ptr<const BatchTrace>
+    prepareTrace(const Word *ops, size_t n, bool fuse) override;
+
+    /**
+     * Execute a trace built by prepareTrace on this simulator:
+     * equivalent to submitBatch of the original stream — stats and
+     * final mask state apply at submit, replay is enqueued behind the
+     * pipeline when enabled and runs inline otherwise — but with zero
+     * decode work.
+     */
+    void submitTrace(std::shared_ptr<const BatchTrace> trace) override;
+
     /** Execute one decoded micro-op (test convenience). */
     void perform(const MicroOp &op);
 

@@ -3,8 +3,18 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/error.hpp"
+
 namespace pypim
 {
+
+void
+OperationSink::submitTrace(std::shared_ptr<const BatchTrace> trace)
+{
+    (void)trace;
+    panic("submitTrace: this sink does not support trace replay "
+          "(its prepareTrace returns null)");
+}
 
 BufferSink::BufferSink(size_t capacity) : buf_(capacity, 0)
 {

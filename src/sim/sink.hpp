@@ -21,6 +21,7 @@
 #define PYPIM_SIM_SINK_HPP
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -28,6 +29,8 @@
 
 namespace pypim
 {
+
+struct BatchTrace;
 
 /** Abstract consumer of encoded micro-operations. */
 class OperationSink
@@ -55,6 +58,38 @@ class OperationSink
 
     /** Drain any pending submitted work (no-op for synchronous sinks). */
     virtual void flush() {}
+
+    /**
+     * Build a shared, immutable, replay-ready trace of @p n micro-ops
+     * (the trace-cache entry behind the driver's stream cache,
+     * sim/batch_trace.hpp): decoded, validated, fusion-optimised once,
+     * then replayed forever through submitTrace with zero decode work.
+     * Does NOT execute anything and leaves the sink's architectural
+     * state untouched. Returns null when the sink does not support
+     * trace replay (plain sinks keep consuming raw streams) or when
+     * the stream is not self-contained (it must set both masks before
+     * its first non-mask op, so the decoded snapshots are independent
+     * of the sink's mask state — see leadsWithMasks).
+     */
+    virtual std::shared_ptr<const BatchTrace>
+    prepareTrace(const Word *ops, size_t n, bool fuse)
+    {
+        (void)ops;
+        (void)n;
+        (void)fuse;
+        return nullptr;
+    }
+
+    /**
+     * Submit a trace previously built by prepareTrace ON THIS SINK
+     * for (possibly asynchronous) execution, equivalent to
+     * submitBatch of the stream it was built from: the batch's
+     * architectural stats and final mask state apply at the submit,
+     * replay is ordered against surrounding submitBatch calls, and
+     * flush()/performRead drain it. Panics on sinks whose
+     * prepareTrace returned null (the caller holds no valid handle).
+     */
+    virtual void submitTrace(std::shared_ptr<const BatchTrace> trace);
 
     /**
      * Execute a Read micro-op and return its N-bit response.

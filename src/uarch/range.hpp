@@ -47,6 +47,21 @@ struct Range
     /** i-th selected element (0-based). */
     uint32_t at(uint32_t i) const { return start + i * step; }
 
+    /**
+     * True iff every element of @p o is also selected by this mask
+     * (exact for well-formed ranges: both are arithmetic
+     * progressions, so it suffices that o's endpoints land on this
+     * progression and o's step is a multiple of this step).
+     */
+    bool
+    containsAll(const Range &o) const
+    {
+        if (o.start == o.stop)
+            return contains(o.start);
+        return o.start >= start && o.stop <= stop &&
+               (o.start - start) % step == 0 && o.step % step == 0;
+    }
+
     bool operator==(const Range &o) const = default;
 
     /**

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "pim/pypim.hpp"
 #include "pim_test_util.hpp"
 
 using namespace pypim;
@@ -123,6 +124,182 @@ TEST_F(StreamCacheTest, MaskStateConsistentAfterReplay)
     // A subsequent full-mask instruction must re-emit masks correctly.
     run(ROp::Add, DType::Int32, 3, 0, 1);
     EXPECT_EQ(readReg(3), std::vector<uint32_t>(threads(), 5u));
+}
+
+TEST_F(StreamCacheTest, TraceCacheHitsReplayPrebuiltTraces)
+{
+    // The trace cache is on by default: the first execution of a
+    // signature builds (one miss), every further execution submits
+    // the shared pre-built handle (hits) — and still computes on the
+    // live data.
+    std::vector<uint32_t> va(threads()), vb(threads());
+    for (uint32_t i = 0; i < threads(); ++i) {
+        va[i] = rng.word();
+        vb[i] = rng.word();
+    }
+    loadReg(0, va);
+    loadReg(1, vb);
+    ASSERT_TRUE(drv.traceCacheEnabled());
+    run(ROp::Add, DType::Int32, 2, 0, 1);
+    EXPECT_EQ(drv.stats().traceCacheMisses, 1u);
+    EXPECT_EQ(drv.stats().traceCacheHits, 0u);
+    for (auto &x : va)
+        x = ~x;
+    loadReg(0, va);
+    run(ROp::Add, DType::Int32, 2, 0, 1);
+    run(ROp::Add, DType::Int32, 2, 0, 1);
+    EXPECT_EQ(drv.stats().traceCacheMisses, 1u);
+    EXPECT_EQ(drv.stats().traceCacheHits, 2u);
+    const auto out = readReg(2);
+    for (uint32_t i = 0; i < threads(); ++i)
+        ASSERT_EQ(out[i], va[i] + vb[i]) << "thread " << i;
+}
+
+TEST_F(StreamCacheTest, TraceCacheDisabledFallsBackToStreams)
+{
+    drv.setTraceCacheEnabled(false);
+    loadReg(0, std::vector<uint32_t>(threads(), 21));
+    loadReg(1, std::vector<uint32_t>(threads(), 2));
+    run(ROp::Mul, DType::Int32, 2, 0, 1);
+    run(ROp::Mul, DType::Int32, 2, 0, 1);
+    EXPECT_EQ(drv.stats().traceCacheMisses, 0u);
+    EXPECT_EQ(drv.stats().traceCacheHits, 0u);
+    EXPECT_EQ(readReg(2), std::vector<uint32_t>(threads(), 42u));
+    // Enabling later builds the trace lazily on the next hit.
+    drv.setTraceCacheEnabled(true);
+    run(ROp::Mul, DType::Int32, 2, 0, 1);
+    EXPECT_EQ(drv.stats().traceCacheMisses, 1u);
+    EXPECT_EQ(readReg(2), std::vector<uint32_t>(threads(), 42u));
+}
+
+TEST_F(StreamCacheTest, FusionToggleRebuildsTraces)
+{
+    loadReg(0, std::vector<uint32_t>(threads(), 1000));
+    loadReg(1, std::vector<uint32_t>(threads(), 2000));
+    run(ROp::Add, DType::Int32, 2, 0, 1);
+    const uint64_t missesBefore = drv.stats().traceCacheMisses;
+    EXPECT_EQ(missesBefore, 1u);
+    drv.setTraceFusionEnabled(false);
+    run(ROp::Add, DType::Int32, 2, 0, 1);  // handle dropped: rebuild
+    EXPECT_EQ(drv.stats().traceCacheMisses, 2u);
+    EXPECT_EQ(drv.stats().instructions, 2u);
+    EXPECT_EQ(readReg(2), std::vector<uint32_t>(threads(), 3000u));
+}
+
+TEST(TraceCacheDevice, EngineConfigKnobReachesDriver)
+{
+    const Geometry g = testGeometry();
+    EngineConfig off;
+    off.traceCache = false;
+    Device devOff(g, Driver::Mode::Serial, off);
+    EXPECT_FALSE(devOff.driver().traceCacheEnabled());
+    Device devOn(g, Driver::Mode::Serial, EngineConfig::serial());
+    EXPECT_TRUE(devOn.driver().traceCacheEnabled());
+}
+
+TEST(TraceCacheDevice, PipelinedCachedRepliesMatchSynchronousSerial)
+{
+    // Warm-cache replay through the asynchronous pipeline: repeated
+    // instructions stream shared trace handles through the hand-off
+    // queue; results must match the synchronous serial device.
+    const Geometry g = testGeometry();
+    Device sync(g, Driver::Mode::Parallel, EngineConfig::serial());
+    Device piped(g, Driver::Mode::Parallel,
+                 EngineConfig::sharded(2).withPipeline());
+    const uint64_t n = g.rows * g.numCrossbars;
+    std::vector<int32_t> a(n), b(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        a[i] = static_cast<int32_t>(i * 2654435761u);
+        b[i] = static_cast<int32_t>(i * 40503u + 9);
+    }
+    for (Device *dev : {&sync, &piped}) {
+        Tensor ta = Tensor::fromVector(a, dev);
+        Tensor tb = Tensor::fromVector(b, dev);
+        Tensor s = ta + tb;
+        for (int rep = 0; rep < 4; ++rep)
+            s = s * tb;  // same signature: warm trace-cache hits
+        const std::vector<int32_t> out = s.toIntVector();
+        std::vector<int32_t> expect(n);
+        for (uint64_t i = 0; i < n; ++i) {
+            int32_t v = a[i] + b[i];
+            for (int rep = 0; rep < 4; ++rep)
+                v = static_cast<int32_t>(
+                    static_cast<int64_t>(v) * b[i]);
+            expect[i] = v;
+        }
+        EXPECT_EQ(out, expect);
+    }
+}
+
+TEST(TraceCacheDevice, PipelinedWarmHitsGoThroughSharedHandles)
+{
+    const Geometry g = testGeometry();
+    Device dev(g, Driver::Mode::Parallel,
+               EngineConfig::sharded(2).withPipeline());
+    RTypeInstr in;
+    in.op = ROp::Mul;
+    in.dtype = DType::Int32;
+    in.rd = 2;
+    in.ra = 0;
+    in.rb = 1;
+    in.warps = Range::all(g.numCrossbars);
+    in.rows = Range::all(g.rows);
+    for (int i = 0; i < 5; ++i)
+        dev.driver().execute(in);
+    dev.flush();
+    EXPECT_EQ(dev.driver().stats().traceCacheMisses, 1u);
+    EXPECT_EQ(dev.driver().stats().traceCacheHits, 4u);
+}
+
+TEST(TraceCacheDevice, ClearMidFlightKeepsQueuedReplaysAlive)
+{
+    // The refcounting contract: clearing the driver's cache while
+    // pipelined shared-trace replays are still queued must not free
+    // the traces under the consumer — results stay correct, and the
+    // next execution re-records (a fresh miss).
+    const Geometry g = testGeometry();
+    Device piped(g, Driver::Mode::Serial,
+                 EngineConfig::sharded(2).withPipeline());
+    Device oracle(g, Driver::Mode::Serial, EngineConfig::serial());
+    const uint64_t n = g.rows * g.numCrossbars;
+    std::vector<uint32_t> a(n), b(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        a[i] = static_cast<uint32_t>(i * 2654435761u);
+        b[i] = static_cast<uint32_t>(i * 40503u + 9);
+    }
+    RTypeInstr in;
+    in.op = ROp::Mul;
+    in.dtype = DType::Int32;
+    in.rd = 2;
+    in.ra = 0;
+    in.rb = 1;
+    in.warps = Range::all(g.numCrossbars);
+    in.rows = Range::all(g.rows);
+    for (Device *dev : {&piped, &oracle}) {
+        for (uint32_t w = 0; w < g.numCrossbars; ++w)
+            for (uint32_t r = 0; r < g.rows; ++r) {
+                dev->simulator().crossbar(w).writeRow(
+                    0, a[w * g.rows + r], r);
+                dev->simulator().crossbar(w).writeRow(
+                    1, b[w * g.rows + r], r);
+            }
+    }
+    // Queue several warm hits asynchronously, then clear the cache
+    // with the replays (potentially) still in flight — no flush.
+    for (int i = 0; i < 6; ++i)
+        piped.driver().execute(in);
+    piped.driver().clearStreamCache();
+    EXPECT_EQ(piped.driver().streamCacheSize(), 0u);
+    oracle.driver().execute(in);
+    for (uint32_t w = 0; w < g.numCrossbars; ++w)
+        ASSERT_TRUE(piped.simulator().crossbar(w).sameState(
+            oracle.simulator().crossbar(w)))
+            << "crossbar " << w;
+    // Next execution of the same signature re-records: a fresh miss.
+    const uint64_t misses = piped.driver().stats().traceCacheMisses;
+    piped.driver().execute(in);
+    piped.flush();
+    EXPECT_EQ(piped.driver().stats().traceCacheMisses, misses + 1);
 }
 
 namespace

@@ -339,6 +339,132 @@ namespace
 {
 
 /**
+ * A fuzzed stream in the shape the trace cache requires: both masks
+ * re-established before the first work op (self-contained), so
+ * Simulator::prepareTrace accepts it.
+ */
+std::vector<Word>
+cacheableStream(Rng &rng, const Geometry &g, size_t len)
+{
+    std::vector<Word> ops = {
+        MicroOp::crossbarMask(Range::all(g.numCrossbars)).encode(),
+        MicroOp::rowMask(Range::all(g.rows)).encode(),
+    };
+    const std::vector<Word> body = randomStream(rng, g, len);
+    ops.insert(ops.end(), body.begin(), body.end());
+    return ops;
+}
+
+} // namespace
+
+class CachedTraceParity : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CachedTraceParity, ReplayBitIdenticalAndWorkConserving)
+{
+    // The trace-cache contract over fuzzed streams: prepareTrace +
+    // submitTrace must equal an uncached submitBatch of the same
+    // stream — bit-identical crossbar state, identical architectural
+    // stats — at every sharded thread count, and with fusion OFF the
+    // applied work must be conserved exactly (same trace, same
+    // applications). Fused traces keep state and stats identical
+    // while applying at most as much work.
+    const uint64_t seed = GetParam();
+    const Geometry g = parityGeometry();
+    Rng rng(seed);
+    Simulator oracle(g);
+    {
+        Simulator seedSim(g);
+        seedState(oracle, seedSim, rng);  // oracle seeded; throwaway
+    }
+    Rng streamRng(seed ^ 0x5EED);
+    const std::vector<Word> ops = cacheableStream(streamRng, g, 400);
+    oracle.performBatch(ops.data(), ops.size());
+
+    for (const uint32_t threads : {1u, 2u, 8u}) {
+        Simulator uncached(g, EngineConfig::sharded(threads));
+        Simulator cached(g, EngineConfig::sharded(threads));
+        Simulator fused(g, EngineConfig::sharded(threads));
+        {
+            Rng r1(seed), r2(seed);
+            seedState(uncached, cached, r1);
+            Simulator tmp(g);
+            seedState(fused, tmp, r2);
+        }
+        uncached.submitBatch(ops.data(), ops.size());
+
+        const auto plain =
+            cached.prepareTrace(ops.data(), ops.size(), false);
+        ASSERT_TRUE(plain != nullptr);
+        cached.submitTrace(plain);
+
+        const auto opt =
+            fused.prepareTrace(ops.data(), ops.size(), true);
+        ASSERT_TRUE(opt != nullptr);
+        fused.submitTrace(opt);
+
+        for (Simulator *cand : {&cached, &fused}) {
+            EXPECT_TRUE(sameCrossbarState(oracle, *cand))
+                << "threads=" << threads;
+            EXPECT_EQ(oracle.stats(), cand->stats())
+                << "threads=" << threads;
+            EXPECT_EQ(oracle.crossbarMask(), cand->crossbarMask());
+            EXPECT_EQ(oracle.rowMask(), cand->rowMask());
+        }
+
+        // Work conservation: without the window pass the cached trace
+        // is the same trace the uncached path built internally.
+        const Stats wUncached = Stats::merged(
+            static_cast<const ShardedEngine &>(uncached.engine())
+                .shardWork());
+        const Stats wCached = Stats::merged(
+            static_cast<const ShardedEngine &>(cached.engine())
+                .shardWork());
+        const Stats wFused = Stats::merged(
+            static_cast<const ShardedEngine &>(fused.engine())
+                .shardWork());
+        EXPECT_EQ(wUncached, wCached) << "threads=" << threads;
+        EXPECT_LE(wFused.totalOps(), wCached.totalOps())
+            << "threads=" << threads;
+    }
+
+    // Pipelined cached replay: the same shared trace, streamed
+    // asynchronously several times, must match the oracle replaying
+    // the raw stream the same number of times.
+    {
+        Simulator piped(g, EngineConfig::sharded(2).withPipeline());
+        {
+            Rng r(seed);
+            Simulator tmp(g);
+            seedState(piped, tmp, r);
+        }
+        const auto trace =
+            piped.prepareTrace(ops.data(), ops.size(), true);
+        ASSERT_TRUE(trace != nullptr);
+        Simulator oracle3(g);
+        {
+            Rng r(seed);
+            Simulator tmp(g);
+            seedState(oracle3, tmp, r);
+        }
+        for (int rep = 0; rep < 3; ++rep) {
+            piped.submitTrace(trace);
+            oracle3.performBatch(ops.data(), ops.size());
+        }
+        piped.flush();
+        EXPECT_TRUE(sameCrossbarState(oracle3, piped));
+        EXPECT_EQ(oracle3.stats(), piped.stats());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CachedTraceParity,
+                         ::testing::Values(7ull, 1234ull, 987654ull));
+
+namespace
+{
+
+/**
  * One directed batch interleaving mask ops with Write/LogicH/LogicV
  * inside single segments: strided masks, fusable and fusion-defeated
  * INIT1+NOR pairs, an input-aliases-output NOR (must not fuse), and a
