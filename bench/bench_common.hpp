@@ -68,12 +68,13 @@ jsonOutPath()
 
 /**
  * Parse and strip --engine=serial|sharded|trace, --threads=N,
- * --pipeline=on|off, --trace-cache=on|off and --json=PATH from argv
- * (before benchmark::Initialize, which rejects unknown flags),
- * storing the result in engineConfig() / jsonOutPath(). Invalid
- * values abort, exactly like the PYPIM_ENGINE / PYPIM_THREADS /
- * PYPIM_PIPELINE / PYPIM_TRACE_CACHE environment path — a typo must
- * never silently benchmark the wrong engine.
+ * --pipeline=on|off, --trace-cache=on|off, --devices=N,
+ * --affinity=on|off and --json=PATH from argv (before
+ * benchmark::Initialize, which rejects unknown flags), storing the
+ * result in engineConfig() / jsonOutPath(). Invalid values abort,
+ * exactly like the PYPIM_ENGINE / PYPIM_THREADS / PYPIM_PIPELINE /
+ * PYPIM_TRACE_CACHE / PYPIM_DEVICES / PYPIM_AFFINITY environment
+ * path — a typo must never silently benchmark the wrong engine.
  */
 inline void
 applyEngineFlags(int &argc, char **argv)
@@ -123,6 +124,23 @@ applyEngineFlags(int &argc, char **argv)
                     "--threads=" + arg.substr(10) +
                         ": expected a non-negative integer");
             cfg.threads = static_cast<uint32_t>(n);
+        } else if (arg.rfind("--devices=", 0) == 0) {
+            const char *s = arg.c_str() + 10;
+            char *end = nullptr;
+            const long n = std::strtol(s, &end, 10);
+            fatalIf(*s == '\0' || *end != '\0' || n < 1 ||
+                        n > 1 << 16 || (n & (n - 1)) != 0,
+                    "--devices=" + arg.substr(10) +
+                        ": expected a power-of-two sub-device count");
+            cfg.devices = static_cast<uint32_t>(n);
+        } else if (arg.rfind("--affinity=", 0) == 0) {
+            const std::string v = arg.substr(11);
+            if (v == "on" || v == "1")
+                cfg.affinity = true;
+            else if (v == "off" || v == "0")
+                cfg.affinity = false;
+            else
+                fatal("--affinity=" + v + ": expected on|off");
         } else {
             argv[out++] = argv[i];
         }
@@ -137,13 +155,17 @@ printEngineBanner()
     const EngineConfig &cfg = engineConfig();
     std::printf("simulator engine: %s", engineKindName(cfg.kind));
     if (cfg.kind == EngineKind::Sharded)
-        std::printf(" (%u threads)", cfg.resolvedThreads());
+        std::printf(" (%u threads%s)", cfg.resolvedThreads(),
+                    cfg.affinity ? ", pinned" : "");
     std::printf(", pipeline %s", cfg.pipeline ? "on" : "off");
     std::printf(", trace cache %s", cfg.traceCache ? "on" : "off");
+    if (cfg.devices > 1)
+        std::printf(", %u sub-devices", cfg.devices);
     std::printf("  [--engine=serial|sharded|trace --threads=N "
-                "--pipeline=on|off --trace-cache=on|off --json=PATH "
-                "or PYPIM_ENGINE/PYPIM_THREADS/PYPIM_PIPELINE/"
-                "PYPIM_TRACE_CACHE]\n");
+                "--pipeline=on|off --trace-cache=on|off --devices=N "
+                "--affinity=on|off --json=PATH or PYPIM_ENGINE/"
+                "PYPIM_THREADS/PYPIM_PIPELINE/PYPIM_TRACE_CACHE/"
+                "PYPIM_DEVICES/PYPIM_AFFINITY]\n");
 }
 
 /**
@@ -262,6 +284,8 @@ jsonConfig(Json &j, const Geometry &g)
     j.field("threads", cfg.resolvedThreads());
     j.field("pipeline", cfg.pipeline);
     j.field("trace_cache", cfg.traceCache);
+    j.field("devices", cfg.devices);
+    j.field("affinity", cfg.affinity);
     j.field("crossbars", g.numCrossbars);
     j.field("rows", g.rows);
     j.field("partitions", g.partitions);

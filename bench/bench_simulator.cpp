@@ -328,6 +328,104 @@ pipelineSweep(Json *json)
                 "bit-equality of the result register)\n");
 }
 
+/**
+ * Multi-device sharding sweep: the same end-to-end workload (driver
+ * fp-add translation + replay plus a periodic boundary-crossing
+ * inter-warp move) runs on one logical Device sharded across 1, 2
+ * and 4 sub-device Simulators (sim/device_group.hpp). Results MUST
+ * be bit-identical at every device count — the function returns
+ * false otherwise, and the CI bench smoke step exits non-zero on it.
+ * With the pipeline enabled each sub-device replays on its own
+ * consumer thread, so multi-core hosts see the slices progress in
+ * parallel; the move column shows the cost of the explicit boundary
+ * exchange (the only inter-device traffic).
+ */
+bool
+deviceSweep(Json *json, double minSeconds = 0.25)
+{
+    const Geometry g = benchGeometry(16);
+    std::printf("\n=== Multi-device sharding sweep (driver fp-add + "
+                "boundary moves, %u crossbars) ===\n", g.numCrossbars);
+    std::printf("%-10s %14s %12s %14s %10s\n", "devices",
+                "instr/s", "boundary", "xfers/move op", "identical");
+    if (json)
+        json->beginArray("device_sweep");
+    uint64_t ckRef = 0;
+    bool allIdentical = true;
+    for (uint32_t devices : {1u, 2u, 4u}) {
+        const EngineConfig ec = engineConfig().withDevices(devices);
+        Device dev(g, Driver::Mode::Parallel, ec);
+        Rng rng(29);
+        for (uint32_t w = 0; w < g.numCrossbars; ++w)
+            for (uint32_t r = 0; r < g.rows; ++r) {
+                dev.group().crossbar(w).writeRow(0, rng.word(), r);
+                dev.group().crossbar(w).writeRow(1, rng.word(), r);
+            }
+        const RTypeInstr in = fullInstr(g, ROp::Add, DType::Int32);
+        MoveInstr mv;
+        mv.kind = MoveInstr::Kind::InterWarp;
+        mv.srcReg = 2;
+        mv.dstReg = 3;
+        mv.srcRow = 1;
+        mv.dstRow = 2;
+        mv.warps = Range(0, g.numCrossbars / 2 - 1, 1);
+        mv.dstStartWarp = g.numCrossbars / 2;  // crosses every cut
+        dev.driver().execute(in);  // warm-up (records + builds trace)
+        dev.flush();
+        dev.group().clearStats();
+        uint64_t instrs = 0;
+        const auto [reps, elapsed] = timedReps(
+            [&] {
+                for (int k = 0; k < 8; ++k)
+                    dev.driver().execute(in);
+                dev.driver().execute(mv);
+                instrs += 9;
+            },
+            [&] { dev.flush(); }, minSeconds);
+        (void)reps;
+        uint64_t ck = 0;
+        for (uint32_t xb = 0; xb < g.numCrossbars; ++xb)
+            for (uint32_t row = 0; row < g.rows; row += 3)
+                ck = ck * 1099511628211ull ^
+                     dev.group().crossbar(xb).read(in.rd, row) ^
+                     (dev.group().crossbar(xb).read(mv.dstReg, mv.dstRow)
+                      * 0x9E3779B97F4A7C15ull);
+        if (devices == 1)
+            ckRef = ck;
+        const bool identical = ck == ckRef;
+        allIdentical = allIdentical && identical;
+        const auto &tr = dev.group().traffic();
+        const double xfersPerMove =
+            tr.boundaryMoves
+                ? static_cast<double>(tr.boundaryTransfers) /
+                      static_cast<double>(tr.boundaryMoves)
+                : 0.0;
+        std::printf("%-10u %14.1f %12llu %14.1f %10s\n", devices,
+                    static_cast<double>(instrs) / elapsed,
+                    static_cast<unsigned long long>(tr.boundaryMoves),
+                    xfersPerMove, identical ? "yes" : "NO — BUG");
+        if (json) {
+            json->beginObject();
+            json->field("devices", devices);
+            json->field("instr_per_s",
+                        static_cast<double>(instrs) / elapsed);
+            json->field("move_ops", tr.moveOps);
+            json->field("move_transfers", tr.moveTransfers);
+            json->field("boundary_moves", tr.boundaryMoves);
+            json->field("boundary_transfers", tr.boundaryTransfers);
+            json->field("bit_identical", identical);
+            json->end();
+        }
+    }
+    if (json)
+        json->end();
+    std::printf("(boundary = Moves needing a cross-device exchange — "
+                "the only inter-device traffic; 'identical' checks "
+                "bit-equality of result and move-destination "
+                "registers against the monolithic device)\n");
+    return allIdentical;
+}
+
 } // namespace
 
 BENCHMARK(simScaling)
@@ -363,11 +461,14 @@ main(int argc, char **argv)
     }
     engineSweep(j);
     pipelineSweep(j);
+    const bool identical = deviceSweep(j);
     if (j) {
         j->end();
         j->writeTo(jsonOutPath());
     }
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    return 0;
+    // Non-zero exit when sharded execution diverged from the
+    // monolithic device: the CI bench smoke step asserts identity.
+    return identical ? 0 : 1;
 }

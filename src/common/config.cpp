@@ -1,5 +1,7 @@
 #include "common/config.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -74,6 +76,57 @@ engineKindName(EngineKind k)
     }
 }
 
+namespace
+{
+
+/**
+ * Strict decimal parse of a count-valued environment variable:
+ * rejects empty strings, trailing junk ("8x"), signs, and values
+ * outside [min, max] with a clear Error naming the variable — a
+ * malformed knob must never silently misconfigure the stack (atol
+ * would read "abc" as 0 and "12abc" as 12).
+ */
+uint32_t
+parseCountEnv(const char *name, const char *value, uint32_t minV,
+              uint32_t maxV)
+{
+    const std::string s(value);
+    errno = 0;
+    char *end = nullptr;
+    const long long n = std::strtoll(s.c_str(), &end, 10);
+    // First character must be a digit: strtoll itself skips leading
+    // whitespace (any kind) and accepts signs, both of which the
+    // strictness contract rejects.
+    fatalIf(s.empty() ||
+                !std::isdigit(static_cast<unsigned char>(s[0])) ||
+                end != s.c_str() + s.size() || errno == ERANGE ||
+                n < 0,
+            std::string(name) + ": '" + s +
+                "' is not a non-negative integer");
+    fatalIf(n < static_cast<long long>(minV) ||
+                n > static_cast<long long>(maxV),
+            std::string(name) + ": " + s + " out of range [" +
+                std::to_string(minV) + ", " + std::to_string(maxV) +
+                "]");
+    return static_cast<uint32_t>(n);
+}
+
+/** Strict on|off|1|0 parse of a boolean environment variable. */
+bool
+parseSwitchEnv(const char *name, const char *value, bool fallback)
+{
+    const std::string s(value);
+    if (s == "on" || s == "1")
+        return true;
+    if (s == "off" || s == "0")
+        return false;
+    fatalIf(!s.empty(), std::string(name) + ": unknown value '" + s +
+                            "' (expected on|off)");
+    return fallback;
+}
+
+} // namespace
+
 EngineConfig
 EngineConfig::fromEnv()
 {
@@ -88,27 +141,22 @@ EngineConfig::fromEnv()
             fatal("PYPIM_ENGINE: unknown engine '" + s +
                   "' (expected serial|sharded|trace)");
     }
-    if (const char *t = std::getenv("PYPIM_THREADS")) {
-        const long n = std::atol(t);
-        fatalIf(n < 0, "PYPIM_THREADS: must be >= 0");
-        c.threads = static_cast<uint32_t>(n);
+    if (const char *t = std::getenv("PYPIM_THREADS"))
+        c.threads = parseCountEnv("PYPIM_THREADS", t, 0, 1u << 20);
+    if (const char *p = std::getenv("PYPIM_PIPELINE"))
+        c.pipeline = parseSwitchEnv("PYPIM_PIPELINE", p, c.pipeline);
+    if (const char *tc = std::getenv("PYPIM_TRACE_CACHE"))
+        c.traceCache =
+            parseSwitchEnv("PYPIM_TRACE_CACHE", tc, c.traceCache);
+    if (const char *d = std::getenv("PYPIM_DEVICES")) {
+        c.devices = parseCountEnv("PYPIM_DEVICES", d, 1, 1u << 16);
+        fatalIf(!isPow2(c.devices),
+                "PYPIM_DEVICES: " + std::string(d) +
+                    " is not a power of two (sub-devices cut the "
+                    "crossbar space at H-tree group boundaries)");
     }
-    if (const char *p = std::getenv("PYPIM_PIPELINE")) {
-        const std::string s(p);
-        if (s == "on" || s == "1")
-            c.pipeline = true;
-        else if (!s.empty() && s != "off" && s != "0")
-            fatal("PYPIM_PIPELINE: unknown value '" + s +
-                  "' (expected on|off)");
-    }
-    if (const char *tc = std::getenv("PYPIM_TRACE_CACHE")) {
-        const std::string s(tc);
-        if (s == "off" || s == "0")
-            c.traceCache = false;
-        else if (!s.empty() && s != "on" && s != "1")
-            fatal("PYPIM_TRACE_CACHE: unknown value '" + s +
-                  "' (expected on|off)");
-    }
+    if (const char *a = std::getenv("PYPIM_AFFINITY"))
+        c.affinity = parseSwitchEnv("PYPIM_AFFINITY", a, c.affinity);
     return c;
 }
 

@@ -138,6 +138,25 @@ struct EngineConfig
      * test_trace_fusion).
      */
     bool traceCache = true;
+    /**
+     * Number of sub-devices one logical Device shards its crossbar
+     * space across (sim/device_group.hpp): the crossbar array is cut
+     * into equal contiguous slices at 4-ary H-tree group boundaries
+     * and each slice is simulated by an independent Simulator with its
+     * own engine (and pipeline queue when enabled). Must be a power of
+     * two; clamped to the geometry's crossbar count at construction.
+     * 1 (the default) is the classic monolithic device. The sharded
+     * engine's thread budget (@ref threads) applies to the LOGICAL
+     * device and is divided across the sub-device pools.
+     */
+    uint32_t devices = 1;
+    /**
+     * Pin the sharded engine's pool workers to distinct host cores
+     * (pthread_setaffinity_np; silently a no-op on platforms without
+     * it). Off by default — pinning helps steady-state NUMA locality
+     * but hurts on oversubscribed hosts.
+     */
+    bool affinity = false;
 
     static EngineConfig serial() { return {}; }
 
@@ -167,12 +186,24 @@ struct EngineConfig
         return c;
     }
 
+    /** Copy of this config sharded across @p n sub-devices. */
+    EngineConfig
+    withDevices(uint32_t n) const
+    {
+        EngineConfig c = *this;
+        c.devices = n;
+        return c;
+    }
+
     /**
      * Engine selection from the environment: PYPIM_ENGINE=serial|
-     * sharded|trace, PYPIM_THREADS=N, PYPIM_PIPELINE=on|off and
-     * PYPIM_TRACE_CACHE=on|off|1|0. Unset values fall back to the
-     * defaults (serial, synchronous, trace cache on), so existing
-     * callers are unaffected; unrecognised values abort.
+     * sharded|trace, PYPIM_THREADS=N, PYPIM_PIPELINE=on|off,
+     * PYPIM_TRACE_CACHE=on|off|1|0, PYPIM_DEVICES=N (power of two)
+     * and PYPIM_AFFINITY=on|off. Unset values fall back to the
+     * defaults (serial, synchronous, trace cache on, one device, no
+     * pinning), so existing callers are unaffected; unrecognised or
+     * malformed values throw pypim::Error — a typo must never
+     * silently misconfigure the stack.
      */
     static EngineConfig fromEnv();
 

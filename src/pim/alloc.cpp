@@ -1,5 +1,6 @@
 #include "pim/alloc.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "common/bitops.hpp"
@@ -8,8 +9,10 @@
 namespace pypim
 {
 
-MemoryManager::MemoryManager(const Geometry &geo)
+MemoryManager::MemoryManager(const Geometry &geo, uint32_t devices)
     : geo_(&geo),
+      sliceWarps_(geo.numCrossbars /
+                  std::max(1u, std::min(devices, geo.numCrossbars))),
       used_(geo.userRegs,
             std::vector<bool>(geo.numCrossbars, false))
 {
@@ -80,14 +83,26 @@ MemoryManager::alloc(uint64_t elements, const Allocation *hint)
             }
         }
     }
-    // First fit across registers and warp offsets.
-    for (uint32_t reg = 0; reg < geo_->userRegs; ++reg) {
-        for (uint32_t w = 0; w + warps <= geo_->numCrossbars; ++w) {
-            if (rangeFree(reg, w, warps)) {
-                markRange(reg, w, warps, true);
-                ++live_;
-                slotsInUse_ += warps;
-                return Allocation{reg, w, warps, elements};
+    // Shard-aware first fit across registers and warp offsets: the
+    // first pass admits only ranges fully inside one sub-device
+    // slice, so tensor traffic stays intra-device whenever the memory
+    // allows it (tensors wider than a slice, and a fragmented memory,
+    // fall through to the unrestricted pass and stripe).
+    const bool fitsSlice = warps <= sliceWarps_;
+    for (int pass = fitsSlice ? 0 : 1; pass < 2; ++pass) {
+        const bool withinSlice = pass == 0;
+        for (uint32_t reg = 0; reg < geo_->userRegs; ++reg) {
+            for (uint32_t w = 0; w + warps <= geo_->numCrossbars;
+                 ++w) {
+                if (withinSlice &&
+                    w / sliceWarps_ != (w + warps - 1) / sliceWarps_)
+                    continue;
+                if (rangeFree(reg, w, warps)) {
+                    markRange(reg, w, warps, true);
+                    ++live_;
+                    slotsInUse_ += warps;
+                    return Allocation{reg, w, warps, elements};
+                }
             }
         }
     }

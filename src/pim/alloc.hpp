@@ -39,12 +39,23 @@ struct Allocation
 class MemoryManager
 {
   public:
-    explicit MemoryManager(const Geometry &geo);
+    /**
+     * @p devices is the sub-device count of the owning logical device
+     * (sim/device_group.hpp): the allocator is SHARD-AWARE, preferring
+     * warp ranges that stay inside one sub-device's crossbar slice so
+     * tensor traffic (and any later inter-warp moves between aligned
+     * tensors) stays intra-device. Tensors wider than one slice
+     * necessarily stripe across sub-devices.
+     */
+    explicit MemoryManager(const Geometry &geo, uint32_t devices = 1);
 
     /**
      * Allocate @p elements (one per thread). With a @p hint the
      * allocator first tries the hint's exact warp range (a different
-     * register), so the new tensor is thread-aligned with it.
+     * register), so the new tensor is thread-aligned with it. Without
+     * one, ranges fully inside a single sub-device slice are
+     * preferred; crossing a slice boundary is the fall-back, not the
+     * default.
      */
     Allocation alloc(uint64_t elements, const Allocation *hint = nullptr);
 
@@ -63,6 +74,8 @@ class MemoryManager
     uint32_t liveAllocations() const { return live_; }
     /** Register-warp slots currently occupied. */
     uint64_t slotsInUse() const { return slotsInUse_; }
+    /** Warps per sub-device slice (numCrossbars when monolithic). */
+    uint32_t sliceWarps() const { return sliceWarps_; }
 
   private:
     bool rangeFree(uint32_t reg, uint32_t warpStart,
@@ -71,6 +84,7 @@ class MemoryManager
                    bool used);
 
     const Geometry *geo_;
+    uint32_t sliceWarps_;
     /** used_[reg][warp] == true iff occupied. */
     std::vector<std::vector<bool>> used_;
     uint32_t live_ = 0;

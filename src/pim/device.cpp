@@ -6,9 +6,9 @@ namespace pypim
 Device::Device(const Geometry &geo, Driver::Mode mode,
                const EngineConfig &ec)
     : geo_(geo),
-      sim_(geo_, ec),
-      drv_(sim_, geo_, mode),
-      mm_(geo_)
+      group_(geo_, ec),
+      drv_(group_, geo_, mode),
+      mm_(geo_, group_.devices())
 {
     drv_.setTraceCacheEnabled(ec.traceCache);
 }
@@ -17,7 +17,7 @@ void
 Device::flush()
 {
     drv_.builder().flush();
-    sim_.flush();
+    group_.flush();
 }
 
 Device &

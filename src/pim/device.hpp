@@ -3,6 +3,14 @@
  * A PIM device: the bundle of simulator (standing in for the physical
  * chip), host driver and dynamic memory manager that the tensor
  * library programs against (paper Fig. 2, runtime dependencies).
+ *
+ * Since the multi-device refactor the "chip" is a SimulatorGroup
+ * (sim/device_group.hpp): EngineConfig::devices shards the crossbar
+ * space across N independent sub-device Simulators at H-tree group
+ * boundaries, with boundary-crossing Moves as the only inter-device
+ * traffic. One sub-device (the default) is the classic monolithic
+ * simulator; results, readback and architectural statistics are
+ * bit-identical at any device count (tests/test_multi_device.cpp).
  */
 #ifndef PYPIM_PIM_DEVICE_HPP
 #define PYPIM_PIM_DEVICE_HPP
@@ -13,25 +21,25 @@
 #include "common/stats.hpp"
 #include "driver/driver.hpp"
 #include "pim/alloc.hpp"
-#include "sim/simulator.hpp"
+#include "sim/device_group.hpp"
 
 namespace pypim
 {
 
-/** One digital PIM chip (simulated) plus its host-side software. */
+/** One logical digital PIM chip (simulated) plus its host software. */
 class Device
 {
   public:
     /**
-     * Create a device with its own simulator instance.
+     * Create a device with its own simulator instance(s).
      * @param geo memory geometry (validated)
      * @param mode driver arithmetic mode (paper Fig. 4)
      * @param ec simulator execution backend; the default honours the
      *           PYPIM_ENGINE / PYPIM_THREADS / PYPIM_PIPELINE /
-     *           PYPIM_TRACE_CACHE environment knobs and falls back to
-     *           the synchronous serial engine with the driver trace
-     *           cache enabled (ec.traceCache is forwarded to the
-     *           Driver)
+     *           PYPIM_TRACE_CACHE / PYPIM_DEVICES / PYPIM_AFFINITY
+     *           environment knobs and falls back to one synchronous
+     *           serial sub-device with the driver trace cache enabled
+     *           (ec.traceCache is forwarded to the Driver)
      */
     explicit Device(const Geometry &geo,
                     Driver::Mode mode = Driver::Mode::Parallel,
@@ -48,28 +56,53 @@ class Device
     static Device &defaultDevice();
 
     const Geometry &geometry() const { return geo_; }
-    Simulator &simulator() { return sim_; }
+
+    /** The sharded simulator fan-out the driver programs against. */
+    SimulatorGroup &group() { return group_; }
+    const SimulatorGroup &group() const { return group_; }
+
+    /** Sub-devices sharding this logical device (1 = monolithic). */
+    uint32_t deviceCount() const { return group_.devices(); }
+
+    /**
+     * Sub-device 0's simulator. With one sub-device (the default)
+     * this is the whole chip, exactly as before the refactor. With
+     * more, it owns only the first crossbar slice — but its mask
+     * state and architectural statistics are still those of the whole
+     * logical device (replicated by construction); use
+     * group().crossbar(i) for state outside the first slice.
+     */
+    Simulator &simulator() { return group_.sub(0); }
+    /** Simulator of sub-device @p d. */
+    Simulator &simulator(uint32_t d) { return group_.sub(d); }
+
     Driver &driver() { return drv_; }
     MemoryManager &allocator() { return mm_; }
 
     /**
      * Push any micro-ops still batched in the driver to the simulator
-     * and drain its asynchronous pipeline (no-op when the pipeline is
-     * off). Reads and stats queries synchronise implicitly; call this
-     * before inspecting simulator state directly.
+     * and drain every sub-device's asynchronous pipeline (no-op when
+     * the pipeline is off). Reads and stats queries synchronise
+     * implicitly; call this before inspecting simulator state
+     * directly.
      */
     void flush();
 
     /**
      * Simulator-side micro-op statistics (drains the pipeline, so the
-     * counters cover every submitted batch).
+     * counters cover every submitted batch). Replicated across
+     * sub-devices, so one view is the logical device's truth —
+     * deliberately read-only: mutating one replica would break the
+     * invariant. Reset with clearStats().
      */
-    const Stats &stats() const { return sim_.stats(); }
-    Stats &stats() { return sim_.stats(); }
+    const Stats &stats() const { return group_.stats(); }
+
+    /** Reset the architectural counters on every sub-device. */
+    void clearStats() { group_.clearStats(); }
 
   private:
     Geometry geo_;
-    Simulator sim_;
+    SimulatorGroup group_;
     Driver drv_;
     MemoryManager mm_;
 };

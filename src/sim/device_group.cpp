@@ -1,0 +1,222 @@
+#include "sim/device_group.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "sim/batch_trace.hpp"
+#include "sim/engine.hpp"
+
+namespace pypim
+{
+
+SimulatorGroup::SimulatorGroup(const Geometry &geo,
+                               const EngineConfig &ec)
+    : geo_(geo)
+{
+    geo_.validate();
+    uint32_t n = std::max(1u, ec.devices);
+    fatalIf(!isPow2(n),
+            "devices: " + std::to_string(n) +
+                " is not a power of two (slices cut the crossbar "
+                "space at H-tree group boundaries)");
+    // Clamp instead of failing: the knob is a deployment-scale
+    // setting, and a 4-crossbar test geometry under PYPIM_DEVICES=16
+    // should shard as far as the geometry allows (one crossbar per
+    // sub-device), not abort the suite.
+    n = std::min(n, geo_.numCrossbars);
+    perDevice_ = geo_.numCrossbars / n;
+    // The sharded engine's thread budget is per LOGICAL device:
+    // divide it across the sub-device pools so devices=N never
+    // oversubscribes the host N-fold (each pool further clamps to
+    // its slice size).
+    EngineConfig sub = ec;
+    if (ec.kind == EngineKind::Sharded && n > 1)
+        sub.threads = std::max(1u, ec.resolvedThreads() / n);
+    sims_.reserve(n);
+    for (uint32_t d = 0; d < n; ++d)
+        sims_.push_back(std::make_unique<Simulator>(
+            geo_, sub, d * perDevice_, perDevice_));
+}
+
+void
+SimulatorGroup::forwardAll(const Word *ops, size_t n)
+{
+    if (n == 0)
+        return;
+    for (auto &s : sims_)
+        s->submitBatch(ops, n);
+}
+
+bool
+SimulatorGroup::validXbMask(const Range &r) const
+{
+    return r.step != 0 && r.start <= r.stop &&
+           (r.stop - r.start) % r.step == 0 &&
+           r.stop < geo_.numCrossbars;
+}
+
+bool
+SimulatorGroup::crossesBoundary(const Range &xb, int64_t dist) const
+{
+    if (dist == 0)
+        return false;
+    for (uint64_t src = xb.start; src <= xb.stop; src += xb.step) {
+        const int64_t dst = static_cast<int64_t>(src) + dist;
+        if (dst < 0 || dst >= geo_.numCrossbars ||
+            deviceOf(static_cast<uint32_t>(dst)) !=
+                deviceOf(static_cast<uint32_t>(src)))
+            return true;
+    }
+    return false;
+}
+
+void
+SimulatorGroup::exchangeMove(Word w, const MicroOp &op,
+                             const Range &xb)
+{
+    // Same validation (and failure point) as the engines' doMove: an
+    // invalid Move throws here, before any crossbar is touched by it.
+    const int64_t dist = validateMove(op, xb, geo_);
+
+    // 1. Stage boundary-crossing source values. crossbar() drains the
+    // owning sub-device, so every op preceding this Move has landed;
+    // nothing after it has been submitted yet, so the values read are
+    // the pre-move (read-all) state.
+    staged_.clear();
+    xb.forEach([&](uint32_t src) {
+        const uint32_t dst = static_cast<uint32_t>(src + dist);
+        const uint32_t sd = deviceOf(src);
+        if (sd == deviceOf(dst))
+            return;
+        staged_.push_back(
+            {dst, sims_[sd]->crossbar(src).read(op.srcIdx, op.srcRow)});
+    });
+
+    // 2. Broadcast the Move op: every sub-device re-validates it,
+    // records the identical full-mask H-tree cycle cost (the top-level
+    // interconnect model is per-op, not per-slice), and applies its
+    // intra-slice transfers.
+    forwardAll(&w, 1);
+
+    // 3. Land the staged values. crossbar() drains the destination
+    // sub-device first: its local application of the Move — which may
+    // legitimately READ a boundary destination as the source of a
+    // chained intra-slice transfer — is complete, and destination
+    // crossbars are unique per transfer, so landing cannot collide
+    // with a local write.
+    for (const Staged &t : staged_)
+        sims_[deviceOf(t.dst)]->crossbar(t.dst).writeRow(
+            op.dstIdx, t.value, op.dstRow);
+
+    ++traffic_.boundaryMoves;
+    traffic_.boundaryTransfers += staged_.size();
+}
+
+void
+SimulatorGroup::submitBatch(const Word *ops, size_t n)
+{
+    if (sims_.size() == 1) {
+        sims_[0]->submitBatch(ops, n);
+        return;
+    }
+    // Split the batch at every boundary-crossing Move (one peek per
+    // word; decode only for mask and Move ops): everything between
+    // two cuts is a plain broadcast, the cuts themselves go through
+    // the host-mediated exchange.
+    size_t chunk = 0;  // start of the not-yet-forwarded tail
+    scanMoves(ops, n,
+              [&](size_t i, const MicroOp &op, const Range &xb,
+                  bool crossing) {
+                  ++traffic_.moveOps;
+                  traffic_.moveTransfers += xb.count();
+                  if (crossing) {
+                      forwardAll(ops + chunk, i - chunk);
+                      exchangeMove(ops[i], op, xb);
+                      chunk = i + 1;
+                  }
+                  return true;
+              });
+    forwardAll(ops + chunk, n - chunk);
+}
+
+void
+SimulatorGroup::performBatch(const Word *ops, size_t n)
+{
+    submitBatch(ops, n);
+    flush();
+}
+
+void
+SimulatorGroup::flush()
+{
+    for (auto &s : sims_)
+        s->flush();
+}
+
+uint32_t
+SimulatorGroup::performRead(Word op)
+{
+    // Broadcast: every sub-device drains, validates and counts the
+    // Read (keeping the replicated-stats invariant); only the slice
+    // owning the masked crossbar holds the data.
+    const uint32_t owner = deviceOf(sims_[0]->crossbarMask().start);
+    uint32_t value = 0;
+    for (uint32_t d = 0; d < sims_.size(); ++d) {
+        const uint32_t v = sims_[d]->performRead(op);
+        if (d == owner)
+            value = v;
+    }
+    return value;
+}
+
+bool
+SimulatorGroup::streamCrossesBoundary(const Word *ops,
+                                      size_t n) const
+{
+    bool found = false;
+    scanMoves(ops, n,
+              [&](size_t, const MicroOp &, const Range &,
+                  bool crossing) {
+                  found = crossing;
+                  return !found;  // stop at the first crossing
+              });
+    return found;
+}
+
+std::shared_ptr<const BatchTrace>
+SimulatorGroup::prepareTrace(const Word *ops, size_t n, bool fuse)
+{
+    // A trace replays blindly on every slice; a boundary-crossing
+    // Move needs the scanning exchange, so such streams stay on the
+    // raw path (the caller falls back transparently). The cheap raw
+    // scan runs BEFORE the expensive build+fuse, so a refused
+    // signature costs one peek pass per attempt, not a discarded
+    // trace construction. (Unreachable from the driver today — only
+    // R-type streams are cached and they contain no Moves — but the
+    // sink contract allows any self-contained stream.)
+    if (sims_.size() > 1 && streamCrossesBoundary(ops, n))
+        return nullptr;
+    // Building touches no simulated state, and the handle is bound to
+    // the (shared) geometry, not a slice: build once via sub-device 0.
+    return sims_[0]->prepareTrace(ops, n, fuse);
+}
+
+void
+SimulatorGroup::submitTrace(std::shared_ptr<const BatchTrace> trace)
+{
+    panicIf(trace == nullptr, "submitTrace: null trace");
+    if (sims_.size() > 1) {
+        for (const BatchTrace::Item &item : trace->items) {
+            if (item.kind != BatchTrace::Item::Kind::Move)
+                continue;
+            ++traffic_.moveOps;
+            traffic_.moveTransfers += item.xb.count();
+        }
+    }
+    for (auto &s : sims_)
+        s->submitTrace(trace);
+}
+
+} // namespace pypim

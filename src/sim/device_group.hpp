@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Multi-device fan-out: one logical PIM device sharded across N
+ * independent Simulators at H-tree group boundaries.
+ *
+ * The ROADMAP's scale-out step: real PIM deployments aggregate
+ * thousands of independent arrays, and the natural cut through the
+ * paper's §III-F hierarchy is a 4-ary H-tree group boundary — the
+ * crossbar space [0, numCrossbars) splits into N equal contiguous
+ * slices, so each sub-device's crossbars share an id prefix and every
+ * intra-slice H-tree route stays inside its sub-device.
+ *
+ * Execution model: BROADCAST EVERYTHING, APPLY THE OWNED SLICE.
+ * Every submitted batch (and every cached shared BatchTrace handle)
+ * is forwarded to all sub-devices unchanged, in GLOBAL crossbar
+ * coordinates. Each sub-device advances the full mask state, records
+ * the full architectural statistics (including the full-mask H-tree
+ * cost of every Move — the top-level cost model is unchanged), and
+ * applies state only to its slice (see Simulator's slice
+ * constructor). Consequences:
+ *
+ *  - architectural Stats and mask state are REPLICATED — bit-identical
+ *    on every sub-device and to a monolithic device, by construction;
+ *  - a warm trace-cache hit submits ONE shared immutable BatchTrace
+ *    to all sub-devices with zero re-decoding (the handles are
+ *    geometry-bound, not slice-bound);
+ *  - with the pipeline enabled every sub-device is an independent
+ *    trace consumer with its own hand-off queue and engine — replay
+ *    of the N slices overlaps across N consumer threads.
+ *
+ * The ONLY inter-device traffic is a Move whose (source, destination)
+ * pair straddles a slice boundary. The group scans each raw batch
+ * (tracking the in-stream crossbar mask), splits it at every such
+ * Move, and performs an explicit host-mediated exchange that
+ * preserves the op's read-all-then-write-all semantics:
+ *
+ *   1. stage: read every boundary-crossing source value from its
+ *      owning sub-device (draining it first — all prior ops have
+ *      landed, nothing later has been submitted, so this observes the
+ *      pre-move state);
+ *   2. broadcast the Move op itself to all sub-devices: each one
+ *      validates it, records the identical full-mask H-tree cycle
+ *      cost, and applies its intra-slice transfers;
+ *   3. land: write the staged values into the destination
+ *      sub-devices (draining each first, so the local application —
+ *      which may READ a boundary destination as the source of a
+ *      chained transfer — is complete).
+ *
+ * Boundary traffic is counted in traffic() — the observability and
+ * test hook for "intra-group traffic never leaves its sub-device".
+ * prepareTrace refuses (returns null for) streams containing a
+ * boundary-crossing Move, so cached traces are always pure
+ * broadcast; the driver transparently falls back to raw-stream replay
+ * for such signatures (R-type translations contain no Moves, so this
+ * is a robustness guard, not a hot path).
+ *
+ * Error streams: a malformed op throws at the submit containing it,
+ * after the valid prefix was forwarded (the serial engine's
+ * semantics). Sub-devices not yet fed when the first one throws may
+ * diverge from that point on — error recovery across shards is
+ * explicitly out of scope, as it is for the engines.
+ */
+#ifndef PYPIM_SIM_DEVICE_GROUP_HPP
+#define PYPIM_SIM_DEVICE_GROUP_HPP
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sink.hpp"
+
+namespace pypim
+{
+
+/** N-Simulator shard of one logical device behind the sink seam. */
+class SimulatorGroup : public OperationSink
+{
+  public:
+    /**
+     * Shard @p geo's crossbar space across ec.devices sub-devices
+     * (power of two; clamped to the crossbar count, so small test
+     * geometries degrade gracefully instead of failing). Every
+     * sub-device runs the engine/pipeline configuration of @p ec.
+     */
+    SimulatorGroup(const Geometry &geo, const EngineConfig &ec);
+
+    /** Cross-device traffic counters (scanned submissions; all zero
+     *  while devices() == 1, where no scanning happens). */
+    struct Traffic
+    {
+        uint64_t moveOps = 0;           //!< Move ops observed
+        uint64_t moveTransfers = 0;     //!< per-crossbar-pair transfers
+        uint64_t boundaryMoves = 0;     //!< Moves needing an exchange
+        uint64_t boundaryTransfers = 0; //!< pairs crossing a boundary
+    };
+
+    uint32_t devices() const
+    {
+        return static_cast<uint32_t>(sims_.size());
+    }
+    /** Crossbars per slice (numCrossbars / devices). */
+    uint32_t crossbarsPerDevice() const { return perDevice_; }
+    /** Sub-device owning global crossbar @p xb. */
+    uint32_t deviceOf(uint32_t xb) const { return xb / perDevice_; }
+
+    Simulator &sub(uint32_t d) { return *sims_.at(d); }
+    const Simulator &sub(uint32_t d) const { return *sims_.at(d); }
+
+    /** Crossbar state by GLOBAL id, routed to the owning sub-device
+     *  (which drains its pipeline first). */
+    Crossbar &
+    crossbar(uint32_t xb)
+    {
+        return sims_.at(deviceOf(xb))->crossbar(xb);
+    }
+    const Crossbar &
+    crossbar(uint32_t xb) const
+    {
+        return sims_.at(deviceOf(xb))->crossbar(xb);
+    }
+
+    /**
+     * Architectural statistics of the logical device: the counters
+     * are replicated across sub-devices (every one sees the whole
+     * stream), so this is sub-device 0's view — identical to a
+     * monolithic device fed the same program. Read-only: mutating one
+     * replica would break the invariant; reset with clearStats().
+     */
+    const Stats &stats() { return sims_[0]->stats(); }
+    const Stats &stats() const { return sims_[0]->stats(); }
+
+    /**
+     * Clear the architectural counters on EVERY sub-device — the only
+     * way to reset a sharded device without breaking the replicated-
+     * stats invariant (clearing stats() alone would touch just
+     * sub-device 0's view) — and the traffic() counters with them, so
+     * a clear-then-measure phase deltas both consistently.
+     */
+    void
+    clearStats()
+    {
+        for (auto &s : sims_)
+            s->stats().clear();
+        traffic_ = Traffic();
+    }
+
+    const Traffic &traffic() const { return traffic_; }
+
+    // --- OperationSink ------------------------------------------------
+
+    void performBatch(const Word *ops, size_t n) override;
+    /** Fan out to every sub-device, splitting at boundary Moves. */
+    void submitBatch(const Word *ops, size_t n) override;
+    /** Drain every sub-device's pipeline. */
+    void flush() override;
+    /** Broadcast for stats parity; response from the owning slice. */
+    uint32_t performRead(Word op) override;
+    /**
+     * Build one shared trace (via sub-device 0; builds touch no
+     * state) for broadcast replay on every slice. Returns null for
+     * streams containing a boundary-crossing Move — those must go
+     * through the scanning submitBatch path.
+     */
+    std::shared_ptr<const BatchTrace>
+    prepareTrace(const Word *ops, size_t n, bool fuse) override;
+    /** Submit the SAME shared handle to every sub-device. */
+    void submitTrace(std::shared_ptr<const BatchTrace> trace) override;
+
+  private:
+    void forwardAll(const Word *ops, size_t n);
+    /** True iff any (src, src+dist) pair leaves its slice (or the
+     *  destination set leaves the geometry — forcing the exchange
+     *  path, whose validation throws the standard error). Stops at
+     *  the first crossing. */
+    bool crossesBoundary(const Range &xb, int64_t dist) const;
+    /** True iff @p r is a well-formed crossbar mask within the
+     *  geometry — the predicate Range::validate enforces when the
+     *  mask op is applied, evaluated non-throwing for stream scans. */
+    bool validXbMask(const Range &r) const;
+    /** Raw-stream scan: does any Move in @p ops cross a boundary? */
+    bool streamCrossesBoundary(const Word *ops, size_t n) const;
+    void exchangeMove(Word w, const MicroOp &op, const Range &xb);
+
+    /**
+     * THE raw-stream Move scan, shared by submitBatch (exchange
+     * splitting + traffic counting) and prepareTrace (boundary
+     * refusal) so the two can never drift: tracks the in-stream
+     * crossbar mask seeded from sub-device 0's live state (mask state
+     * advances at submit time, so it is current even mid-pipeline),
+     * skipping Moves under an ill-formed mask (the sub-devices throw
+     * at the mask op when the stream is forwarded). Invokes
+     * fn(i, op, xb, crossing) for every analysable Move op; fn
+     * returns false to stop the scan early.
+     */
+    template <typename Fn>
+    void
+    scanMoves(const Word *ops, size_t n, Fn &&fn) const
+    {
+        Range xb = sims_[0]->crossbarMask();
+        bool maskOk = true;  // the seed was validated when applied
+        for (size_t i = 0; i < n; ++i) {
+            const OpType t = enc::peekType(ops[i]);
+            if (t == OpType::CrossbarMask) {
+                xb = MicroOp::decode(ops[i]).range;
+                maskOk = validXbMask(xb);
+                continue;
+            }
+            if (t != OpType::Move || !maskOk)
+                continue;
+            const MicroOp op = MicroOp::decode(ops[i]);
+            const int64_t dist =
+                static_cast<int64_t>(op.dstStart) -
+                static_cast<int64_t>(xb.start);
+            if (!fn(i, op, xb, crossesBoundary(xb, dist)))
+                return;
+        }
+    }
+
+    Geometry geo_;
+    uint32_t perDevice_;
+    std::vector<std::unique_ptr<Simulator>> sims_;
+    Traffic traffic_;
+
+    struct Staged
+    {
+        uint32_t dst;
+        uint32_t value;
+    };
+    std::vector<Staged> staged_;  //!< exchange scratch (reused)
+};
+
+} // namespace pypim
+
+#endif // PYPIM_SIM_DEVICE_GROUP_HPP

@@ -98,14 +98,22 @@ ExecutionEngine::executeRead(const MicroOp &op)
 {
     validateRead(op, mask_.xb, mask_.row, geo_);
     stats_.record(OpClass::Read);
-    return xbs_[mask_.xb.start].read(op.index, mask_.row.start);
+    // A sub-device engine validates and counts reads outside its
+    // slice (keeping the architectural stats replicated across
+    // sub-devices) but has no data for them; the device group routes
+    // the response from the owning sub-device.
+    if (!owns(mask_.xb.start))
+        return 0;
+    return xbAt(mask_.xb.start).read(op.index, mask_.row.start);
 }
 
 void
 ExecutionEngine::replayTrace(const SegmentTrace &trace)
 {
-    for (uint32_t xb = trace.xbLo; xb < trace.xbHi; ++xb)
-        xbs_[xb].replaySegment(trace, xb, nullptr);
+    const uint32_t lo = std::max(trace.xbLo, sliceLo());
+    const uint32_t hi = std::min(trace.xbHi, sliceHi());
+    for (uint32_t xb = lo; xb < hi; ++xb)
+        xbAt(xb).replaySegment(trace, xb, nullptr);
 }
 
 void
@@ -123,8 +131,8 @@ void
 ExecutionEngine::doWrite(const MicroOp &op)
 {
     fatalIf(op.index >= geo_.slots(), "write: slot index out of range");
-    mask_.xb.forEach([&](uint32_t xb) {
-        xbs_[xb].write(op.index, op.value, mask_.rowWords);
+    forEachOwned(mask_.xb, [&](uint32_t xb) {
+        xbAt(xb).write(op.index, op.value, mask_.rowWords);
     });
     stats_.record(OpClass::Write);
 }
@@ -133,8 +141,8 @@ void
 ExecutionEngine::doLogicH(const MicroOp &op)
 {
     const HalfGates hg = expandLogicH(op, geo_);
-    mask_.xb.forEach([&](uint32_t xb) {
-        xbs_[xb].logicH(hg, mask_.rowWords);
+    forEachOwned(mask_.xb, [&](uint32_t xb) {
+        xbAt(xb).logicH(hg, mask_.rowWords);
     });
     stats_.record(OpClass::LogicH);
     if (op.gate == Gate::Nor || op.gate == Gate::Not)
@@ -149,8 +157,8 @@ ExecutionEngine::doLogicV(const MicroOp &op)
     fatalIf(op.index >= geo_.slots(), "logicV: slot index out of range");
     fatalIf(op.rowIn >= geo_.rows || op.rowOut >= geo_.rows,
             "logicV: row out of range");
-    mask_.xb.forEach([&](uint32_t xb) {
-        xbs_[xb].logicV(op.gate, op.rowIn, op.rowOut, op.index);
+    forEachOwned(mask_.xb, [&](uint32_t xb) {
+        xbAt(xb).logicV(op.gate, op.rowIn, op.rowOut, op.index);
     });
     stats_.record(OpClass::LogicV);
     if (op.gate == Gate::Not)
@@ -174,37 +182,43 @@ ExecutionEngine::applyMove(const MicroOp &op, const Range &xb)
                          static_cast<int64_t>(xb.start);
     // Read-all-then-write-all semantics: overlapping source and
     // destination sets (shift chains) behave as a parallel transfer.
-    // The staging buffer is a reused member: clear() keeps capacity,
-    // so steady-state moves never allocate.
+    // A sub-device engine applies only the transfers with BOTH
+    // endpoints in its slice; boundary-crossing transfers are the
+    // device group's explicit exchange step (sim/device_group.hpp),
+    // which stages its reads before this runs and lands its writes
+    // after. The staging buffers are reused members: clear() keeps
+    // capacity, so steady-state moves never allocate.
     moveValues_.clear();
-    moveValues_.reserve(xb.count());
-    xb.forEach([&](uint32_t src) {
-        moveValues_.push_back(xbs_[src].read(op.srcIdx, op.srcRow));
+    moveDsts_.clear();
+    forEachOwned(xb, [&](uint32_t src) {
+        const int64_t dst = static_cast<int64_t>(src) + dist;
+        if (dst < sliceLo() || dst >= sliceHi())
+            return;
+        moveValues_.push_back(xbAt(src).read(op.srcIdx, op.srcRow));
+        moveDsts_.push_back(static_cast<uint32_t>(dst));
     });
-    size_t i = 0;
-    xb.forEach([&](uint32_t src) {
-        const uint32_t dst = static_cast<uint32_t>(src + dist);
-        xbs_[dst].writeRow(op.dstIdx, moveValues_[i++], op.dstRow);
-    });
+    for (size_t i = 0; i < moveDsts_.size(); ++i)
+        xbAt(moveDsts_[i]).writeRow(op.dstIdx, moveValues_[i],
+                                    op.dstRow);
 }
 
 std::unique_ptr<ExecutionEngine>
 makeEngine(const EngineConfig &cfg, const Geometry &geo,
-           std::vector<Crossbar> &xbs, const HTree &htree,
-           MaskState &mask, Stats &stats)
+           std::vector<Crossbar> &xbs, uint32_t xbBase,
+           const HTree &htree, MaskState &mask, Stats &stats)
 {
     switch (cfg.kind) {
       case EngineKind::Sharded:
-        return std::make_unique<ShardedEngine>(geo, xbs, htree, mask,
-                                               stats,
-                                               cfg.resolvedThreads());
+        return std::make_unique<ShardedEngine>(
+            geo, xbs, xbBase, htree, mask, stats,
+            cfg.resolvedThreads(), cfg.affinity);
       case EngineKind::Trace:
-        return std::make_unique<TraceEngine>(geo, xbs, htree, mask,
-                                             stats);
+        return std::make_unique<TraceEngine>(geo, xbs, xbBase, htree,
+                                             mask, stats);
       case EngineKind::Serial:
       default:
-        return std::make_unique<SerialEngine>(geo, xbs, htree, mask,
-                                              stats);
+        return std::make_unique<SerialEngine>(geo, xbs, xbBase, htree,
+                                              mask, stats);
     }
 }
 

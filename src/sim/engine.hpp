@@ -30,6 +30,7 @@
 #ifndef PYPIM_SIM_ENGINE_HPP
 #define PYPIM_SIM_ENGINE_HPP
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -49,14 +50,27 @@ struct BatchTrace;
  * One micro-op replay backend. Owns no simulated state; executes
  * encoded micro-op batches against the Simulator's crossbars, mask
  * state and statistics counters (all passed in by reference).
+ *
+ * Crossbar slices: @p xbs may hold only a contiguous SLICE of the
+ * geometry's crossbar space — xbs[0] is global crossbar @p xbBase —
+ * when the simulator is one sub-device of a sharded logical device
+ * (sim/device_group.hpp). The micro-op stream stays in GLOBAL
+ * coordinates (masks, traces and stats are identical on every
+ * sub-device); the engine clips every state application to the owned
+ * slice: work ops iterate the mask intersected with the slice, Moves
+ * apply only transfers with both endpoints owned (boundary transfers
+ * are exchanged above the simulator), and Reads outside the slice
+ * validate and count but return 0. A full-array engine has xbBase 0
+ * and owns everything, so the monolithic path is unchanged.
  */
 class ExecutionEngine
 {
   public:
     ExecutionEngine(const Geometry &geo, std::vector<Crossbar> &xbs,
-                    const HTree &htree, MaskState &mask, Stats &stats)
-        : geo_(geo), xbs_(xbs), htree_(htree), mask_(mask),
-          stats_(stats)
+                    uint32_t xbBase, const HTree &htree,
+                    MaskState &mask, Stats &stats)
+        : geo_(geo), xbs_(xbs), xbBase_(xbBase), htree_(htree),
+          mask_(mask), stats_(stats)
     {
     }
 
@@ -144,8 +158,48 @@ class ExecutionEngine
     void doLogicV(const MicroOp &op);
     void doMove(const MicroOp &op);
 
+    // --- owned-slice helpers (global crossbar coordinates) -------------
+
+    /** First global crossbar id owned by this engine. */
+    uint32_t sliceLo() const { return xbBase_; }
+    /** One past the last owned global crossbar id. */
+    uint32_t
+    sliceHi() const
+    {
+        return xbBase_ + static_cast<uint32_t>(xbs_.size());
+    }
+    /** True iff global crossbar @p g lives in the owned slice. */
+    bool
+    owns(uint32_t g) const
+    {
+        return g >= xbBase_ && g < sliceHi();
+    }
+    /** Owned crossbar by GLOBAL id (callers check owns() first). */
+    Crossbar &xbAt(uint32_t g) { return xbs_[g - xbBase_]; }
+
+    /**
+     * Invoke @p fn(g) for every element of @p r that falls inside the
+     * owned slice, ascending — the masked-broadcast inner loop of the
+     * work ops, clipped to this sub-device.
+     */
+    template <typename Fn>
+    void
+    forEachOwned(const Range &r, Fn &&fn)
+    {
+        const uint32_t hi = sliceHi();
+        if (r.start >= hi)
+            return;
+        uint32_t first = r.start;
+        if (first < xbBase_)
+            first += (xbBase_ - r.start + r.step - 1) / r.step * r.step;
+        const uint32_t last = std::min(r.stop, hi - 1);
+        for (uint32_t g = first; g <= last; g += r.step)
+            fn(g);
+    }
+
     const Geometry &geo_;
     std::vector<Crossbar> &xbs_;
+    const uint32_t xbBase_;
     const HTree &htree_;
     MaskState &mask_;
     Stats &stats_;
@@ -154,13 +208,14 @@ class ExecutionEngine
     /** doMove scratch (read-all-then-write-all staging), reused so
      *  the per-op hot path never allocates. */
     std::vector<uint32_t> moveValues_;
+    std::vector<uint32_t> moveDsts_;
 };
 
 /** Instantiate the backend selected by @p cfg over the given state. */
 std::unique_ptr<ExecutionEngine>
 makeEngine(const EngineConfig &cfg, const Geometry &geo,
-           std::vector<Crossbar> &xbs, const HTree &htree,
-           MaskState &mask, Stats &stats);
+           std::vector<Crossbar> &xbs, uint32_t xbBase,
+           const HTree &htree, MaskState &mask, Stats &stats);
 
 /**
  * Validate a Read against the mask state exactly as the serial

@@ -5,12 +5,40 @@
 namespace pypim
 {
 
+namespace
+{
+
+/** More workers than OWNED crossbars can never help: a sub-device
+ *  engine shards only its slice. */
+uint32_t
+clampWorkers(uint32_t threads, size_t owned)
+{
+    return std::min(std::max(1u, threads),
+                    std::max(1u, static_cast<uint32_t>(owned)));
+}
+
+/** Stagger sibling sub-device pools onto disjoint cores: sub-device
+ *  d (slice index xbBase / sliceSize) starts after the d * width
+ *  cores of the pools before it. 0 for a monolithic engine. */
+uint32_t
+pinBaseOf(uint32_t xbBase, size_t owned, uint32_t width)
+{
+    return owned == 0
+               ? 0
+               : xbBase / static_cast<uint32_t>(owned) * width;
+}
+
+} // namespace
+
 ShardedEngine::ShardedEngine(const Geometry &geo,
                              std::vector<Crossbar> &xbs,
-                             const HTree &htree, MaskState &mask,
-                             Stats &stats, uint32_t threads)
-    : ExecutionEngine(geo, xbs, htree, mask, stats),
-      pool_(std::min(std::max(1u, threads), geo.numCrossbars)),
+                             uint32_t xbBase, const HTree &htree,
+                             MaskState &mask, Stats &stats,
+                             uint32_t threads, bool pinWorkers)
+    : ExecutionEngine(geo, xbs, xbBase, htree, mask, stats),
+      pool_(clampWorkers(threads, xbs.size()), pinWorkers,
+            pinBaseOf(xbBase, xbs.size(),
+                      clampWorkers(threads, xbs.size()))),
       work_(pool_.size())
 {
 }
@@ -29,13 +57,15 @@ ShardedEngine::replayTrace(const SegmentTrace &trace)
 {
     if (trace.empty())
         return;  // mask-only segment: fully absorbed by the pre-pass
-    const uint32_t lo = trace.xbLo;
-    const uint32_t hi = trace.xbHi;
+    const uint32_t lo = std::max(trace.xbLo, sliceLo());
+    const uint32_t hi = std::min(trace.xbHi, sliceHi());
+    if (lo >= hi)
+        return;  // hull entirely outside this sub-device's slice
     const uint32_t workers = pool_.size();
     if (workers == 1 || hi - lo <= 1) {
         Stats local;
         for (uint32_t xb = lo; xb < hi; ++xb)
-            xbs_[xb].replaySegment(trace, xb, &local);
+            xbAt(xb).replaySegment(trace, xb, &local);
         work_[0] += local;
         return;
     }
@@ -62,7 +92,7 @@ ShardedEngine::replayTrace(const SegmentTrace &trace)
                 break;
             const uint32_t end = std::min(start + chunk, hi);
             for (uint32_t xb = start; xb < end; ++xb)
-                xbs_[xb].replaySegment(trace, xb, &local);
+                xbAt(xb).replaySegment(trace, xb, &local);
         }
         work_[w] += local;
     });

@@ -56,12 +56,21 @@ namespace pypim
 class ShardedEngine : public ExecutionEngine
 {
   public:
+    /**
+     * @p pinWorkers pins the spawned pool workers to distinct host
+     * cores (EngineConfig::affinity); a no-op on platforms without
+     * thread-affinity support.
+     */
     ShardedEngine(const Geometry &geo, std::vector<Crossbar> &xbs,
-                  const HTree &htree, MaskState &mask, Stats &stats,
-                  uint32_t threads);
+                  uint32_t xbBase, const HTree &htree, MaskState &mask,
+                  Stats &stats, uint32_t threads,
+                  bool pinWorkers = false);
 
     const char *name() const override { return "sharded"; }
     uint32_t threads() const override { return pool_.size(); }
+    /** Workers actually pinned to a core (0 unless requested and
+     *  supported). */
+    uint32_t pinnedWorkers() const { return pool_.pinnedWorkers(); }
 
     void execute(const Word *ops, size_t n) override;
 

@@ -7,15 +7,28 @@ namespace pypim
 {
 
 Simulator::Simulator(const Geometry &geo, const EngineConfig &ec)
+    : Simulator(geo, ec, 0, geo.numCrossbars)
+{
+}
+
+Simulator::Simulator(const Geometry &geo, const EngineConfig &ec,
+                     uint32_t sliceLo, uint32_t sliceCount)
     : geo_(geo),
+      sliceLo_(sliceLo),
       htree_(geo.numCrossbars)
 {
     geo_.validate();
-    xbs_.reserve(geo_.numCrossbars);
-    for (uint32_t i = 0; i < geo_.numCrossbars; ++i)
+    fatalIf(sliceCount == 0 || sliceCount > geo_.numCrossbars ||
+                sliceLo > geo_.numCrossbars - sliceCount,
+            "simulator: crossbar slice [" + std::to_string(sliceLo) +
+                ", " + std::to_string(sliceLo + sliceCount) +
+                ") outside the geometry");
+    xbs_.reserve(sliceCount);
+    for (uint32_t i = 0; i < sliceCount; ++i)
         xbs_.emplace_back(geo_);
     mask_.reset(geo_);
-    engine_ = makeEngine(ec, geo_, xbs_, htree_, mask_, stats_);
+    engine_ =
+        makeEngine(ec, geo_, xbs_, sliceLo_, htree_, mask_, stats_);
     if (ec.pipeline)
         pipeline_ = std::make_unique<SimulatorPipeline>(
             geo_, htree_, mask_, stats_, engine_);
@@ -24,10 +37,23 @@ Simulator::Simulator(const Geometry &geo, const EngineConfig &ec)
 Simulator::~Simulator() = default;
 
 void
+Simulator::checkOwned(uint32_t i) const
+{
+    fatalIf(!ownsCrossbar(i),
+            "crossbar " + std::to_string(i) +
+                " is outside this simulator's slice [" +
+                std::to_string(sliceLo_) + ", " +
+                std::to_string(sliceLo_ + sliceCount()) +
+                "); route through the owning sub-device "
+                "(SimulatorGroup::crossbar)");
+}
+
+void
 Simulator::setEngine(const EngineConfig &ec)
 {
     drainPipeline();
-    engine_ = makeEngine(ec, geo_, xbs_, htree_, mask_, stats_);
+    engine_ =
+        makeEngine(ec, geo_, xbs_, sliceLo_, htree_, mask_, stats_);
     if (ec.pipeline && !pipeline_)
         pipeline_ = std::make_unique<SimulatorPipeline>(
             geo_, htree_, mask_, stats_, engine_);

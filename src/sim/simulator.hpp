@@ -53,6 +53,22 @@ class Simulator : public OperationSink
     explicit Simulator(const Geometry &geo,
                        const EngineConfig &ec = {});
 
+    /**
+     * Sub-device simulator owning only the crossbar slice
+     * [@p sliceLo, @p sliceLo + @p sliceCount) of @p geo's crossbar
+     * space (sim/device_group.hpp). The micro-op interface stays in
+     * GLOBAL coordinates — masks, traces, the H-tree cost model and
+     * all architectural statistics are identical to a full-array
+     * simulator fed the same stream — but crossbar STATE is allocated
+     * and mutated only for the owned slice: work ops clip their
+     * broadcast to it, Moves apply only intra-slice transfers, and
+     * Reads outside the slice validate, count and return 0. Cached
+     * BatchTrace handles built by any same-geometry simulator replay
+     * unchanged on every slice.
+     */
+    Simulator(const Geometry &geo, const EngineConfig &ec,
+              uint32_t sliceLo, uint32_t sliceCount);
+
     // The engine holds references into the simulator's state.
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
@@ -100,22 +116,41 @@ class Simulator : public OperationSink
     const Geometry &geometry() const { return geo_; }
     const HTree &htree() const { return htree_; }
 
+    /** First GLOBAL crossbar id this simulator owns (0 unless it is a
+     *  sub-device slice). */
+    uint32_t sliceLo() const { return sliceLo_; }
+    /** Owned crossbars (geometry().numCrossbars unless sliced). */
+    uint32_t
+    sliceCount() const
+    {
+        return static_cast<uint32_t>(xbs_.size());
+    }
+    /** True iff global crossbar @p i is simulated by this instance. */
+    bool
+    ownsCrossbar(uint32_t i) const
+    {
+        return i >= sliceLo_ && i - sliceLo_ < xbs_.size();
+    }
+
     /**
-     * Direct crossbar state access (tests and host-side loaders).
-     * Drains the pipeline so the returned state reflects every
+     * Direct crossbar state access by GLOBAL id (tests and host-side
+     * loaders); throws pypim::Error for crossbars outside the owned
+     * slice. Drains the pipeline so the returned state reflects every
      * submitted batch.
      */
     Crossbar &
     crossbar(uint32_t i)
     {
+        checkOwned(i);
         drainPipeline();
-        return xbs_.at(i);
+        return xbs_[i - sliceLo_];
     }
     const Crossbar &
     crossbar(uint32_t i) const
     {
+        checkOwned(i);
         drainPipeline();
-        return xbs_.at(i);
+        return xbs_[i - sliceLo_];
     }
 
     // The mask state is advanced at submit time, so it reflects the
@@ -175,7 +210,10 @@ class Simulator : public OperationSink
             pipeline_->drain();
     }
 
+    void checkOwned(uint32_t i) const;
+
     Geometry geo_;
+    uint32_t sliceLo_ = 0;
     std::vector<Crossbar> xbs_;
     HTree htree_;
     MaskState mask_;

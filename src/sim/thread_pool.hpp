@@ -32,8 +32,17 @@ class ThreadPool
     /**
      * @p threads is the TOTAL parallelism including the calling
      * thread; the pool spawns threads-1 workers. 0 is clamped to 1.
+     * @p pinWorkers pins each spawned worker to a distinct host core
+     * (worker i to core (pinBase + i + 1) mod hardware_concurrency;
+     * the calling thread is never pinned — it belongs to the
+     * application). @p pinBase staggers multiple pools in one process
+     * onto disjoint cores (the multi-device sharded engine passes its
+     * sub-device offset; see sharded_engine.cpp). A no-op on
+     * platforms without pthread_setaffinity_np; whether pinning
+     * actually took is reported by pinnedWorkers().
      */
-    explicit ThreadPool(uint32_t threads);
+    explicit ThreadPool(uint32_t threads, bool pinWorkers = false,
+                        uint32_t pinBase = 0);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -41,6 +50,10 @@ class ThreadPool
 
     /** Total parallelism (workers + calling thread). */
     uint32_t size() const { return nThreads_; }
+
+    /** Workers successfully pinned to a core (0 when not requested
+     *  or unsupported on this platform). */
+    uint32_t pinnedWorkers() const { return pinned_; }
 
     /**
      * Invoke fn(i) for every i in [0, tasks), distributing indices
@@ -57,6 +70,7 @@ class ThreadPool
     void runTasks();
 
     const uint32_t nThreads_;
+    uint32_t pinned_ = 0;
     std::vector<std::thread> workers_;
 
     std::mutex mu_;

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Directed tests for the environment-knob parser
+ * (EngineConfig::fromEnv): malformed or out-of-range values of
+ * PYPIM_THREADS / PYPIM_DEVICES must throw a clear pypim::Error
+ * instead of silently misconfiguring the stack (atol-style parsing
+ * read "abc" as 0 and "12abc" as 12), and the boolean knobs must
+ * reject anything but on|off|1|0.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+
+using namespace pypim;
+
+namespace
+{
+
+/** Scoped setter restoring the previous value on destruction. */
+class EnvVar
+{
+  public:
+    EnvVar(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old) {
+            had_ = true;
+            old_ = old;
+        }
+        ::setenv(name, value, 1);
+    }
+    ~EnvVar()
+    {
+        if (had_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+} // namespace
+
+TEST(ConfigEnv, ThreadsRejectsNonNumeric)
+{
+    for (const char *bad : {"abc", "12abc", "1.5", "0x8", "", " 4",
+                            "\n8", "\r8", "\t8", "+4", "-1",
+                            "99999999999999999999"}) {
+        EnvVar v("PYPIM_THREADS", bad);
+        EXPECT_THROW(EngineConfig::fromEnv(), Error)
+            << "PYPIM_THREADS='" << bad << "'";
+    }
+}
+
+TEST(ConfigEnv, ThreadsRejectsOutOfRange)
+{
+    EnvVar v("PYPIM_THREADS", "1048577");  // > 2^20
+    EXPECT_THROW(EngineConfig::fromEnv(), Error);
+}
+
+TEST(ConfigEnv, ThreadsParsesValidValues)
+{
+    {
+        EnvVar v("PYPIM_THREADS", "0");
+        EXPECT_EQ(EngineConfig::fromEnv().threads, 0u);
+    }
+    {
+        EnvVar v("PYPIM_THREADS", "16");
+        EXPECT_EQ(EngineConfig::fromEnv().threads, 16u);
+    }
+}
+
+TEST(ConfigEnv, DevicesRejectsMalformedAndNonPow2)
+{
+    for (const char *bad : {"abc", "2x", "0", "3", "6", "-2", ""}) {
+        EnvVar v("PYPIM_DEVICES", bad);
+        EXPECT_THROW(EngineConfig::fromEnv(), Error)
+            << "PYPIM_DEVICES='" << bad << "'";
+    }
+}
+
+TEST(ConfigEnv, DevicesParsesPowersOfTwo)
+{
+    for (uint32_t n : {1u, 2u, 4u, 16u}) {
+        EnvVar v("PYPIM_DEVICES", std::to_string(n).c_str());
+        EXPECT_EQ(EngineConfig::fromEnv().devices, n);
+    }
+}
+
+TEST(ConfigEnv, SwitchKnobsRejectJunk)
+{
+    {
+        EnvVar v("PYPIM_PIPELINE", "yes");
+        EXPECT_THROW(EngineConfig::fromEnv(), Error);
+    }
+    {
+        EnvVar v("PYPIM_TRACE_CACHE", "2");
+        EXPECT_THROW(EngineConfig::fromEnv(), Error);
+    }
+    {
+        EnvVar v("PYPIM_AFFINITY", "true");
+        EXPECT_THROW(EngineConfig::fromEnv(), Error);
+    }
+}
+
+TEST(ConfigEnv, AffinityParses)
+{
+    {
+        EnvVar v("PYPIM_AFFINITY", "on");
+        EXPECT_TRUE(EngineConfig::fromEnv().affinity);
+    }
+    {
+        EnvVar v("PYPIM_AFFINITY", "0");
+        EXPECT_FALSE(EngineConfig::fromEnv().affinity);
+    }
+}
+
+TEST(ConfigEnv, DefaultsWhenUnset)
+{
+    ::unsetenv("PYPIM_DEVICES");
+    ::unsetenv("PYPIM_AFFINITY");
+    const EngineConfig c = EngineConfig::fromEnv();
+    EXPECT_EQ(c.devices, 1u);
+    EXPECT_FALSE(c.affinity);
+}
