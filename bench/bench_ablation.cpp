@@ -64,10 +64,11 @@ fusionCacheAblation(bool allowTraceCache, bool allowFusion)
     std::printf("=== Trace-cache / fusion ablation (repeated int "
                 "mul, %u crossbars) ===\n",
                 g.numCrossbars);
-    std::printf("%-26s %10s %8s | %8s %8s %8s %8s %8s\n", "config",
+    std::printf("%-26s %10s %8s | %8s %8s %8s %8s %8s %8s\n", "config",
                 "instr/s", "speedup", "hits", "misses", "waw",
-                "chain", "window");
+                "chain", "window", "stripe");
     double base = 0.0;
+    StorageGauges gauges;
     for (const bool cache : {false, true}) {
         if (cache && !allowTraceCache)
             continue;
@@ -93,7 +94,7 @@ fusionCacheAblation(bool allowTraceCache, bool allowFusion)
                 base = rate;
             const Stats &s = drv.stats();
             std::printf("%-26s %10.1f %7.2fx | %8llu %8llu %8llu "
-                        "%8llu %8llu\n",
+                        "%8llu %8llu %8llu\n",
                         cache ? (fusion ? "trace cache + fusion"
                                         : "trace cache, no fusion")
                               : "stream cache only",
@@ -106,10 +107,23 @@ fusionCacheAblation(bool allowTraceCache, bool allowFusion)
                         static_cast<unsigned long long>(
                             s.fusionInitChain),
                         static_cast<unsigned long long>(
-                            s.fusionWindow));
+                            s.fusionWindow),
+                        static_cast<unsigned long long>(
+                            s.fusionWriteStripe));
+            gauges = sim.storageGauges();
         }
     }
-    std::printf("\n");
+    // Footprint of the last (most featureful) configuration, plus the
+    // process high-water mark: the storage-mode observability hook for
+    // ablation runs (--storage=dense|paged flips the representation).
+    std::printf("storage [%s]: blocks %llu/%llu present, %llu "
+                "CoW-shared, resident %.2f MB; peak RSS %.1f MB\n\n",
+                xbarStorageName(engineConfig().storage),
+                static_cast<unsigned long long>(gauges.blocksPresent),
+                static_cast<unsigned long long>(gauges.blocksTotal),
+                static_cast<unsigned long long>(gauges.cowShared),
+                static_cast<double>(gauges.residentBytes) / 1e6,
+                static_cast<double>(peakRssKb()) / 1e3);
 }
 
 } // namespace

@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -69,12 +70,13 @@ jsonOutPath()
 /**
  * Parse and strip --engine=serial|sharded|trace, --threads=N,
  * --pipeline=on|off, --trace-cache=on|off, --devices=N,
- * --affinity=on|off and --json=PATH from argv (before
- * benchmark::Initialize, which rejects unknown flags), storing the
- * result in engineConfig() / jsonOutPath(). Invalid values abort,
+ * --affinity=on|off, --storage=dense|paged and --json=PATH from argv
+ * (before benchmark::Initialize, which rejects unknown flags), storing
+ * the result in engineConfig() / jsonOutPath(). Invalid values abort,
  * exactly like the PYPIM_ENGINE / PYPIM_THREADS / PYPIM_PIPELINE /
- * PYPIM_TRACE_CACHE / PYPIM_DEVICES / PYPIM_AFFINITY environment
- * path — a typo must never silently benchmark the wrong engine.
+ * PYPIM_TRACE_CACHE / PYPIM_DEVICES / PYPIM_AFFINITY /
+ * PYPIM_XBAR_STORAGE environment path — a typo must never silently
+ * benchmark the wrong engine.
  */
 inline void
 applyEngineFlags(int &argc, char **argv)
@@ -141,6 +143,14 @@ applyEngineFlags(int &argc, char **argv)
                 cfg.affinity = false;
             else
                 fatal("--affinity=" + v + ": expected on|off");
+        } else if (arg.rfind("--storage=", 0) == 0) {
+            const std::string v = arg.substr(10);
+            if (v == "dense")
+                cfg.storage = XbarStorage::Dense;
+            else if (v == "paged")
+                cfg.storage = XbarStorage::Paged;
+            else
+                fatal("--storage=" + v + ": expected dense|paged");
         } else {
             argv[out++] = argv[i];
         }
@@ -159,13 +169,15 @@ printEngineBanner()
                     cfg.affinity ? ", pinned" : "");
     std::printf(", pipeline %s", cfg.pipeline ? "on" : "off");
     std::printf(", trace cache %s", cfg.traceCache ? "on" : "off");
+    std::printf(", %s storage", xbarStorageName(cfg.storage));
     if (cfg.devices > 1)
         std::printf(", %u sub-devices", cfg.devices);
     std::printf("  [--engine=serial|sharded|trace --threads=N "
                 "--pipeline=on|off --trace-cache=on|off --devices=N "
-                "--affinity=on|off --json=PATH or PYPIM_ENGINE/"
-                "PYPIM_THREADS/PYPIM_PIPELINE/PYPIM_TRACE_CACHE/"
-                "PYPIM_DEVICES/PYPIM_AFFINITY]\n");
+                "--affinity=on|off --storage=dense|paged --json=PATH "
+                "or PYPIM_ENGINE/PYPIM_THREADS/PYPIM_PIPELINE/"
+                "PYPIM_TRACE_CACHE/PYPIM_DEVICES/PYPIM_AFFINITY/"
+                "PYPIM_XBAR_STORAGE]\n");
 }
 
 /**
@@ -286,9 +298,61 @@ jsonConfig(Json &j, const Geometry &g)
     j.field("trace_cache", cfg.traceCache);
     j.field("devices", cfg.devices);
     j.field("affinity", cfg.affinity);
+    j.field("storage", xbarStorageName(cfg.storage));
     j.field("crossbars", g.numCrossbars);
     j.field("rows", g.rows);
     j.field("partitions", g.partitions);
+    j.end();
+}
+
+/**
+ * One "KEY: N kB" line from /proc/self/status; 0 when the file or the
+ * key is unavailable (non-Linux hosts) — callers print the value as
+ * best-effort observability, never gate on it.
+ */
+inline uint64_t
+procStatusKb(const char *key)
+{
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (f == nullptr)
+        return 0;
+    const size_t klen = std::strlen(key);
+    char line[256];
+    uint64_t kb = 0;
+    while (std::fgets(line, sizeof line, f)) {
+        if (std::strncmp(line, key, klen) == 0) {
+            kb = std::strtoull(line + klen, nullptr, 10);
+            break;
+        }
+    }
+    std::fclose(f);
+    return kb;
+}
+
+/** Peak resident set size [kB] of this process (VmHWM); 0 if unknown. */
+inline uint64_t
+peakRssKb()
+{
+    return procStatusKb("VmHWM:");
+}
+
+/** Current resident set size [kB] (VmRSS); 0 if unknown. */
+inline uint64_t
+currentRssKb()
+{
+    return procStatusKb("VmRSS:");
+}
+
+/** Storage-gauge sub-object of a JSON bench record. */
+inline void
+jsonStorageGauges(Json &j, const char *key, const StorageGauges &g)
+{
+    j.beginObject(key);
+    j.field("blocks_total", g.blocksTotal);
+    j.field("blocks_present", g.blocksPresent);
+    j.field("blocks_elided", g.blocksElided);
+    j.field("cow_shared", g.cowShared);
+    j.field("resident_bytes", g.residentBytes);
     j.end();
 }
 

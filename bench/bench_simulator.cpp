@@ -11,7 +11,11 @@
  * PIM scales with independent compute arrays. The pipelined sweep
  * additionally measures the asynchronous submit path (driver
  * translation overlapped with engine replay, --pipeline=on) against
- * the strictly synchronous one end-to-end.
+ * the strictly synchronous one end-to-end, and the storage sweep
+ * gauges paged (block-elided, copy-on-write) crossbar storage against
+ * the dense slab — throughput parity on dense data, resident-byte
+ * reduction on sparse data, and max-geometry scaling past what dense
+ * slabs can allocate.
  */
 #include <benchmark/benchmark.h>
 
@@ -256,7 +260,8 @@ engineSweep(Json *json)
  */
 double
 endToEndRate(const Geometry &g, const EngineConfig &ec,
-             uint64_t &checksum, double minSeconds = 0.3)
+             uint64_t &checksum, double minSeconds = 0.3,
+             StorageGauges *gauges = nullptr)
 {
     Simulator sim(g, ec);
     Rng rng(11);
@@ -277,6 +282,8 @@ endToEndRate(const Geometry &g, const EngineConfig &ec,
         for (uint32_t row = 0; row < g.rows; row += 97)
             checksum = checksum * 1099511628211ull ^
                        sim.crossbar(xb).read(in.rd, row);
+    if (gauges)
+        *gauges = sim.storageGauges();
     return static_cast<double>(ops) / elapsed;
 }
 
@@ -426,6 +433,214 @@ deviceSweep(Json *json, double minSeconds = 0.25)
     return allIdentical;
 }
 
+/**
+ * Paged-vs-dense crossbar-storage sweep (the ISSUE 6 gauges), three
+ * panels sharing one contract: every dense/paged pair of runs MUST be
+ * bit-identical — the function returns false otherwise and the CI
+ * bench smoke step exits non-zero on it.
+ *
+ *  1. dense-data worst case: the end-to-end fp-add workload fills
+ *     every row, so paged storage densifies completely and pays its
+ *     block-table indirection with no elision to show for it — warm
+ *     replay within ~5% of dense is the acceptance gauge;
+ *  2. row-sparse residency: the same workload touching only the first
+ *     512 rows of a 8192-row geometry — one 512-row block per live
+ *     column — where paged resident bytes drop by the untouched-block
+ *     ratio (>=5x is the acceptance gauge);
+ *  3. max-geometry scaling (paged only): simulators up to the paper's
+ *     full 64k-crossbar deployment touch a 16-crossbar working set;
+ *     the dense-equivalent slab size is COMPUTED, never allocated —
+ *     at 64k crossbars it exceeds 8 GB while the paged simulator
+ *     stays in the megabyte range.
+ */
+bool storageSweep(Json *json);
+
+/** Panel-2 helper: run the row-sparse workload (only the first
+ *  @p touchedRows rows are ever written) and digest the result. */
+uint64_t
+sparseStorageChecksum(const Geometry &g, const EngineConfig &ec,
+                      uint32_t touchedRows, StorageGauges &gauges)
+{
+    Simulator sim(g, ec);
+    Rng rng(17);
+    for (uint32_t w = 0; w < g.numCrossbars; ++w)
+        for (uint32_t r = 0; r < touchedRows; ++r) {
+            sim.crossbar(w).writeRow(0, rng.word(), r);
+            sim.crossbar(w).writeRow(1, rng.word(), r);
+        }
+    Driver drv(sim, g, Driver::Mode::Parallel);
+    RTypeInstr in = fullInstr(g, ROp::Add, DType::Int32);
+    in.rows = Range(0, touchedRows - 1, 1);
+    drv.execute(in);
+    sim.flush();
+    uint64_t ck = 0;
+    for (uint32_t xb = 0; xb < g.numCrossbars; ++xb)
+        for (uint32_t row = 0; row < touchedRows; ++row)
+            ck = ck * 1099511628211ull ^
+                 sim.crossbar(xb).read(in.rd, row);
+    gauges = sim.storageGauges();
+    return ck;
+}
+
+bool
+storageSweep(Json *json)
+{
+    bool identical = true;
+    if (json)
+        json->beginObject("storage_sweep");
+
+    // Panel 1: dense-data throughput parity (worst case for paged).
+    {
+        const Geometry g = benchGeometry(64);
+        uint64_t ckDense = 0, ckPaged = 0;
+        StorageGauges sgDense, sgPaged;
+        const double rDense = endToEndRate(
+            g, engineConfig().withStorage(XbarStorage::Dense), ckDense,
+            0.3, &sgDense);
+        const double rPaged = endToEndRate(
+            g, engineConfig().withStorage(XbarStorage::Paged), ckPaged,
+            0.3, &sgPaged);
+        const bool ok = ckDense == ckPaged;
+        identical = identical && ok;
+        std::printf("\n=== Crossbar-storage sweep: dense-data "
+                    "end-to-end (fp-add, %u crossbars) ===\n",
+                    g.numCrossbars);
+        std::printf("%-8s %14s %16s %10s\n", "storage", "Kop/s",
+                    "resident [MB]", "identical");
+        std::printf("%-8s %14.2f %16.2f %10s\n", "dense",
+                    rDense / 1e3,
+                    static_cast<double>(sgDense.residentBytes) / 1e6,
+                    "-");
+        std::printf("%-8s %14.2f %16.2f %10s\n", "paged",
+                    rPaged / 1e3,
+                    static_cast<double>(sgPaged.residentBytes) / 1e6,
+                    ok ? "yes" : "NO — BUG");
+        std::printf("(paged/dense warm throughput: %.3f — within "
+                    "~0.95 is the ISSUE 6 overhead gauge on "
+                    "fully-dense data)\n", rPaged / rDense);
+        if (json) {
+            json->beginObject("dense_data");
+            json->field("dense_ops_per_s", rDense);
+            json->field("paged_ops_per_s", rPaged);
+            json->field("paged_over_dense", rPaged / rDense);
+            jsonStorageGauges(*json, "dense_gauges", sgDense);
+            jsonStorageGauges(*json, "paged_gauges", sgPaged);
+            json->field("bit_identical", ok);
+            json->end();
+        }
+    }
+
+    // Panel 2: row-sparse residency at a tall geometry.
+    {
+        Geometry g = benchGeometry(64);
+        g.rows = 8192;  // 16 blocks per column; the workload touches 1
+        const uint32_t touched = 512;
+        StorageGauges sgDense, sgPaged;
+        const uint64_t ckDense = sparseStorageChecksum(
+            g, engineConfig().withStorage(XbarStorage::Dense), touched,
+            sgDense);
+        const uint64_t ckPaged = sparseStorageChecksum(
+            g, engineConfig().withStorage(XbarStorage::Paged), touched,
+            sgPaged);
+        const bool ok = ckDense == ckPaged;
+        identical = identical && ok;
+        const double ratio =
+            static_cast<double>(sgDense.residentBytes) /
+            static_cast<double>(std::max<uint64_t>(
+                1, sgPaged.residentBytes));
+        std::printf("\n=== Crossbar-storage sweep: row-sparse "
+                    "residency (%u of %u rows touched) ===\n", touched,
+                    g.rows);
+        std::printf("dense resident %.2f MB, paged resident %.2f MB "
+                    "(%.1fx smaller; >=5x is the ISSUE 6 gauge), "
+                    "blocks present %llu / %llu, identical %s\n",
+                    static_cast<double>(sgDense.residentBytes) / 1e6,
+                    static_cast<double>(sgPaged.residentBytes) / 1e6,
+                    ratio,
+                    static_cast<unsigned long long>(
+                        sgPaged.blocksPresent),
+                    static_cast<unsigned long long>(
+                        sgPaged.blocksTotal),
+                    ok ? "yes" : "NO — BUG");
+        if (json) {
+            json->beginObject("row_sparse");
+            json->field("rows", g.rows);
+            json->field("touched_rows", touched);
+            jsonStorageGauges(*json, "dense_gauges", sgDense);
+            jsonStorageGauges(*json, "paged_gauges", sgPaged);
+            json->field("dense_over_paged_bytes", ratio);
+            json->field("bit_identical", ok);
+            json->end();
+        }
+    }
+
+    // Panel 3: max-geometry scaling, paged only. The dense-equivalent
+    // slab is computed arithmetically — allocating it at 64k crossbars
+    // (>8 GB) is exactly what this storage mode exists to avoid.
+    {
+        std::printf("\n=== Crossbar-storage sweep: max geometry "
+                    "(paged, 16-crossbar working set) ===\n");
+        std::printf("%-10s %18s %16s %8s %12s\n", "crossbars",
+                    "dense-equiv [MB]", "resident [MB]", "ratio",
+                    "RSS [MB]");
+        if (json)
+            json->beginArray("max_geometry");
+        for (uint32_t crossbars : {4096u, 16384u, 65536u}) {
+            const Geometry g = benchGeometry(crossbars);
+            EngineConfig ec;  // serial, synchronous: the panel gauges
+            ec.storage = XbarStorage::Paged;  // bytes, not op rate
+            Simulator sim(g, ec);
+            std::vector<Word> batch;
+            batch.push_back(
+                MicroOp::crossbarMask(Range(0, 15, 1)).encode());
+            batch.push_back(MicroOp::rowMask(Range(0, 127, 1)).encode());
+            const Word init =
+                MicroOp::logicH(Gate::Init1, 0, 0, g.column(4, 0),
+                                g.partitions - 1, 1).encode();
+            const Word nor =
+                MicroOp::logicH(Gate::Nor, g.column(0, 0),
+                                g.column(1, 0), g.column(4, 0),
+                                g.partitions - 1, 1).encode();
+            for (int i = 0; i < 64; ++i) {
+                batch.push_back(init);
+                batch.push_back(nor);
+            }
+            sim.performBatch(batch.data(), batch.size());
+            const StorageGauges sg = sim.storageGauges();
+            const uint64_t denseEquiv =
+                static_cast<uint64_t>(g.numCrossbars) * g.cols *
+                ((g.rows + 63) / 64) * 8;
+            std::printf("%-10u %18.1f %16.3f %7.0fx %12.1f\n",
+                        crossbars,
+                        static_cast<double>(denseEquiv) / 1e6,
+                        static_cast<double>(sg.residentBytes) / 1e6,
+                        static_cast<double>(denseEquiv) /
+                            static_cast<double>(std::max<uint64_t>(
+                                1, sg.residentBytes)),
+                        static_cast<double>(currentRssKb()) / 1e3);
+            if (json) {
+                json->beginObject();
+                json->field("crossbars", crossbars);
+                json->field("dense_equivalent_bytes", denseEquiv);
+                jsonStorageGauges(*json, "gauges", sg);
+                json->field("current_rss_kb", currentRssKb());
+                json->end();
+            }
+        }
+        if (json)
+            json->end();  // max_geometry
+        std::printf("(the 64k-crossbar dense-equivalent slab exceeds "
+                    "8 GB — geometries that OOM under dense run in "
+                    "megabytes under paged storage)\n");
+    }
+
+    if (json) {
+        json->field("peak_rss_kb", peakRssKb());
+        json->end();  // storage_sweep
+    }
+    return identical;
+}
+
 } // namespace
 
 BENCHMARK(simScaling)
@@ -461,7 +676,8 @@ main(int argc, char **argv)
     }
     engineSweep(j);
     pipelineSweep(j);
-    const bool identical = deviceSweep(j);
+    const bool devicesIdentical = deviceSweep(j);
+    const bool storageIdentical = storageSweep(j);
     if (j) {
         j->end();
         j->writeTo(jsonOutPath());
@@ -469,6 +685,7 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     // Non-zero exit when sharded execution diverged from the
-    // monolithic device: the CI bench smoke step asserts identity.
-    return identical ? 0 : 1;
+    // monolithic device or paged storage diverged from dense: the CI
+    // bench smoke step asserts both identities.
+    return devicesIdentical && storageIdentical ? 0 : 1;
 }

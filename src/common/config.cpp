@@ -76,6 +76,16 @@ engineKindName(EngineKind k)
     }
 }
 
+const char *
+xbarStorageName(XbarStorage s)
+{
+    switch (s) {
+      case XbarStorage::Dense: return "dense";
+      case XbarStorage::Paged: return "paged";
+      default:                 return "unknown";
+    }
+}
+
 namespace
 {
 
@@ -157,6 +167,16 @@ EngineConfig::fromEnv()
     }
     if (const char *a = std::getenv("PYPIM_AFFINITY"))
         c.affinity = parseSwitchEnv("PYPIM_AFFINITY", a, c.affinity);
+    if (const char *st = std::getenv("PYPIM_XBAR_STORAGE")) {
+        const std::string s(st);
+        if (s == "dense")
+            c.storage = XbarStorage::Dense;
+        else if (s == "paged")
+            c.storage = XbarStorage::Paged;
+        else if (!s.empty())
+            fatal("PYPIM_XBAR_STORAGE: unknown value '" + s +
+                  "' (expected dense|paged)");
+    }
     return c;
 }
 

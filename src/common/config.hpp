@@ -112,6 +112,27 @@ enum class EngineKind : uint8_t
 
 const char *engineKindName(EngineKind k);
 
+/**
+ * Crossbar state representation (sim/crossbar.hpp).
+ *
+ * Dense keeps every column as a flat ceil(rows/64)-word slab — host
+ * RSS scales with geometry. Paged keeps each column as fixed-size
+ * blocks behind a per-column block table where an all-zero block
+ * costs zero bytes (BitMagic-style zero elision with transparent
+ * densification on first non-zero write), so RSS scales with LIVE
+ * data and untouched crossbars cost almost nothing. Both are
+ * bit-identical by construction (dense is the parity oracle); they
+ * differ only in memory footprint and in the replay fast-path that
+ * skips absent blocks.
+ */
+enum class XbarStorage : uint8_t
+{
+    Dense = 0,
+    Paged
+};
+
+const char *xbarStorageName(XbarStorage s);
+
 /** Simulator execution-engine selection knob. */
 struct EngineConfig
 {
@@ -157,6 +178,16 @@ struct EngineConfig
      * but hurts on oversubscribed hosts.
      */
     bool affinity = false;
+    /**
+     * Crossbar state representation of every sub-device simulator.
+     * Paged (the default) allocates column blocks on first non-zero
+     * write, so host RSS tracks live data instead of geometry; Dense
+     * is the flat-slab parity oracle the CI matrix keeps honest.
+     * Selecting one over the other never changes results, state
+     * checksums or architectural statistics (test_crossbar,
+     * test_geometry_sweep storage parity).
+     */
+    XbarStorage storage = XbarStorage::Paged;
 
     static EngineConfig serial() { return {}; }
 
@@ -195,15 +226,25 @@ struct EngineConfig
         return c;
     }
 
+    /** Copy of this config with the given crossbar storage. */
+    EngineConfig
+    withStorage(XbarStorage s) const
+    {
+        EngineConfig c = *this;
+        c.storage = s;
+        return c;
+    }
+
     /**
      * Engine selection from the environment: PYPIM_ENGINE=serial|
      * sharded|trace, PYPIM_THREADS=N, PYPIM_PIPELINE=on|off,
-     * PYPIM_TRACE_CACHE=on|off|1|0, PYPIM_DEVICES=N (power of two)
-     * and PYPIM_AFFINITY=on|off. Unset values fall back to the
-     * defaults (serial, synchronous, trace cache on, one device, no
-     * pinning), so existing callers are unaffected; unrecognised or
-     * malformed values throw pypim::Error — a typo must never
-     * silently misconfigure the stack.
+     * PYPIM_TRACE_CACHE=on|off|1|0, PYPIM_DEVICES=N (power of two),
+     * PYPIM_AFFINITY=on|off and PYPIM_XBAR_STORAGE=dense|paged.
+     * Unset values fall back to the defaults (serial, synchronous,
+     * trace cache on, one device, no pinning, paged storage), so
+     * existing callers are unaffected; unrecognised or malformed
+     * values throw pypim::Error — a typo must never silently
+     * misconfigure the stack.
      */
     static EngineConfig fromEnv();
 

@@ -51,6 +51,7 @@ Stats::clear()
     fusionWaw = 0;
     fusionInitChain = 0;
     fusionWindow = 0;
+    fusionWriteStripe = 0;
 }
 
 Stats
@@ -69,6 +70,8 @@ Stats::operator-(const Stats &other) const
     out.fusionWaw = fusionWaw - other.fusionWaw;
     out.fusionInitChain = fusionInitChain - other.fusionInitChain;
     out.fusionWindow = fusionWindow - other.fusionWindow;
+    out.fusionWriteStripe =
+        fusionWriteStripe - other.fusionWriteStripe;
     return out;
 }
 
@@ -87,6 +90,7 @@ Stats::operator+=(const Stats &other)
     fusionWaw += other.fusionWaw;
     fusionInitChain += other.fusionInitChain;
     fusionWindow += other.fusionWindow;
+    fusionWriteStripe += other.fusionWriteStripe;
     return *this;
 }
 
@@ -117,10 +121,12 @@ Stats::summary() const
     if (traceCacheHits || traceCacheMisses)
         os << "  trace cache: " << traceCacheHits << " hits / "
            << traceCacheMisses << " misses\n";
-    if (fusionWaw || fusionInitChain || fusionWindow)
+    if (fusionWaw || fusionInitChain || fusionWindow ||
+        fusionWriteStripe)
         os << "  fusion eliminated: " << fusionWaw << " WAW writes, "
            << fusionInitChain << " INIT-chain ops, " << fusionWindow
-           << " window INIT+gate ops\n";
+           << " window INIT+gate ops, " << fusionWriteStripe
+           << " stripe-merged writes\n";
     return os.str();
 }
 

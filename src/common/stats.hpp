@@ -67,6 +67,8 @@ struct Stats
     uint64_t fusionInitChain = 0;
     /** INIT1 micro-ops window-fused into a following NOR/NOT. */
     uint64_t fusionWindow = 0;
+    /** Writes merged into an adjacent-Write partition stripe. */
+    uint64_t fusionWriteStripe = 0;
 
     /** Record one micro-op of class @p c costing @p cycles cycles. */
     void

@@ -70,6 +70,8 @@ Driver::replayEntry(StreamEntry &e)
                 stats_.fusionWaw += e.trace->fusion.waw;
                 stats_.fusionInitChain += e.trace->fusion.initChain;
                 stats_.fusionWindow += e.trace->fusion.window;
+                stats_.fusionWriteStripe +=
+                    e.trace->fusion.writeStripe;
             }
         }
         if (e.trace) {

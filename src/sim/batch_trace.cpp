@@ -278,11 +278,67 @@ fuseSegment(SegmentTrace &t, const Geometry &geo,
         hi = std::max(hi, t.ops[j].xb.stop + 1);
         t.ops[w++] = t.ops[j];
     }
-    if (w == n)
+    if (w != n) {
+        t.ops.resize(w);
+        t.xbLo = w ? lo : 0;
+        t.xbHi = w ? hi : 0;
+    }
+}
+
+/**
+ * Stripe-merge pass over the compacted ops (see fuseBatchTrace):
+ * maximal runs of consecutive Writes under the same crossbar Range
+ * and row-mask snapshot with pairwise-distinct slots collapse into
+ * one TraceOp with wn = run length, the {slot, value} pairs parked in
+ * the segment's writePairs arena. Row-mask ids compare exactly: the
+ * builder's content dedup guarantees one id per realized bit pattern
+ * within a segment. A repeated slot ends the run — under equal masks
+ * the second write would fully overwrite the first sequentially,
+ * while a stripe applies both; WAW elimination has already removed
+ * the covered one in every such pair, so this guard is belt and
+ * braces, not a fusion loss in practice. Runs after fusion, so dead
+ * ops can never glue a stripe together.
+ */
+void
+mergeWriteStripes(SegmentTrace &t, BatchTrace::Fusion &fusion)
+{
+    const size_t n = t.ops.size();
+    if (n < 2)
         return;
+    size_t w = 0;
+    size_t i = 0;
+    while (i < n) {
+        TraceOp op = t.ops[i];
+        if (op.type != OpType::Write) {
+            t.ops[w++] = op;
+            ++i;
+            continue;
+        }
+        size_t j = i + 1;
+        while (j < n) {
+            const TraceOp &nx = t.ops[j];
+            if (nx.type != OpType::Write || !(nx.xb == op.xb) ||
+                nx.rowMask != op.rowMask)
+                break;
+            bool dupSlot = false;
+            for (size_t k = i; k < j && !dupSlot; ++k)
+                dupSlot = t.ops[k].index == nx.index;
+            if (dupSlot)
+                break;
+            ++j;
+        }
+        if (j - i >= 2) {
+            op.wn = static_cast<uint32_t>(j - i);
+            op.wrun = static_cast<uint32_t>(t.writePairs.size());
+            for (size_t k = i; k < j; ++k)
+                t.writePairs.push_back(
+                    {t.ops[k].index, t.ops[k].value});
+            fusion.writeStripe += (j - i) - 1;
+        }
+        t.ops[w++] = op;
+        i = j;
+    }
     t.ops.resize(w);
-    t.xbLo = w ? lo : 0;
-    t.xbHi = w ? hi : 0;
 }
 
 } // namespace
@@ -290,8 +346,10 @@ fuseSegment(SegmentTrace &t, const Geometry &geo,
 void
 fuseBatchTrace(BatchTrace &batch, const Geometry &geo)
 {
-    for (uint32_t s = 0; s < batch.used; ++s)
+    for (uint32_t s = 0; s < batch.used; ++s) {
         fuseSegment(batch.segments[s], geo, batch.fusion);
+        mergeWriteStripes(batch.segments[s], batch.fusion);
+    }
 }
 
 } // namespace pypim

@@ -73,6 +73,7 @@ struct BatchTrace
         uint64_t waw = 0;        //!< dead Writes (Write-after-Write)
         uint64_t initChain = 0;  //!< INIT1 ops merged into a chain peer
         uint64_t window = 0;     //!< INIT1 ops window-fused into a gate
+        uint64_t writeStripe = 0;  //!< Writes merged into a stripe peer
     };
 
     std::vector<Item> items;
@@ -143,7 +144,7 @@ void buildBatchTrace(const Word *ops, size_t n, const Geometry &geo,
 
 /**
  * Window-based peephole fusion over every segment of @p batch; run
- * once, before the trace is frozen and cached. Three rewrites, all
+ * once, before the trace is frozen and cached. Four rewrites, all
  * producing bit-identical replay:
  *
  *  - WAW elimination: a Write to slot s is dead when a later Write to
@@ -162,6 +163,12 @@ void buildBatchTrace(const Word *ops, size_t n, const Geometry &geo,
  *    every gate output, and the guard is conservative at column
  *    granularity, ignoring row masks and crossbar masks of the
  *    intervening ops.
+ *  - Write-stripe merging: a maximal run of CONSECUTIVE surviving
+ *    Writes under identical crossbar and row masks with pairwise-
+ *    distinct slots collapses into one stripe op (TraceOp::wn > 1)
+ *    replayed partition-major by Crossbar::writeStripe. Distinct
+ *    slots address disjoint strided column sets, so any application
+ *    order is bit-identical; a repeated slot ends the run.
  *
  * Counters for the eliminated ops accumulate into batch.fusion;
  * batch.stats is untouched (fusion changes applied work only).

@@ -1,5 +1,7 @@
 #include "sim/crossbar.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "sim/segment_trace.hpp"
@@ -7,18 +9,190 @@
 namespace pypim
 {
 
-Crossbar::Crossbar(const Geometry &geo)
+namespace
+{
+
+/** Max blocks per column: rows <= 65536 (geometry invariant) gives
+ *  <= 1024 words <= 128 blocks — small enough for stack bitmaps. */
+constexpr uint32_t kMaxBlocksPerCol =
+    (65536 / 64 + Crossbar::kBlockWords - 1) / Crossbar::kBlockWords;
+
+/** All-zero block every absent read resolves to. */
+constexpr uint64_t kZeroBlock[Crossbar::kBlockWords] = {};
+
+bool
+allZero(const uint64_t *w, uint32_t n)
+{
+    for (uint32_t i = 0; i < n; ++i)
+        if (w[i])
+            return false;
+    return true;
+}
+
+} // namespace
+
+/**
+ * Refcounted pool of kBlockWords-word blocks backing one paged
+ * crossbar and every snapshot taken from it. Freed slots are recycled
+ * through a free list; alloc() always returns an all-zero block (the
+ * invariant every densification relies on). Refcounts are plain
+ * integers — see the synchronisation contract in crossbar.hpp.
+ */
+class BlockPool
+{
+  public:
+    /** A fresh all-zero block with refcount 1. */
+    uint32_t
+    alloc()
+    {
+        if (!free_.empty()) {
+            const uint32_t id = free_.back();
+            free_.pop_back();
+            refs_[id] = 1;
+            uint64_t *w = words(id);
+            std::fill(w, w + Crossbar::kBlockWords, 0);
+            return id;
+        }
+        const uint32_t id = static_cast<uint32_t>(refs_.size());
+        refs_.push_back(1);
+        words_.resize(words_.size() + Crossbar::kBlockWords, 0);
+        return id;
+    }
+
+    /** A copy of block @p id with refcount 1 (copy-on-write step). */
+    uint32_t
+    clone(uint32_t id)
+    {
+        const uint32_t nid = alloc();  // may grow words_: copy by index
+        std::copy(words_.begin() +
+                      static_cast<size_t>(id) * Crossbar::kBlockWords,
+                  words_.begin() +
+                      static_cast<size_t>(id + 1) * Crossbar::kBlockWords,
+                  words_.begin() +
+                      static_cast<size_t>(nid) * Crossbar::kBlockWords);
+        return nid;
+    }
+
+    void ref(uint32_t id) { ++refs_[id]; }
+
+    void
+    unref(uint32_t id)
+    {
+        if (--refs_[id] == 0)
+            free_.push_back(id);
+    }
+
+    uint32_t refCount(uint32_t id) const { return refs_[id]; }
+
+    uint64_t *
+    words(uint32_t id)
+    {
+        return words_.data() +
+               static_cast<size_t>(id) * Crossbar::kBlockWords;
+    }
+    const uint64_t *
+    words(uint32_t id) const
+    {
+        return words_.data() +
+               static_cast<size_t>(id) * Crossbar::kBlockWords;
+    }
+
+    /** Bytes this pool holds allocated (block words + bookkeeping). */
+    uint64_t
+    residentBytes() const
+    {
+        return words_.capacity() * sizeof(uint64_t) +
+               refs_.capacity() * sizeof(uint32_t) +
+               free_.capacity() * sizeof(uint32_t);
+    }
+
+  private:
+    std::vector<uint64_t> words_;
+    std::vector<uint32_t> refs_;
+    std::vector<uint32_t> free_;
+};
+
+Crossbar::Crossbar(const Geometry &geo, XbarStorage storage)
     : geo_(&geo),
       wordsPerCol_((geo.rows + 63) / 64),
-      state_(static_cast<size_t>(geo.cols) * wordsPerCol_, 0)
+      blocksPerCol_((wordsPerCol_ + kBlockWords - 1) / kBlockWords),
+      storage_(storage),
+      state_(storage == XbarStorage::Dense
+                 ? static_cast<size_t>(geo.cols) * wordsPerCol_
+                 : 0,
+             0)
 {
+    panicIf(blocksPerCol_ > kMaxBlocksPerCol,
+            "crossbar: block table exceeds the geometry bound");
+    // Paged: table_ and pool_ stay empty until the first
+    // densification, so an untouched crossbar costs O(1) bytes — the
+    // property the max-geometry sweep (bench_simulator) relies on.
 }
+
+// --- paged block plumbing -----------------------------------------------
+
+void
+Crossbar::ensureTable()
+{
+    if (!table_.empty())
+        return;
+    table_.assign(static_cast<size_t>(geo_->cols) * blocksPerCol_,
+                  kAbsent);
+    if (!pool_)
+        pool_ = std::make_shared<BlockPool>();
+}
+
+const uint64_t *
+Crossbar::blockRO(uint32_t col, uint32_t b) const
+{
+    if (table_.empty())
+        return nullptr;
+    const uint32_t id = table_[tableIndex(col, b)];
+    return id == kAbsent ? nullptr : pool_->words(id);
+}
+
+uint64_t *
+Crossbar::blockRW(uint32_t col, uint32_t b)
+{
+    ensureTable();
+    uint32_t &id = table_[tableIndex(col, b)];
+    if (id == kAbsent) {
+        id = pool_->alloc();
+    } else if (pool_->refCount(id) > 1) {
+        const uint32_t nid = pool_->clone(id);
+        pool_->unref(id);
+        id = nid;
+    }
+    return pool_->words(id);
+}
+
+uint64_t *
+Crossbar::blockIfPresent(uint32_t col, uint32_t b)
+{
+    if (table_.empty())
+        return nullptr;
+    uint32_t &id = table_[tableIndex(col, b)];
+    if (id == kAbsent)
+        return nullptr;
+    if (pool_->refCount(id) > 1) {
+        const uint32_t nid = pool_->clone(id);
+        pool_->unref(id);
+        id = nid;
+    }
+    return pool_->words(id);
+}
+
+// --- horizontal logic ---------------------------------------------------
 
 void
 Crossbar::logicH(const HalfGates &hg, std::span<const uint64_t> rowMask)
 {
     panicIf(rowMask.size() != wordsPerCol_,
             "logicH: row mask width mismatch");
+    if (storage_ == XbarStorage::Paged) {
+        logicHPaged(hg, rowMask);
+        return;
+    }
     for (uint32_t s = 0; s < hg.numSections; ++s) {
         const Section &sec = hg.sections[s];
         if (!sec.active())
@@ -49,11 +223,97 @@ Crossbar::logicH(const HalfGates &hg, std::span<const uint64_t> rowMask)
 }
 
 void
+Crossbar::logicHPaged(const HalfGates &hg,
+                      std::span<const uint64_t> rowMask)
+{
+    // A block where the realized row mask is all-zero is untouched by
+    // every gate kind, so presence never has to change there; hoist
+    // that test out of the section loop (the mask is shared).
+    uint8_t maskNZ[kMaxBlocksPerCol];
+    for (uint32_t b = 0; b < blocksPerCol_; ++b)
+        maskNZ[b] =
+            !allZero(rowMask.data() + b * kBlockWords, blockWords(b));
+
+    for (uint32_t s = 0; s < hg.numSections; ++s) {
+        const Section &sec = hg.sections[s];
+        if (!sec.active())
+            continue;
+        const uint32_t outCol = static_cast<uint32_t>(sec.outCol);
+        switch (hg.gate) {
+          case Gate::Init0:
+            // Can only clear bits: an absent output stays absent.
+            for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                if (!maskNZ[b])
+                    continue;
+                uint64_t *out = blockIfPresent(outCol, b);
+                if (!out)
+                    continue;
+                const uint64_t *m = rowMask.data() + b * kBlockWords;
+                const uint32_t used = blockWords(b);
+                for (uint32_t w = 0; w < used; ++w)
+                    out[w] &= ~m[w];
+            }
+            break;
+          case Gate::Init1:
+            // Sets bits wherever the mask selects: densify exactly
+            // the blocks the mask reaches into.
+            for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                if (!maskNZ[b])
+                    continue;
+                uint64_t *out = blockRW(outCol, b);
+                const uint64_t *m = rowMask.data() + b * kBlockWords;
+                const uint32_t used = blockWords(b);
+                for (uint32_t w = 0; w < used; ++w)
+                    out[w] |= m[w];
+            }
+            break;
+          case Gate::Not:
+          case Gate::Nor: {
+            const uint32_t inA = static_cast<uint32_t>(sec.inCol[0]);
+            const uint32_t inB = sec.numIn == 2
+                ? static_cast<uint32_t>(sec.inCol[1])
+                : inA;
+            for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                if (!maskNZ[b])
+                    continue;
+                // Absent inputs read as zero, so with both absent
+                // out &= ~0 leaves the output block untouched — skip
+                // before cloning anything. Absent output: stateful
+                // logic only clears bits, stays absent.
+                const bool aIn = blockRO(inA, b) != nullptr;
+                const bool bIn = blockRO(inB, b) != nullptr;
+                if (!aIn && !bIn)
+                    continue;
+                uint64_t *out = blockIfPresent(outCol, b);
+                if (!out)
+                    continue;
+                // Fetch inputs AFTER the output's clone step: cloning
+                // may grow the pool and move every block.
+                const uint64_t *a =
+                    aIn ? blockRO(inA, b) : kZeroBlock;
+                const uint64_t *bb =
+                    bIn ? blockRO(inB, b) : kZeroBlock;
+                const uint64_t *m = rowMask.data() + b * kBlockWords;
+                const uint32_t used = blockWords(b);
+                for (uint32_t w = 0; w < used; ++w)
+                    out[w] &= ~((a[w] | bb[w]) & m[w]);
+            }
+            break;
+          }
+        }
+    }
+}
+
+void
 Crossbar::logicHFusedInit1(const HalfGates &hg,
                            std::span<const uint64_t> rowMask)
 {
     panicIf(rowMask.size() != wordsPerCol_,
             "logicH: row mask width mismatch");
+    if (storage_ == XbarStorage::Paged) {
+        logicHFusedInit1Paged(hg, rowMask);
+        return;
+    }
     for (uint32_t s = 0; s < hg.numSections; ++s) {
         const Section &sec = hg.sections[s];
         if (!sec.active())
@@ -71,8 +331,55 @@ Crossbar::logicHFusedInit1(const HalfGates &hg,
 }
 
 void
+Crossbar::logicHFusedInit1Paged(const HalfGates &hg,
+                                std::span<const uint64_t> rowMask)
+{
+    uint8_t maskNZ[kMaxBlocksPerCol];
+    for (uint32_t b = 0; b < blocksPerCol_; ++b)
+        maskNZ[b] =
+            !allZero(rowMask.data() + b * kBlockWords, blockWords(b));
+
+    for (uint32_t s = 0; s < hg.numSections; ++s) {
+        const Section &sec = hg.sections[s];
+        if (!sec.active())
+            continue;
+        const uint32_t outCol = static_cast<uint32_t>(sec.outCol);
+        const uint32_t inA = static_cast<uint32_t>(sec.inCol[0]);
+        const uint32_t inB = sec.numIn == 2
+            ? static_cast<uint32_t>(sec.inCol[1])
+            : inA;
+        for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+            // Where the mask is zero the fused form reduces to
+            // out = out: block untouched. Where it is nonzero the
+            // result sets a bit wherever both inputs read zero, so
+            // the output block must materialise even when every
+            // operand is absent (absent inputs ⇒ out |= mask).
+            if (!maskNZ[b])
+                continue;
+            uint64_t *out = blockRW(outCol, b);
+            const uint64_t *a = blockRO(inA, b);
+            const uint64_t *bb = blockRO(inB, b);
+            if (!a)
+                a = kZeroBlock;
+            if (!bb)
+                bb = kZeroBlock;
+            const uint64_t *m = rowMask.data() + b * kBlockWords;
+            const uint32_t used = blockWords(b);
+            for (uint32_t w = 0; w < used; ++w)
+                out[w] = (out[w] & ~m[w]) | (~(a[w] | bb[w]) & m[w]);
+        }
+    }
+}
+
+// --- vertical logic -----------------------------------------------------
+
+void
 Crossbar::logicV(Gate g, uint32_t rowIn, uint32_t rowOut, uint32_t slot)
 {
+    if (storage_ == XbarStorage::Paged) {
+        logicVPaged(g, rowIn, rowOut, slot);
+        return;
+    }
     // All loop-invariants hoisted: word indices, bit masks and the
     // gate dispatch are identical for every partition.
     const uint32_t pw = geo_->partitionWidth();
@@ -104,6 +411,53 @@ Crossbar::logicV(Gate g, uint32_t rowIn, uint32_t rowOut, uint32_t slot)
 }
 
 void
+Crossbar::logicVPaged(Gate g, uint32_t rowIn, uint32_t rowOut,
+                      uint32_t slot)
+{
+    const uint32_t pw = geo_->partitionWidth();
+    const uint32_t numPart = geo_->partitions;
+    const uint32_t outWord = rowOut / 64;
+    const uint32_t bOut = outWord / kBlockWords;
+    const uint32_t relOut = outWord % kBlockWords;
+    const uint64_t outBit = 1ull << (rowOut % 64);
+    switch (g) {
+      case Gate::Init0:
+        for (uint32_t p = 0; p < numPart; ++p) {
+            uint64_t *blk = blockIfPresent(p * pw + slot, bOut);
+            if (blk)
+                blk[relOut] &= ~outBit;
+        }
+        break;
+      case Gate::Init1:
+        for (uint32_t p = 0; p < numPart; ++p)
+            blockRW(p * pw + slot, bOut)[relOut] |= outBit;
+        break;
+      case Gate::Not: {
+        const uint32_t inWord = rowIn / 64;
+        const uint32_t bIn = inWord / kBlockWords;
+        const uint32_t relIn = inWord % kBlockWords;
+        const uint32_t inShift = rowIn % 64;
+        for (uint32_t p = 0; p < numPart; ++p) {
+            const uint32_t col = p * pw + slot;
+            const uint64_t *in = blockRO(col, bIn);
+            // Extract the input bit BEFORE any clone can move blocks.
+            const bool v = in && ((in[relIn] >> inShift) & 1);
+            if (!v)
+                continue;  // NOT(0)=1 cannot switch a stateful output
+            uint64_t *out = blockIfPresent(col, bOut);
+            if (out)
+                out[relOut] &= ~outBit;
+        }
+        break;
+      }
+      case Gate::Nor:
+        panic("logicV: NOR is not supported vertically");
+    }
+}
+
+// --- trace replay -------------------------------------------------------
+
+void
 Crossbar::replaySegment(const SegmentTrace &trace, uint32_t self,
                         Stats *work)
 {
@@ -127,9 +481,22 @@ Crossbar::replaySegment(const SegmentTrace &trace, uint32_t self,
             continue;
         switch (op.type) {
           case OpType::Write:
-            write(op.index, op.value, trace.rowMask(op.rowMask));
-            if (work)
-                work->record(OpClass::Write);
+            if (op.wn > 1) {
+                // Stripe of adjacent Writes merged by the trace
+                // fuser: distinct slots under one shared row mask.
+                writeStripe({trace.writePairs.data() + op.wrun,
+                             op.wn},
+                            trace.rowMask(op.rowMask));
+                // Work conservation: the stripe applies wn
+                // architectural Writes.
+                if (work)
+                    for (uint32_t k = 0; k < op.wn; ++k)
+                        work->record(OpClass::Write);
+            } else {
+                write(op.index, op.value, trace.rowMask(op.rowMask));
+                if (work)
+                    work->record(OpClass::Write);
+            }
             break;
           case OpType::LogicH: {
             const HalfGates &hg = trace.halfGates[op.hg];
@@ -161,7 +528,7 @@ Crossbar::replayLogicVRun(const TraceOp *run, size_t n, uint32_t self,
     // A LogicV op addresses two single rows of one column per
     // partition, so op-major replay touches every partition column
     // for two bits per op. Interchanging the loops applies the whole
-    // run to one column while its words stay hot. The run is
+    // run to one column while its words are hot. The run is
     // processed in fixed-size chunks of decoded gate descriptors so
     // no scratch allocation is needed; chunk order preserves stream
     // order within each column, and columns are independent.
@@ -177,6 +544,7 @@ Crossbar::replayLogicVRun(const TraceOp *run, size_t n, uint32_t self,
     const uint32_t pw = geo_->partitionWidth();
     const uint32_t numPart = geo_->partitions;
     const uint32_t slot = run[0].index;
+    const bool paged = storage_ == XbarStorage::Paged;
 
     size_t i = 0;
     while (i < n) {
@@ -197,7 +565,43 @@ Crossbar::replayLogicVRun(const TraceOp *run, size_t n, uint32_t self,
         if (m == 0)
             continue;
         for (uint32_t p = 0; p < numPart; ++p) {
-            uint64_t *words = colWords(p * pw + slot);
+            const uint32_t col = p * pw + slot;
+            if (paged) {
+                for (size_t k = 0; k < m; ++k) {
+                    const VGate &g = gates[k];
+                    const uint32_t bOut = g.outWord / kBlockWords;
+                    const uint32_t relOut = g.outWord % kBlockWords;
+                    switch (g.gate) {
+                      case Gate::Init0: {
+                        uint64_t *blk = blockIfPresent(col, bOut);
+                        if (blk)
+                            blk[relOut] &= ~g.outBit;
+                        break;
+                      }
+                      case Gate::Init1:
+                        blockRW(col, bOut)[relOut] |= g.outBit;
+                        break;
+                      case Gate::Not: {
+                        const uint64_t *in =
+                            blockRO(col, g.inWord / kBlockWords);
+                        const bool v =
+                            in && ((in[g.inWord % kBlockWords] >>
+                                    g.inShift) &
+                                   1);
+                        if (!v)
+                            break;
+                        uint64_t *out = blockIfPresent(col, bOut);
+                        if (out)
+                            out[relOut] &= ~g.outBit;
+                        break;
+                      }
+                      case Gate::Nor:
+                        break;  // unreachable: rejected at emission
+                    }
+                }
+                continue;
+            }
+            uint64_t *words = colWords(col);
             for (size_t k = 0; k < m; ++k) {
                 const VGate &g = gates[k];
                 switch (g.gate) {
@@ -219,12 +623,18 @@ Crossbar::replayLogicVRun(const TraceOp *run, size_t n, uint32_t self,
     }
 }
 
+// --- strided read/write -------------------------------------------------
+
 void
 Crossbar::write(uint32_t slot, uint32_t value,
                 std::span<const uint64_t> rowMask)
 {
     panicIf(rowMask.size() != wordsPerCol_,
             "write: row mask width mismatch");
+    if (storage_ == XbarStorage::Paged) {
+        writePaged(slot, value, rowMask);
+        return;
+    }
     const uint32_t pw = geo_->partitionWidth();
     for (uint32_t p = 0; p < geo_->wordBits; ++p) {
         uint64_t *words = colWords(p * pw + slot);
@@ -238,11 +648,120 @@ Crossbar::write(uint32_t slot, uint32_t value,
     }
 }
 
+void
+Crossbar::writePaged(uint32_t slot, uint32_t value,
+                     std::span<const uint64_t> rowMask)
+{
+    uint8_t maskNZ[kMaxBlocksPerCol];
+    for (uint32_t b = 0; b < blocksPerCol_; ++b)
+        maskNZ[b] =
+            !allZero(rowMask.data() + b * kBlockWords, blockWords(b));
+    const uint32_t pw = geo_->partitionWidth();
+    for (uint32_t p = 0; p < geo_->wordBits; ++p) {
+        const uint32_t col = p * pw + slot;
+        const bool set = (value >> p) & 1;
+        for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+            if (!maskNZ[b])
+                continue;  // no selected row in this block
+            const uint64_t *m = rowMask.data() + b * kBlockWords;
+            const uint32_t used = blockWords(b);
+            if (set) {
+                uint64_t *blk = blockRW(col, b);
+                for (uint32_t w = 0; w < used; ++w)
+                    blk[w] |= m[w];
+            } else {
+                // Writing a 0 bit only clears: absent stays absent.
+                uint64_t *blk = blockIfPresent(col, b);
+                if (!blk)
+                    continue;
+                for (uint32_t w = 0; w < used; ++w)
+                    blk[w] &= ~m[w];
+            }
+        }
+    }
+}
+
+void
+Crossbar::writeStripe(std::span<const StripeWrite> ws,
+                      std::span<const uint64_t> rowMask)
+{
+    panicIf(rowMask.size() != wordsPerCol_,
+            "writeStripe: row mask width mismatch");
+    if (storage_ == XbarStorage::Paged) {
+        writeStripePaged(ws, rowMask);
+        return;
+    }
+    // Partition-major: every stripe column of partition p is written
+    // while the mask words are hot. The slots are pairwise distinct
+    // (fuser invariant), so the column sets are disjoint and this
+    // order is bit-identical to sequential application.
+    const uint32_t pw = geo_->partitionWidth();
+    for (uint32_t p = 0; p < geo_->wordBits; ++p) {
+        for (const StripeWrite &sw : ws) {
+            uint64_t *words = colWords(p * pw + sw.slot);
+            if ((sw.value >> p) & 1) {
+                for (uint32_t w = 0; w < wordsPerCol_; ++w)
+                    words[w] |= rowMask[w];
+            } else {
+                for (uint32_t w = 0; w < wordsPerCol_; ++w)
+                    words[w] &= ~rowMask[w];
+            }
+        }
+    }
+}
+
+void
+Crossbar::writeStripePaged(std::span<const StripeWrite> ws,
+                           std::span<const uint64_t> rowMask)
+{
+    uint8_t maskNZ[kMaxBlocksPerCol];
+    for (uint32_t b = 0; b < blocksPerCol_; ++b)
+        maskNZ[b] =
+            !allZero(rowMask.data() + b * kBlockWords, blockWords(b));
+    const uint32_t pw = geo_->partitionWidth();
+    for (uint32_t p = 0; p < geo_->wordBits; ++p) {
+        for (const StripeWrite &sw : ws) {
+            const uint32_t col = p * pw + sw.slot;
+            const bool set = (sw.value >> p) & 1;
+            for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                if (!maskNZ[b])
+                    continue;
+                const uint64_t *m = rowMask.data() + b * kBlockWords;
+                const uint32_t used = blockWords(b);
+                if (set) {
+                    uint64_t *blk = blockRW(col, b);
+                    for (uint32_t w = 0; w < used; ++w)
+                        blk[w] |= m[w];
+                } else {
+                    uint64_t *blk = blockIfPresent(col, b);
+                    if (!blk)
+                        continue;
+                    for (uint32_t w = 0; w < used; ++w)
+                        blk[w] &= ~m[w];
+                }
+            }
+        }
+    }
+}
+
 uint32_t
 Crossbar::read(uint32_t slot, uint32_t row) const
 {
     const uint32_t pw = geo_->partitionWidth();
     uint32_t value = 0;
+    if (storage_ == XbarStorage::Paged) {
+        const uint32_t wIdx = row / 64;
+        const uint32_t b = wIdx / kBlockWords;
+        const uint32_t rel = wIdx % kBlockWords;
+        for (uint32_t p = 0; p < geo_->wordBits; ++p) {
+            const uint64_t *blk = blockRO(p * pw + slot, b);
+            const uint32_t v = blk ? static_cast<uint32_t>(
+                                         (blk[rel] >> (row % 64)) & 1)
+                                   : 0;
+            value |= v << p;
+        }
+        return value;
+    }
     for (uint32_t p = 0; p < geo_->wordBits; ++p) {
         const uint64_t *words = colWords(p * pw + slot);
         const uint32_t b =
@@ -257,6 +776,22 @@ Crossbar::writeRow(uint32_t slot, uint32_t value, uint32_t row)
 {
     const uint32_t pw = geo_->partitionWidth();
     const uint64_t bit = 1ull << (row % 64);
+    if (storage_ == XbarStorage::Paged) {
+        const uint32_t wIdx = row / 64;
+        const uint32_t b = wIdx / kBlockWords;
+        const uint32_t rel = wIdx % kBlockWords;
+        for (uint32_t p = 0; p < geo_->wordBits; ++p) {
+            const uint32_t col = p * pw + slot;
+            if ((value >> p) & 1) {
+                blockRW(col, b)[rel] |= bit;
+            } else {
+                uint64_t *blk = blockIfPresent(col, b);
+                if (blk)
+                    blk[rel] &= ~bit;
+            }
+        }
+        return;
+    }
     for (uint32_t p = 0; p < geo_->wordBits; ++p) {
         uint64_t *words = colWords(p * pw + slot);
         if ((value >> p) & 1)
@@ -269,17 +804,311 @@ Crossbar::writeRow(uint32_t slot, uint32_t value, uint32_t row)
 bool
 Crossbar::bit(uint32_t row, uint32_t col) const
 {
+    if (storage_ == XbarStorage::Paged) {
+        const uint32_t wIdx = row / 64;
+        const uint64_t *blk = blockRO(col, wIdx / kBlockWords);
+        return blk &&
+               ((blk[wIdx % kBlockWords] >> (row % 64)) & 1);
+    }
     return (colWords(col)[row / 64] >> (row % 64)) & 1;
 }
 
 void
 Crossbar::setBit(uint32_t row, uint32_t col, bool v)
 {
+    const uint64_t bit = 1ull << (row % 64);
+    if (storage_ == XbarStorage::Paged) {
+        const uint32_t wIdx = row / 64;
+        const uint32_t b = wIdx / kBlockWords;
+        const uint32_t rel = wIdx % kBlockWords;
+        if (v) {
+            blockRW(col, b)[rel] |= bit;
+        } else {
+            uint64_t *blk = blockIfPresent(col, b);
+            if (blk)
+                blk[rel] &= ~bit;
+        }
+        return;
+    }
     uint64_t *words = colWords(col);
     if (v)
-        words[row / 64] |= 1ull << (row % 64);
+        words[row / 64] |= bit;
     else
-        words[row / 64] &= ~(1ull << (row % 64));
+        words[row / 64] &= ~bit;
+}
+
+// --- snapshots, compaction, comparison ----------------------------------
+
+Crossbar::Snapshot::Snapshot(const Snapshot &o)
+    : geo_(o.geo_),
+      wordsPerCol_(o.wordsPerCol_),
+      blocksPerCol_(o.blocksPerCol_),
+      pool_(o.pool_),
+      table_(o.table_),
+      dense_(o.dense_)
+{
+    if (pool_)
+        for (const uint32_t id : table_)
+            if (id != kAbsent)
+                pool_->ref(id);
+}
+
+Crossbar::Snapshot &
+Crossbar::Snapshot::operator=(const Snapshot &o)
+{
+    if (this != &o) {
+        Snapshot tmp(o);
+        *this = std::move(tmp);
+    }
+    return *this;
+}
+
+Crossbar::Snapshot::Snapshot(Snapshot &&o) noexcept
+    : geo_(o.geo_),
+      wordsPerCol_(o.wordsPerCol_),
+      blocksPerCol_(o.blocksPerCol_),
+      pool_(std::move(o.pool_)),
+      table_(std::move(o.table_)),
+      dense_(std::move(o.dense_))
+{
+    o.table_.clear();  // the destructor must not double-unref
+    o.dense_.clear();
+}
+
+Crossbar::Snapshot &
+Crossbar::Snapshot::operator=(Snapshot &&o) noexcept
+{
+    if (this != &o) {
+        release();
+        geo_ = o.geo_;
+        wordsPerCol_ = o.wordsPerCol_;
+        blocksPerCol_ = o.blocksPerCol_;
+        pool_ = std::move(o.pool_);
+        table_ = std::move(o.table_);
+        dense_ = std::move(o.dense_);
+        o.table_.clear();
+        o.dense_.clear();
+    }
+    return *this;
+}
+
+Crossbar::Snapshot::~Snapshot() { release(); }
+
+void
+Crossbar::Snapshot::release()
+{
+    if (pool_)
+        for (const uint32_t id : table_)
+            if (id != kAbsent)
+                pool_->unref(id);
+    pool_.reset();
+    table_.clear();
+    dense_.clear();
+}
+
+const uint64_t *
+Crossbar::Snapshot::blockRO(uint32_t col, uint32_t b) const
+{
+    if (!dense_.empty())
+        return dense_.data() +
+               static_cast<size_t>(col) * wordsPerCol_ +
+               static_cast<size_t>(b) * kBlockWords;
+    if (table_.empty())
+        return nullptr;
+    const uint32_t id =
+        table_[static_cast<size_t>(col) * blocksPerCol_ + b];
+    return id == kAbsent ? nullptr : pool_->words(id);
+}
+
+uint32_t
+Crossbar::Snapshot::read(uint32_t slot, uint32_t row) const
+{
+    const uint32_t pw = geo_->partitionWidth();
+    const uint32_t wIdx = row / 64;
+    const uint32_t b = wIdx / kBlockWords;
+    const uint32_t rel = wIdx % kBlockWords;
+    uint32_t value = 0;
+    for (uint32_t p = 0; p < geo_->wordBits; ++p) {
+        const uint64_t *blk = blockRO(p * pw + slot, b);
+        const uint32_t v =
+            blk ? static_cast<uint32_t>((blk[rel] >> (row % 64)) & 1)
+                : 0;
+        value |= v << p;
+    }
+    return value;
+}
+
+bool
+Crossbar::Snapshot::bit(uint32_t row, uint32_t col) const
+{
+    const uint32_t wIdx = row / 64;
+    const uint64_t *blk = blockRO(col, wIdx / kBlockWords);
+    return blk && ((blk[wIdx % kBlockWords] >> (row % 64)) & 1);
+}
+
+Crossbar::Snapshot
+Crossbar::snapshot() const
+{
+    Snapshot s;
+    s.geo_ = geo_;
+    s.wordsPerCol_ = wordsPerCol_;
+    s.blocksPerCol_ = blocksPerCol_;
+    if (storage_ == XbarStorage::Dense) {
+        s.dense_ = state_;
+        return s;
+    }
+    // O(live data): share every present block, bumping its refcount.
+    // Subsequent mutation of the source clones exactly the blocks it
+    // touches (blockRW/blockIfPresent check refCount > 1).
+    s.pool_ = pool_;
+    s.table_ = table_;
+    if (pool_)
+        for (const uint32_t id : s.table_)
+            if (id != kAbsent)
+                pool_->ref(id);
+    return s;
+}
+
+void
+Crossbar::restore(const Snapshot &s)
+{
+    panicIf(s.wordsPerCol_ != wordsPerCol_ ||
+                (s.geo_ && s.geo_->cols != geo_->cols),
+            "restore: snapshot from a different geometry");
+    if (storage_ == XbarStorage::Dense) {
+        panicIf(s.dense_.empty() && !s.table_.empty(),
+                "restore: paged snapshot into a dense crossbar");
+        if (s.dense_.empty())
+            std::fill(state_.begin(), state_.end(), 0);
+        else
+            state_ = s.dense_;
+        return;
+    }
+    panicIf(!s.dense_.empty(),
+            "restore: dense snapshot into a paged crossbar");
+    panicIf(s.pool_ && pool_ && s.pool_ != pool_,
+            "restore: snapshot was taken from a different crossbar");
+    // Re-adopt the snapshot's shared blocks: ref the incoming set
+    // first so self-restore never transiently frees a block.
+    if (s.pool_)
+        for (const uint32_t id : s.table_)
+            if (id != kAbsent)
+                s.pool_->ref(id);
+    if (pool_)
+        for (const uint32_t id : table_)
+            if (id != kAbsent)
+                pool_->unref(id);
+    table_ = s.table_;
+    if (!pool_)
+        pool_ = s.pool_;
+}
+
+uint64_t
+Crossbar::compact()
+{
+    if (storage_ == XbarStorage::Dense || table_.empty())
+        return 0;
+    uint64_t elided = 0;
+    for (uint32_t col = 0; col < geo_->cols; ++col) {
+        for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+            uint32_t &id = table_[tableIndex(col, b)];
+            if (id == kAbsent)
+                continue;
+            if (allZero(pool_->words(id), blockWords(b))) {
+                pool_->unref(id);
+                id = kAbsent;
+                ++elided;
+            }
+        }
+    }
+    return elided;
+}
+
+StorageGauges
+Crossbar::storageGauges() const
+{
+    StorageGauges g;
+    const uint64_t total =
+        static_cast<uint64_t>(geo_->cols) * blocksPerCol_;
+    g.blocksTotal = total;
+    if (storage_ == XbarStorage::Dense) {
+        // The flat slab materialises everything.
+        g.blocksPresent = total;
+        g.residentBytes = state_.capacity() * sizeof(uint64_t);
+        return g;
+    }
+    for (const uint32_t id : table_) {
+        if (id == kAbsent)
+            continue;
+        ++g.blocksPresent;
+        if (pool_->refCount(id) > 1)
+            ++g.cowShared;
+    }
+    g.blocksElided = total - g.blocksPresent;
+    g.residentBytes = table_.capacity() * sizeof(uint32_t) +
+                      (pool_ ? pool_->residentBytes() : 0);
+    return g;
+}
+
+bool
+Crossbar::sameState(const Crossbar &other) const
+{
+    if (storage_ == XbarStorage::Dense &&
+        other.storage_ == XbarStorage::Dense)
+        return state_ == other.state_;
+    // Canonical per-block walk: an absent block equals an all-zero
+    // materialised one, so dense-vs-paged comparison is direct and
+    // paged-vs-paged touches only present blocks.
+    for (uint32_t col = 0; col < geo_->cols; ++col) {
+        for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+            const uint64_t *a = storage_ == XbarStorage::Dense
+                ? colWords(col) + b * kBlockWords
+                : blockRO(col, b);
+            const uint64_t *bw =
+                other.storage_ == XbarStorage::Dense
+                    ? other.colWords(col) + b * kBlockWords
+                    : other.blockRO(col, b);
+            if (a == bw)
+                continue;  // shared block (or both absent)
+            const uint32_t used = blockWords(b);
+            if (!a) {
+                if (!allZero(bw, used))
+                    return false;
+            } else if (!bw) {
+                if (!allZero(a, used))
+                    return false;
+            } else if (!std::equal(a, a + used, bw)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+Crossbar::sameState(const Snapshot &s) const
+{
+    for (uint32_t col = 0; col < geo_->cols; ++col) {
+        for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+            const uint64_t *a = storage_ == XbarStorage::Dense
+                ? colWords(col) + b * kBlockWords
+                : blockRO(col, b);
+            const uint64_t *bw = s.blockRO(col, b);
+            if (a == bw)
+                continue;
+            const uint32_t used = blockWords(b);
+            if (!a) {
+                if (!allZero(bw, used))
+                    return false;
+            } else if (!bw) {
+                if (!allZero(a, used))
+                    return false;
+            } else if (!std::equal(a, a + used, bw)) {
+                return false;
+            }
+        }
+    }
+    return true;
 }
 
 } // namespace pypim

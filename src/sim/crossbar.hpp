@@ -7,6 +7,38 @@
  * over all rows costs O(rows/64) word operations — the CPU analogue of
  * the paper's condensed-format GPU optimisation (§VI "Memory"/"Logic").
  *
+ * Two representations exist behind one interface (XbarStorage):
+ *
+ *  - DENSE: one flat cols x wordsPerCol slab, the historical layout
+ *    and the parity oracle. RSS scales with geometry.
+ *  - PAGED: each column is a run of kBlockWords-word BLOCKS behind a
+ *    per-column block table. An all-zero block is represented by the
+ *    sentinel entry kAbsent and costs zero bytes; it densifies
+ *    transparently on the first write that could set a bit in it, and
+ *    an explicit compact() sweep re-elides blocks that have decayed
+ *    back to all-zero. The table itself is allocated lazily on the
+ *    first densification, so a never-written crossbar costs O(1)
+ *    bytes — RSS scales with LIVE data, not with geometry
+ *    (BitMagic-style zero elision; ROADMAP capacity item).
+ *
+ * Zero-elision gives the replay loops a fast path for free: reading
+ * an absent block yields zeros, so NOR/NOT with all-absent inputs
+ * reduces to algebra on the output block (out &= ~mask needs no input
+ * materialisation, and skips entirely when the output is absent too,
+ * since stateful logic can only clear bits). Writes densify a block
+ * only when the row mask actually selects a row inside it.
+ *
+ * On top of the block table, snapshot() returns a refcounted
+ * copy-on-write image sharing every present block with the live
+ * crossbar: O(live data) checkpoint, O(shared blocks) compare, with
+ * mutation after the snapshot cloning only the blocks it touches.
+ * Refcounts are NOT atomic: snapshots must be created, restored and
+ * destroyed only while no replay is mutating the source crossbar
+ * (the Simulator's drain points provide exactly this), and a
+ * crossbar's blocks are only ever mutated by one thread at a time
+ * (the sharded engine partitions work by crossbar), so block cloning
+ * during concurrent replay of DIFFERENT crossbars is race-free.
+ *
  * Stateful-logic fidelity: NOT/NOR can only switch the output memristor
  * from 1 towards 0 (paper §II-A — the output is expected to be
  * initialised to logical one first). We model exactly that:
@@ -18,6 +50,7 @@
 #define PYPIM_SIM_CROSSBAR_HPP
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -31,12 +64,61 @@ namespace pypim
 struct SegmentTrace;
 struct Stats;
 struct TraceOp;
+class BlockPool;
+
+/** One strided write of a stripe: slot @p slot takes @p value. */
+struct StripeWrite
+{
+    uint32_t slot = 0;
+    uint32_t value = 0;
+};
+
+/** Point-in-time storage footprint of a crossbar (or a sum of them).
+ *  Pure observability — never part of the architectural Stats, whose
+ *  exact equality the parity suites assert across storage modes. */
+struct StorageGauges
+{
+    uint64_t blocksTotal = 0;    //!< cols * blocksPerCol (paged; 0 dense)
+    uint64_t blocksPresent = 0;  //!< materialised (non-elided) blocks
+    uint64_t blocksElided = 0;   //!< absent blocks costing zero bytes
+    uint64_t cowShared = 0;      //!< present blocks shared with snapshots
+    uint64_t residentBytes = 0;  //!< bytes actually allocated for state
+
+    StorageGauges &
+    operator+=(const StorageGauges &o)
+    {
+        blocksTotal += o.blocksTotal;
+        blocksPresent += o.blocksPresent;
+        blocksElided += o.blocksElided;
+        cowShared += o.cowShared;
+        residentBytes += o.residentBytes;
+        return *this;
+    }
+};
 
 /** One h x w crossbar array with stateful-logic semantics. */
 class Crossbar
 {
   public:
-    explicit Crossbar(const Geometry &geo);
+    /** Words per paged block: 8 words = 512 rows of one column. */
+    static constexpr uint32_t kBlockWords = 8;
+    /** Block-table sentinel for an elided (all-zero) block. */
+    static constexpr uint32_t kAbsent = UINT32_MAX;
+
+    /**
+     * @p storage defaults to Dense so direct constructions (unit
+     * tests, host tooling) get the reference slab layout; the engine
+     * stack passes EngineConfig::storage, whose default is Paged.
+     */
+    explicit Crossbar(const Geometry &geo,
+                      XbarStorage storage = XbarStorage::Dense);
+
+    // The pool is refcounted state: a bitwise copy would alias blocks
+    // without owning them. Moves are fine (the source is emptied).
+    Crossbar(const Crossbar &) = delete;
+    Crossbar &operator=(const Crossbar &) = delete;
+    Crossbar(Crossbar &&) = default;
+    Crossbar &operator=(Crossbar &&) = default;
 
     /**
      * Execute an expanded horizontal logic op on all mask-selected
@@ -60,8 +142,9 @@ class Crossbar
      * in segment order, while this crossbar's column-major state is
      * hot in cache. The inner loop of the trace-based engines
      * (sim/segment_trace.hpp). @p work, if non-null, accumulates one
-     * op per application (two for fused INIT+gate pairs) — the
-     * sharded engine's load-balance diagnostic.
+     * op per application (two for fused INIT+gate pairs, one per
+     * merged Write of a stripe) — the sharded engine's load-balance
+     * diagnostic, conserved exactly across fusion.
      */
     void replaySegment(const SegmentTrace &trace, uint32_t self,
                        Stats *work);
@@ -86,6 +169,17 @@ class Crossbar
     void write(uint32_t slot, uint32_t value,
                std::span<const uint64_t> rowMask);
 
+    /**
+     * Apply a stripe of distinct-slot strided writes under one shared
+     * row mask, partition-major: for each partition, all stripe
+     * columns are written while the realized mask word is loaded once
+     * (the replay form of the trace fuser's adjacent-Write merge).
+     * Bit-identical to applying the writes in order — the slots are
+     * pairwise distinct, so the strided column sets are disjoint.
+     */
+    void writeStripe(std::span<const StripeWrite> ws,
+                     std::span<const uint64_t> rowMask);
+
     /** Strided N-bit read of one row. */
     uint32_t read(uint32_t slot, uint32_t row) const;
 
@@ -97,15 +191,78 @@ class Crossbar
     void setBit(uint32_t row, uint32_t col, bool v);
 
     /**
-     * Bit-exact state comparison (engine-parity tests). Both crossbars
-     * must share a geometry.
+     * Refcounted copy-on-write image of the crossbar's full state at
+     * the instant of the snapshot() call. Paged snapshots share every
+     * present block with the source (O(live data) to take, zero block
+     * copies); dense snapshots deep-copy the slab. A snapshot stays
+     * valid after the source crossbar mutates or is destroyed.
+     * Synchronisation contract: create/restore/destroy only while no
+     * replay is mutating the SOURCE crossbar (see file header).
      */
-    bool sameState(const Crossbar &other) const
+    class Snapshot
     {
-        return state_ == other.state_;
-    }
+      public:
+        Snapshot() = default;
+        Snapshot(const Snapshot &o);
+        Snapshot &operator=(const Snapshot &o);
+        Snapshot(Snapshot &&o) noexcept;
+        Snapshot &operator=(Snapshot &&o) noexcept;
+        ~Snapshot();
+
+        /** Strided N-bit read of one row, as Crossbar::read. */
+        uint32_t read(uint32_t slot, uint32_t row) const;
+        /** Raw bit access, as Crossbar::bit. */
+        bool bit(uint32_t row, uint32_t col) const;
+
+      private:
+        friend class Crossbar;
+        /** Drop every block reference and empty the image. */
+        void release();
+        /** Words of block @p b of column @p col, or null if elided
+         *  (dense snapshots are never elided). */
+        const uint64_t *blockRO(uint32_t col, uint32_t b) const;
+
+        const Geometry *geo_ = nullptr;
+        uint32_t wordsPerCol_ = 0;
+        uint32_t blocksPerCol_ = 0;
+        std::shared_ptr<BlockPool> pool_;  //!< paged: shared block pool
+        std::vector<uint32_t> table_;      //!< paged: refcounted ids
+        std::vector<uint64_t> dense_;      //!< dense: deep slab copy
+    };
+
+    /** Checkpoint the current state (see Snapshot). */
+    Snapshot snapshot() const;
+
+    /**
+     * Restore the state captured by @p s (which must come from a
+     * crossbar of the same geometry and storage mode). Paged restore
+     * is O(live data): the block table re-adopts the snapshot's
+     * shared blocks, and subsequent mutation clones on write.
+     */
+    void restore(const Snapshot &s);
+
+    /**
+     * Re-elide every materialised block that has decayed to all-zero
+     * (writes clear bits in place — elision is never checked on the
+     * hot path). No-op for dense storage. Returns blocks elided.
+     */
+    uint64_t compact();
+
+    /** Point-in-time storage footprint (never architectural state). */
+    StorageGauges storageGauges() const;
+
+    /**
+     * Bit-exact state comparison (engine-parity tests). Both crossbars
+     * must share a geometry; storage modes may differ — an absent
+     * block compares equal to an all-zero dense region, so a paged
+     * crossbar checks against the dense oracle directly.
+     */
+    bool sameState(const Crossbar &other) const;
+    /** Bit-exact comparison against a snapshot of same geometry. */
+    bool sameState(const Snapshot &s) const;
 
     const Geometry &geometry() const { return *geo_; }
+    XbarStorage storage() const { return storage_; }
 
   private:
     uint64_t *colWords(uint32_t col)
@@ -118,9 +275,62 @@ class Crossbar
         return state_.data() + static_cast<size_t>(col) * wordsPerCol_;
     }
 
+    /** Words in block @p b of a column (the tail block may be short). */
+    uint32_t
+    blockWords(uint32_t b) const
+    {
+        const uint32_t base = b * kBlockWords;
+        return wordsPerCol_ - base < kBlockWords ? wordsPerCol_ - base
+                                                 : kBlockWords;
+    }
+
+    /** Block id slot of (col, block) in the table. */
+    size_t
+    tableIndex(uint32_t col, uint32_t b) const
+    {
+        return static_cast<size_t>(col) * blocksPerCol_ + b;
+    }
+
+    /** Read-only block words, or null if absent. Never allocates. */
+    const uint64_t *blockRO(uint32_t col, uint32_t b) const;
+    /**
+     * Mutable block words, materialising a zeroed block if absent and
+     * cloning first if shared with a snapshot (copy-on-write). May
+     * grow the pool: fetch ALL read-only input pointers AFTER the
+     * output's blockRW within one (section, block) step.
+     */
+    uint64_t *blockRW(uint32_t col, uint32_t b);
+    /**
+     * Mutable block words of a PRESENT block, or null if absent —
+     * for ops that can only clear bits (Init0, NOR/NOT outputs),
+     * where an absent output stays absent. Clones if shared.
+     */
+    uint64_t *blockIfPresent(uint32_t col, uint32_t b);
+
+    /** Allocate the lazy block table / pool on first densification. */
+    void ensureTable();
+
+    // Paged op bodies (crossbar.cpp); the public entry points branch
+    // once per op so the dense loops stay byte-identical to the
+    // historical implementation.
+    void logicHPaged(const HalfGates &hg,
+                     std::span<const uint64_t> rowMask);
+    void logicHFusedInit1Paged(const HalfGates &hg,
+                               std::span<const uint64_t> rowMask);
+    void writePaged(uint32_t slot, uint32_t value,
+                    std::span<const uint64_t> rowMask);
+    void writeStripePaged(std::span<const StripeWrite> ws,
+                          std::span<const uint64_t> rowMask);
+    void logicVPaged(Gate g, uint32_t rowIn, uint32_t rowOut,
+                     uint32_t slot);
+
     const Geometry *geo_;
     uint32_t wordsPerCol_;
-    std::vector<uint64_t> state_;
+    uint32_t blocksPerCol_;
+    XbarStorage storage_;
+    std::vector<uint64_t> state_;      //!< dense slab (empty if paged)
+    std::vector<uint32_t> table_;      //!< paged block ids (lazy)
+    std::shared_ptr<BlockPool> pool_;  //!< paged block pool (lazy)
 };
 
 } // namespace pypim

@@ -83,7 +83,10 @@ SimulatorGroup::exchangeMove(Word w, const MicroOp &op,
     // 1. Stage boundary-crossing source values. crossbar() drains the
     // owning sub-device, so every op preceding this Move has landed;
     // nothing after it has been submitted yet, so the values read are
-    // the pre-move (read-all) state.
+    // the pre-move (read-all) state. Storage-transparent: with paged
+    // crossbars a read of a still-absent block yields 0 and landing
+    // densifies exactly the destination blocks written, so staging
+    // through cold state needs no special casing.
     staged_.clear();
     xb.forEach([&](uint32_t src) {
         const uint32_t dst = static_cast<uint32_t>(src + dist);

@@ -148,6 +148,28 @@ class SimulatorGroup : public OperationSink
 
     const Traffic &traffic() const { return traffic_; }
 
+    /** Aggregate storage footprint across every sub-device (each
+     *  drains its pipeline). Observability only — see Simulator. */
+    StorageGauges
+    storageGauges() const
+    {
+        StorageGauges g;
+        for (const auto &s : sims_)
+            g += s->storageGauges();
+        return g;
+    }
+
+    /** Re-elide decayed all-zero blocks on every sub-device; returns
+     *  the total number of blocks elided (0 for dense storage). */
+    uint64_t
+    compactStorage()
+    {
+        uint64_t elided = 0;
+        for (auto &s : sims_)
+            elided += s->compactStorage();
+        return elided;
+    }
+
     // --- OperationSink ------------------------------------------------
 
     void performBatch(const Word *ops, size_t n) override;

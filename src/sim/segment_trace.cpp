@@ -55,21 +55,39 @@ buildSegmentTrace(const Word *ops, size_t n, const Geometry &geo,
 {
     trace.clear(geo.rows);
 
-    // Lazily-materialised row-mask snapshot: snapId/snapRange identify
-    // the last snapshot appended to the arena; snapCurrent says the
-    // live mask still matches it, so consecutive work ops (and
-    // re-issued identical row masks) share one snapshot.
+    // Lazily-materialised row-mask snapshot: snapId identifies the
+    // snapshot in force; snapCurrent says the live mask still matches
+    // it, so consecutive work ops share one snapshot. After a RowMask
+    // op the next work op re-resolves by CONTENT: a re-issued Range
+    // that realizes the same row-mask bits — even via a different
+    // start/stop/step encoding — reuses the existing id, so the
+    // id-comparing fusions downstream (the builder's adjacent
+    // INIT1->NOR here, the window pass in batch_trace.cpp) fire
+    // across equivalent-Range reissues. The search is linear over the
+    // segment's snapshots, but building runs once per cached
+    // signature, never per replay.
     int64_t snapId = -1;
-    Range snapRange;
     bool snapCurrent = false;
     const auto rowSnapshot = [&]() -> uint32_t {
         if (!snapCurrent) {
-            snapId = static_cast<int64_t>(
-                trace.rowWords.size() / trace.wordsPerMask);
-            trace.rowWords.insert(trace.rowWords.end(),
-                                  mask.rowWords.begin(),
-                                  mask.rowWords.end());
-            snapRange = mask.row;
+            const size_t count =
+                trace.rowWords.size() / trace.wordsPerMask;
+            snapId = -1;
+            for (size_t k = 0; k < count; ++k) {
+                if (std::equal(mask.rowWords.begin(),
+                               mask.rowWords.end(),
+                               trace.rowWords.begin() +
+                                   k * trace.wordsPerMask)) {
+                    snapId = static_cast<int64_t>(k);
+                    break;
+                }
+            }
+            if (snapId < 0) {
+                snapId = static_cast<int64_t>(count);
+                trace.rowWords.insert(trace.rowWords.end(),
+                                      mask.rowWords.begin(),
+                                      mask.rowWords.end());
+            }
             snapCurrent = true;
         }
         return static_cast<uint32_t>(snapId);
@@ -99,7 +117,7 @@ buildSegmentTrace(const Word *ops, size_t n, const Geometry &geo,
             op.range.validate(geo.rows, "row");
             mask.setRow(op.range, geo.rows);
             stats.record(OpClass::RowMask);
-            snapCurrent = snapId >= 0 && op.range == snapRange;
+            snapCurrent = false;  // next work op re-resolves by content
             break;
           case OpType::Write: {
             fatalIf(op.index >= geo.slots(),

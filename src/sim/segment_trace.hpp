@@ -48,6 +48,7 @@
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "sim/crossbar.hpp"
 #include "uarch/microop.hpp"
 #include "uarch/partition.hpp"
 #include "uarch/range.hpp"
@@ -105,6 +106,15 @@ struct TraceOp
     uint32_t hg = 0;            //!< LogicH: SegmentTrace::halfGates index
     uint32_t rowMask = 0;       //!< write/logicH: row-snapshot id
     uint32_t rowIn = 0, rowOut = 0;  //!< logicV rows
+    /**
+     * Write only: number of adjacent Writes merged into this op by
+     * the trace fuser's stripe pass (1 = a plain un-merged Write).
+     * When > 1, @p wrun indexes the first of wn pairwise-distinct
+     * {slot, value} pairs in SegmentTrace::writePairs, all applied
+     * under this op's masks by Crossbar::writeStripe.
+     */
+    uint32_t wn = 1;
+    uint32_t wrun = 0;          //!< SegmentTrace::writePairs offset
     Range xb;                   //!< effective crossbar mask snapshot
 };
 
@@ -116,6 +126,8 @@ struct SegmentTrace
     std::vector<HalfGates> halfGates;
     /** Row-mask snapshots, wordsPerMask words each, back to back. */
     std::vector<uint64_t> rowWords;
+    /** Stripe arena: merged-Write pairs referenced by TraceOp::wrun. */
+    std::vector<StripeWrite> writePairs;
     uint32_t wordsPerMask = 0;
     /** Hull of crossbars any op can touch: [xbLo, xbHi). */
     uint32_t xbLo = 0, xbHi = 0;
@@ -128,6 +140,7 @@ struct SegmentTrace
         ops.clear();
         halfGates.clear();
         rowWords.clear();
+        writePairs.clear();
         xbLo = 0;
         xbHi = 0;
     }

@@ -25,7 +25,7 @@ Simulator::Simulator(const Geometry &geo, const EngineConfig &ec,
                 ") outside the geometry");
     xbs_.reserve(sliceCount);
     for (uint32_t i = 0; i < sliceCount; ++i)
-        xbs_.emplace_back(geo_);
+        xbs_.emplace_back(geo_, ec.storage);
     mask_.reset(geo_);
     engine_ =
         makeEngine(ec, geo_, xbs_, sliceLo_, htree_, mask_, stats_);
@@ -48,9 +48,31 @@ Simulator::checkOwned(uint32_t i) const
                 "(SimulatorGroup::crossbar)");
 }
 
+StorageGauges
+Simulator::storageGauges() const
+{
+    drainPipeline();
+    StorageGauges g;
+    for (const Crossbar &xb : xbs_)
+        g += xb.storageGauges();
+    return g;
+}
+
+uint64_t
+Simulator::compactStorage()
+{
+    drainPipeline();
+    uint64_t elided = 0;
+    for (Crossbar &xb : xbs_)
+        elided += xb.compact();
+    return elided;
+}
+
 void
 Simulator::setEngine(const EngineConfig &ec)
 {
+    // The crossbar state (and with it the storage representation)
+    // survives the swap: ec.storage is applied at construction only.
     drainPipeline();
     engine_ =
         makeEngine(ec, geo_, xbs_, sliceLo_, htree_, mask_, stats_);

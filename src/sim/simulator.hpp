@@ -158,6 +158,21 @@ class Simulator : public OperationSink
     const Range &crossbarMask() const { return mask_.xb; }
     const Range &rowMask() const { return mask_.row; }
 
+    /**
+     * Aggregate storage footprint of every owned crossbar (drains
+     * the pipeline first). Pure observability: never part of the
+     * architectural Stats the parity suites compare exactly.
+     */
+    StorageGauges storageGauges() const;
+
+    /**
+     * Re-elide every materialised block that has decayed to all-zero
+     * across the owned slice (paged storage; no-op for dense). Drains
+     * the pipeline — compaction must not race replay. Returns the
+     * number of blocks returned to the pool.
+     */
+    uint64_t compactStorage();
+
     /** Statistics queries drain the pipeline. */
     Stats &
     stats()

@@ -122,11 +122,41 @@ TEST(ConfigEnv, AffinityParses)
     }
 }
 
+TEST(ConfigEnv, XbarStorageParses)
+{
+    {
+        EnvVar v("PYPIM_XBAR_STORAGE", "dense");
+        EXPECT_EQ(EngineConfig::fromEnv().storage,
+                  XbarStorage::Dense);
+    }
+    {
+        EnvVar v("PYPIM_XBAR_STORAGE", "paged");
+        EXPECT_EQ(EngineConfig::fromEnv().storage,
+                  XbarStorage::Paged);
+    }
+}
+
+TEST(ConfigEnv, XbarStorageRejectsJunk)
+{
+    // Case-sensitive exact match only: a typo must fail loudly, not
+    // silently run the whole process on the wrong representation.
+    for (const char *bad :
+         {"Dense", "PAGED", "sparse", "1", "on", " paged", "paged "}) {
+        EnvVar v("PYPIM_XBAR_STORAGE", bad);
+        EXPECT_THROW(EngineConfig::fromEnv(), Error)
+            << "PYPIM_XBAR_STORAGE='" << bad << "'";
+    }
+}
+
 TEST(ConfigEnv, DefaultsWhenUnset)
 {
     ::unsetenv("PYPIM_DEVICES");
     ::unsetenv("PYPIM_AFFINITY");
+    ::unsetenv("PYPIM_XBAR_STORAGE");
     const EngineConfig c = EngineConfig::fromEnv();
     EXPECT_EQ(c.devices, 1u);
     EXPECT_FALSE(c.affinity);
+    EXPECT_EQ(c.storage, XbarStorage::Paged)
+        << "paged is the default representation; dense is the "
+           "opt-in parity oracle";
 }

@@ -1,11 +1,18 @@
 /**
  * @file
  * Bit-level crossbar semantics: stateful logic (output switches only
- * 1 -> 0), strided read/write, vertical ops, row masking.
+ * 1 -> 0), strided read/write, vertical ops, row masking — every
+ * behavioural test runs under BOTH storage representations
+ * (TEST_P over XbarStorage), so the dense slab stays the oracle the
+ * paged mode is continuously checked against. The PagedCrossbar suite
+ * adds the storage-specific surface: zero-block elision, transparent
+ * densification, block-boundary addressing, compact() re-elision and
+ * copy-on-write snapshot isolation.
  */
 #include <gtest/gtest.h>
 
 #include "common/config.hpp"
+#include "common/rng.hpp"
 #include "sim/crossbar.hpp"
 #include "uarch/partition.hpp"
 
@@ -14,12 +21,20 @@ using namespace pypim;
 namespace
 {
 
-class CrossbarTest : public ::testing::Test
+HalfGates
+gateOn(const Geometry &geo, Gate g, uint32_t a, uint32_t b,
+       uint32_t out)
+{
+    const uint32_t pOut = out / geo.partitionWidth();
+    return expandLogicH(MicroOp::logicH(g, a, b, out, pOut, 0), geo);
+}
+
+class CrossbarTest : public ::testing::TestWithParam<XbarStorage>
 {
   protected:
     CrossbarTest()
         : geo(testGeometry()),
-          xb(geo),
+          xb(geo, GetParam()),
           fullMask(Range::all(geo.rows).expand(geo.rows))
     {
     }
@@ -27,8 +42,7 @@ class CrossbarTest : public ::testing::Test
     HalfGates
     gate(Gate g, uint32_t a, uint32_t b, uint32_t out)
     {
-        const uint32_t pOut = out / geo.partitionWidth();
-        return expandLogicH(MicroOp::logicH(g, a, b, out, pOut, 0), geo);
+        return gateOn(geo, g, a, b, out);
     }
 
     Geometry geo;
@@ -38,7 +52,7 @@ class CrossbarTest : public ::testing::Test
 
 } // namespace
 
-TEST_F(CrossbarTest, NorTruthTable)
+TEST_P(CrossbarTest, NorTruthTable)
 {
     // Columns 0, 1 as inputs; column 2 as output; rows 0..3 hold the
     // four input combinations.
@@ -54,7 +68,7 @@ TEST_F(CrossbarTest, NorTruthTable)
     EXPECT_FALSE(xb.bit(3, 2));   // NOR(1,1) = 0
 }
 
-TEST_F(CrossbarTest, StatefulOutputOnlySwitchesDown)
+TEST_P(CrossbarTest, StatefulOutputOnlySwitchesDown)
 {
     // Output NOT initialised to 1: NOR(0,0) cannot switch it up.
     xb.setBit(0, 0, false);
@@ -64,7 +78,7 @@ TEST_F(CrossbarTest, StatefulOutputOnlySwitchesDown)
     EXPECT_FALSE(xb.bit(0, 2)) << "stateful logic must not set 0 -> 1";
 }
 
-TEST_F(CrossbarTest, NotGate)
+TEST_P(CrossbarTest, NotGate)
 {
     xb.setBit(0, 5, true);
     xb.setBit(1, 5, false);
@@ -75,7 +89,7 @@ TEST_F(CrossbarTest, NotGate)
     EXPECT_TRUE(xb.bit(1, 9));
 }
 
-TEST_F(CrossbarTest, InitGates)
+TEST_P(CrossbarTest, InitGates)
 {
     xb.setBit(0, 7, false);
     xb.logicH(gate(Gate::Init1, 0, 0, 7), fullMask);
@@ -84,7 +98,7 @@ TEST_F(CrossbarTest, InitGates)
     EXPECT_FALSE(xb.bit(0, 7));
 }
 
-TEST_F(CrossbarTest, RowMaskSkipsDeselectedRows)
+TEST_P(CrossbarTest, RowMaskSkipsDeselectedRows)
 {
     // Only even rows selected (isolation voltage on odd rows).
     const auto mask = Range(0, geo.rows - 2, 2).expand(geo.rows);
@@ -97,7 +111,7 @@ TEST_F(CrossbarTest, RowMaskSkipsDeselectedRows)
         EXPECT_EQ(xb.bit(r, 2), r % 2 == 1) << "row " << r;
 }
 
-TEST_F(CrossbarTest, ParallelPatternActsPerPartition)
+TEST_P(CrossbarTest, ParallelPatternActsPerPartition)
 {
     // NOR(slot0, slot1) -> slot2 in all 32 partitions in one op.
     const HalfGates hg = expandLogicH(
@@ -110,7 +124,7 @@ TEST_F(CrossbarTest, ParallelPatternActsPerPartition)
     EXPECT_EQ(xb.read(2, 3), ~(0x0F0F0F0Fu | 0x00FF00FFu));
 }
 
-TEST_F(CrossbarTest, StridedReadWriteRoundTrip)
+TEST_P(CrossbarTest, StridedReadWriteRoundTrip)
 {
     xb.writeRow(4, 0xCAFEBABE, 10);
     EXPECT_EQ(xb.read(4, 10), 0xCAFEBABEu);
@@ -119,7 +133,7 @@ TEST_F(CrossbarTest, StridedReadWriteRoundTrip)
     EXPECT_EQ(xb.bit(10, geo.column(4, 31)), (0xCAFEBABEu >> 31) & 1);
 }
 
-TEST_F(CrossbarTest, MaskedWriteAffectsSelectedRowsOnly)
+TEST_P(CrossbarTest, MaskedWriteAffectsSelectedRowsOnly)
 {
     const auto mask = Range(8, 24, 8).expand(geo.rows);
     xb.write(3, 0x12345678, mask);
@@ -129,7 +143,23 @@ TEST_F(CrossbarTest, MaskedWriteAffectsSelectedRowsOnly)
     EXPECT_EQ(xb.read(3, 9), 0u);
 }
 
-TEST_F(CrossbarTest, VerticalNotTransfersBetweenRows)
+TEST_P(CrossbarTest, WriteStripeMatchesIndividualWrites)
+{
+    // One stripe writing three slots must equal three single writes
+    // under the same mask — the replay form of merged Write ops.
+    Crossbar ref(geo, GetParam());
+    const auto mask = Range(4, 28, 4).expand(geo.rows);
+    const StripeWrite ws[] = {
+        {2, 0x11112222u}, {5, 0xDEADBEEFu}, {9, 0x0F0F0F0Fu}};
+    for (const StripeWrite &w : ws)
+        ref.write(w.slot, w.value, mask);
+    xb.writeStripe(ws, mask);
+    EXPECT_TRUE(xb.sameState(ref));
+    EXPECT_EQ(xb.read(5, 8), 0xDEADBEEFu);
+    EXPECT_EQ(xb.read(5, 9), 0u);
+}
+
+TEST_P(CrossbarTest, VerticalNotTransfersBetweenRows)
 {
     // Vertical NOT moves (inverted) slot data from row 2 to row 40.
     xb.writeRow(6, 0xA5A5A5A5, 2);
@@ -140,7 +170,7 @@ TEST_F(CrossbarTest, VerticalNotTransfersBetweenRows)
     EXPECT_EQ(xb.read(6, 2), 0xA5A5A5A5u);
 }
 
-TEST_F(CrossbarTest, VerticalInit)
+TEST_P(CrossbarTest, VerticalInit)
 {
     xb.logicV(Gate::Init1, 0, 17, 5);
     EXPECT_EQ(xb.read(5, 17), 0xFFFFFFFFu);
@@ -148,7 +178,7 @@ TEST_F(CrossbarTest, VerticalInit)
     EXPECT_EQ(xb.read(5, 17), 0u);
 }
 
-TEST_F(CrossbarTest, VerticalNotRespectsStatefulSemantics)
+TEST_P(CrossbarTest, VerticalNotRespectsStatefulSemantics)
 {
     xb.writeRow(6, 0xFFFFFFFF, 2);
     xb.writeRow(6, 0x0000FFFF, 40);  // half stale-0 destination
@@ -160,4 +190,240 @@ TEST_F(CrossbarTest, VerticalNotRespectsStatefulSemantics)
     xb.logicV(Gate::Not, 2, 40, 6);
     // NOT(0) = 1, but only pre-initialised cells can show it.
     EXPECT_EQ(xb.read(6, 40), 0x0000FFFFu);
+}
+
+TEST_P(CrossbarTest, SnapshotRestoreRoundTrip)
+{
+    xb.writeRow(3, 0xABCD1234, 7);
+    const Crossbar::Snapshot snap = xb.snapshot();
+    xb.writeRow(3, 0x55555555, 7);
+    xb.writeRow(4, 0xFFFFFFFF, 8);
+    EXPECT_FALSE(xb.sameState(snap));
+    EXPECT_EQ(snap.read(3, 7), 0xABCD1234u);  // image is frozen
+    xb.restore(snap);
+    EXPECT_TRUE(xb.sameState(snap));
+    EXPECT_EQ(xb.read(3, 7), 0xABCD1234u);
+    EXPECT_EQ(xb.read(4, 8), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storage, CrossbarTest,
+    ::testing::Values(XbarStorage::Dense, XbarStorage::Paged),
+    [](const auto &info) { return xbarStorageName(info.param); });
+
+// ---------------------------------------------------------------------
+// Paged-specific storage semantics. A taller geometry gives each
+// column multiple 512-row blocks, so block-table addressing, elision
+// and boundary handling are all exercised.
+
+namespace
+{
+
+Geometry
+tallGeometry()
+{
+    Geometry g = testGeometry();
+    g.rows = 2048;  // 32 words = 4 blocks per column
+    return g;
+}
+
+/** 64-bit word from the 32-bit test RNG. */
+uint64_t
+word64(Rng &rng)
+{
+    return (static_cast<uint64_t>(rng.word()) << 32) | rng.word();
+}
+
+} // namespace
+
+TEST(PagedCrossbar, UntouchedCrossbarIsResidentFree)
+{
+    const Geometry geo = tallGeometry();
+    const Crossbar xb(geo, XbarStorage::Paged);
+    const StorageGauges g = xb.storageGauges();
+    EXPECT_EQ(g.blocksPresent, 0u);
+    EXPECT_EQ(g.residentBytes, 0u) << "lazy table/pool: an untouched "
+                                      "crossbar must cost no bytes";
+    // Reads of never-touched state are architectural zeros.
+    EXPECT_EQ(xb.read(0, 0), 0u);
+    EXPECT_EQ(xb.read(3, geo.rows - 1), 0u);
+    EXPECT_FALSE(xb.bit(600, 17));
+}
+
+TEST(PagedCrossbar, ZeroPreservingOpsStayElided)
+{
+    const Geometry geo = tallGeometry();
+    Crossbar xb(geo, XbarStorage::Paged);
+    const auto fullMask = Range::all(geo.rows).expand(geo.rows);
+    // INIT0 and NOR/NOT over all-absent inputs into an absent output
+    // are algebra on zeros: nothing may densify.
+    xb.logicH(gateOn(geo, Gate::Init0, 0, 0, 9), fullMask);
+    xb.logicH(gateOn(geo, Gate::Nor, 0, 1, 9), fullMask);
+    xb.logicH(gateOn(geo, Gate::Not, 2, 2, 9), fullMask);
+    xb.write(4, 0, fullMask);  // writing zeros is zero-preserving too
+    EXPECT_EQ(xb.storageGauges().blocksPresent, 0u);
+    // ... but the architectural state is what dense would hold: NOR
+    // over a stale-0 output stays 0 even though NOR(0,0) = 1.
+    EXPECT_FALSE(xb.bit(0, 9));
+}
+
+TEST(PagedCrossbar, DensificationTouchesOnlyMaskedBlocks)
+{
+    const Geometry geo = tallGeometry();
+    Crossbar xb(geo, XbarStorage::Paged);
+    // Rows 512..1023 are exactly block 1 of each touched column.
+    const auto mask = Range(512, 1023, 1).expand(geo.rows);
+    xb.write(5, 0xFFFFFFFFu, mask);
+    const StorageGauges g = xb.storageGauges();
+    // One 32-bit slot = 32 columns; each densified only in block 1.
+    EXPECT_EQ(g.blocksPresent, 32u);
+    EXPECT_EQ(xb.read(5, 512), 0xFFFFFFFFu);
+    EXPECT_EQ(xb.read(5, 1023), 0xFFFFFFFFu);
+    EXPECT_EQ(xb.read(5, 511), 0u);
+    EXPECT_EQ(xb.read(5, 1024), 0u);
+}
+
+TEST(PagedCrossbar, BlockBoundaryRowsMatchDense)
+{
+    const Geometry geo = tallGeometry();
+    Crossbar paged(geo, XbarStorage::Paged);
+    Crossbar dense(geo, XbarStorage::Dense);
+    // Straddle every 512-row block seam, including the last row.
+    for (const uint32_t row : {0u, 511u, 512u, 1023u, 1024u, 1535u,
+                               1536u, 2047u}) {
+        paged.writeRow(2, 0xC0FFEE00u | row, row);
+        dense.writeRow(2, 0xC0FFEE00u | row, row);
+    }
+    const auto seam = Range(511, 1536, 1).expand(geo.rows);
+    paged.logicH(gateOn(geo, Gate::Init1, 0, 0, 33), seam);
+    dense.logicH(gateOn(geo, Gate::Init1, 0, 0, 33), seam);
+    paged.logicV(Gate::Not, 511, 512, 2);
+    dense.logicV(Gate::Not, 511, 512, 2);
+    EXPECT_TRUE(paged.sameState(dense));
+    EXPECT_EQ(paged.read(2, 2047), 0xC0FFEE00u | 2047u);
+}
+
+TEST(PagedCrossbar, CompactReElidesDecayedBlocks)
+{
+    const Geometry geo = tallGeometry();
+    Crossbar xb(geo, XbarStorage::Paged);
+    const auto mask = Range(0, 511, 1).expand(geo.rows);
+    // Densify block 0 of slot 6's columns with ones...
+    const HalfGates init1 = expandLogicH(
+        MicroOp::logicH(Gate::Init1, 0, 0, geo.column(6, 0),
+                        geo.partitions - 1, 1), geo);
+    xb.logicH(init1, mask);
+    const uint64_t present = xb.storageGauges().blocksPresent;
+    EXPECT_EQ(present, 32u);
+    EXPECT_EQ(xb.compact(), 0u) << "live blocks must survive compact";
+    // ... decay them back to zero: the blocks stay materialised (ops
+    // never re-elide inline) until an explicit compact() sweep.
+    const HalfGates init0 = expandLogicH(
+        MicroOp::logicH(Gate::Init0, 0, 0, geo.column(6, 0),
+                        geo.partitions - 1, 1), geo);
+    xb.logicH(init0, mask);
+    EXPECT_EQ(xb.storageGauges().blocksPresent, present);
+    EXPECT_EQ(xb.compact(), present);
+    const StorageGauges after = xb.storageGauges();
+    EXPECT_EQ(after.blocksPresent, 0u);
+    EXPECT_EQ(after.blocksElided, after.blocksTotal);
+    // Round trip: the crossbar is architecturally unchanged and can
+    // densify again.
+    EXPECT_EQ(xb.read(6, 100), 0u);
+    xb.writeRow(6, 0x5A5A5A5Au, 100);
+    EXPECT_EQ(xb.read(6, 100), 0x5A5A5A5Au);
+}
+
+TEST(PagedCrossbar, SnapshotIsCopyOnWriteAndIsolated)
+{
+    const Geometry geo = tallGeometry();
+    Crossbar xb(geo, XbarStorage::Paged);
+    xb.writeRow(1, 0x11223344u, 10);
+    xb.writeRow(1, 0x99887766u, 700);  // second block
+    const Crossbar::Snapshot snap = xb.snapshot();
+    {
+        // Snapshot shares every present block rather than copying it.
+        const StorageGauges g = xb.storageGauges();
+        EXPECT_GT(g.cowShared, 0u);
+        EXPECT_EQ(g.cowShared, g.blocksPresent);
+    }
+    // Writes after the snapshot clone only the touched blocks; the
+    // frozen image must not see them.
+    xb.writeRow(1, 0xFFFFFFFFu, 10);
+    EXPECT_EQ(snap.read(1, 10), 0x11223344u);
+    EXPECT_EQ(snap.read(1, 700), 0x99887766u);
+    EXPECT_EQ(xb.read(1, 10), 0xFFFFFFFFu);
+    EXPECT_FALSE(xb.sameState(snap));
+    // Snapshot copies are independent refcounted images.
+    const Crossbar::Snapshot copy = snap;
+    xb.restore(copy);
+    EXPECT_TRUE(xb.sameState(snap));
+    EXPECT_EQ(xb.read(1, 10), 0x11223344u);
+}
+
+TEST(PagedCrossbar, FuzzedSparseParityWithDense)
+{
+    const Geometry geo = tallGeometry();
+    Crossbar paged(geo, XbarStorage::Paged);
+    Crossbar dense(geo, XbarStorage::Dense);
+    Rng rng(20240604);
+    const uint32_t maskWords = (geo.rows + 63) / 64;
+    std::vector<uint64_t> mask(maskWords);
+    const uint32_t slots = geo.slots();
+    for (uint32_t iter = 0; iter < 400; ++iter) {
+        // Sparse random row mask: mostly zero words, so ops keep
+        // hitting absent/present block mixtures.
+        for (auto &w : mask)
+            w = rng.word() % 4 == 0 ? word64(rng) : 0;
+        const uint32_t kind = rng.word() % 8;
+        if (kind < 2) {
+            const uint32_t slot = rng.word() % slots;
+            const uint32_t v = rng.word();
+            paged.write(slot, v, mask);
+            dense.write(slot, v, mask);
+        } else if (kind < 5) {
+            const Gate g = kind == 2   ? Gate::Nor
+                           : kind == 3 ? Gate::Init1
+                                       : Gate::Init0;
+            // Inputs must live in the gate's partition span: pick one
+            // partition and three intra-partition columns.
+            const uint32_t pw = geo.partitionWidth();
+            const uint32_t base = (rng.word() % geo.partitions) * pw;
+            const uint32_t a = base + rng.word() % pw;
+            const uint32_t b = base + rng.word() % pw;
+            const uint32_t out = base + rng.word() % pw;
+            const HalfGates hg = gateOn(geo, g, a, b, out);
+            paged.logicH(hg, mask);
+            dense.logicH(hg, mask);
+        } else if (kind < 6) {
+            const uint32_t slot = rng.word() % slots;
+            const uint32_t src = rng.word() % geo.rows;
+            const uint32_t dst = rng.word() % geo.rows;
+            if (src == dst)
+                continue;
+            paged.logicV(Gate::Not, src, dst, slot);
+            dense.logicV(Gate::Not, src, dst, slot);
+        } else if (kind == 6) {
+            const uint32_t slot = rng.word() % slots;
+            const uint32_t row = rng.word() % geo.rows;
+            const uint32_t v = rng.word();
+            paged.writeRow(slot, v, row);
+            dense.writeRow(slot, v, row);
+        } else {
+            // Compaction and a snapshot/restore no-op round trip must
+            // both be architecturally invisible.
+            paged.compact();
+            const Crossbar::Snapshot snap = paged.snapshot();
+            EXPECT_TRUE(paged.sameState(snap));
+            paged.restore(snap);
+        }
+        if (iter % 32 == 0)
+            ASSERT_TRUE(paged.sameState(dense)) << "iter " << iter;
+    }
+    ASSERT_TRUE(paged.sameState(dense));
+    // Spot-check strided readback through both paths.
+    for (uint32_t slot = 0; slot < slots; slot += 5)
+        for (uint32_t row = 0; row < geo.rows; row += 97)
+            ASSERT_EQ(paged.read(slot, row), dense.read(slot, row))
+                << "slot " << slot << " row " << row;
 }

@@ -123,6 +123,45 @@ TEST_P(GeometrySweep, SortFullMemory)
     EXPECT_EQ(t.toIntVector(), v);
 }
 
+TEST_P(GeometrySweep, PagedStorageMatchesDenseFullStack)
+{
+    // The same program runs on a dense-storage and a paged-storage
+    // device: readback AND the final bit-state of every crossbar must
+    // be identical across every geometry shape (block-boundary row
+    // counts, multi-crossbar spans, few-register splits).
+    Device dense(geo, Driver::Mode::Parallel,
+                 EngineConfig::fromEnv().withStorage(
+                     XbarStorage::Dense));
+    Device paged(geo, Driver::Mode::Parallel,
+                 EngineConfig::fromEnv().withStorage(
+                     XbarStorage::Paged));
+    const uint64_t n = geo.totalRows();
+    std::vector<int32_t> va(n), vb(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        va[i] = rng.int32In(-100000, 100000);
+        vb[i] = rng.int32In(-100000, 100000);
+    }
+    for (Device *dev : {&dense, &paged}) {
+        Tensor a = Tensor::fromVector(va, dev);
+        Tensor b = Tensor::fromVector(vb, dev);
+        Tensor s = a + b;
+        Tensor p = a * b;
+        const auto sum = s.toIntVector();
+        const auto prd = p.toIntVector();
+        for (uint64_t i = 0; i < n; ++i) {
+            ASSERT_EQ(sum[i], va[i] + vb[i]) << "i=" << i;
+            ASSERT_EQ(prd[i], va[i] * vb[i]) << "i=" << i;
+        }
+        dev->flush();
+    }
+    for (uint32_t xb = 0; xb < geo.numCrossbars; ++xb)
+        ASSERT_TRUE(dense.group().crossbar(xb).sameState(
+            paged.group().crossbar(xb)))
+            << "crossbar " << xb << " diverged between storage modes";
+    // Architectural statistics are storage-independent by definition.
+    EXPECT_EQ(dense.stats(), paged.stats());
+}
+
 TEST_P(GeometrySweep, MovesAcrossTheHTree)
 {
     if (geo.numCrossbars < 4)

@@ -453,6 +453,63 @@ TEST(MultiDeviceAlloc, TensorsPreferOneSubDeviceSlice)
     EXPECT_EQ(mm.liveAllocations(), 0u);
 }
 
+TEST(MultiDevicePaged, CowSnapshotsStayIsolatedUnderShardedReplay)
+{
+    // Copy-on-write snapshots under the most concurrent configuration
+    // in the repo: 4 sub-devices, each with a pipelined 2-thread
+    // sharded engine. Snapshots are taken at a drain point (the
+    // crossbar() accessor drains the owning sub-device), then a heavy
+    // random stream replays on the consumer/worker threads while the
+    // main thread holds the frozen images. Replay must CLONE every
+    // shared block it mutates — the snapshots keep the exact
+    // pre-replay state — and restoring rewinds the group bit-exactly.
+    // TSan-clean by the storage sync contract: the main thread only
+    // holds (never reads or refcounts) the images while replay is in
+    // flight.
+    const Geometry g = multiGeometry();
+    const EngineConfig cfg = EngineConfig::sharded(2)
+                                 .withPipeline()
+                                 .withDevices(4)
+                                 .withStorage(XbarStorage::Paged);
+    Simulator pre(g);     // frozen pre-replay reference (never run)
+    Simulator oracle(g);  // serial monolithic oracle for the stream
+    SimulatorGroup grp(g, cfg);
+    Rng seedRng(52025);
+    for (uint32_t xb = 0; xb < g.numCrossbars; ++xb)
+        for (uint32_t row = 0; row < g.rows; ++row)
+            for (uint32_t slot = 0; slot < g.slots(); ++slot) {
+                const uint32_t v = seedRng.word();
+                pre.crossbar(xb).writeRow(slot, v, row);
+                oracle.crossbar(xb).writeRow(slot, v, row);
+                grp.crossbar(xb).writeRow(slot, v, row);
+            }
+    std::vector<Crossbar::Snapshot> snaps;
+    snaps.reserve(g.numCrossbars);
+    for (uint32_t xb = 0; xb < g.numCrossbars; ++xb)
+        snaps.push_back(grp.crossbar(xb).snapshot());
+    // Every present block is now shared with its frozen image.
+    EXPECT_GT(grp.storageGauges().cowShared, 0u);
+
+    Rng rng(777);
+    for (int batch = 0; batch < 4; ++batch) {
+        const std::vector<Word> ops = randomStream(rng, g, 200);
+        oracle.performBatch(ops.data(), ops.size());
+        grp.submitBatch(ops.data(), ops.size());  // async replay
+    }
+    grp.flush();
+    EXPECT_TRUE(sameState(oracle, grp));
+    EXPECT_EQ(oracle.stats(), grp.stats());
+    // The frozen images still hold the pre-replay state exactly.
+    for (uint32_t xb = 0; xb < g.numCrossbars; ++xb)
+        ASSERT_TRUE(pre.crossbar(xb).sameState(snaps[xb]))
+            << "snapshot of crossbar " << xb
+            << " was mutated by concurrent replay";
+    // And restoring them rewinds the whole group.
+    for (uint32_t xb = 0; xb < g.numCrossbars; ++xb)
+        grp.crossbar(xb).restore(snaps[xb]);
+    EXPECT_TRUE(sameState(pre, grp));
+}
+
 TEST(MultiDeviceGroup, DevicesClampToGeometryAndValidate)
 {
     const Geometry g = testGeometry();  // 4 crossbars

@@ -72,7 +72,8 @@ sameCrossbarState(const Simulator &a, const Simulator &b)
  */
 void
 expectFusionParity(const std::vector<Word> &ops, uint64_t waw,
-                   uint64_t initChain, uint64_t window)
+                   uint64_t initChain, uint64_t window,
+                   uint64_t writeStripe = 0)
 {
     const Geometry g = fusionGeometry();
     Simulator oracle(g);
@@ -86,10 +87,12 @@ expectFusionParity(const std::vector<Word> &ops, uint64_t waw,
             EXPECT_EQ(trace->fusion.waw, waw);
             EXPECT_EQ(trace->fusion.initChain, initChain);
             EXPECT_EQ(trace->fusion.window, window);
+            EXPECT_EQ(trace->fusion.writeStripe, writeStripe);
         } else {
             EXPECT_EQ(trace->fusion.waw, 0u);
             EXPECT_EQ(trace->fusion.initChain, 0u);
             EXPECT_EQ(trace->fusion.window, 0u);
+            EXPECT_EQ(trace->fusion.writeStripe, 0u);
         }
         oracle.performBatch(ops.data(), ops.size());
         cand.submitTrace(trace);
@@ -311,6 +314,99 @@ TEST(TraceFusion, MixedStreamWithBarriersStaysParity)
         laneNor(g, 1, 2, 6),                      // window fusion
     };
     expectFusionParity(withMasks(g, std::move(body)), 1, 1, 1);
+}
+
+TEST(TraceFusion, StripeMergesAdjacentDistinctSlotWrites)
+{
+    const Geometry g = fusionGeometry();
+    // Three adjacent full-mask writes to pairwise-distinct slots: one
+    // stripe op replaces all three (two ops eliminated).
+    expectFusionParity(
+        withMasks(g, {MicroOp::write(2, 0x11111111u).encode(),
+                      MicroOp::write(3, 0x22222222u).encode(),
+                      MicroOp::write(4, 0x33333333u).encode()}),
+        0, 0, 0, /*writeStripe=*/2);
+}
+
+TEST(TraceFusion, StripeAndWawCompose)
+{
+    const Geometry g = fusionGeometry();
+    // write(2) write(3) write(2): WAW kills the first write(2) — the
+    // intervening write(3) touches disjoint columns — and the two
+    // survivors (distinct slots, same masks) merge into one stripe.
+    expectFusionParity(
+        withMasks(g, {MicroOp::write(2, 0xAAAAAAAAu).encode(),
+                      MicroOp::write(3, 0xBBBBBBBBu).encode(),
+                      MicroOp::write(2, 0xCCCCCCCCu).encode()}),
+        /*waw=*/1, 0, 0, /*writeStripe=*/1);
+}
+
+TEST(TraceFusion, StripeBlockedByRowMaskChange)
+{
+    const Geometry g = fusionGeometry();
+    // The second write runs under genuinely different row-mask bits:
+    // merging would widen (or narrow) one of the writes.
+    expectFusionParity(
+        withMasks(g,
+                  {MicroOp::write(2, 0x11111111u).encode(),
+                   MicroOp::rowMask(Range(0, g.rows - 2, 2)).encode(),
+                   MicroOp::write(3, 0x22222222u).encode()}),
+        0, 0, 0, /*writeStripe=*/0);
+}
+
+TEST(TraceFusion, StripeBlockedByCrossbarMaskChange)
+{
+    const Geometry g = fusionGeometry();
+    expectFusionParity(
+        withMasks(g,
+                  {MicroOp::write(2, 0x11111111u).encode(),
+                   MicroOp::crossbarMask(Range(0, g.numCrossbars - 2, 2))
+                       .encode(),
+                   MicroOp::write(3, 0x22222222u).encode()}),
+        0, 0, 0, /*writeStripe=*/0);
+}
+
+TEST(TraceFusion, StripeMergesAcrossEquivalentRowMaskReissue)
+{
+    const Geometry g = fusionGeometry();
+    // Range(5,5,1) and Range(5,5,3) are different encodings of the
+    // same single-row mask: the snapshot table dedups by CONTENT, so
+    // the re-issued mask costs no snapshot and no stripe break.
+    expectFusionParity(
+        withMasks(g,
+                  {MicroOp::rowMask(Range(5, 5, 1)).encode(),
+                   MicroOp::write(2, 0x11111111u).encode(),
+                   MicroOp::rowMask(Range(5, 5, 3)).encode(),
+                   MicroOp::write(3, 0x22222222u).encode()}),
+        0, 0, 0, /*writeStripe=*/1);
+}
+
+TEST(TraceFusion, EquivalentRangeDedupEnablesBuilderInitNorFusion)
+{
+    const Geometry g = fusionGeometry();
+    // INIT1 under Range(5,5,1), NOR under the equivalent Range(5,5,3):
+    // the builder's adjacent INIT1->NOR fusion compares row-snapshot
+    // ids, so content dedup must make the pair fuse even though the
+    // Range encodings differ.
+    const std::vector<Word> ops = {
+        MicroOp::crossbarMask(Range::all(g.numCrossbars)).encode(),
+        MicroOp::rowMask(Range(5, 5, 1)).encode(),
+        laneInit1(g, 5),
+        MicroOp::rowMask(Range(5, 5, 3)).encode(),
+        laneNor(g, 1, 2, 5),
+    };
+    Simulator sim(g);
+    const auto trace = sim.prepareTrace(ops.data(), ops.size(),
+                                        /*fuse=*/false);
+    ASSERT_TRUE(trace != nullptr);
+    ASSERT_EQ(trace->used, 1u);
+    const SegmentTrace &seg = trace->segments[0];
+    ASSERT_EQ(seg.ops.size(), 1u);
+    EXPECT_TRUE(seg.ops[0].fusedInit);
+    // One realised bit pattern => exactly one snapshot in the arena.
+    EXPECT_EQ(seg.rowWords.size(), seg.wordsPerMask);
+    // And the stream still replays bit-identically to the oracle.
+    expectFusionParity(ops, 0, 0, 0, 0);
 }
 
 TEST(TraceFusion, PreparedTraceReplaysRepeatedly)
