@@ -126,6 +126,35 @@ fusionCacheAblation(bool allowTraceCache, bool allowFusion)
                 static_cast<double>(peakRssKb()) / 1e3);
 }
 
+/**
+ * Bulk I/O footer: one tensor round-trip on the configured engine,
+ * reporting the driver's bulk-transfer observability counters
+ * (PYPIM_BULK_IO=0 shows zero transfers — the element-wise oracle).
+ */
+void
+bulkIoFooter()
+{
+    const Geometry g = benchGeometry(16);
+    Device dev(g, Driver::Mode::Parallel, engineConfig());
+    std::vector<int32_t> host(g.totalRows());
+    Rng rng(13);
+    for (auto &v : host)
+        v = static_cast<int32_t>(rng.word());
+    Tensor t = Tensor::fromVector(host, &dev);
+    const bool ok = t.toIntVector() == host;
+    const Stats &ds = dev.driver().stats();
+    std::printf("bulk I/O [%s]: %llu reads, %llu writes, %llu words "
+                "transposed, %llu drains over a %llu-element "
+                "round-trip (%s)\n\n",
+                dev.driver().bulkIoEnabled() ? "on" : "off",
+                static_cast<unsigned long long>(ds.bulkReads),
+                static_cast<unsigned long long>(ds.bulkWrites),
+                static_cast<unsigned long long>(ds.ioWordsTransposed),
+                static_cast<unsigned long long>(ds.ioDrains),
+                static_cast<unsigned long long>(host.size()),
+                ok ? "values verified" : "VALUE MISMATCH — BUG");
+}
+
 } // namespace
 
 int
@@ -152,6 +181,7 @@ main(int argc, char **argv)
     printEngineBanner();
 
     fusionCacheAblation(allowTraceCache, allowFusion);
+    bulkIoFooter();
 
     std::printf("=== Partition-parallelism ablation (paper Fig. 4 / "
                 "II-B) ===\n");

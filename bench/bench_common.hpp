@@ -70,13 +70,13 @@ jsonOutPath()
 /**
  * Parse and strip --engine=serial|sharded|trace, --threads=N,
  * --pipeline=on|off, --trace-cache=on|off, --devices=N,
- * --affinity=on|off, --storage=dense|paged and --json=PATH from argv
- * (before benchmark::Initialize, which rejects unknown flags), storing
- * the result in engineConfig() / jsonOutPath(). Invalid values abort,
- * exactly like the PYPIM_ENGINE / PYPIM_THREADS / PYPIM_PIPELINE /
- * PYPIM_TRACE_CACHE / PYPIM_DEVICES / PYPIM_AFFINITY /
- * PYPIM_XBAR_STORAGE environment path — a typo must never silently
- * benchmark the wrong engine.
+ * --affinity=on|off, --storage=dense|paged, --bulk-io=on|off and
+ * --json=PATH from argv (before benchmark::Initialize, which rejects
+ * unknown flags), storing the result in engineConfig() /
+ * jsonOutPath(). Invalid values abort, exactly like the PYPIM_ENGINE /
+ * PYPIM_THREADS / PYPIM_PIPELINE / PYPIM_TRACE_CACHE / PYPIM_DEVICES /
+ * PYPIM_AFFINITY / PYPIM_XBAR_STORAGE / PYPIM_BULK_IO environment
+ * path — a typo must never silently benchmark the wrong engine.
  */
 inline void
 applyEngineFlags(int &argc, char **argv)
@@ -151,6 +151,14 @@ applyEngineFlags(int &argc, char **argv)
                 cfg.storage = XbarStorage::Paged;
             else
                 fatal("--storage=" + v + ": expected dense|paged");
+        } else if (arg.rfind("--bulk-io=", 0) == 0) {
+            const std::string v = arg.substr(10);
+            if (v == "on" || v == "1")
+                cfg.bulkIo = true;
+            else if (v == "off" || v == "0")
+                cfg.bulkIo = false;
+            else
+                fatal("--bulk-io=" + v + ": expected on|off");
         } else {
             argv[out++] = argv[i];
         }
@@ -170,14 +178,16 @@ printEngineBanner()
     std::printf(", pipeline %s", cfg.pipeline ? "on" : "off");
     std::printf(", trace cache %s", cfg.traceCache ? "on" : "off");
     std::printf(", %s storage", xbarStorageName(cfg.storage));
+    std::printf(", bulk I/O %s", cfg.bulkIo ? "on" : "off");
     if (cfg.devices > 1)
         std::printf(", %u sub-devices", cfg.devices);
     std::printf("  [--engine=serial|sharded|trace --threads=N "
                 "--pipeline=on|off --trace-cache=on|off --devices=N "
-                "--affinity=on|off --storage=dense|paged --json=PATH "
+                "--affinity=on|off --storage=dense|paged "
+                "--bulk-io=on|off --json=PATH "
                 "or PYPIM_ENGINE/PYPIM_THREADS/PYPIM_PIPELINE/"
                 "PYPIM_TRACE_CACHE/PYPIM_DEVICES/PYPIM_AFFINITY/"
-                "PYPIM_XBAR_STORAGE]\n");
+                "PYPIM_XBAR_STORAGE/PYPIM_BULK_IO]\n");
 }
 
 /**
@@ -299,6 +309,7 @@ jsonConfig(Json &j, const Geometry &g)
     j.field("devices", cfg.devices);
     j.field("affinity", cfg.affinity);
     j.field("storage", xbarStorageName(cfg.storage));
+    j.field("bulk_io", cfg.bulkIo);
     j.field("crossbars", g.numCrossbars);
     j.field("rows", g.rows);
     j.field("partitions", g.partitions);

@@ -641,6 +641,98 @@ storageSweep(Json *json)
     return identical;
 }
 
+/**
+ * Bulk tensor I/O sweep (the ISSUE 7 acceptance gauge): a 1 Mi-element
+ * int tensor round-trips host -> device -> host through the
+ * element-wise oracle (PYPIM_BULK_IO=0 semantics: one ReadInstr
+ * dispatch and one pipeline drain per element on readback) and through
+ * the bulk block-transfer path (64x64 bit-transpose gather/scatter
+ * kernels, ONE drain per transfer). Values AND architectural Stats
+ * MUST be bit-identical — the function returns false otherwise and
+ * the CI bench smoke step exits non-zero on it. >=10x on the readback
+ * is the acceptance gauge on a >=1M-element tensor.
+ */
+bool
+ioSweep(Json *json)
+{
+    const Geometry g = benchGeometry(1024);
+    const uint64_t n = g.totalRows();  // 1 Mi elements
+    std::vector<int32_t> host(n);
+    Rng rng(41);
+    for (auto &v : host)
+        v = static_cast<int32_t>(rng.word());
+    std::printf("\n=== Bulk tensor I/O sweep (%llu-element int "
+                "tensor, %u crossbars) ===\n",
+                static_cast<unsigned long long>(n), g.numCrossbars);
+    std::printf("%-12s %12s %14s %10s\n", "path", "upload [s]",
+                "readback [s]", "identical");
+    double upload[2] = {0, 0}, readback[2] = {0, 0};
+    uint64_t checksum[2] = {0, 0}, instrs[2] = {0, 0};
+    Stats arch[2];
+    uint64_t wordsTransposed = 0, drains = 0, bulkXfers = 0;
+    using clock = std::chrono::steady_clock;
+    for (const bool bulk : {false, true}) {
+        EngineConfig ec = engineConfig();
+        ec.bulkIo = bulk;
+        Device dev(g, Driver::Mode::Parallel, ec);
+        const auto t0 = clock::now();
+        Tensor t = Tensor::fromVector(host, &dev);
+        dev.flush();
+        const auto t1 = clock::now();
+        const std::vector<int32_t> back = t.toIntVector();
+        const auto t2 = clock::now();
+        dev.flush();
+        uint64_t ck = 14695981039346656037ull;
+        for (const int32_t v : back)
+            ck = ck * 1099511628211ull ^ static_cast<uint32_t>(v);
+        const int k = bulk ? 1 : 0;
+        upload[k] = std::chrono::duration<double>(t1 - t0).count();
+        readback[k] = std::chrono::duration<double>(t2 - t1).count();
+        checksum[k] = ck;
+        arch[k] = dev.stats();
+        instrs[k] = dev.driver().stats().instructions;
+        if (bulk) {
+            const Stats &ds = dev.driver().stats();
+            wordsTransposed = ds.ioWordsTransposed;
+            drains = ds.ioDrains;
+            bulkXfers = ds.bulkReads + ds.bulkWrites;
+        }
+    }
+    const bool identical = checksum[0] == checksum[1] &&
+                           arch[0] == arch[1] &&
+                           instrs[0] == instrs[1];
+    std::printf("%-12s %12.3f %14.3f %10s\n", "elementwise",
+                upload[0], readback[0], "-");
+    std::printf("%-12s %12.3f %14.3f %10s\n", "bulk", upload[1],
+                readback[1], identical ? "yes" : "NO — BUG");
+    std::printf("bulk speedup: upload %.1fx, readback %.1fx (>=10x "
+                "readback on >=1M elements is the ISSUE 7 gauge)\n",
+                upload[0] / upload[1], readback[0] / readback[1]);
+    std::printf("bulk counters: %llu transfers, %llu words "
+                "transposed, %llu drains ('identical' checks values, "
+                "architectural Stats and driver instruction counts "
+                "against the element-wise oracle)\n",
+                static_cast<unsigned long long>(bulkXfers),
+                static_cast<unsigned long long>(wordsTransposed),
+                static_cast<unsigned long long>(drains));
+    if (json) {
+        json->beginObject("io_sweep");
+        json->field("elements", n);
+        json->field("elementwise_upload_s", upload[0]);
+        json->field("elementwise_readback_s", readback[0]);
+        json->field("bulk_upload_s", upload[1]);
+        json->field("bulk_readback_s", readback[1]);
+        json->field("upload_speedup", upload[0] / upload[1]);
+        json->field("readback_speedup", readback[0] / readback[1]);
+        json->field("bulk_transfers", bulkXfers);
+        json->field("io_words_transposed", wordsTransposed);
+        json->field("io_drains", drains);
+        json->field("bit_identical", identical);
+        json->end();
+    }
+    return identical;
+}
+
 } // namespace
 
 BENCHMARK(simScaling)
@@ -678,6 +770,7 @@ main(int argc, char **argv)
     pipelineSweep(j);
     const bool devicesIdentical = deviceSweep(j);
     const bool storageIdentical = storageSweep(j);
+    const bool ioIdentical = ioSweep(j);
     if (j) {
         j->end();
         j->writeTo(jsonOutPath());
@@ -685,7 +778,8 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     // Non-zero exit when sharded execution diverged from the
-    // monolithic device or paged storage diverged from dense: the CI
-    // bench smoke step asserts both identities.
-    return devicesIdentical && storageIdentical ? 0 : 1;
+    // monolithic device, paged storage diverged from dense, or the
+    // bulk I/O path diverged from the element-wise oracle: the CI
+    // bench smoke step asserts all three identities.
+    return devicesIdentical && storageIdentical && ioIdentical ? 0 : 1;
 }

@@ -177,6 +177,8 @@ EngineConfig::fromEnv()
             fatal("PYPIM_XBAR_STORAGE: unknown value '" + s +
                   "' (expected dense|paged)");
     }
+    if (const char *b = std::getenv("PYPIM_BULK_IO"))
+        c.bulkIo = parseSwitchEnv("PYPIM_BULK_IO", b, c.bulkIo);
     return c;
 }
 

@@ -188,6 +188,17 @@ struct EngineConfig
      * test_geometry_sweep storage parity).
      */
     XbarStorage storage = XbarStorage::Paged;
+    /**
+     * Bulk host I/O (sim/bulk_io.hpp): tensor readback/upload moves
+     * whole row blocks through the crossbars' 64x64 bit-transpose
+     * gather/scatter kernels with ONE pipeline drain per transfer,
+     * instead of one ReadInstr/WriteInstr dispatch (and one drain)
+     * per element. On by default; Device forwards the flag to its
+     * Driver. The element-wise path stays the parity oracle: both
+     * paths produce bit-identical values AND bit-identical
+     * architectural Stats (test_bulk_io).
+     */
+    bool bulkIo = true;
 
     static EngineConfig serial() { return {}; }
 
@@ -239,7 +250,8 @@ struct EngineConfig
      * Engine selection from the environment: PYPIM_ENGINE=serial|
      * sharded|trace, PYPIM_THREADS=N, PYPIM_PIPELINE=on|off,
      * PYPIM_TRACE_CACHE=on|off|1|0, PYPIM_DEVICES=N (power of two),
-     * PYPIM_AFFINITY=on|off and PYPIM_XBAR_STORAGE=dense|paged.
+     * PYPIM_AFFINITY=on|off, PYPIM_XBAR_STORAGE=dense|paged and
+     * PYPIM_BULK_IO=on|off|1|0.
      * Unset values fall back to the defaults (serial, synchronous,
      * trace cache on, one device, no pinning, paged storage), so
      * existing callers are unaffected; unrecognised or malformed

@@ -52,6 +52,10 @@ Stats::clear()
     fusionInitChain = 0;
     fusionWindow = 0;
     fusionWriteStripe = 0;
+    bulkReads = 0;
+    bulkWrites = 0;
+    ioWordsTransposed = 0;
+    ioDrains = 0;
 }
 
 Stats
@@ -72,6 +76,10 @@ Stats::operator-(const Stats &other) const
     out.fusionWindow = fusionWindow - other.fusionWindow;
     out.fusionWriteStripe =
         fusionWriteStripe - other.fusionWriteStripe;
+    out.bulkReads = bulkReads - other.bulkReads;
+    out.bulkWrites = bulkWrites - other.bulkWrites;
+    out.ioWordsTransposed = ioWordsTransposed - other.ioWordsTransposed;
+    out.ioDrains = ioDrains - other.ioDrains;
     return out;
 }
 
@@ -91,6 +99,10 @@ Stats::operator+=(const Stats &other)
     fusionInitChain += other.fusionInitChain;
     fusionWindow += other.fusionWindow;
     fusionWriteStripe += other.fusionWriteStripe;
+    bulkReads += other.bulkReads;
+    bulkWrites += other.bulkWrites;
+    ioWordsTransposed += other.ioWordsTransposed;
+    ioDrains += other.ioDrains;
     return *this;
 }
 
@@ -127,6 +139,10 @@ Stats::summary() const
            << fusionInitChain << " INIT-chain ops, " << fusionWindow
            << " window INIT+gate ops, " << fusionWriteStripe
            << " stripe-merged writes\n";
+    if (bulkReads || bulkWrites)
+        os << "  bulk I/O: " << bulkReads << " reads / " << bulkWrites
+           << " writes, " << ioWordsTransposed << " words transposed, "
+           << ioDrains << " drains\n";
     return os.str();
 }
 

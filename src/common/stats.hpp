@@ -70,6 +70,22 @@ struct Stats
     /** Writes merged into an adjacent-Write partition stripe. */
     uint64_t fusionWriteStripe = 0;
 
+    // --- host-side bulk-I/O observability ----------------------------
+    // Also driver-only: the bulk transfer path records the SAME
+    // architectural counters as the element-wise loop (the
+    // stats-identity invariant, tests/test_bulk_io.cpp), so these
+    // count host-side mechanics, not architecture.
+
+    /** Bulk read transfers taken by the gather path. */
+    uint64_t bulkReads = 0;
+    /** Bulk write transfers taken by the scatter path. */
+    uint64_t bulkWrites = 0;
+    /** 64-bit words moved through the 64x64 bit transpose. */
+    uint64_t ioWordsTransposed = 0;
+    /** Pipeline drain points taken by bulk transfers (one per
+     *  transfer per sub-device). */
+    uint64_t ioDrains = 0;
+
     /** Record one micro-op of class @p c costing @p cycles cycles. */
     void
     record(OpClass c, uint64_t cycles = 1)

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "driver/emit.hpp"
 #include "sim/batch_trace.hpp"
+#include "sim/bulk_io.hpp"
 
 namespace pypim
 {
@@ -263,6 +264,102 @@ Driver::execute(const ReadInstr &in)
     fatalIf(in.row >= geo_->rows, "read row out of range");
     ++stats_.instructions;
     return builder_.readWord(in.warp, in.row, in.reg);
+}
+
+namespace
+{
+
+/** Shared addressing validation of a bulk transfer. */
+void
+validateBulk(const Geometry &geo, uint8_t reg, uint32_t warpStart,
+             uint64_t rowStart, uint64_t rowStep, uint64_t count)
+{
+    fatalIf(reg >= geo.userRegs, "bulk I/O register out of range");
+    fatalIf(rowStep == 0, "bulk I/O row step must be positive");
+    const uint64_t last = rowStart + (count - 1) * rowStep;
+    const uint64_t lastWarp = warpStart + last / geo.rows;
+    fatalIf(lastWarp >= geo.numCrossbars,
+            "bulk I/O transfer exceeds the crossbar space");
+}
+
+} // namespace
+
+bool
+Driver::readBulk(uint8_t reg, uint32_t warpStart, uint64_t rowStart,
+                 uint64_t rowStep, uint64_t count, uint32_t *out)
+{
+    if (count == 0)
+        return true;
+    validateBulk(*geo_, reg, warpStart, rowStart, rowStep, count);
+    // The read planner replicates readWord's narrow/restore emissions
+    // against the builder's cached masks; with unknown masks the
+    // element loop's (throwing) behaviour must be preserved verbatim,
+    // so fall back.
+    if (!bulkIoOn_ || !builder_.masksKnown())
+        return false;
+    BulkIoSpec spec;
+    spec.slot = reg;
+    spec.warpStart = warpStart;
+    spec.rowStart = rowStart;
+    spec.rowStep = rowStep;
+    spec.count = count;
+    planBulkRead(*geo_, builder_.warpMask(), builder_.rowMask(), spec);
+    // Pending buffered ops (e.g. mask restores of a previous read)
+    // precede the transfer, exactly as the first element's flush
+    // would have pushed them.
+    builder_.flush();
+    BulkIoTelemetry tel;
+    if (!sink_->readBulk(spec, out, tel))
+        return false;  // sink without bulk support: element loop
+    // The transfer restores the entry masks; the builder cache is
+    // already exact. Driver accounting matches count ReadInstrs.
+    stats_.instructions += count;
+    stats_.bulkReads += 1;
+    stats_.ioWordsTransposed += tel.wordsTransposed;
+    stats_.ioDrains += tel.drains;
+    return true;
+}
+
+void
+Driver::writeBulk(uint8_t reg, uint32_t warpStart, uint64_t rowStart,
+                  uint64_t rowStep, uint64_t count,
+                  const uint32_t *values)
+{
+    if (count == 0)
+        return;
+    validateBulk(*geo_, reg, warpStart, rowStart, rowStep, count);
+    BulkIoSpec spec;
+    spec.slot = reg;
+    spec.warpStart = warpStart;
+    spec.rowStart = rowStart;
+    spec.rowStep = rowStep;
+    spec.count = count;
+    // Plan against the builder's cached (possibly unknown) masks —
+    // the same dedup decisions the emission below would make.
+    const uint64_t runs =
+        planBulkWrite(*geo_, builder_.knownWarpMask(),
+                      builder_.knownRowMask(), values, spec);
+    if (bulkIoOn_) {
+        builder_.flush();
+        BulkIoTelemetry tel;
+        if (sink_->writeBulk(spec, values, tel)) {
+            builder_.assumeMasks(spec.finalXb, spec.finalRow);
+            stats_.instructions += runs;
+            stats_.bulkWrites += 1;
+            stats_.ioWordsTransposed += tel.wordsTransposed;
+            stats_.ioDrains += tel.drains;
+            return;
+        }
+    }
+    // Fallback (knob off or plain sink): emit the canonical run
+    // stream through the builder — identical micro-ops, one submitted
+    // batch instead of one dispatch per element.
+    forEachBulkWriteRun(*geo_, spec, values, [&](const BulkWriteRun &r) {
+        builder_.setMasks(Range::single(r.warp), r.rows);
+        builder_.writeWord(reg, r.value);
+    });
+    builder_.flush();
+    stats_.instructions += runs;
 }
 
 } // namespace pypim

@@ -101,6 +101,45 @@ class Driver
         streamCache_.clear();
     }
 
+    /**
+     * Enable/disable the bulk block-transfer I/O path
+     * (sim/bulk_io.hpp). When on (the default) readBulk/writeBulk
+     * hand whole transfers to the sink's gather/scatter kernels with
+     * one pipeline drain per transfer; when off they fall back to the
+     * element-wise oracle. Both settings are bit-identical in values
+     * AND architectural Stats (test_bulk_io).
+     */
+    void setBulkIoEnabled(bool on) { bulkIoOn_ = on; }
+    bool bulkIoEnabled() const { return bulkIoOn_; }
+
+    /**
+     * Bulk register readback: element i of the transfer is slot
+     * @p reg of storage row rowStart + i*rowStep (warp warpStart +
+     * row/rows, in-crossbar row row%rows), read into out[i]. Records
+     * architectural Stats and driver instruction counts identical to
+     * count execute(ReadInstr) calls. Returns false — with no ops
+     * emitted and no stats recorded — when the transfer cannot take
+     * the bulk path (knob off, builder masks unknown, or a sink
+     * without bulk support); the caller then runs the element loop.
+     */
+    bool readBulk(uint8_t reg, uint32_t warpStart, uint64_t rowStart,
+                  uint64_t rowStep, uint64_t count, uint32_t *out);
+
+    /**
+     * Bulk register upload: the write mirror of readBulk. Never
+     * fails: when the bulk path is unavailable it EMITS the same
+     * canonical coalesced run stream through the builder in one
+     * submitted batch (the PYPIM_BULK_IO=0 fallback — still far
+     * cheaper than per-element WriteInstr dispatch). Runs of equal
+     * consecutive values coalesce into one masked Range write
+     * (zeros/full cost O(runs), matching the constant-fill
+     * factories); distinct values degenerate to the historical
+     * per-element stream, bit-identical in Stats.
+     */
+    void writeBulk(uint8_t reg, uint32_t warpStart, uint64_t rowStart,
+                   uint64_t rowStep, uint64_t count,
+                   const uint32_t *values);
+
     /** Execute an R-type instruction (Table II). */
     void execute(const RTypeInstr &in);
     /** Execute a constant write. */
@@ -169,6 +208,7 @@ class Driver
     bool streamCacheOn_ = true;
     bool traceCacheOn_ = true;
     bool traceFusionOn_ = true;
+    bool bulkIoOn_ = true;
     std::unordered_map<StreamKey, StreamEntry, StreamKeyHash>
         streamCache_;
 };

@@ -61,6 +61,19 @@ class GateBuilder
     const Range &warpMask() const { return warpMask_.value(); }
     const Range &rowMask() const { return rowMask_.value(); }
 
+    /** True iff both cached masks are known (set or assumed since the
+     *  last resetMaskState) — the precondition of the bulk-I/O
+     *  planners, which replicate this builder's dedup decisions. */
+    bool
+    masksKnown() const
+    {
+        return warpMask_.has_value() && rowMask_.has_value();
+    }
+    /** Cached warp mask, unset if unknown (bulk-I/O planning). */
+    const std::optional<Range> &knownWarpMask() const { return warpMask_; }
+    /** Cached row mask, unset if unknown (bulk-I/O planning). */
+    const std::optional<Range> &knownRowMask() const { return rowMask_; }
+
     /** Push the batched micro-ops to the sink. */
     void flush();
 

@@ -11,6 +11,7 @@ Device::Device(const Geometry &geo, Driver::Mode mode,
       mm_(geo_, group_.devices())
 {
     drv_.setTraceCacheEnabled(ec.traceCache);
+    drv_.setBulkIoEnabled(ec.bulkIo);
 }
 
 void

@@ -10,6 +10,13 @@
  * before touching state, so readback always observes the full
  * submitted stream. Writes stream through submitBatch like any other
  * instruction.
+ *
+ * Vector transfers take the bulk block-transfer path
+ * (Driver::readBulk/writeBulk over the crossbars' 64x64 bit-transpose
+ * gather/scatter kernels, sim/bulk_io.hpp): ONE pipeline drain per
+ * transfer instead of one per element, with values and architectural
+ * Stats bit-identical to the element loop kept below as the fallback
+ * oracle (PYPIM_BULK_IO=0, or a sink without bulk support).
  */
 #include "pim/tensor.hpp"
 
@@ -44,6 +51,38 @@ writeBits(Tensor &t, uint64_t i, uint32_t bits)
     w.warps = Range::single(warp);
     w.rows = Range::single(row);
     t.device().driver().execute(w);
+}
+
+/**
+ * Whole-view readback into out[0..size): bulk path first, element
+ * loop when the driver declines (knob off, masks unknown, or a sink
+ * without bulk support).
+ */
+void
+readVector(const Tensor &t, uint32_t *out)
+{
+    if (t.size() == 0)
+        return;
+    Driver &drv = t.device().driver();
+    if (drv.readBulk(static_cast<uint8_t>(t.reg()),
+                     t.allocation().warpStart, t.viewStart(),
+                     t.viewStep(), t.size(), out))
+        return;
+    for (uint64_t i = 0; i < t.size(); ++i)
+        out[i] = readBits(t, i);
+}
+
+/** Whole-view upload from values[0..size) (never falls back: the
+ *  driver emits the canonical run stream itself when bulk is off). */
+void
+writeVector(Tensor &t, const uint32_t *values)
+{
+    if (t.size() == 0)
+        return;
+    t.device().driver().writeBulk(static_cast<uint8_t>(t.reg()),
+                                  t.allocation().warpStart,
+                                  t.viewStart(), t.viewStep(),
+                                  t.size(), values);
 }
 
 } // namespace
@@ -86,9 +125,11 @@ Tensor::toFloatVector() const
     fatalIf(!valid(), "toFloatVector: invalid tensor");
     fatalIf(dtype() != DType::Float32,
             "toFloatVector: tensor is not float32");
+    std::vector<uint32_t> bits(len_);
+    readVector(*this, bits.data());
     std::vector<float> out(len_);
     for (uint64_t i = 0; i < len_; ++i)
-        out[i] = std::bit_cast<float>(readBits(*this, i));
+        out[i] = std::bit_cast<float>(bits[i]);
     return out;
 }
 
@@ -97,10 +138,37 @@ Tensor::toIntVector() const
 {
     fatalIf(!valid(), "toIntVector: invalid tensor");
     fatalIf(dtype() != DType::Int32, "toIntVector: tensor is not int32");
+    std::vector<uint32_t> bits(len_);
+    readVector(*this, bits.data());
     std::vector<int32_t> out(len_);
     for (uint64_t i = 0; i < len_; ++i)
-        out[i] = static_cast<int32_t>(readBits(*this, i));
+        out[i] = static_cast<int32_t>(bits[i]);
     return out;
+}
+
+void
+Tensor::setVector(const std::vector<float> &v)
+{
+    fatalIf(!valid(), "setVector: invalid tensor");
+    fatalIf(dtype() != DType::Float32,
+            "setVector: tensor is not float32");
+    fatalIf(v.size() != len_, "setVector: length mismatch");
+    std::vector<uint32_t> bits(len_);
+    for (uint64_t i = 0; i < len_; ++i)
+        bits[i] = std::bit_cast<uint32_t>(v[i]);
+    writeVector(*this, bits.data());
+}
+
+void
+Tensor::setVector(const std::vector<int32_t> &v)
+{
+    fatalIf(!valid(), "setVector: invalid tensor");
+    fatalIf(dtype() != DType::Int32, "setVector: tensor is not int32");
+    fatalIf(v.size() != len_, "setVector: length mismatch");
+    std::vector<uint32_t> bits(len_);
+    for (uint64_t i = 0; i < len_; ++i)
+        bits[i] = static_cast<uint32_t>(v[i]);
+    writeVector(*this, bits.data());
 }
 
 } // namespace pypim

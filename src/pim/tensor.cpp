@@ -120,8 +120,7 @@ Tensor
 Tensor::fromVector(const std::vector<float> &v, Device *dev)
 {
     Tensor t = allocate(v.size(), DType::Float32, resolve(dev), nullptr);
-    for (uint64_t i = 0; i < v.size(); ++i)
-        t.set(i, v[i]);
+    t.setVector(v);
     return t;
 }
 
@@ -129,8 +128,7 @@ Tensor
 Tensor::fromVector(const std::vector<int32_t> &v, Device *dev)
 {
     Tensor t = allocate(v.size(), DType::Int32, resolve(dev), nullptr);
-    for (uint64_t i = 0; i < v.size(); ++i)
-        t.set(i, v[i]);
+    t.setVector(v);
     return t;
 }
 

@@ -100,6 +100,12 @@ class Tensor
     void set(uint64_t i, int32_t value);
     std::vector<float> toFloatVector() const;
     std::vector<int32_t> toIntVector() const;
+    /** Overwrite all elements from @p v (v.size() == size()), in one
+     *  bulk transfer (sim/bulk_io.hpp) — one pipeline drain instead of
+     *  one per element; equal-value runs coalesce into masked Range
+     *  writes even on the element-wise fallback path. */
+    void setVector(const std::vector<float> &v);
+    void setVector(const std::vector<int32_t> &v);
 
     // --- reductions (logarithmic depth, paper §V-A) --------------------
 

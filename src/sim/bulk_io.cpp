@@ -1,0 +1,89 @@
+#include "sim/bulk_io.hpp"
+
+namespace pypim
+{
+
+void
+planBulkRead(const Geometry &geo, const Range &entryXb,
+             const Range &entryRow, BulkIoSpec &spec)
+{
+    constexpr size_t kCm = static_cast<size_t>(OpClass::CrossbarMask);
+    constexpr size_t kRm = static_cast<size_t>(OpClass::RowMask);
+    constexpr size_t kRd = static_cast<size_t>(OpClass::Read);
+
+    const uint32_t rows = geo.rows;
+    // The oracle narrows to Range::single(r) — its masks only ever
+    // match the entry mask when the entry mask is itself a
+    // single-element step-1 Range (exact equality, the GateBuilder
+    // dedup rule).
+    const bool rowIsSingle =
+        entryRow.start == entryRow.stop && entryRow.step == 1;
+
+    uint64_t cm = 0, rm = 0;
+    uint64_t i = 0;
+    while (i < spec.count) {
+        const uint64_t s = spec.rowStart + i * spec.rowStep;
+        const uint32_t warp =
+            spec.warpStart + static_cast<uint32_t>(s / rows);
+        const uint32_t r0 = static_cast<uint32_t>(s % rows);
+        const uint64_t inWarp = std::min<uint64_t>(
+            spec.count - i,
+            (rows - r0 + spec.rowStep - 1) / spec.rowStep);
+
+        // Narrow + restore, each element compared against the ENTRY
+        // masks: readWord restores them after every element, so the
+        // cached state the next element sees is always the entry
+        // state.
+        if (!(entryXb == Range::single(warp)))
+            cm += 2 * inWarp;
+        uint64_t rowMiss = inWarp;
+        if (rowIsSingle && entryRow.start >= r0 &&
+            (entryRow.start - r0) % spec.rowStep == 0) {
+            // At most one element of this chunk lands exactly on the
+            // entry row mask and skips the narrow/restore pair.
+            const uint64_t e = (entryRow.start - r0) / spec.rowStep;
+            if (e < inWarp)
+                rowMiss -= 1;
+        }
+        rm += 2 * rowMiss;
+        i += inWarp;
+    }
+
+    spec.stats.opCount[kCm] += cm;
+    spec.stats.cycleCount[kCm] += cm;
+    spec.stats.opCount[kRm] += rm;
+    spec.stats.cycleCount[kRm] += rm;
+    spec.stats.opCount[kRd] += spec.count;
+    spec.stats.cycleCount[kRd] += spec.count;
+    spec.finalXb = entryXb;
+    spec.finalRow = entryRow;
+}
+
+uint64_t
+planBulkWrite(const Geometry &geo, const std::optional<Range> &entryXb,
+              const std::optional<Range> &entryRow,
+              const uint32_t *values, BulkIoSpec &spec)
+{
+    std::optional<Range> xb = entryXb;
+    std::optional<Range> row = entryRow;
+    uint64_t runs = 0;
+    forEachBulkWriteRun(geo, spec, values, [&](const BulkWriteRun &r) {
+        ++runs;
+        const Range w = Range::single(r.warp);
+        if (!xb || !(*xb == w)) {
+            xb = w;
+            spec.stats.record(OpClass::CrossbarMask);
+        }
+        if (!row || !(*row == r.rows)) {
+            row = r.rows;
+            spec.stats.record(OpClass::RowMask);
+        }
+        spec.stats.record(OpClass::Write);
+    });
+    // count > 0 is a precondition, so at least one run engaged both.
+    spec.finalXb = *xb;
+    spec.finalRow = *row;
+    return runs;
+}
+
+} // namespace pypim

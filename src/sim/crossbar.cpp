@@ -29,6 +29,35 @@ allZero(const uint64_t *w, uint32_t n)
     return true;
 }
 
+/**
+ * In-place 64x64 bit-matrix transpose: on return, bit p of x[k]
+ * equals bit k of the old x[p]. Hacker's Delight 7-3 with the shift
+ * directions flipped for this codebase's LSB-0 bit numbering (the
+ * textbook form assumes MSB-0 and would compute the anti-diagonal
+ * transpose here).
+ */
+void
+transpose64(uint64_t x[64])
+{
+    uint64_t m = 0x00000000FFFFFFFFull;
+    for (uint32_t j = 32; j; j >>= 1, m ^= m << j) {
+        for (uint32_t k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const uint64_t t = ((x[k] >> j) ^ x[k | j]) & m;
+            x[k] ^= t << j;
+            x[k | j] ^= t;
+        }
+    }
+}
+
+/** 64-bit word mask selecting bits [off, off+take). */
+uint64_t
+windowMask(uint32_t off, uint32_t take)
+{
+    // take == 64 implies off == 0 (windows are 64-aligned after the
+    // first), and 1ull << 64 would be UB.
+    return take == 64 ? ~0ull : ((1ull << take) - 1) << off;
+}
+
 } // namespace
 
 /**
@@ -748,26 +777,39 @@ uint32_t
 Crossbar::read(uint32_t slot, uint32_t row) const
 {
     const uint32_t pw = geo_->partitionWidth();
+    const uint32_t off = row % 64;
     uint32_t value = 0;
     if (storage_ == XbarStorage::Paged) {
+        if (table_.empty())
+            return 0;  // never densified: architectural zeros
         const uint32_t wIdx = row / 64;
         const uint32_t b = wIdx / kBlockWords;
         const uint32_t rel = wIdx % kBlockWords;
+        // The planes' table entries are a constant stride apart —
+        // index directly instead of re-deriving the block pointer
+        // through blockRO per bit.
+        const size_t base =
+            static_cast<size_t>(slot) * blocksPerCol_ + b;
+        const size_t stride =
+            static_cast<size_t>(pw) * blocksPerCol_;
+        const BlockPool &pool = *pool_;
         for (uint32_t p = 0; p < geo_->wordBits; ++p) {
-            const uint64_t *blk = blockRO(p * pw + slot, b);
-            const uint32_t v = blk ? static_cast<uint32_t>(
-                                         (blk[rel] >> (row % 64)) & 1)
-                                   : 0;
-            value |= v << p;
+            const uint32_t id = table_[base + p * stride];
+            if (id != kAbsent)
+                value |= static_cast<uint32_t>(
+                             (pool.words(id)[rel] >> off) & 1)
+                         << p;
         }
         return value;
     }
-    for (uint32_t p = 0; p < geo_->wordBits; ++p) {
-        const uint64_t *words = colWords(p * pw + slot);
-        const uint32_t b =
-            static_cast<uint32_t>((words[row / 64] >> (row % 64)) & 1);
-        value |= b << p;
-    }
+    // Same hoist for the dense slab: one base pointer + plane stride.
+    const uint64_t *word =
+        state_.data() + static_cast<size_t>(slot) * wordsPerCol_ +
+        row / 64;
+    const size_t stride = static_cast<size_t>(pw) * wordsPerCol_;
+    for (uint32_t p = 0; p < geo_->wordBits; ++p)
+        value |= static_cast<uint32_t>((word[p * stride] >> off) & 1)
+                 << p;
     return value;
 }
 
@@ -777,6 +819,8 @@ Crossbar::writeRow(uint32_t slot, uint32_t value, uint32_t row)
     const uint32_t pw = geo_->partitionWidth();
     const uint64_t bit = 1ull << (row % 64);
     if (storage_ == XbarStorage::Paged) {
+        if (value == 0 && table_.empty())
+            return;  // clearing architectural zeros: no-op
         const uint32_t wIdx = row / 64;
         const uint32_t b = wIdx / kBlockWords;
         const uint32_t rel = wIdx % kBlockWords;
@@ -792,13 +836,202 @@ Crossbar::writeRow(uint32_t slot, uint32_t value, uint32_t row)
         }
         return;
     }
+    uint64_t *word =
+        state_.data() + static_cast<size_t>(slot) * wordsPerCol_ +
+        row / 64;
+    const size_t stride = static_cast<size_t>(pw) * wordsPerCol_;
     for (uint32_t p = 0; p < geo_->wordBits; ++p) {
-        uint64_t *words = colWords(p * pw + slot);
         if ((value >> p) & 1)
-            words[row / 64] |= bit;
+            word[p * stride] |= bit;
         else
-            words[row / 64] &= ~bit;
+            word[p * stride] &= ~bit;
     }
+}
+
+// --- bulk gather/scatter ------------------------------------------------
+
+uint64_t
+Crossbar::gatherRows(uint32_t slot, uint32_t row, uint32_t count,
+                     uint32_t *out) const
+{
+    panicIf(static_cast<uint64_t>(row) + count > geo_->rows,
+            "gatherRows: row window exceeds crossbar height");
+    if (count == 0)
+        return 0;
+    if (storage_ == XbarStorage::Paged)
+        return gatherRowsPaged(slot, row, count, out);
+
+    const uint32_t pw = geo_->partitionWidth();
+    const uint64_t *col0 =
+        state_.data() + static_cast<size_t>(slot) * wordsPerCol_;
+    const size_t stride = static_cast<size_t>(pw) * wordsPerCol_;
+    uint64_t transposed = 0;
+    uint32_t done = 0;
+    while (done < count) {
+        const uint32_t r = row + done;
+        const uint32_t wIdx = r / 64;
+        const uint32_t off = r % 64;
+        const uint32_t take = std::min<uint32_t>(64 - off, count - done);
+        uint64_t m[64];
+        uint32_t p = 0;
+        for (; p < geo_->wordBits; ++p)
+            m[p] = col0[p * stride + wIdx];
+        for (; p < 64; ++p)
+            m[p] = 0;
+        transpose64(m);
+        transposed += 64;
+        for (uint32_t k = 0; k < take; ++k)
+            out[done + k] = static_cast<uint32_t>(m[off + k]);
+        done += take;
+    }
+    return transposed;
+}
+
+uint64_t
+Crossbar::gatherRowsPaged(uint32_t slot, uint32_t row, uint32_t count,
+                          uint32_t *out) const
+{
+    if (table_.empty()) {
+        std::fill(out, out + count, 0u);
+        return 0;
+    }
+    const uint32_t pw = geo_->partitionWidth();
+    const size_t stride = static_cast<size_t>(pw) * blocksPerCol_;
+    const BlockPool &pool = *pool_;
+    uint64_t transposed = 0;
+    uint32_t done = 0;
+    while (done < count) {
+        const uint32_t r = row + done;
+        const uint32_t wIdx = r / 64;
+        const uint32_t off = r % 64;
+        const uint32_t take = std::min<uint32_t>(64 - off, count - done);
+        const uint32_t b = wIdx / kBlockWords;
+        const uint32_t rel = wIdx % kBlockWords;
+        const size_t base =
+            static_cast<size_t>(slot) * blocksPerCol_ + b;
+        uint64_t m[64];
+        uint64_t any = 0;
+        uint32_t p = 0;
+        for (; p < geo_->wordBits; ++p) {
+            const uint32_t id = table_[base + p * stride];
+            m[p] = id == kAbsent ? 0 : pool.words(id)[rel];
+            any |= m[p];
+        }
+        for (; p < 64; ++p)
+            m[p] = 0;
+        if (!any) {
+            // Absent (or decayed-to-zero) source window: the values
+            // are architectural zeros — no transpose needed.
+            std::fill(out + done, out + done + take, 0u);
+            done += take;
+            continue;
+        }
+        transpose64(m);
+        transposed += 64;
+        for (uint32_t k = 0; k < take; ++k)
+            out[done + k] = static_cast<uint32_t>(m[off + k]);
+        done += take;
+    }
+    return transposed;
+}
+
+uint64_t
+Crossbar::scatterRows(uint32_t slot, uint32_t row, uint32_t count,
+                      const uint32_t *values)
+{
+    panicIf(static_cast<uint64_t>(row) + count > geo_->rows,
+            "scatterRows: row window exceeds crossbar height");
+    if (count == 0)
+        return 0;
+    if (storage_ == XbarStorage::Paged)
+        return scatterRowsPaged(slot, row, count, values);
+
+    const uint32_t pw = geo_->partitionWidth();
+    uint64_t *col0 =
+        state_.data() + static_cast<size_t>(slot) * wordsPerCol_;
+    const size_t stride = static_cast<size_t>(pw) * wordsPerCol_;
+    uint64_t transposed = 0;
+    uint32_t done = 0;
+    while (done < count) {
+        const uint32_t r = row + done;
+        const uint32_t wIdx = r / 64;
+        const uint32_t off = r % 64;
+        const uint32_t take = std::min<uint32_t>(64 - off, count - done);
+        const uint64_t wmask = windowMask(off, take);
+        uint64_t m[64] = {};
+        uint64_t any = 0;
+        for (uint32_t k = 0; k < take; ++k) {
+            m[off + k] = values[done + k];
+            any |= m[off + k];
+        }
+        if (!any) {
+            // All-zero input window: pure clear, no transpose.
+            for (uint32_t p = 0; p < geo_->wordBits; ++p)
+                col0[p * stride + wIdx] &= ~wmask;
+            done += take;
+            continue;
+        }
+        transpose64(m);
+        transposed += 64;
+        for (uint32_t p = 0; p < geo_->wordBits; ++p) {
+            uint64_t &w = col0[p * stride + wIdx];
+            w = (w & ~wmask) | m[p];
+        }
+        done += take;
+    }
+    return transposed;
+}
+
+uint64_t
+Crossbar::scatterRowsPaged(uint32_t slot, uint32_t row, uint32_t count,
+                           const uint32_t *values)
+{
+    const uint32_t pw = geo_->partitionWidth();
+    uint64_t transposed = 0;
+    uint32_t done = 0;
+    while (done < count) {
+        const uint32_t r = row + done;
+        const uint32_t wIdx = r / 64;
+        const uint32_t off = r % 64;
+        const uint32_t take = std::min<uint32_t>(64 - off, count - done);
+        const uint64_t wmask = windowMask(off, take);
+        const uint32_t b = wIdx / kBlockWords;
+        const uint32_t rel = wIdx % kBlockWords;
+        uint64_t m[64] = {};
+        uint64_t any = 0;
+        for (uint32_t k = 0; k < take; ++k) {
+            m[off + k] = values[done + k];
+            any |= m[off + k];
+        }
+        if (!any) {
+            // All-zero input window clears present blocks only —
+            // absent blocks stay absent (elision preserved).
+            for (uint32_t p = 0; p < geo_->wordBits; ++p) {
+                uint64_t *blk = blockIfPresent(p * pw + slot, b);
+                if (blk)
+                    blk[rel] &= ~wmask;
+            }
+            done += take;
+            continue;
+        }
+        transpose64(m);
+        transposed += 64;
+        for (uint32_t p = 0; p < geo_->wordBits; ++p) {
+            const uint32_t col = p * pw + slot;
+            if (m[p]) {
+                // blockRW may relocate the pool — no caching across
+                // planes.
+                uint64_t *blk = blockRW(col, b);
+                blk[rel] = (blk[rel] & ~wmask) | m[p];
+            } else {
+                uint64_t *blk = blockIfPresent(col, b);
+                if (blk)
+                    blk[rel] &= ~wmask;
+            }
+        }
+        done += take;
+    }
+    return transposed;
 }
 
 bool

@@ -186,6 +186,33 @@ class Crossbar
     /** Unconditional single-row N-bit write (used by move ops). */
     void writeRow(uint32_t slot, uint32_t value, uint32_t row);
 
+    /**
+     * Bulk strided read: the values of @p count consecutive rows
+     * [row, row+count) of slot @p slot into @p out, converted from
+     * column-major storage to the row-major host buffer 64 rows at a
+     * time via an in-register 64x64 bit-matrix transpose (Hacker's
+     * Delight 7-3 adapted to LSB-0 numbering) — ~64 word ops per 64
+     * values instead of 64*wordBits single-bit probes. Paged fast
+     * path: a window whose source blocks are all absent (or all zero)
+     * zero-fills the output with no transpose and no block probes.
+     * Returns the 64-bit words moved through the transpose
+     * (observability; 64 per transposed window).
+     */
+    uint64_t gatherRows(uint32_t slot, uint32_t row, uint32_t count,
+                        uint32_t *out) const;
+
+    /**
+     * Bulk strided write of @p count consecutive rows from the
+     * row-major @p values — the scatter inverse of gatherRows,
+     * bit-identical to count writeRow calls. Zero-elision is
+     * preserved: a plane word receiving no set bit only clears, so
+     * absent paged blocks stay absent (an all-zero upload never
+     * densifies anything), and an all-zero window skips the transpose
+     * entirely. Returns words transposed.
+     */
+    uint64_t scatterRows(uint32_t slot, uint32_t row, uint32_t count,
+                         const uint32_t *values);
+
     /** Raw bit access for tests. */
     bool bit(uint32_t row, uint32_t col) const;
     void setBit(uint32_t row, uint32_t col, bool v);
@@ -323,6 +350,10 @@ class Crossbar
                           std::span<const uint64_t> rowMask);
     void logicVPaged(Gate g, uint32_t rowIn, uint32_t rowOut,
                      uint32_t slot);
+    uint64_t gatherRowsPaged(uint32_t slot, uint32_t row,
+                             uint32_t count, uint32_t *out) const;
+    uint64_t scatterRowsPaged(uint32_t slot, uint32_t row,
+                              uint32_t count, const uint32_t *values);
 
     const Geometry *geo_;
     uint32_t wordsPerCol_;

@@ -6,6 +6,7 @@
 #include "common/bitops.hpp"
 #include "common/error.hpp"
 #include "sim/batch_trace.hpp"
+#include "sim/bulk_io.hpp"
 #include "sim/engine.hpp"
 
 namespace pypim
@@ -172,6 +173,28 @@ SimulatorGroup::performRead(Word op)
             value = v;
     }
     return value;
+}
+
+bool
+SimulatorGroup::readBulk(const BulkIoSpec &spec, uint32_t *out,
+                         BulkIoTelemetry &tel)
+{
+    // Broadcast: every sub-device applies the identical stats/mask
+    // delta and gathers its owned warps into the shared buffer.
+    for (auto &s : sims_)
+        if (!s->readBulk(spec, out, tel))
+            return false;
+    return true;
+}
+
+bool
+SimulatorGroup::writeBulk(const BulkIoSpec &spec,
+                          const uint32_t *values, BulkIoTelemetry &tel)
+{
+    for (auto &s : sims_)
+        if (!s->writeBulk(spec, values, tel))
+            return false;
+    return true;
 }
 
 bool

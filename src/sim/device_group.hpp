@@ -189,6 +189,19 @@ class SimulatorGroup : public OperationSink
     prepareTrace(const Word *ops, size_t n, bool fuse) override;
     /** Submit the SAME shared handle to every sub-device. */
     void submitTrace(std::shared_ptr<const BatchTrace> trace) override;
+    /**
+     * Broadcast the bulk read to every sub-device: each applies the
+     * identical pre-planned stats/mask delta (the replication
+     * invariant) and fills only its owned warps of the shared @p out
+     * buffer — the slices are disjoint and cover the geometry, so the
+     * buffer is assembled exactly once with no copying. Telemetry
+     * accumulates across sub-devices (N drains per transfer).
+     */
+    bool readBulk(const BulkIoSpec &spec, uint32_t *out,
+                  BulkIoTelemetry &tel) override;
+    /** Broadcast the bulk write (scatter mirror of readBulk). */
+    bool writeBulk(const BulkIoSpec &spec, const uint32_t *values,
+                   BulkIoTelemetry &tel) override;
 
   private:
     void forwardAll(const Word *ops, size_t n);

@@ -5,6 +5,7 @@
 #include "common/bitops.hpp"
 #include "common/error.hpp"
 #include "sim/batch_trace.hpp"
+#include "sim/bulk_io.hpp"
 #include "sim/serial_engine.hpp"
 #include "sim/sharded_engine.hpp"
 #include "sim/trace_engine.hpp"
@@ -105,6 +106,76 @@ ExecutionEngine::executeRead(const MicroOp &op)
     if (!owns(mask_.xb.start))
         return 0;
     return xbAt(mask_.xb.start).read(op.index, mask_.row.start);
+}
+
+uint64_t
+ExecutionEngine::executeReadBulk(const BulkIoSpec &spec, uint32_t *out)
+{
+    fatalIf(spec.slot >= geo_.slots(),
+            "bulk read: slot index out of range");
+    uint64_t transposed = 0;
+    uint64_t i = 0;
+    while (i < spec.count) {
+        const uint64_t s = spec.rowStart + i * spec.rowStep;
+        const uint32_t g =
+            spec.warpStart + static_cast<uint32_t>(s / geo_.rows);
+        const uint32_t r0 = static_cast<uint32_t>(s % geo_.rows);
+        const uint64_t k = std::min<uint64_t>(
+            spec.count - i,
+            (geo_.rows - r0 + spec.rowStep - 1) / spec.rowStep);
+        fatalIf(g >= geo_.numCrossbars,
+                "bulk read: crossbar out of range");
+        if (owns(g)) {
+            Crossbar &xb = xbAt(g);
+            if (spec.rowStep == 1) {
+                transposed += xb.gatherRows(
+                    spec.slot, r0, static_cast<uint32_t>(k), out + i);
+            } else {
+                for (uint64_t e = 0; e < k; ++e)
+                    out[i + e] = xb.read(
+                        spec.slot,
+                        r0 + static_cast<uint32_t>(e * spec.rowStep));
+            }
+        }
+        i += k;
+    }
+    return transposed;
+}
+
+uint64_t
+ExecutionEngine::applyWriteBulk(const BulkIoSpec &spec,
+                                const uint32_t *values)
+{
+    fatalIf(spec.slot >= geo_.slots(),
+            "bulk write: slot index out of range");
+    uint64_t transposed = 0;
+    uint64_t i = 0;
+    while (i < spec.count) {
+        const uint64_t s = spec.rowStart + i * spec.rowStep;
+        const uint32_t g =
+            spec.warpStart + static_cast<uint32_t>(s / geo_.rows);
+        const uint32_t r0 = static_cast<uint32_t>(s % geo_.rows);
+        const uint64_t k = std::min<uint64_t>(
+            spec.count - i,
+            (geo_.rows - r0 + spec.rowStep - 1) / spec.rowStep);
+        fatalIf(g >= geo_.numCrossbars,
+                "bulk write: crossbar out of range");
+        if (owns(g)) {
+            Crossbar &xb = xbAt(g);
+            if (spec.rowStep == 1) {
+                transposed += xb.scatterRows(
+                    spec.slot, r0, static_cast<uint32_t>(k),
+                    values + i);
+            } else {
+                for (uint64_t e = 0; e < k; ++e)
+                    xb.writeRow(
+                        spec.slot, values[i + e],
+                        r0 + static_cast<uint32_t>(e * spec.rowStep));
+            }
+        }
+        i += k;
+    }
+    return transposed;
 }
 
 void

@@ -45,6 +45,7 @@ namespace pypim
 {
 
 struct BatchTrace;
+struct BulkIoSpec;
 
 /**
  * One micro-op replay backend. Owns no simulated state; executes
@@ -121,6 +122,24 @@ class ExecutionEngine
      * so all backends share this implementation.
      */
     uint32_t executeRead(const MicroOp &op);
+
+    /**
+     * Gather the values addressed by a bulk transfer spec
+     * (sim/bulk_io.hpp) into @p out: per owned crossbar one
+     * gatherRows call when the elements are row-consecutive, scalar
+     * reads otherwise. Elements outside the owned slice are left
+     * untouched — on a sharded device every sub-device fills its
+     * disjoint share of the common host buffer. Stats were applied by
+     * the caller (the spec carries the pre-planned delta). Returns
+     * 64-bit words transposed. Shared by all backends: the transfer
+     * runs after a drain, so the array is quiescent.
+     */
+    uint64_t executeReadBulk(const BulkIoSpec &spec, uint32_t *out);
+
+    /** The scatter mirror of executeReadBulk: write @p values into
+     *  the addressed rows of owned crossbars. */
+    uint64_t applyWriteBulk(const BulkIoSpec &spec,
+                            const uint32_t *values);
 
   protected:
     /** Reference semantics: apply one op to the full crossbar array. */

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "sim/batch_trace.hpp"
+#include "sim/bulk_io.hpp"
 
 namespace pypim
 {
@@ -151,6 +152,38 @@ Simulator::submitTrace(std::shared_ptr<const BatchTrace> trace)
     mask_.xb = trace->finalXb;
     mask_.setRow(trace->finalRow, geo_.rows);
     engine_->replayBatch(*trace);
+}
+
+bool
+Simulator::readBulk(const BulkIoSpec &spec, uint32_t *out,
+                    BulkIoTelemetry &tel)
+{
+    // The one drain of the transfer: the array is quiescent for the
+    // whole gather, exactly as it would be after the first
+    // per-element performRead of the oracle loop.
+    drainPipeline();
+    // Apply the pre-planned architectural effect — the submitTrace
+    // pattern: the stats delta and final mask state were computed by
+    // the planner, identically on every sub-device.
+    stats_ += spec.stats;
+    mask_.xb = spec.finalXb;
+    mask_.setRow(spec.finalRow, geo_.rows);
+    tel.wordsTransposed += engine_->executeReadBulk(spec, out);
+    tel.drains += 1;
+    return true;
+}
+
+bool
+Simulator::writeBulk(const BulkIoSpec &spec, const uint32_t *values,
+                     BulkIoTelemetry &tel)
+{
+    drainPipeline();
+    stats_ += spec.stats;
+    mask_.xb = spec.finalXb;
+    mask_.setRow(spec.finalRow, geo_.rows);
+    tel.wordsTransposed += engine_->applyWriteBulk(spec, values);
+    tel.drains += 1;
+    return true;
 }
 
 uint32_t

@@ -107,6 +107,22 @@ class Simulator : public OperationSink
      */
     void submitTrace(std::shared_ptr<const BatchTrace> trace) override;
 
+    /**
+     * Bulk block-transfer read: drain the pipeline ONCE (the drain
+     * contract — one drain per transfer, not one per element), apply
+     * the spec's pre-planned stats delta and final mask state exactly
+     * as a submitTrace would, then gather via the engine's transpose
+     * kernels. Elements outside the owned slice are left untouched in
+     * @p out (the device group assembles the full buffer from its
+     * sub-devices). Always returns true.
+     */
+    bool readBulk(const BulkIoSpec &spec, uint32_t *out,
+                  BulkIoTelemetry &tel) override;
+
+    /** Bulk block-transfer write: the scatter mirror of readBulk. */
+    bool writeBulk(const BulkIoSpec &spec, const uint32_t *values,
+                   BulkIoTelemetry &tel) override;
+
     /** Execute one decoded micro-op (test convenience). */
     void perform(const MicroOp &op);
 

@@ -31,6 +31,8 @@ namespace pypim
 {
 
 struct BatchTrace;
+struct BulkIoSpec;
+struct BulkIoTelemetry;
 
 /** Abstract consumer of encoded micro-operations. */
 class OperationSink
@@ -90,6 +92,40 @@ class OperationSink
      * prepareTrace returned null (the caller holds no valid handle).
      */
     virtual void submitTrace(std::shared_ptr<const BatchTrace> trace);
+
+    /**
+     * Bulk block-transfer read (sim/bulk_io.hpp): drain pending work
+     * ONCE, apply the spec's pre-planned architectural stats delta and
+     * final mask state, then gather the addressed values into @p out
+     * via the crossbars' 64x64 transpose kernels — equivalent to the
+     * per-element performRead loop the spec was planned from, at a
+     * fraction of the host cost. Returns false when the sink has no
+     * bulk path (the default): the caller falls back to the
+     * element-wise stream, which stays the parity oracle.
+     */
+    virtual bool
+    readBulk(const BulkIoSpec &spec, uint32_t *out, BulkIoTelemetry &tel)
+    {
+        (void)spec;
+        (void)out;
+        (void)tel;
+        return false;
+    }
+
+    /**
+     * Bulk block-transfer write: the scatter mirror of readBulk,
+     * equivalent to submitting the spec's canonical run stream.
+     * Returns false when unsupported (caller emits the stream).
+     */
+    virtual bool
+    writeBulk(const BulkIoSpec &spec, const uint32_t *values,
+              BulkIoTelemetry &tel)
+    {
+        (void)spec;
+        (void)values;
+        (void)tel;
+        return false;
+    }
 
     /**
      * Execute a Read micro-op and return its N-bit response.

@@ -148,15 +148,48 @@ TEST(ConfigEnv, XbarStorageRejectsJunk)
     }
 }
 
+TEST(ConfigEnv, BulkIoParses)
+{
+    {
+        EnvVar v("PYPIM_BULK_IO", "on");
+        EXPECT_TRUE(EngineConfig::fromEnv().bulkIo);
+    }
+    {
+        EnvVar v("PYPIM_BULK_IO", "1");
+        EXPECT_TRUE(EngineConfig::fromEnv().bulkIo);
+    }
+    {
+        EnvVar v("PYPIM_BULK_IO", "off");
+        EXPECT_FALSE(EngineConfig::fromEnv().bulkIo);
+    }
+    {
+        EnvVar v("PYPIM_BULK_IO", "0");
+        EXPECT_FALSE(EngineConfig::fromEnv().bulkIo);
+    }
+}
+
+TEST(ConfigEnv, BulkIoRejectsJunk)
+{
+    for (const char *bad : {"yes", "true", "2", "ON", " on"}) {
+        EnvVar v("PYPIM_BULK_IO", bad);
+        EXPECT_THROW(EngineConfig::fromEnv(), Error)
+            << "PYPIM_BULK_IO='" << bad << "'";
+    }
+}
+
 TEST(ConfigEnv, DefaultsWhenUnset)
 {
     ::unsetenv("PYPIM_DEVICES");
     ::unsetenv("PYPIM_AFFINITY");
     ::unsetenv("PYPIM_XBAR_STORAGE");
+    ::unsetenv("PYPIM_BULK_IO");
     const EngineConfig c = EngineConfig::fromEnv();
     EXPECT_EQ(c.devices, 1u);
     EXPECT_FALSE(c.affinity);
     EXPECT_EQ(c.storage, XbarStorage::Paged)
         << "paged is the default representation; dense is the "
+           "opt-in parity oracle";
+    EXPECT_TRUE(c.bulkIo)
+        << "bulk I/O is the default; the element-wise path is the "
            "opt-in parity oracle";
 }
