@@ -70,13 +70,15 @@ jsonOutPath()
 /**
  * Parse and strip --engine=serial|sharded|trace, --threads=N,
  * --pipeline=on|off, --trace-cache=on|off, --devices=N,
- * --affinity=on|off, --storage=dense|paged, --bulk-io=on|off and
- * --json=PATH from argv (before benchmark::Initialize, which rejects
- * unknown flags), storing the result in engineConfig() /
- * jsonOutPath(). Invalid values abort, exactly like the PYPIM_ENGINE /
- * PYPIM_THREADS / PYPIM_PIPELINE / PYPIM_TRACE_CACHE / PYPIM_DEVICES /
- * PYPIM_AFFINITY / PYPIM_XBAR_STORAGE / PYPIM_BULK_IO environment
- * path — a typo must never silently benchmark the wrong engine.
+ * --affinity=on|off, --storage=dense|paged, --bulk-io=on|off,
+ * --compiled-replay=on|off and --json=PATH from argv (before
+ * benchmark::Initialize, which rejects unknown flags), storing the
+ * result in engineConfig() / jsonOutPath(). Invalid values abort,
+ * exactly like the PYPIM_ENGINE / PYPIM_THREADS / PYPIM_PIPELINE /
+ * PYPIM_TRACE_CACHE / PYPIM_DEVICES / PYPIM_AFFINITY /
+ * PYPIM_XBAR_STORAGE / PYPIM_BULK_IO / PYPIM_COMPILED_REPLAY
+ * environment path — a typo must never silently benchmark the wrong
+ * engine.
  */
 inline void
 applyEngineFlags(int &argc, char **argv)
@@ -159,6 +161,14 @@ applyEngineFlags(int &argc, char **argv)
                 cfg.bulkIo = false;
             else
                 fatal("--bulk-io=" + v + ": expected on|off");
+        } else if (arg.rfind("--compiled-replay=", 0) == 0) {
+            const std::string v = arg.substr(18);
+            if (v == "on" || v == "1")
+                cfg.compiledReplay = true;
+            else if (v == "off" || v == "0")
+                cfg.compiledReplay = false;
+            else
+                fatal("--compiled-replay=" + v + ": expected on|off");
         } else {
             argv[out++] = argv[i];
         }
@@ -179,15 +189,19 @@ printEngineBanner()
     std::printf(", trace cache %s", cfg.traceCache ? "on" : "off");
     std::printf(", %s storage", xbarStorageName(cfg.storage));
     std::printf(", bulk I/O %s", cfg.bulkIo ? "on" : "off");
+    std::printf(", compiled replay %s",
+                cfg.compiledReplay ? "on" : "off");
     if (cfg.devices > 1)
         std::printf(", %u sub-devices", cfg.devices);
     std::printf("  [--engine=serial|sharded|trace --threads=N "
                 "--pipeline=on|off --trace-cache=on|off --devices=N "
                 "--affinity=on|off --storage=dense|paged "
-                "--bulk-io=on|off --json=PATH "
+                "--bulk-io=on|off --compiled-replay=on|off "
+                "--json=PATH "
                 "or PYPIM_ENGINE/PYPIM_THREADS/PYPIM_PIPELINE/"
                 "PYPIM_TRACE_CACHE/PYPIM_DEVICES/PYPIM_AFFINITY/"
-                "PYPIM_XBAR_STORAGE/PYPIM_BULK_IO]\n");
+                "PYPIM_XBAR_STORAGE/PYPIM_BULK_IO/"
+                "PYPIM_COMPILED_REPLAY]\n");
 }
 
 /**
@@ -310,6 +324,7 @@ jsonConfig(Json &j, const Geometry &g)
     j.field("affinity", cfg.affinity);
     j.field("storage", xbarStorageName(cfg.storage));
     j.field("bulk_io", cfg.bulkIo);
+    j.field("compiled_replay", cfg.compiledReplay);
     j.field("crossbars", g.numCrossbars);
     j.field("rows", g.rows);
     j.field("partitions", g.partitions);

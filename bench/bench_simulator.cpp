@@ -642,6 +642,125 @@ storageSweep(Json *json)
 }
 
 /**
+ * The self-contained warm-replay batch of the compiled-replay sweep:
+ * INIT1+NOR pairs cycling over eight destination registers, the shape
+ * of a driver-translated arithmetic loop (each temporary written
+ * once, then the next). The builder fuses every pair into one
+ * FusedNotNor; the program compiler then merges runs of up to eight
+ * consecutive fused gates (disjoint outputs, shared inputs) into one
+ * multi-section pass — so compiled replay resolves one mask and
+ * dispatches one instruction where the interpreter walks eight ops.
+ */
+std::vector<Word>
+compiledReplayBatch(const Geometry &g, int pairs = 512)
+{
+    std::vector<Word> ops;
+    ops.reserve(2 + 2 * static_cast<size_t>(pairs));
+    ops.push_back(
+        MicroOp::crossbarMask(Range(0, g.numCrossbars - 1, 1))
+            .encode());
+    ops.push_back(MicroOp::rowMask(Range(0, g.rows - 1, 1)).encode());
+    for (int i = 0; i < pairs; ++i) {
+        const uint32_t out =
+            g.column(4 + static_cast<uint32_t>(i) % 8, 0);
+        ops.push_back(MicroOp::logicH(Gate::Init1, 0, 0, out,
+                                      g.partitions - 1, 1).encode());
+        ops.push_back(MicroOp::logicH(Gate::Nor, g.column(0, 0),
+                                      g.column(1, 0), out,
+                                      g.partitions - 1, 1).encode());
+    }
+    return ops;
+}
+
+/** Warm-cache replay rate [op/s] of one frozen trace; digests the
+ *  eight destination registers into @p checksum. */
+double
+warmReplayRate(const Geometry &g, const EngineConfig &ec,
+               const std::vector<Word> &ops, uint64_t &checksum,
+               double minSeconds = 0.25)
+{
+    Simulator sim(g, ec);
+    Rng rng(23);
+    fillRegister(sim, 0, rng);
+    fillRegister(sim, 1, rng);
+    auto trace = sim.prepareTrace(ops.data(), ops.size(), true);
+    fatalIf(trace == nullptr,
+            "compiled-replay sweep: stream must be cacheable");
+    sim.submitTrace(trace);  // warm-up
+    sim.flush();
+    const auto [reps, elapsed] = timedReps(
+        [&] { sim.submitTrace(trace); }, [&] { sim.flush(); },
+        minSeconds);
+    checksum = 14695981039346656037ull;
+    for (uint32_t xb = 0; xb < g.numCrossbars; xb += 3)
+        for (uint32_t row = 0; row < g.rows; row += 61)
+            for (uint32_t slot = 4; slot < 12; ++slot)
+                checksum = checksum * 1099511628211ull ^
+                           sim.crossbar(xb).read(slot, row);
+    return static_cast<double>(reps * ops.size()) / elapsed;
+}
+
+/**
+ * Compiled-replay sweep: the ISSUE 8 acceptance gauge. The same
+ * frozen trace replays warm through the segment interpreter
+ * (--compiled-replay=off) and through the compiled ReplayProgram
+ * executors, across crossbar counts, on the process-wide engine
+ * selection. State checksums MUST be bit-identical — the function
+ * returns false otherwise and the CI bench smoke step exits non-zero
+ * on it. >=1.25x at >=256 crossbars is the acceptance gauge.
+ */
+bool
+compiledSweep(Json *json)
+{
+    std::printf("\n=== Compiled-replay sweep (warm frozen trace, "
+                "INIT+NOR over 8 destinations, 64-row "
+                "crossbars) ===\n");
+    std::printf("%-10s %20s %18s %8s %10s\n", "crossbars",
+                "interpreter [Kop/s]", "compiled [Kop/s]", "speedup",
+                "identical");
+    if (json)
+        json->beginArray("compiled_replay_sweep");
+    bool allIdentical = true;
+    for (uint32_t crossbars : {16u, 64u, 256u, 1024u}) {
+        // Shallow 64-row crossbars (one mask word per column): at the
+        // paper's 1024-row geometry each LogicH moves ~1.5 KB per
+        // crossbar and both paths are memory-bound, hiding the replay
+        // overhead this tier removes. Short columns are the
+        // dispatch-dominated regime the compiled programs target.
+        Geometry g = benchGeometry(crossbars);
+        g.rows = 64;
+        const std::vector<Word> ops = compiledReplayBatch(g);
+        uint64_t ckInterp = 0, ckCompiled = 0;
+        const double interp = warmReplayRate(
+            g, engineConfig().withCompiledReplay(false), ops,
+            ckInterp);
+        const double compiled = warmReplayRate(
+            g, engineConfig().withCompiledReplay(true), ops,
+            ckCompiled);
+        const bool identical = ckInterp == ckCompiled;
+        allIdentical = allIdentical && identical;
+        std::printf("%-10u %20.2f %18.2f %7.2fx %10s\n", crossbars,
+                    interp / 1e3, compiled / 1e3, compiled / interp,
+                    identical ? "yes" : "NO — BUG");
+        if (json) {
+            json->beginObject();
+            json->field("crossbars", crossbars);
+            json->field("interpreter_ops_per_s", interp);
+            json->field("compiled_ops_per_s", compiled);
+            json->field("speedup", compiled / interp);
+            json->field("bit_identical", identical);
+            json->end();
+        }
+    }
+    if (json)
+        json->end();
+    std::printf("(>=1.25x at >=256 crossbars is the ISSUE 8 "
+                "acceptance gauge; 'identical' checks bit-equality "
+                "of all eight destination registers)\n");
+    return allIdentical;
+}
+
+/**
  * Bulk tensor I/O sweep (the ISSUE 7 acceptance gauge): a 1 Mi-element
  * int tensor round-trips host -> device -> host through the
  * element-wise oracle (PYPIM_BULK_IO=0 semantics: one ReadInstr
@@ -771,6 +890,7 @@ main(int argc, char **argv)
     const bool devicesIdentical = deviceSweep(j);
     const bool storageIdentical = storageSweep(j);
     const bool ioIdentical = ioSweep(j);
+    const bool compiledIdentical = compiledSweep(j);
     if (j) {
         j->end();
         j->writeTo(jsonOutPath());
@@ -778,8 +898,12 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     // Non-zero exit when sharded execution diverged from the
-    // monolithic device, paged storage diverged from dense, or the
-    // bulk I/O path diverged from the element-wise oracle: the CI
-    // bench smoke step asserts all three identities.
-    return devicesIdentical && storageIdentical && ioIdentical ? 0 : 1;
+    // monolithic device, paged storage diverged from dense, the bulk
+    // I/O path diverged from the element-wise oracle, or compiled
+    // replay diverged from the interpreter: the CI bench smoke step
+    // asserts all four identities.
+    return devicesIdentical && storageIdentical && ioIdentical &&
+                   compiledIdentical
+               ? 0
+               : 1;
 }

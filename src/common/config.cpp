@@ -179,6 +179,9 @@ EngineConfig::fromEnv()
     }
     if (const char *b = std::getenv("PYPIM_BULK_IO"))
         c.bulkIo = parseSwitchEnv("PYPIM_BULK_IO", b, c.bulkIo);
+    if (const char *cr = std::getenv("PYPIM_COMPILED_REPLAY"))
+        c.compiledReplay = parseSwitchEnv("PYPIM_COMPILED_REPLAY", cr,
+                                          c.compiledReplay);
     return c;
 }
 

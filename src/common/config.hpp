@@ -199,6 +199,21 @@ struct EngineConfig
      * architectural Stats (test_bulk_io).
      */
     bool bulkIo = true;
+    /**
+     * Compiled trace replay (sim/replay_program.hpp): when a
+     * BatchTrace is frozen into the trace cache, each segment is
+     * additionally lowered into a flat ReplayProgram — row-mask
+     * handles resolved to arena offsets, consecutive LogicH ops under
+     * one mask merged into multi-section passes, stripes and LogicV
+     * runs pre-chunked, per-crossbar Stats charges precomputed — and
+     * replay dispatches into storage- and mask-specialized executors
+     * instead of the per-op interpreter. On by default; the
+     * interpreter stays live as the parity oracle (and serves the
+     * uncached one-shot pipeline path either way). Bit-identical
+     * state and architectural Stats on both settings
+     * (test_replay_program).
+     */
+    bool compiledReplay = true;
 
     static EngineConfig serial() { return {}; }
 
@@ -246,12 +261,21 @@ struct EngineConfig
         return c;
     }
 
+    /** Copy of this config with compiled trace replay toggled. */
+    EngineConfig
+    withCompiledReplay(bool on) const
+    {
+        EngineConfig c = *this;
+        c.compiledReplay = on;
+        return c;
+    }
+
     /**
      * Engine selection from the environment: PYPIM_ENGINE=serial|
      * sharded|trace, PYPIM_THREADS=N, PYPIM_PIPELINE=on|off,
      * PYPIM_TRACE_CACHE=on|off|1|0, PYPIM_DEVICES=N (power of two),
-     * PYPIM_AFFINITY=on|off, PYPIM_XBAR_STORAGE=dense|paged and
-     * PYPIM_BULK_IO=on|off|1|0.
+     * PYPIM_AFFINITY=on|off, PYPIM_XBAR_STORAGE=dense|paged,
+     * PYPIM_BULK_IO=on|off|1|0 and PYPIM_COMPILED_REPLAY=on|off|1|0.
      * Unset values fall back to the defaults (serial, synchronous,
      * trace cache on, one device, no pinning, paged storage), so
      * existing callers are unaffected; unrecognised or malformed

@@ -94,6 +94,19 @@ struct Stats
         cycleCount[static_cast<size_t>(c)] += cycles;
     }
 
+    /**
+     * Record @p n one-cycle micro-ops of class @p c in one counter
+     * bump — the replay loops' bulk form (a write stripe applies wn
+     * architectural Writes; a compiled pass applies a precomputed op
+     * count per crossbar). Equivalent to calling record(c) n times.
+     */
+    void
+    recordN(OpClass c, uint64_t n)
+    {
+        opCount[static_cast<size_t>(c)] += n;
+        cycleCount[static_cast<size_t>(c)] += n;
+    }
+
     /** Total micro-operations across all classes. */
     uint64_t totalOps() const;
     /** Total cycles across all classes. */

@@ -36,6 +36,7 @@
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "sim/replay_program.hpp"
 #include "sim/segment_trace.hpp"
 #include "uarch/microop.hpp"
 #include "uarch/range.hpp"
@@ -79,6 +80,13 @@ struct BatchTrace
     std::vector<Item> items;
     std::vector<SegmentTrace> segments;
     uint32_t used = 0;  //!< segment arenas in use this batch
+    /**
+     * Compiled form of segments[0..used), filled by compileBatchTrace
+     * (sim/replay_program.hpp) for traces about to be frozen into the
+     * cache. Empty on the pipeline's one-shot arena batches — those
+     * replay once, through the interpreter.
+     */
+    std::vector<ReplayProgram> programs;
 
     /**
      * Architectural Stats of the whole batch, recorded once by the
@@ -107,11 +115,19 @@ struct BatchTrace
         return t;
     }
 
+    /** Compiled program for segment @p seg, or null (interpret). */
+    const ReplayProgram *
+    program(uint32_t seg) const
+    {
+        return seg < programs.size() ? &programs[seg] : nullptr;
+    }
+
     void
     clear()
     {
         items.clear();
         used = 0;
+        programs.clear();
         stats.clear();
         finalXb = Range();
         finalRow = Range();

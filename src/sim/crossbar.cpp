@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "sim/replay_program.hpp"
 #include "sim/segment_trace.hpp"
 
 namespace pypim
@@ -400,6 +401,145 @@ Crossbar::logicHFusedInit1Paged(const HalfGates &hg,
     }
 }
 
+void
+Crossbar::logicHFull(const HalfGates &hg)
+{
+    if (storage_ == XbarStorage::Paged) {
+        logicHFullPaged(hg);
+        return;
+    }
+    // All-ones realized mask: INIT is a fill and the gates drop the
+    // blend — bit-identical to logicH under that mask.
+    for (uint32_t s = 0; s < hg.numSections; ++s) {
+        const Section &sec = hg.sections[s];
+        if (!sec.active())
+            continue;
+        uint64_t *out = colWords(static_cast<uint32_t>(sec.outCol));
+        switch (hg.gate) {
+          case Gate::Init0:
+            std::fill(out, out + wordsPerCol_, 0);
+            break;
+          case Gate::Init1:
+            std::fill(out, out + wordsPerCol_, ~0ull);
+            break;
+          case Gate::Not:
+          case Gate::Nor: {
+            const uint64_t *inA =
+                colWords(static_cast<uint32_t>(sec.inCol[0]));
+            const uint64_t *inB = sec.numIn == 2
+                ? colWords(static_cast<uint32_t>(sec.inCol[1]))
+                : inA;
+            for (uint32_t w = 0; w < wordsPerCol_; ++w)
+                out[w] &= ~(inA[w] | inB[w]);
+            break;
+          }
+        }
+    }
+}
+
+void
+Crossbar::logicHFullPaged(const HalfGates &hg)
+{
+    // Every block is mask-selected, so the per-block mask-nonzero
+    // scan of the masked kernel disappears entirely.
+    for (uint32_t s = 0; s < hg.numSections; ++s) {
+        const Section &sec = hg.sections[s];
+        if (!sec.active())
+            continue;
+        const uint32_t outCol = static_cast<uint32_t>(sec.outCol);
+        switch (hg.gate) {
+          case Gate::Init0:
+            for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                uint64_t *out = blockIfPresent(outCol, b);
+                if (out)
+                    std::fill(out, out + blockWords(b), 0);
+            }
+            break;
+          case Gate::Init1:
+            for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                uint64_t *out = blockRW(outCol, b);
+                std::fill(out, out + blockWords(b), ~0ull);
+            }
+            break;
+          case Gate::Not:
+          case Gate::Nor: {
+            const uint32_t inA = static_cast<uint32_t>(sec.inCol[0]);
+            const uint32_t inB = sec.numIn == 2
+                ? static_cast<uint32_t>(sec.inCol[1])
+                : inA;
+            for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                const bool aIn = blockRO(inA, b) != nullptr;
+                const bool bIn = blockRO(inB, b) != nullptr;
+                if (!aIn && !bIn)
+                    continue;  // out &= ~0: untouched
+                uint64_t *out = blockIfPresent(outCol, b);
+                if (!out)
+                    continue;  // only clears: absent stays absent
+                // Inputs AFTER the output's clone (pool may move).
+                const uint64_t *a = aIn ? blockRO(inA, b) : kZeroBlock;
+                const uint64_t *bb =
+                    bIn ? blockRO(inB, b) : kZeroBlock;
+                const uint32_t used = blockWords(b);
+                for (uint32_t w = 0; w < used; ++w)
+                    out[w] &= ~(a[w] | bb[w]);
+            }
+            break;
+          }
+        }
+    }
+}
+
+void
+Crossbar::logicHFusedInit1Full(const HalfGates &hg)
+{
+    if (storage_ == XbarStorage::Paged) {
+        logicHFusedInit1FullPaged(hg);
+        return;
+    }
+    for (uint32_t s = 0; s < hg.numSections; ++s) {
+        const Section &sec = hg.sections[s];
+        if (!sec.active())
+            continue;
+        uint64_t *out = colWords(static_cast<uint32_t>(sec.outCol));
+        const uint64_t *inA =
+            colWords(static_cast<uint32_t>(sec.inCol[0]));
+        const uint64_t *inB = sec.numIn == 2
+            ? colWords(static_cast<uint32_t>(sec.inCol[1]))
+            : inA;
+        for (uint32_t w = 0; w < wordsPerCol_; ++w)
+            out[w] = ~(inA[w] | inB[w]);
+    }
+}
+
+void
+Crossbar::logicHFusedInit1FullPaged(const HalfGates &hg)
+{
+    for (uint32_t s = 0; s < hg.numSections; ++s) {
+        const Section &sec = hg.sections[s];
+        if (!sec.active())
+            continue;
+        const uint32_t outCol = static_cast<uint32_t>(sec.outCol);
+        const uint32_t inA = static_cast<uint32_t>(sec.inCol[0]);
+        const uint32_t inB = sec.numIn == 2
+            ? static_cast<uint32_t>(sec.inCol[1])
+            : inA;
+        for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+            // out = ~(a|b) sets bits wherever both inputs read zero,
+            // so the output block materialises unconditionally.
+            uint64_t *out = blockRW(outCol, b);
+            const uint64_t *a = blockRO(inA, b);
+            const uint64_t *bb = blockRO(inB, b);
+            if (!a)
+                a = kZeroBlock;
+            if (!bb)
+                bb = kZeroBlock;
+            const uint32_t used = blockWords(b);
+            for (uint32_t w = 0; w < used; ++w)
+                out[w] = ~(a[w] | bb[w]);
+        }
+    }
+}
+
 // --- vertical logic -----------------------------------------------------
 
 void
@@ -509,36 +649,48 @@ Crossbar::replaySegment(const SegmentTrace &trace, uint32_t self,
         if (!op.xb.contains(self))
             continue;
         switch (op.type) {
-          case OpType::Write:
+          case OpType::Write: {
+            const bool full = trace.rowMaskFull[op.rowMask] != 0;
             if (op.wn > 1) {
                 // Stripe of adjacent Writes merged by the trace
                 // fuser: distinct slots under one shared row mask.
-                writeStripe({trace.writePairs.data() + op.wrun,
-                             op.wn},
-                            trace.rowMask(op.rowMask));
+                const std::span<const StripeWrite> ws{
+                    trace.writePairs.data() + op.wrun, op.wn};
+                if (full)
+                    writeStripeFull(ws);
+                else
+                    writeStripe(ws, trace.rowMask(op.rowMask));
                 // Work conservation: the stripe applies wn
                 // architectural Writes.
                 if (work)
-                    for (uint32_t k = 0; k < op.wn; ++k)
-                        work->record(OpClass::Write);
+                    work->recordN(OpClass::Write, op.wn);
             } else {
-                write(op.index, op.value, trace.rowMask(op.rowMask));
+                if (full)
+                    writeFull(op.index, op.value);
+                else
+                    write(op.index, op.value,
+                          trace.rowMask(op.rowMask));
                 if (work)
                     work->record(OpClass::Write);
             }
             break;
+          }
           case OpType::LogicH: {
             const HalfGates &hg = trace.halfGates[op.hg];
-            const auto rm = trace.rowMask(op.rowMask);
+            const bool full = trace.rowMaskFull[op.rowMask] != 0;
             if (op.fusedInit) {
-                logicHFusedInit1(hg, rm);
+                if (full)
+                    logicHFusedInit1Full(hg);
+                else
+                    logicHFusedInit1(hg, trace.rowMask(op.rowMask));
                 // Two architectural ops applied in one pass.
-                if (work) {
-                    work->record(OpClass::LogicH);
-                    work->record(OpClass::LogicH);
-                }
+                if (work)
+                    work->recordN(OpClass::LogicH, 2);
             } else {
-                logicH(hg, rm);
+                if (full)
+                    logicHFull(hg);
+                else
+                    logicH(hg, trace.rowMask(op.rowMask));
                 if (work)
                     work->record(OpClass::LogicH);
             }
@@ -648,6 +800,508 @@ Crossbar::replayLogicVRun(const TraceOp *run, size_t n, uint32_t self,
                     break;  // unreachable: rejected at emission
                 }
             }
+        }
+    }
+}
+
+// --- compiled-program replay --------------------------------------------
+
+void
+Crossbar::replayProgram(const ReplayProgram &prog, uint32_t self,
+                        Stats *work)
+{
+    // One dispatch per (segment, crossbar) into the specialization
+    // lattice — every per-op branch the interpreter pays (op switch,
+    // storage test, mask-handle resolution, blend-vs-fill) is decided
+    // here, outside the hot loops.
+    if (storage_ == XbarStorage::Paged) {
+        if (prog.allMasksFull)
+            replayProgramT<true, true>(prog, self, work);
+        else
+            replayProgramT<true, false>(prog, self, work);
+    } else {
+        if (prog.allMasksFull)
+            replayProgramT<false, true>(prog, self, work);
+        else
+            replayProgramT<false, false>(prog, self, work);
+    }
+}
+
+template <bool kPaged, bool kFull>
+void
+Crossbar::replayProgramT(const ReplayProgram &prog, uint32_t self,
+                         Stats *work)
+{
+    using SecKind = ReplayProgram::SecKind;
+    const bool uni = prog.uniformXb;
+    if (uni && !prog.xb.contains(self))
+        return;
+    if (work && uni) {
+        // One crossbar range shared by every instruction: the whole
+        // program's applied work charges in three counter bumps.
+        if (prog.workWrites)
+            work->recordN(OpClass::Write, prog.workWrites);
+        if (prog.workLogicH)
+            work->recordN(OpClass::LogicH, prog.workLogicH);
+        if (prog.workLogicV)
+            work->recordN(OpClass::LogicV, prog.workLogicV);
+    }
+    const uint32_t wpc = wordsPerCol_;
+    const uint32_t pw = geo_->partitionWidth();
+    uint8_t maskNZ[kMaxBlocksPerCol];
+    for (const ReplayProgram::Instr &in : prog.instrs) {
+        if (!uni) {
+            if (!in.xb.contains(self))
+                continue;
+            if (work)
+                work->recordN(in.cls, in.work);
+        }
+        switch (in.kind) {
+          case ReplayProgram::Kind::HPass: {
+            const ReplayProgram::PSection *secs =
+                prog.sections.data() + in.off;
+            const uint64_t *m = prog.maskWords.data() + in.maskOff;
+            if ((kFull || in.maskFull) &&
+                in.passKind != ReplayProgram::kMixedPass) {
+                // Kind-homogeneous blend-free pass (the common case:
+                // one op's sections share their gate, and merges
+                // chain gates of one kind): the section-kind switch
+                // hoists out of the column loop, leaving tight
+                // per-kind loops — with a single-word body for
+                // shallow (<= 64-row) dense columns.
+                const auto pk = static_cast<SecKind>(in.passKind);
+                if (!kPaged) {
+                    uint64_t *base = colWords(0);
+                    switch (pk) {
+                      case SecKind::Init0:
+                        for (uint32_t s = 0; s < in.count; ++s) {
+                            uint64_t *out =
+                                base +
+                                static_cast<size_t>(secs[s].outCol) *
+                                    wpc;
+                            std::fill(out, out + wpc, 0);
+                        }
+                        break;
+                      case SecKind::Init1:
+                        for (uint32_t s = 0; s < in.count; ++s) {
+                            uint64_t *out =
+                                base +
+                                static_cast<size_t>(secs[s].outCol) *
+                                    wpc;
+                            std::fill(out, out + wpc, ~0ull);
+                        }
+                        break;
+                      case SecKind::NotNor:
+                        if (wpc == 1) {
+                            for (uint32_t s = 0; s < in.count; ++s)
+                                base[secs[s].outCol] &=
+                                    ~(base[secs[s].inA] |
+                                      base[secs[s].inB]);
+                            break;
+                        }
+                        for (uint32_t s = 0; s < in.count; ++s) {
+                            const ReplayProgram::PSection &sec =
+                                secs[s];
+                            uint64_t *out =
+                                base +
+                                static_cast<size_t>(sec.outCol) * wpc;
+                            const uint64_t *a =
+                                base +
+                                static_cast<size_t>(sec.inA) * wpc;
+                            const uint64_t *b =
+                                base +
+                                static_cast<size_t>(sec.inB) * wpc;
+                            for (uint32_t w = 0; w < wpc; ++w)
+                                out[w] &= ~(a[w] | b[w]);
+                        }
+                        break;
+                      case SecKind::FusedNotNor:
+                        if (wpc == 1) {
+                            for (uint32_t s = 0; s < in.count; ++s)
+                                base[secs[s].outCol] =
+                                    ~(base[secs[s].inA] |
+                                      base[secs[s].inB]);
+                            break;
+                        }
+                        for (uint32_t s = 0; s < in.count; ++s) {
+                            const ReplayProgram::PSection &sec =
+                                secs[s];
+                            uint64_t *out =
+                                base +
+                                static_cast<size_t>(sec.outCol) * wpc;
+                            const uint64_t *a =
+                                base +
+                                static_cast<size_t>(sec.inA) * wpc;
+                            const uint64_t *b =
+                                base +
+                                static_cast<size_t>(sec.inB) * wpc;
+                            for (uint32_t w = 0; w < wpc; ++w)
+                                out[w] = ~(a[w] | b[w]);
+                        }
+                        break;
+                    }
+                    break;
+                }
+                switch (pk) {
+                  case SecKind::Init0:
+                    for (uint32_t s = 0; s < in.count; ++s)
+                        for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                            uint64_t *out =
+                                blockIfPresent(secs[s].outCol, b);
+                            if (out)
+                                std::fill(out, out + blockWords(b),
+                                          0);
+                        }
+                    break;
+                  case SecKind::Init1:
+                    for (uint32_t s = 0; s < in.count; ++s)
+                        for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                            uint64_t *out = blockRW(secs[s].outCol, b);
+                            std::fill(out, out + blockWords(b),
+                                      ~0ull);
+                        }
+                    break;
+                  case SecKind::NotNor:
+                    for (uint32_t s = 0; s < in.count; ++s) {
+                        const ReplayProgram::PSection &sec = secs[s];
+                        for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                            const bool aIn =
+                                blockRO(sec.inA, b) != nullptr;
+                            const bool bIn =
+                                blockRO(sec.inB, b) != nullptr;
+                            if (!aIn && !bIn)
+                                continue;
+                            uint64_t *out =
+                                blockIfPresent(sec.outCol, b);
+                            if (!out)
+                                continue;
+                            // Inputs AFTER the output clone step.
+                            const uint64_t *a =
+                                aIn ? blockRO(sec.inA, b)
+                                    : kZeroBlock;
+                            const uint64_t *bb =
+                                bIn ? blockRO(sec.inB, b)
+                                    : kZeroBlock;
+                            const uint32_t used = blockWords(b);
+                            for (uint32_t w = 0; w < used; ++w)
+                                out[w] &= ~(a[w] | bb[w]);
+                        }
+                    }
+                    break;
+                  case SecKind::FusedNotNor:
+                    if (blocksPerCol_ == 1) {
+                        // Shallow columns: one block per column, so
+                        // the block loop and tail-length reload
+                        // vanish from the hot path.
+                        const uint32_t used = blockWords(0);
+                        for (uint32_t s = 0; s < in.count; ++s) {
+                            const ReplayProgram::PSection &sec =
+                                secs[s];
+                            uint64_t *out = blockRW(sec.outCol, 0);
+                            const uint64_t *a = blockRO(sec.inA, 0);
+                            const uint64_t *bb = blockRO(sec.inB, 0);
+                            if (!a)
+                                a = kZeroBlock;
+                            if (!bb)
+                                bb = kZeroBlock;
+                            for (uint32_t w = 0; w < used; ++w)
+                                out[w] = ~(a[w] | bb[w]);
+                        }
+                        break;
+                    }
+                    for (uint32_t s = 0; s < in.count; ++s) {
+                        const ReplayProgram::PSection &sec = secs[s];
+                        for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                            uint64_t *out = blockRW(sec.outCol, b);
+                            const uint64_t *a = blockRO(sec.inA, b);
+                            const uint64_t *bb = blockRO(sec.inB, b);
+                            if (!a)
+                                a = kZeroBlock;
+                            if (!bb)
+                                bb = kZeroBlock;
+                            const uint32_t used = blockWords(b);
+                            for (uint32_t w = 0; w < used; ++w)
+                                out[w] = ~(a[w] | bb[w]);
+                        }
+                    }
+                    break;
+                }
+                break;
+            }
+            if (kFull || in.maskFull) {
+                // Blend-free pass: one section loop, no mask loads.
+                for (uint32_t s = 0; s < in.count; ++s) {
+                    const ReplayProgram::PSection &sec = secs[s];
+                    if (!kPaged) {
+                        uint64_t *out = colWords(sec.outCol);
+                        switch (sec.kind) {
+                          case SecKind::Init0:
+                            std::fill(out, out + wpc, 0);
+                            break;
+                          case SecKind::Init1:
+                            std::fill(out, out + wpc, ~0ull);
+                            break;
+                          case SecKind::NotNor: {
+                            const uint64_t *a = colWords(sec.inA);
+                            const uint64_t *b = colWords(sec.inB);
+                            for (uint32_t w = 0; w < wpc; ++w)
+                                out[w] &= ~(a[w] | b[w]);
+                            break;
+                          }
+                          case SecKind::FusedNotNor: {
+                            const uint64_t *a = colWords(sec.inA);
+                            const uint64_t *b = colWords(sec.inB);
+                            for (uint32_t w = 0; w < wpc; ++w)
+                                out[w] = ~(a[w] | b[w]);
+                            break;
+                          }
+                        }
+                        continue;
+                    }
+                    switch (sec.kind) {
+                      case SecKind::Init0:
+                        for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                            uint64_t *out =
+                                blockIfPresent(sec.outCol, b);
+                            if (out)
+                                std::fill(out, out + blockWords(b),
+                                          0);
+                        }
+                        break;
+                      case SecKind::Init1:
+                        for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                            uint64_t *out = blockRW(sec.outCol, b);
+                            std::fill(out, out + blockWords(b),
+                                      ~0ull);
+                        }
+                        break;
+                      case SecKind::NotNor:
+                        for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                            const bool aIn =
+                                blockRO(sec.inA, b) != nullptr;
+                            const bool bIn =
+                                blockRO(sec.inB, b) != nullptr;
+                            if (!aIn && !bIn)
+                                continue;
+                            uint64_t *out =
+                                blockIfPresent(sec.outCol, b);
+                            if (!out)
+                                continue;
+                            // Inputs AFTER the output clone step.
+                            const uint64_t *a =
+                                aIn ? blockRO(sec.inA, b)
+                                    : kZeroBlock;
+                            const uint64_t *bb =
+                                bIn ? blockRO(sec.inB, b)
+                                    : kZeroBlock;
+                            const uint32_t used = blockWords(b);
+                            for (uint32_t w = 0; w < used; ++w)
+                                out[w] &= ~(a[w] | bb[w]);
+                        }
+                        break;
+                      case SecKind::FusedNotNor:
+                        for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                            uint64_t *out = blockRW(sec.outCol, b);
+                            const uint64_t *a = blockRO(sec.inA, b);
+                            const uint64_t *bb = blockRO(sec.inB, b);
+                            if (!a)
+                                a = kZeroBlock;
+                            if (!bb)
+                                bb = kZeroBlock;
+                            const uint32_t used = blockWords(b);
+                            for (uint32_t w = 0; w < used; ++w)
+                                out[w] = ~(a[w] | bb[w]);
+                        }
+                        break;
+                    }
+                }
+                break;
+            }
+            // Partial mask: the mask-nonzero block scan runs once for
+            // the whole pass (the interpreter pays it once PER OP).
+            if (kPaged)
+                for (uint32_t b = 0; b < blocksPerCol_; ++b)
+                    maskNZ[b] = !allZero(m + b * kBlockWords,
+                                         blockWords(b));
+            for (uint32_t s = 0; s < in.count; ++s) {
+                const ReplayProgram::PSection &sec = secs[s];
+                if (!kPaged) {
+                    uint64_t *out = colWords(sec.outCol);
+                    switch (sec.kind) {
+                      case SecKind::Init0:
+                        for (uint32_t w = 0; w < wpc; ++w)
+                            out[w] &= ~m[w];
+                        break;
+                      case SecKind::Init1:
+                        for (uint32_t w = 0; w < wpc; ++w)
+                            out[w] |= m[w];
+                        break;
+                      case SecKind::NotNor: {
+                        const uint64_t *a = colWords(sec.inA);
+                        const uint64_t *b = colWords(sec.inB);
+                        for (uint32_t w = 0; w < wpc; ++w)
+                            out[w] &= ~((a[w] | b[w]) & m[w]);
+                        break;
+                      }
+                      case SecKind::FusedNotNor: {
+                        const uint64_t *a = colWords(sec.inA);
+                        const uint64_t *b = colWords(sec.inB);
+                        for (uint32_t w = 0; w < wpc; ++w)
+                            out[w] = (out[w] & ~m[w]) |
+                                     (~(a[w] | b[w]) & m[w]);
+                        break;
+                      }
+                    }
+                    continue;
+                }
+                switch (sec.kind) {
+                  case SecKind::Init0:
+                    for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                        if (!maskNZ[b])
+                            continue;
+                        uint64_t *out = blockIfPresent(sec.outCol, b);
+                        if (!out)
+                            continue;
+                        const uint64_t *mb = m + b * kBlockWords;
+                        const uint32_t used = blockWords(b);
+                        for (uint32_t w = 0; w < used; ++w)
+                            out[w] &= ~mb[w];
+                    }
+                    break;
+                  case SecKind::Init1:
+                    for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                        if (!maskNZ[b])
+                            continue;
+                        uint64_t *out = blockRW(sec.outCol, b);
+                        const uint64_t *mb = m + b * kBlockWords;
+                        const uint32_t used = blockWords(b);
+                        for (uint32_t w = 0; w < used; ++w)
+                            out[w] |= mb[w];
+                    }
+                    break;
+                  case SecKind::NotNor:
+                    for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                        if (!maskNZ[b])
+                            continue;
+                        const bool aIn =
+                            blockRO(sec.inA, b) != nullptr;
+                        const bool bIn =
+                            blockRO(sec.inB, b) != nullptr;
+                        if (!aIn && !bIn)
+                            continue;
+                        uint64_t *out = blockIfPresent(sec.outCol, b);
+                        if (!out)
+                            continue;
+                        const uint64_t *a =
+                            aIn ? blockRO(sec.inA, b) : kZeroBlock;
+                        const uint64_t *bb =
+                            bIn ? blockRO(sec.inB, b) : kZeroBlock;
+                        const uint64_t *mb = m + b * kBlockWords;
+                        const uint32_t used = blockWords(b);
+                        for (uint32_t w = 0; w < used; ++w)
+                            out[w] &= ~((a[w] | bb[w]) & mb[w]);
+                    }
+                    break;
+                  case SecKind::FusedNotNor:
+                    for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                        if (!maskNZ[b])
+                            continue;
+                        uint64_t *out = blockRW(sec.outCol, b);
+                        const uint64_t *a = blockRO(sec.inA, b);
+                        const uint64_t *bb = blockRO(sec.inB, b);
+                        if (!a)
+                            a = kZeroBlock;
+                        if (!bb)
+                            bb = kZeroBlock;
+                        const uint64_t *mb = m + b * kBlockWords;
+                        const uint32_t used = blockWords(b);
+                        for (uint32_t w = 0; w < used; ++w)
+                            out[w] = (out[w] & ~mb[w]) |
+                                     (~(a[w] | bb[w]) & mb[w]);
+                    }
+                    break;
+                }
+            }
+            break;
+          }
+          case ReplayProgram::Kind::WStripe: {
+            const std::span<const StripeWrite> ws{
+                prog.pairs.data() + in.off, in.count};
+            if (kFull || in.maskFull)
+                writeStripeFull(ws);
+            else
+                writeStripe(ws,
+                            {prog.maskWords.data() + in.maskOff,
+                             wpc});
+            break;
+          }
+          case ReplayProgram::Kind::VRun: {
+            // Pre-decoded run, column-major (replayLogicVRun without
+            // the per-crossbar chunked re-decode and per-op mask
+            // checks — the compiler made the run's range uniform).
+            const ReplayProgram::VGate *gs =
+                prog.vgates.data() + in.off;
+            for (uint32_t part = 0; part < geo_->partitions; ++part) {
+                const uint32_t col = part * pw + in.slot;
+                if (kPaged) {
+                    for (uint32_t k = 0; k < in.count; ++k) {
+                        const ReplayProgram::VGate &g = gs[k];
+                        const uint32_t bOut =
+                            g.outWord / kBlockWords;
+                        const uint32_t relOut =
+                            g.outWord % kBlockWords;
+                        switch (g.gate) {
+                          case Gate::Init0: {
+                            uint64_t *blk = blockIfPresent(col, bOut);
+                            if (blk)
+                                blk[relOut] &= ~g.outBit;
+                            break;
+                          }
+                          case Gate::Init1:
+                            blockRW(col, bOut)[relOut] |= g.outBit;
+                            break;
+                          case Gate::Not: {
+                            const uint64_t *inb =
+                                blockRO(col, g.inWord / kBlockWords);
+                            const bool v =
+                                inb &&
+                                ((inb[g.inWord % kBlockWords] >>
+                                  g.inShift) &
+                                 1);
+                            if (!v)
+                                break;
+                            uint64_t *out = blockIfPresent(col, bOut);
+                            if (out)
+                                out[relOut] &= ~g.outBit;
+                            break;
+                          }
+                          case Gate::Nor:
+                            break;  // unreachable: rejected earlier
+                        }
+                    }
+                    continue;
+                }
+                uint64_t *words = colWords(col);
+                for (uint32_t k = 0; k < in.count; ++k) {
+                    const ReplayProgram::VGate &g = gs[k];
+                    switch (g.gate) {
+                      case Gate::Init0:
+                        words[g.outWord] &= ~g.outBit;
+                        break;
+                      case Gate::Init1:
+                        words[g.outWord] |= g.outBit;
+                        break;
+                      case Gate::Not:
+                        if ((words[g.inWord] >> g.inShift) & 1)
+                            words[g.outWord] &= ~g.outBit;
+                        break;
+                      case Gate::Nor:
+                        break;  // unreachable: rejected earlier
+                    }
+                }
+            }
+            break;
+          }
         }
     }
 }
@@ -767,6 +1421,84 @@ Crossbar::writeStripePaged(std::span<const StripeWrite> ws,
                         continue;
                     for (uint32_t w = 0; w < used; ++w)
                         blk[w] &= ~m[w];
+                }
+            }
+        }
+    }
+}
+
+void
+Crossbar::writeFull(uint32_t slot, uint32_t value)
+{
+    if (storage_ == XbarStorage::Paged) {
+        writeFullPaged(slot, value);
+        return;
+    }
+    // All-ones mask: every plane column becomes a pure fill.
+    const uint32_t pw = geo_->partitionWidth();
+    for (uint32_t p = 0; p < geo_->wordBits; ++p) {
+        uint64_t *words = colWords(p * pw + slot);
+        std::fill(words, words + wordsPerCol_,
+                  (value >> p) & 1 ? ~0ull : 0);
+    }
+}
+
+void
+Crossbar::writeFullPaged(uint32_t slot, uint32_t value)
+{
+    const uint32_t pw = geo_->partitionWidth();
+    for (uint32_t p = 0; p < geo_->wordBits; ++p) {
+        const uint32_t col = p * pw + slot;
+        if ((value >> p) & 1) {
+            for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                uint64_t *blk = blockRW(col, b);
+                std::fill(blk, blk + blockWords(b), ~0ull);
+            }
+        } else {
+            // A 0 bit only clears: absent stays absent.
+            for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                uint64_t *blk = blockIfPresent(col, b);
+                if (blk)
+                    std::fill(blk, blk + blockWords(b), 0);
+            }
+        }
+    }
+}
+
+void
+Crossbar::writeStripeFull(std::span<const StripeWrite> ws)
+{
+    if (storage_ == XbarStorage::Paged) {
+        writeStripeFullPaged(ws);
+        return;
+    }
+    const uint32_t pw = geo_->partitionWidth();
+    for (uint32_t p = 0; p < geo_->wordBits; ++p) {
+        for (const StripeWrite &sw : ws) {
+            uint64_t *words = colWords(p * pw + sw.slot);
+            std::fill(words, words + wordsPerCol_,
+                      (sw.value >> p) & 1 ? ~0ull : 0);
+        }
+    }
+}
+
+void
+Crossbar::writeStripeFullPaged(std::span<const StripeWrite> ws)
+{
+    const uint32_t pw = geo_->partitionWidth();
+    for (uint32_t p = 0; p < geo_->wordBits; ++p) {
+        for (const StripeWrite &sw : ws) {
+            const uint32_t col = p * pw + sw.slot;
+            if ((sw.value >> p) & 1) {
+                for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                    uint64_t *blk = blockRW(col, b);
+                    std::fill(blk, blk + blockWords(b), ~0ull);
+                }
+            } else {
+                for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+                    uint64_t *blk = blockIfPresent(col, b);
+                    if (blk)
+                        std::fill(blk, blk + blockWords(b), 0);
                 }
             }
         }

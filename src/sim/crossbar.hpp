@@ -61,6 +61,7 @@
 namespace pypim
 {
 
+struct ReplayProgram;
 struct SegmentTrace;
 struct Stats;
 struct TraceOp;
@@ -135,6 +136,28 @@ class Crossbar
      */
     void logicHFusedInit1(const HalfGates &hg,
                           std::span<const uint64_t> rowMask);
+
+    /**
+     * Blend-free variants for an ALL-ONES realized row mask (every
+     * mask word == ~0; SegmentTrace::rowMaskFull): INIT collapses to
+     * a fill, gates and writes drop the `& mask` term from the inner
+     * word loop. Bit-identical to the masked forms under that mask.
+     */
+    void logicHFull(const HalfGates &hg);
+    void logicHFusedInit1Full(const HalfGates &hg);
+    void writeFull(uint32_t slot, uint32_t value);
+    void writeStripeFull(std::span<const StripeWrite> ws);
+
+    /**
+     * Replay one compiled program (sim/replay_program.hpp) on this
+     * crossbar (index @p self): the pre-resolved, specialized form of
+     * replaySegment used for frozen cached traces. Dispatches once
+     * into a {Dense, Paged} x {all-full masks, partial} template
+     * executor; @p work accumulates applied-op counts exactly as
+     * replaySegment would (conserved across compilation).
+     */
+    void replayProgram(const ReplayProgram &prog, uint32_t self,
+                       Stats *work);
 
     /**
      * Crossbar-major replay: apply every op of @p trace whose
@@ -344,6 +367,20 @@ class Crossbar
                      std::span<const uint64_t> rowMask);
     void logicHFusedInit1Paged(const HalfGates &hg,
                                std::span<const uint64_t> rowMask);
+    void logicHFullPaged(const HalfGates &hg);
+    void logicHFusedInit1FullPaged(const HalfGates &hg);
+    void writeFullPaged(uint32_t slot, uint32_t value);
+    void writeStripeFullPaged(std::span<const StripeWrite> ws);
+    /**
+     * The compiled-replay executor, specialized over the storage
+     * representation and the all-masks-full fast path (crossbar.cpp
+     * instantiates all four). kFull deletes the mask blend from every
+     * inner loop; the kFull=false body still takes the blend-free
+     * kernels per instruction when that instruction's mask is full.
+     */
+    template <bool kPaged, bool kFull>
+    void replayProgramT(const ReplayProgram &prog, uint32_t self,
+                        Stats *work);
     void writePaged(uint32_t slot, uint32_t value,
                     std::span<const uint64_t> rowMask);
     void writeStripePaged(std::span<const StripeWrite> ws,

@@ -188,13 +188,26 @@ ExecutionEngine::replayTrace(const SegmentTrace &trace)
 }
 
 void
+ExecutionEngine::replayProgram(const ReplayProgram &prog)
+{
+    const uint32_t lo = std::max(prog.xbLo, sliceLo());
+    const uint32_t hi = std::min(prog.xbHi, sliceHi());
+    for (uint32_t xb = lo; xb < hi; ++xb)
+        xbAt(xb).replayProgram(prog, xb, nullptr);
+}
+
+void
 ExecutionEngine::replayBatch(const BatchTrace &batch)
 {
     for (const BatchTrace::Item &item : batch.items) {
-        if (item.kind == BatchTrace::Item::Kind::Segment)
-            replayTrace(batch.segments[item.seg]);
-        else
+        if (item.kind == BatchTrace::Item::Kind::Segment) {
+            if (const ReplayProgram *p = batch.program(item.seg))
+                replayProgram(*p);
+            else
+                replayTrace(batch.segments[item.seg]);
+        } else {
             applyMove(item.op, item.xb);
+        }
     }
 }
 

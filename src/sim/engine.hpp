@@ -46,6 +46,7 @@ namespace pypim
 
 struct BatchTrace;
 struct BulkIoSpec;
+struct ReplayProgram;
 
 /**
  * One micro-op replay backend. Owns no simulated state; executes
@@ -100,11 +101,24 @@ class ExecutionEngine
     virtual void replayTrace(const SegmentTrace &trace);
 
     /**
-     * Replay one pre-built batch (segments via replayTrace, Moves via
-     * applyMove, in stream order). Shared by the pipelined consumer
-     * and the synchronous trace-cache hit path — either way the batch
-     * was validated and its stats recorded at build time, so this is
-     * pure state application on any backend.
+     * Replay one compiled replay program (sim/replay_program.hpp) —
+     * the fast path replayBatch takes for segments of a frozen cached
+     * trace. Same clipping and threading contract as replayTrace; the
+     * per-crossbar work is Crossbar::replayProgram, whose executor is
+     * specialized over storage mode and mask shape.
+     */
+    virtual void replayProgram(const ReplayProgram &prog);
+
+    /**
+     * Replay one pre-built batch in stream order: Moves via applyMove,
+     * segments via replayProgram when the batch carries a compiled
+     * program for them (frozen cache entries built with
+     * EngineConfig::compiledReplay) and via the replayTrace
+     * interpreter otherwise (one-shot pipeline arenas, or the knob
+     * off). Shared by the pipelined consumer and the synchronous
+     * trace-cache hit path — either way the batch was validated and
+     * its stats recorded at build time, so this is pure state
+     * application on any backend.
      */
     void replayBatch(const BatchTrace &batch);
 

@@ -87,6 +87,12 @@ buildSegmentTrace(const Word *ops, size_t n, const Geometry &geo,
                 trace.rowWords.insert(trace.rowWords.end(),
                                       mask.rowWords.begin(),
                                       mask.rowWords.end());
+                trace.rowMaskFull.push_back(
+                    std::all_of(mask.rowWords.begin(),
+                                mask.rowWords.end(),
+                                [](uint64_t w) { return w == ~0ull; })
+                        ? 1
+                        : 0);
             }
             snapCurrent = true;
         }

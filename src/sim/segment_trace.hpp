@@ -126,6 +126,16 @@ struct SegmentTrace
     std::vector<HalfGates> halfGates;
     /** Row-mask snapshots, wordsPerMask words each, back to back. */
     std::vector<uint64_t> rowWords;
+    /**
+     * One flag per row-mask snapshot, set iff every realized word is
+     * all-ones (the all-rows mask of a geometry with rows a multiple
+     * of 64 — the overwhelmingly common case). Replay kernels then
+     * skip the `& mask` blend entirely: out |= ~0 / out &= 0 collapse
+     * to fills, gates drop the blend term. A full mask over fewer
+     * than 64 rows realizes a partial tail word and is deliberately
+     * NOT flagged — the blend is what keeps the padding bits clear.
+     */
+    std::vector<uint8_t> rowMaskFull;
     /** Stripe arena: merged-Write pairs referenced by TraceOp::wrun. */
     std::vector<StripeWrite> writePairs;
     uint32_t wordsPerMask = 0;
@@ -140,6 +150,7 @@ struct SegmentTrace
         ops.clear();
         halfGates.clear();
         rowWords.clear();
+        rowMaskFull.clear();
         writePairs.clear();
         xbLo = 0;
         xbHi = 0;

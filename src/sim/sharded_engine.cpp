@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/replay_program.hpp"
+
 namespace pypim
 {
 
@@ -93,6 +95,40 @@ ShardedEngine::replayTrace(const SegmentTrace &trace)
             const uint32_t end = std::min(start + chunk, hi);
             for (uint32_t xb = start; xb < end; ++xb)
                 xbAt(xb).replaySegment(trace, xb, &local);
+        }
+        work_[w] += local;
+    });
+}
+
+void
+ShardedEngine::replayProgram(const ReplayProgram &prog)
+{
+    if (prog.empty())
+        return;
+    const uint32_t lo = std::max(prog.xbLo, sliceLo());
+    const uint32_t hi = std::min(prog.xbHi, sliceHi());
+    if (lo >= hi)
+        return;
+    const uint32_t workers = pool_.size();
+    if (workers == 1 || hi - lo <= 1) {
+        Stats local;
+        for (uint32_t xb = lo; xb < hi; ++xb)
+            xbAt(xb).replayProgram(prog, xb, &local);
+        work_[0] += local;
+        return;
+    }
+    const uint32_t chunk = std::max(1u, (hi - lo) / (workers * 8));
+    next_.store(lo, std::memory_order_relaxed);
+    pool_.parallelFor(workers, [&](uint32_t w) {
+        Stats local;
+        for (;;) {
+            const uint32_t start =
+                next_.fetch_add(chunk, std::memory_order_relaxed);
+            if (start >= hi)
+                break;
+            const uint32_t end = std::min(start + chunk, hi);
+            for (uint32_t xb = start; xb < end; ++xb)
+                xbAt(xb).replayProgram(prog, xb, &local);
         }
         work_[w] += local;
     });

@@ -77,6 +77,11 @@ class ShardedEngine : public ExecutionEngine
     /** Work-stealing crossbar-major replay over the worker pool. */
     void replayTrace(const SegmentTrace &trace) override;
 
+    /** Compiled-program replay under the same work-stealing schedule;
+     *  per-crossbar work charges through ReplayProgram's precomputed
+     *  counts (once per crossbar, not once per op). */
+    void replayProgram(const ReplayProgram &prog) override;
+
     /**
      * Per-worker applied-work counters (one op recorded per crossbar
      * actually touched by that worker): a load-balance diagnostic, NOT

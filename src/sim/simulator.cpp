@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "sim/batch_trace.hpp"
 #include "sim/bulk_io.hpp"
+#include "sim/replay_program.hpp"
 
 namespace pypim
 {
@@ -28,6 +29,7 @@ Simulator::Simulator(const Geometry &geo, const EngineConfig &ec,
     for (uint32_t i = 0; i < sliceCount; ++i)
         xbs_.emplace_back(geo_, ec.storage);
     mask_.reset(geo_);
+    compiledReplay_ = ec.compiledReplay;
     engine_ =
         makeEngine(ec, geo_, xbs_, sliceLo_, htree_, mask_, stats_);
     if (ec.pipeline)
@@ -75,6 +77,7 @@ Simulator::setEngine(const EngineConfig &ec)
     // The crossbar state (and with it the storage representation)
     // survives the swap: ec.storage is applied at construction only.
     drainPipeline();
+    compiledReplay_ = ec.compiledReplay;
     engine_ =
         makeEngine(ec, geo_, xbs_, sliceLo_, htree_, mask_, stats_);
     if (ec.pipeline && !pipeline_)
@@ -132,6 +135,13 @@ Simulator::prepareTrace(const Word *ops, size_t n, bool fuse)
     }
     if (fuse)
         fuseBatchTrace(*batch, geo_);
+    // Second compilation tier: lower the (possibly fused) segments
+    // into flat replay programs before the batch freezes. Prepared
+    // traces are the cached, replayed-many-times objects — the
+    // pipeline's one-shot arena batches never come through here and
+    // stay interpreted.
+    if (compiledReplay_)
+        compileBatchTrace(*batch, geo_);
     return batch;
 }
 

@@ -245,6 +245,9 @@ class Simulator : public OperationSink
 
     Geometry geo_;
     uint32_t sliceLo_ = 0;
+    /** Lower prepared traces into compiled replay programs at freeze
+     *  (EngineConfig::compiledReplay; follows setEngine swaps). */
+    bool compiledReplay_ = true;
     std::vector<Crossbar> xbs_;
     HTree htree_;
     MaskState mask_;

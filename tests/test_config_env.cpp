@@ -177,12 +177,34 @@ TEST(ConfigEnv, BulkIoRejectsJunk)
     }
 }
 
+TEST(ConfigEnv, CompiledReplayParses)
+{
+    {
+        EnvVar v("PYPIM_COMPILED_REPLAY", "on");
+        EXPECT_TRUE(EngineConfig::fromEnv().compiledReplay);
+    }
+    {
+        EnvVar v("PYPIM_COMPILED_REPLAY", "off");
+        EXPECT_FALSE(EngineConfig::fromEnv().compiledReplay);
+    }
+    {
+        EnvVar v("PYPIM_COMPILED_REPLAY", "0");
+        EXPECT_FALSE(EngineConfig::fromEnv().compiledReplay);
+    }
+    for (const char *bad : {"yes", "true", "ON", " off"}) {
+        EnvVar v("PYPIM_COMPILED_REPLAY", bad);
+        EXPECT_THROW(EngineConfig::fromEnv(), Error)
+            << "PYPIM_COMPILED_REPLAY='" << bad << "'";
+    }
+}
+
 TEST(ConfigEnv, DefaultsWhenUnset)
 {
     ::unsetenv("PYPIM_DEVICES");
     ::unsetenv("PYPIM_AFFINITY");
     ::unsetenv("PYPIM_XBAR_STORAGE");
     ::unsetenv("PYPIM_BULK_IO");
+    ::unsetenv("PYPIM_COMPILED_REPLAY");
     const EngineConfig c = EngineConfig::fromEnv();
     EXPECT_EQ(c.devices, 1u);
     EXPECT_FALSE(c.affinity);
@@ -192,4 +214,7 @@ TEST(ConfigEnv, DefaultsWhenUnset)
     EXPECT_TRUE(c.bulkIo)
         << "bulk I/O is the default; the element-wise path is the "
            "opt-in parity oracle";
+    EXPECT_TRUE(c.compiledReplay)
+        << "compiled trace replay is the default; the interpreter is "
+           "the opt-in parity oracle";
 }
