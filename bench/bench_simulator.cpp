@@ -22,6 +22,8 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/serialize.hpp"
 #include "sim/sharded_engine.hpp"
 
 using namespace pypim;
@@ -852,6 +854,98 @@ ioSweep(Json *json)
     return identical;
 }
 
+/**
+ * Checkpoint sweep (the ISSUE 9 acceptance gauge): save/restore
+ * latency and file size as resident data grows, across dense/paged
+ * storage and 1/2/4 sub-devices. Every row round-trips through a
+ * fresh device and re-encodes both group images: the function returns
+ * false unless crossbar state, mask state and architectural Stats
+ * come back bit-identical — the CI bench smoke step exits non-zero
+ * on it. The paged/dense pair at equal fill levels also demonstrates
+ * the canonical encoding: identical bytes on disk from either
+ * representation.
+ */
+bool
+checkpointSweep(Json *json)
+{
+    const Geometry g = benchGeometry(64);
+    const std::string path =
+        "/tmp/pypim_bench_ckpt_" + std::to_string(::getpid()) +
+        ".bin";
+    std::printf("\n=== Checkpoint sweep (%u crossbars, save + "
+                "restore round trip) ===\n", g.numCrossbars);
+    std::printf("%-7s %-8s %6s %14s %12s %10s %12s %10s\n",
+                "storage", "devices", "slots", "resident [MB]",
+                "file [MB]", "save [ms]", "restore [ms]",
+                "identical");
+    if (json)
+        json->beginArray("checkpoint_sweep");
+    bool allIdentical = true;
+    using clock = std::chrono::steady_clock;
+    for (const XbarStorage st :
+         {XbarStorage::Dense, XbarStorage::Paged}) {
+        for (const uint32_t devices : {1u, 2u, 4u}) {
+            const EngineConfig ec =
+                engineConfig().withDevices(devices).withStorage(st);
+            for (const uint32_t slots : {1u, 4u, 8u}) {
+                Device dev(g, Driver::Mode::Parallel, ec);
+                Rng rng(slots * 7 + devices);
+                for (uint32_t xb = 0; xb < g.numCrossbars; ++xb)
+                    for (uint32_t s = 0; s < slots; ++s)
+                        for (uint32_t r = 0; r < g.rows; ++r)
+                            dev.group().crossbar(xb).writeRow(
+                                s, rng.word(), r);
+                const uint64_t resident =
+                    dev.group().storageGauges().residentBytes;
+
+                const auto t0 = clock::now();
+                const uint64_t bytes = dev.checkpoint(path);
+                const auto t1 = clock::now();
+                Device back(g, Driver::Mode::Parallel, ec);
+                back.restore(path);
+                const auto t2 = clock::now();
+
+                const bool identical =
+                    encodeCheckpoint(buildGroupImage(dev.group())) ==
+                    encodeCheckpoint(buildGroupImage(back.group()));
+                allIdentical = allIdentical && identical;
+                const double saveMs =
+                    std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count();
+                const double restoreMs =
+                    std::chrono::duration<double, std::milli>(t2 - t1)
+                        .count();
+                std::printf(
+                    "%-7s %-8u %6u %14.2f %12.2f %10.2f %12.2f %10s\n",
+                    xbarStorageName(st), devices, slots,
+                    static_cast<double>(resident) / 1e6,
+                    static_cast<double>(bytes) / 1e6, saveMs,
+                    restoreMs, identical ? "yes" : "NO — BUG");
+                if (json) {
+                    json->beginObject();
+                    json->field("storage", xbarStorageName(st));
+                    json->field("devices", devices);
+                    json->field("slots_filled", slots);
+                    json->field("resident_bytes", resident);
+                    json->field("checkpoint_bytes", bytes);
+                    json->field("save_ms", saveMs);
+                    json->field("restore_ms", restoreMs);
+                    json->field("bit_identical", identical);
+                    json->end();
+                }
+            }
+        }
+    }
+    std::remove(path.c_str());
+    if (json)
+        json->end();
+    std::printf("(file size tracks LIVE data, not geometry; "
+                "'identical' re-encodes both devices' canonical "
+                "images — state, masks and Stats — after the round "
+                "trip)\n");
+    return allIdentical;
+}
+
 } // namespace
 
 BENCHMARK(simScaling)
@@ -891,6 +985,7 @@ main(int argc, char **argv)
     const bool storageIdentical = storageSweep(j);
     const bool ioIdentical = ioSweep(j);
     const bool compiledIdentical = compiledSweep(j);
+    const bool checkpointIdentical = checkpointSweep(j);
     if (j) {
         j->end();
         j->writeTo(jsonOutPath());
@@ -899,11 +994,12 @@ main(int argc, char **argv)
     benchmark::Shutdown();
     // Non-zero exit when sharded execution diverged from the
     // monolithic device, paged storage diverged from dense, the bulk
-    // I/O path diverged from the element-wise oracle, or compiled
-    // replay diverged from the interpreter: the CI bench smoke step
-    // asserts all four identities.
+    // I/O path diverged from the element-wise oracle, compiled
+    // replay diverged from the interpreter, or a checkpoint failed
+    // to restore bit-identical: the CI bench smoke step asserts all
+    // five identities.
     return devicesIdentical && storageIdentical && ioIdentical &&
-                   compiledIdentical
+                   compiledIdentical && checkpointIdentical
                ? 0
                : 1;
 }

@@ -182,6 +182,13 @@ EngineConfig::fromEnv()
     if (const char *cr = std::getenv("PYPIM_COMPILED_REPLAY"))
         c.compiledReplay = parseSwitchEnv("PYPIM_COMPILED_REPLAY", cr,
                                           c.compiledReplay);
+    // Validated by FaultSpec::parse at device-group construction, so
+    // the error names the bad key/value rather than the variable.
+    if (const char *f = std::getenv("PYPIM_FAULTS"))
+        c.faults = f;
+    if (const char *vs = std::getenv("PYPIM_VERIFY_STATE"))
+        c.verifyState =
+            parseSwitchEnv("PYPIM_VERIFY_STATE", vs, c.verifyState);
     return c;
 }
 

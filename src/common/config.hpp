@@ -14,6 +14,7 @@
 #define PYPIM_COMMON_CONFIG_HPP
 
 #include <cstdint>
+#include <string>
 
 namespace pypim
 {
@@ -214,6 +215,25 @@ struct EngineConfig
      * (test_replay_program).
      */
     bool compiledReplay = true;
+    /**
+     * Deterministic fault injection (sim/fault.hpp): a colon-
+     * separated "key=value" spec, e.g. "seed=7:flip=25:stuck=2:
+     * fail=3:poison=5:dev=1", parsed and validated by
+     * FaultSpec::parse at device construction (a typo throws, it
+     * never silently runs un-faulted). Empty (the default) disables
+     * injection. Faults alone are INJECTED but not DETECTED — pair
+     * with @ref verifyState for the detect-and-recover path, or
+     * leave it off to exercise the sticky-error contract.
+     */
+    std::string faults;
+    /**
+     * Per-crossbar state checksums verified at batch and drain
+     * points (sim/simulator.hpp), with journaled retry-with-restore
+     * recovery in Device on detection. Off by default: the verify
+     * pass walks live blocks, so it costs O(resident data) per
+     * batch.
+     */
+    bool verifyState = false;
 
     static EngineConfig serial() { return {}; }
 
@@ -270,12 +290,31 @@ struct EngineConfig
         return c;
     }
 
+    /** Copy of this config with the given fault-injection spec. */
+    EngineConfig
+    withFaults(const std::string &spec) const
+    {
+        EngineConfig c = *this;
+        c.faults = spec;
+        return c;
+    }
+
+    /** Copy of this config with checksum verification toggled. */
+    EngineConfig
+    withVerifyState(bool on = true) const
+    {
+        EngineConfig c = *this;
+        c.verifyState = on;
+        return c;
+    }
+
     /**
      * Engine selection from the environment: PYPIM_ENGINE=serial|
      * sharded|trace, PYPIM_THREADS=N, PYPIM_PIPELINE=on|off,
      * PYPIM_TRACE_CACHE=on|off|1|0, PYPIM_DEVICES=N (power of two),
      * PYPIM_AFFINITY=on|off, PYPIM_XBAR_STORAGE=dense|paged,
-     * PYPIM_BULK_IO=on|off|1|0 and PYPIM_COMPILED_REPLAY=on|off|1|0.
+     * PYPIM_BULK_IO=on|off|1|0, PYPIM_COMPILED_REPLAY=on|off|1|0,
+     * PYPIM_FAULTS=<spec> and PYPIM_VERIFY_STATE=on|off|1|0.
      * Unset values fall back to the defaults (serial, synchronous,
      * trace cache on, one device, no pinning, paged storage), so
      * existing callers are unaffected; unrecognised or malformed

@@ -56,6 +56,10 @@ Stats::clear()
     bulkWrites = 0;
     ioWordsTransposed = 0;
     ioDrains = 0;
+    faultsInjected = 0;
+    faultsDetected = 0;
+    recoveries = 0;
+    checkpointBytes = 0;
 }
 
 Stats
@@ -80,6 +84,10 @@ Stats::operator-(const Stats &other) const
     out.bulkWrites = bulkWrites - other.bulkWrites;
     out.ioWordsTransposed = ioWordsTransposed - other.ioWordsTransposed;
     out.ioDrains = ioDrains - other.ioDrains;
+    out.faultsInjected = faultsInjected - other.faultsInjected;
+    out.faultsDetected = faultsDetected - other.faultsDetected;
+    out.recoveries = recoveries - other.recoveries;
+    out.checkpointBytes = checkpointBytes - other.checkpointBytes;
     return out;
 }
 
@@ -103,6 +111,10 @@ Stats::operator+=(const Stats &other)
     bulkWrites += other.bulkWrites;
     ioWordsTransposed += other.ioWordsTransposed;
     ioDrains += other.ioDrains;
+    faultsInjected += other.faultsInjected;
+    faultsDetected += other.faultsDetected;
+    recoveries += other.recoveries;
+    checkpointBytes += other.checkpointBytes;
     return *this;
 }
 
@@ -143,6 +155,12 @@ Stats::summary() const
         os << "  bulk I/O: " << bulkReads << " reads / " << bulkWrites
            << " writes, " << ioWordsTransposed << " words transposed, "
            << ioDrains << " drains\n";
+    if (faultsInjected || faultsDetected || recoveries ||
+        checkpointBytes)
+        os << "  fault tolerance: " << faultsInjected << " injected / "
+           << faultsDetected << " detected, " << recoveries
+           << " recoveries, " << checkpointBytes
+           << " checkpoint bytes\n";
     return os.str();
 }
 

@@ -86,6 +86,22 @@ struct Stats
      *  transfer per sub-device). */
     uint64_t ioDrains = 0;
 
+    // --- host-side fault-tolerance observability ---------------------
+    // Recorded by the recovery layer (pim/device + sim/checkpoint),
+    // not by the replay loops: like the cache/bulk counters above,
+    // the simulator's architectural counters stay fault-independent,
+    // which the fault suite checks by exact equality against a
+    // fault-free run.
+
+    /** Faults the deterministic injector applied (PYPIM_FAULTS). */
+    uint64_t faultsInjected = 0;
+    /** Faults caught by checksum verify or replay failure. */
+    uint64_t faultsDetected = 0;
+    /** Successful restore + journal-replay recoveries. */
+    uint64_t recoveries = 0;
+    /** Bytes written by Device::checkpoint. */
+    uint64_t checkpointBytes = 0;
+
     /** Record one micro-op of class @p c costing @p cycles cycles. */
     void
     record(OpClass c, uint64_t cycles = 1)

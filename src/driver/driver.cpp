@@ -7,6 +7,9 @@
 #include "driver/emit.hpp"
 #include "sim/batch_trace.hpp"
 #include "sim/bulk_io.hpp"
+#include "sim/serialize.hpp"
+
+#include <algorithm>
 
 namespace pypim
 {
@@ -55,6 +58,70 @@ Driver::setTraceFusionEnabled(bool on)
     // streams and rebuild traces lazily on the next hit.
     for (auto &kv : streamCache_)
         kv.second.trace.reset();
+}
+
+std::vector<uint8_t>
+Driver::exportStreamCache() const
+{
+    // Deterministic entry order (sorted by signature), so the same
+    // cache state always produces the same blob — checkpoints stay
+    // byte-comparable across runs despite the unordered_map.
+    std::vector<const std::pair<const StreamKey, StreamEntry> *> es;
+    es.reserve(streamCache_.size());
+    for (const auto &kv : streamCache_)
+        es.push_back(&kv);
+    std::sort(es.begin(), es.end(), [](const auto *a, const auto *b) {
+        const StreamKey &x = a->first, &y = b->first;
+        if (x.fields != y.fields)
+            return x.fields < y.fields;
+        if (x.warps.start != y.warps.start)
+            return x.warps.start < y.warps.start;
+        if (x.warps.stop != y.warps.stop)
+            return x.warps.stop < y.warps.stop;
+        if (x.rows.start != y.rows.start)
+            return x.rows.start < y.rows.start;
+        if (x.rows.stop != y.rows.stop)
+            return x.rows.stop < y.rows.stop;
+        return x.rows.step < y.rows.step;
+    });
+    ByteWriter w;
+    w.u64(es.size());
+    for (const auto *kv : es) {
+        w.u64(kv->first.fields);
+        writeRange(w, kv->first.warps);
+        writeRange(w, kv->first.rows);
+        w.u64(kv->second.ops.size());
+        for (Word op : kv->second.ops)
+            w.u64(op);
+    }
+    return w.take();
+}
+
+void
+Driver::importStreamCache(const std::vector<uint8_t> &blob)
+{
+    streamCache_.clear();
+    if (blob.empty())
+        return;
+    ByteReader r(blob);
+    const uint64_t count = r.u64();
+    for (uint64_t i = 0; i < count; ++i) {
+        StreamKey k;
+        k.fields = r.u64();
+        k.warps = readRange(r);
+        k.rows = readRange(r);
+        StreamEntry e;
+        const uint64_t n = r.u64();
+        fatalIf(n > r.remaining() / 8,
+                "driver cache restore: truncated stream");
+        e.ops.reserve(n);
+        for (uint64_t j = 0; j < n; ++j)
+            e.ops.push_back(r.u64());
+        // Traces are derived state: rebuilt lazily by replayEntry on
+        // the first post-restore hit (exactly like a fusion toggle).
+        streamCache_.emplace(k, std::move(e));
+    }
+    r.expectEnd("driver stream cache");
 }
 
 void

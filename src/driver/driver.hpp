@@ -102,6 +102,17 @@ class Driver
     }
 
     /**
+     * Serialize the stream cache's signatures and recorded micro-op
+     * streams into an opaque blob (Device::checkpoint). Trace handles
+     * are NOT serialized — they are derived state, rebuilt lazily on
+     * the first post-restore hit.
+     */
+    std::vector<uint8_t> exportStreamCache() const;
+    /** Inverse of exportStreamCache; replaces the current cache. An
+     *  empty blob just clears it. */
+    void importStreamCache(const std::vector<uint8_t> &blob);
+
+    /**
      * Enable/disable the bulk block-transfer I/O path
      * (sim/bulk_io.hpp). When on (the default) readBulk/writeBulk
      * hand whole transfers to the sink's gather/scatter kernels with

@@ -88,6 +88,11 @@ class GateBuilder
         rowMask_.reset();
     }
 
+    /** Drop any batched micro-ops without submitting them (checkpoint
+     *  restore: pending ops were translated against the timeline the
+     *  restore is discarding). */
+    void discardBatch() { buf_.clear(); }
+
     /**
      * Declare the chip's mask state without emitting ops (used after
      * replaying a recorded stream that ends in these masks).

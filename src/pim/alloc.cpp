@@ -5,6 +5,7 @@
 
 #include "common/bitops.hpp"
 #include "common/error.hpp"
+#include "sim/serialize.hpp"
 
 namespace pypim
 {
@@ -108,6 +109,70 @@ MemoryManager::alloc(uint64_t elements, const Allocation *hint)
     }
     fatal("out of PIM memory: no register/warp range fits " +
           std::to_string(elements) + " elements");
+}
+
+std::vector<uint8_t>
+MemoryManager::exportState() const
+{
+    ByteWriter w;
+    w.u32(static_cast<uint32_t>(used_.size()));
+    w.u32(used_.empty()
+              ? 0
+              : static_cast<uint32_t>(used_[0].size()));
+    w.u32(live_);
+    w.u64(slotsInUse_);
+    // Bit-packed occupancy, register-major (8 warps per byte).
+    uint8_t acc = 0;
+    int nbits = 0;
+    for (const auto &reg : used_) {
+        for (bool b : reg) {
+            acc |= static_cast<uint8_t>(b) << nbits;
+            if (++nbits == 8) {
+                w.u8(acc);
+                acc = 0;
+                nbits = 0;
+            }
+        }
+    }
+    if (nbits)
+        w.u8(acc);
+    return w.take();
+}
+
+void
+MemoryManager::importState(const std::vector<uint8_t> &blob)
+{
+    if (blob.empty()) {
+        for (auto &reg : used_)
+            std::fill(reg.begin(), reg.end(), false);
+        live_ = 0;
+        slotsInUse_ = 0;
+        return;
+    }
+    ByteReader r(blob);
+    const uint32_t regs = r.u32();
+    const uint32_t warps = r.u32();
+    fatalIf(regs != used_.size() ||
+                (regs != 0 && warps != used_[0].size()),
+            "allocator restore: occupancy shape mismatch");
+    const uint32_t live = r.u32();
+    const uint64_t slots = r.u64();
+    uint8_t acc = 0;
+    int nbits = 0;
+    for (auto &reg : used_) {
+        for (size_t w = 0; w < reg.size(); ++w) {
+            if (nbits == 0) {
+                acc = r.u8();
+                nbits = 8;
+            }
+            reg[w] = acc & 1;
+            acc >>= 1;
+            --nbits;
+        }
+    }
+    r.expectEnd("allocator state");
+    live_ = live;
+    slotsInUse_ = slots;
 }
 
 void

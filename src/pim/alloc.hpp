@@ -70,6 +70,17 @@ class MemoryManager
     /** Release an allocation. */
     void free(const Allocation &a);
 
+    /**
+     * Serialize the occupancy state (used bitmap + live/slot
+     * counters) into an opaque blob for Device::checkpoint. The
+     * geometry is NOT embedded — the checkpoint header carries it and
+     * restore validates the match before importState is reached.
+     */
+    std::vector<uint8_t> exportState() const;
+    /** Inverse of exportState; replaces the current occupancy. An
+     *  empty blob resets to the all-free state. */
+    void importState(const std::vector<uint8_t> &blob);
+
     /** Live allocations (leak checks in tests). */
     uint32_t liveAllocations() const { return live_; }
     /** Register-warp slots currently occupied. */

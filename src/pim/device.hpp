@@ -16,11 +16,13 @@
 #define PYPIM_PIM_DEVICE_HPP
 
 #include <memory>
+#include <string>
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "driver/driver.hpp"
 #include "pim/alloc.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/device_group.hpp"
 
 namespace pypim
@@ -101,9 +103,49 @@ class Device
     /** Reset the architectural counters on every sub-device. */
     void clearStats() { group_.clearStats(); }
 
+    // --- checkpoint / restore / fault tolerance ----------------------
+
+    /**
+     * Write a crash-consistent checkpoint of the whole device to
+     * @p path: quiesce at the drain contract (flush), take COW
+     * snapshots of every owned crossbar per sub-device, and stream
+     * the canonical image out (sim/serialize.hpp) together with the
+     * allocator state and the driver's stream-cache signatures.
+     * Also resets the recovery baseline — the journal restarts here.
+     * Returns bytes written.
+     */
+    uint64_t checkpoint(const std::string &path);
+
+    /**
+     * Rebuild this device's full state from a checkpoint written by
+     * ANY device of the same geometry — the sub-device count and
+     * storage mode of the writer are free (the image is global-
+     * coordinate and canonical). Clears sticky pipeline errors and
+     * any terminal recovery error: a restored device is a healthy
+     * device. Crossbar state, mask state and architectural Stats are
+     * bit-identical to the checkpointed device's.
+     */
+    void restore(const std::string &path);
+
+    /**
+     * Fault-tolerance observability: faultsInjected (from the
+     * PYPIM_FAULTS injectors), faultsDetected / recoveries (from the
+     * retry-with-restore policy) and checkpointBytes. Host-side
+     * counters — never part of the architectural stats().
+     */
+    Stats faultStats() const;
+
+    /** The retry-with-restore sink between driver and simulator
+     *  group (active only under PYPIM_VERIFY_STATE). */
+    RecoverySink &recovery() { return recovery_; }
+
   private:
     Geometry geo_;
     SimulatorGroup group_;
+    /** Between drv_ and group_: journals state-affecting calls and
+     *  retries-with-restore on detected faults (sim/checkpoint.hpp).
+     *  Declaration order matters — drv_ holds a reference to it. */
+    RecoverySink recovery_;
     Driver drv_;
     MemoryManager mm_;
 };

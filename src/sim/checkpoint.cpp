@@ -1,0 +1,322 @@
+#include "sim/checkpoint.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "sim/device_group.hpp"
+#include "sim/fault.hpp"
+
+namespace pypim
+{
+
+namespace
+{
+
+bool
+sameGeometry(const Geometry &a, const Geometry &b)
+{
+    return a.rows == b.rows && a.cols == b.cols &&
+           a.partitions == b.partitions && a.wordBits == b.wordBits &&
+           a.numCrossbars == b.numCrossbars &&
+           a.clockHz == b.clockHz && a.userRegs == b.userRegs;
+}
+
+} // namespace
+
+CheckpointImage
+buildGroupImage(const SimulatorGroup &group)
+{
+    CheckpointImage img;
+    const Simulator &sub0 = group.sub(0);
+    img.geo = sub0.geometry();
+    img.deviceCount = group.devices();
+    // Replicated across sub-devices: sub-device 0's view is the
+    // logical device's (the group invariant).
+    img.maskXb = sub0.crossbarMask();
+    img.maskRow = sub0.rowMask();
+    img.archStats = group.stats();
+    for (uint32_t xb = 0; xb < img.geo.numCrossbars; ++xb) {
+        // The const accessor drains the owning sub-device — after the
+        // first crossbar of a slice this is a no-op, so the whole
+        // walk quiesces each pipeline exactly once.
+        const Crossbar &cxb = group.crossbar(xb);
+        if (xb == 0)
+            img.storage = cxb.storage();
+        // The issue's cheap-checkpoint contract: a COW snapshot per
+        // crossbar (shared blocks, no slab copies for paged storage),
+        // walked canonically so dense and paged produce the identical
+        // image.
+        const Crossbar::Snapshot snap = cxb.snapshot();
+        CrossbarImage ci;
+        ci.xb = xb;
+        snap.forEachNonZeroBlock([&](uint32_t col, uint32_t b,
+                                     const uint64_t *w, uint32_t n) {
+            ci.blocks.push_back(BlockRecord{
+                col, b, std::vector<uint64_t>(w, w + n)});
+        });
+        if (!ci.blocks.empty())
+            img.crossbars.push_back(std::move(ci));
+    }
+    return img;
+}
+
+void
+restoreGroupImage(SimulatorGroup &group, const CheckpointImage &img)
+{
+    fatalIf(!sameGeometry(group.sub(0).geometry(), img.geo),
+            "restore: checkpoint geometry does not match this device");
+    // 1. Clear sticky pipeline errors FIRST: the restore below drains
+    // every pipeline, and a drain rethrows — but restoring IS the
+    // recovery from whatever made the error sticky.
+    for (uint32_t d = 0; d < group.devices(); ++d)
+        group.sub(d).clearPipelineError();
+    // 2. Replicated architectural state on every sub-device.
+    for (uint32_t d = 0; d < group.devices(); ++d)
+        group.sub(d).restoreArchState(img.maskXb, img.maskRow,
+                                      img.archStats);
+    // 3. Crossbar state: zero everything owned, then load the image's
+    // non-zero blocks into the owning slices. Global-coordinate
+    // records make any source-to-target device count reassembly plain
+    // deviceOf() routing.
+    for (uint32_t xb = 0; xb < img.geo.numCrossbars; ++xb)
+        group.crossbar(xb).resetState();
+    for (const CrossbarImage &ci : img.crossbars) {
+        fatalIf(ci.xb >= img.geo.numCrossbars,
+                "restore: crossbar record " + std::to_string(ci.xb) +
+                    " outside the geometry");
+        Crossbar &xb = group.crossbar(ci.xb);
+        for (const BlockRecord &rec : ci.blocks)
+            xb.loadBlock(rec.col, rec.block, rec.words.data(),
+                         static_cast<uint32_t>(rec.words.size()));
+    }
+    // 4. The rewrite went through non-const crossbar() (which marks
+    // the checksum baseline stale); re-bless so verification resumes
+    // from the restored state.
+    for (uint32_t d = 0; d < group.devices(); ++d)
+        group.sub(d).rebaselineChecksums();
+}
+
+RecoverySink::RecoverySink(SimulatorGroup &group,
+                           const EngineConfig &ec)
+    : group_(group), enabled_(ec.verifyState)
+{
+    if (enabled_)
+        baseline_ = buildGroupImage(group_);
+}
+
+void
+RecoverySink::rebaseline()
+{
+    if (!enabled_)
+        return;
+    baseline_ = buildGroupImage(group_);
+    journal_.clear();
+    terminal_ = nullptr;
+    needRecover_ = false;
+}
+
+void
+RecoverySink::setSuppressed(bool on)
+{
+    for (uint32_t d = 0; d < group_.devices(); ++d)
+        if (const auto &inj = group_.sub(d).faultInjector())
+            inj->setSuppressed(on);
+}
+
+void
+RecoverySink::applyCall(const Call &c)
+{
+    switch (c.kind) {
+      case Call::Kind::Batch:
+        group_.submitBatch(c.ops.data(), c.ops.size());
+        break;
+      case Call::Kind::Trace:
+        group_.submitTrace(c.trace);
+        break;
+      case Call::Kind::Read:
+        group_.performRead(c.readOp);  // response discarded: only the
+        break;                         // stats/mask effect matters
+      case Call::Kind::BulkRead: {
+        std::vector<uint32_t> scratch(c.spec.count);
+        BulkIoTelemetry tel;
+        group_.readBulk(c.spec, scratch.data(), tel);
+        break;
+      }
+      case Call::Kind::BulkWrite: {
+        BulkIoTelemetry tel;
+        group_.writeBulk(c.spec, c.values.data(), tel);
+        break;
+      }
+    }
+}
+
+void
+RecoverySink::recover()
+{
+    // One-shot and random fault classes are suppressed during the
+    // re-replay (a retry models a re-run that does not hit the same
+    // transient); stuck-at pins stay active — persistent damage does
+    // not heal because the host retried, which is exactly how the
+    // retry cap gets exhausted and the failure goes terminal.
+    setSuppressed(true);
+    try {
+        restoreGroupImage(group_, baseline_);
+        for (const Call &c : journal_)
+            applyCall(c);
+        // Surface re-replay faults here (inside the retry loop), not
+        // at some later unrelated call.
+        group_.flush();
+    } catch (...) {
+        setSuppressed(false);
+        throw;
+    }
+    setSuppressed(false);
+    needRecover_ = false;
+    ++stats_.recoveries;
+    // The flush above verified the re-replayed state, so it is a
+    // known-good rollback point: advance the baseline and drop the
+    // journal. Without this, every recovery re-replays from the LAST
+    // CHECKPOINT — quadratic in program length under a sustained
+    // fault rate; with it, each re-replay covers only the calls since
+    // the previous fault. (Cost: one COW snapshot walk per recovery,
+    // O(live data).)
+    baseline_ = buildGroupImage(group_);
+    journal_.clear();
+}
+
+template <typename Fn>
+auto
+RecoverySink::runRecovered(Fn &&fn)
+{
+    if (terminal_)
+        std::rethrow_exception(terminal_);
+    for (uint32_t attempt = 0;; ++attempt) {
+        try {
+            if (needRecover_)
+                recover();
+            return fn();
+        } catch (const DeviceFault &) {
+            // Detected corruption or an injected failure — the
+            // recoverable family. Anything else (user Error,
+            // InternalError) propagates untouched.
+            ++stats_.faultsDetected;
+            needRecover_ = true;
+            if (attempt + 1 >= kRetryCap) {
+                terminal_ = std::current_exception();
+                std::rethrow_exception(terminal_);
+            }
+        }
+    }
+}
+
+void
+RecoverySink::performBatch(const Word *ops, size_t n)
+{
+    if (!enabled_) {
+        group_.performBatch(ops, n);
+        return;
+    }
+    runRecovered([&] { group_.performBatch(ops, n); });
+    Call c;
+    c.kind = Call::Kind::Batch;
+    c.ops.assign(ops, ops + n);
+    journal_.push_back(std::move(c));
+}
+
+void
+RecoverySink::submitBatch(const Word *ops, size_t n)
+{
+    if (!enabled_) {
+        group_.submitBatch(ops, n);
+        return;
+    }
+    runRecovered([&] { group_.submitBatch(ops, n); });
+    Call c;
+    c.kind = Call::Kind::Batch;
+    c.ops.assign(ops, ops + n);
+    journal_.push_back(std::move(c));
+}
+
+void
+RecoverySink::flush()
+{
+    if (!enabled_) {
+        group_.flush();
+        return;
+    }
+    // No journal entry: a flush has no architectural effect, but its
+    // drain is where pipelined faults surface — the retry loop is
+    // what turns that sticky error into a recovery.
+    runRecovered([&] { group_.flush(); });
+}
+
+uint32_t
+RecoverySink::performRead(Word op)
+{
+    if (!enabled_)
+        return group_.performRead(op);
+    const uint32_t v = runRecovered([&] { return group_.performRead(op); });
+    Call c;
+    c.kind = Call::Kind::Read;
+    c.readOp = op;
+    journal_.push_back(std::move(c));
+    return v;
+}
+
+std::shared_ptr<const BatchTrace>
+RecoverySink::prepareTrace(const Word *ops, size_t n, bool fuse)
+{
+    // Builds touch no architectural state: no journal, no guard.
+    return group_.prepareTrace(ops, n, fuse);
+}
+
+void
+RecoverySink::submitTrace(std::shared_ptr<const BatchTrace> trace)
+{
+    if (!enabled_) {
+        group_.submitTrace(std::move(trace));
+        return;
+    }
+    runRecovered([&] { group_.submitTrace(trace); });
+    Call c;
+    c.kind = Call::Kind::Trace;
+    c.trace = std::move(trace);
+    journal_.push_back(std::move(c));
+}
+
+bool
+RecoverySink::readBulk(const BulkIoSpec &spec, uint32_t *out,
+                       BulkIoTelemetry &tel)
+{
+    if (!enabled_)
+        return group_.readBulk(spec, out, tel);
+    const bool ok =
+        runRecovered([&] { return group_.readBulk(spec, out, tel); });
+    if (ok) {
+        Call c;
+        c.kind = Call::Kind::BulkRead;
+        c.spec = spec;
+        journal_.push_back(std::move(c));
+    }
+    return ok;
+}
+
+bool
+RecoverySink::writeBulk(const BulkIoSpec &spec,
+                        const uint32_t *values, BulkIoTelemetry &tel)
+{
+    if (!enabled_)
+        return group_.writeBulk(spec, values, tel);
+    const bool ok = runRecovered(
+        [&] { return group_.writeBulk(spec, values, tel); });
+    if (ok) {
+        Call c;
+        c.kind = Call::Kind::BulkWrite;
+        c.spec = spec;
+        c.values.assign(values, values + spec.count);
+        journal_.push_back(std::move(c));
+    }
+    return ok;
+}
+
+} // namespace pypim

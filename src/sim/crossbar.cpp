@@ -1914,6 +1914,9 @@ Crossbar::Snapshot::bit(uint32_t row, uint32_t col) const
 Crossbar::Snapshot
 Crossbar::snapshot() const
 {
+    panicIf(busy_ && busy_->load(std::memory_order_acquire),
+            "snapshot: pipeline replay in flight (snapshots are only "
+            "valid at drain points)");
     Snapshot s;
     s.geo_ = geo_;
     s.wordsPerCol_ = wordsPerCol_;
@@ -1937,6 +1940,9 @@ Crossbar::snapshot() const
 void
 Crossbar::restore(const Snapshot &s)
 {
+    panicIf(busy_ && busy_->load(std::memory_order_acquire),
+            "restore: pipeline replay in flight (restores are only "
+            "valid at drain points)");
     panicIf(s.wordsPerCol_ != wordsPerCol_ ||
                 (s.geo_ && s.geo_->cols != geo_->cols),
             "restore: snapshot from a different geometry");
@@ -1987,6 +1993,105 @@ Crossbar::compact()
         }
     }
     return elided;
+}
+
+void
+Crossbar::forEachNonZeroBlock(
+    const std::function<void(uint32_t col, uint32_t b,
+                             const uint64_t *w, uint32_t n)> &fn) const
+{
+    for (uint32_t col = 0; col < geo_->cols; ++col) {
+        for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+            const uint64_t *w = storage_ == XbarStorage::Dense
+                ? colWords(col) + b * kBlockWords
+                : blockRO(col, b);
+            if (!w)
+                continue;
+            const uint32_t used = blockWords(b);
+            if (allZero(w, used))
+                continue;
+            fn(col, b, w, used);
+        }
+    }
+}
+
+void
+Crossbar::Snapshot::forEachNonZeroBlock(
+    const std::function<void(uint32_t col, uint32_t b,
+                             const uint64_t *w, uint32_t n)> &fn) const
+{
+    for (uint32_t col = 0; col < (geo_ ? geo_->cols : 0); ++col) {
+        for (uint32_t b = 0; b < blocksPerCol_; ++b) {
+            const uint64_t *w = blockRO(col, b);
+            if (!w)
+                continue;
+            const uint32_t base = b * kBlockWords;
+            const uint32_t used = wordsPerCol_ - base < kBlockWords
+                ? wordsPerCol_ - base
+                : kBlockWords;
+            if (allZero(w, used))
+                continue;
+            fn(col, b, w, used);
+        }
+    }
+}
+
+uint64_t
+Crossbar::stateChecksum() const
+{
+    // FNV-1a over (col, block, words): position-sensitive so a block
+    // moving columns changes the digest, and canonical-walk-based so
+    // dense and paged in equal state digest equal.
+    uint64_t h = 0xCBF29CE484222325ull;
+    const auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 0x100000001B3ull;
+        }
+    };
+    forEachNonZeroBlock(
+        [&](uint32_t col, uint32_t b, const uint64_t *w, uint32_t n) {
+            mix((static_cast<uint64_t>(col) << 32) | b);
+            for (uint32_t i = 0; i < n; ++i)
+                mix(w[i]);
+        });
+    return h;
+}
+
+void
+Crossbar::resetState()
+{
+    if (storage_ == XbarStorage::Dense) {
+        std::fill(state_.begin(), state_.end(), 0);
+        return;
+    }
+    for (uint32_t &id : table_) {
+        if (id != kAbsent) {
+            pool_->unref(id);
+            id = kAbsent;
+        }
+    }
+}
+
+void
+Crossbar::loadBlock(uint32_t col, uint32_t b, const uint64_t *w,
+                    uint32_t n)
+{
+    panicIf(col >= geo_->cols || b >= blocksPerCol_ ||
+                n > blockWords(b),
+            "loadBlock: record outside this crossbar's geometry");
+    if (allZero(w, n))
+        return;  // canonical images never carry these anyway
+    if (storage_ == XbarStorage::Dense) {
+        uint64_t *dst = colWords(col) + b * kBlockWords;
+        std::copy(w, w + n, dst);
+        return;
+    }
+    uint64_t *dst = blockRW(col, b);
+    std::copy(w, w + n, dst);
+    // A short tail record leaves the block's trailing words whatever
+    // blockRW materialised; alloc() zeroes fresh blocks, and restore
+    // resets state first, so the tail is zero either way.
 }
 
 StorageGauges

@@ -49,7 +49,9 @@
 #ifndef PYPIM_SIM_CROSSBAR_HPP
 #define PYPIM_SIM_CROSSBAR_HPP
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -264,6 +266,13 @@ class Crossbar
         /** Raw bit access, as Crossbar::bit. */
         bool bit(uint32_t row, uint32_t col) const;
 
+        /** Canonical non-zero-block walk of the snapshot image, as
+         *  Crossbar::forEachNonZeroBlock. */
+        void forEachNonZeroBlock(
+            const std::function<void(uint32_t col, uint32_t b,
+                                     const uint64_t *w, uint32_t n)>
+                &fn) const;
+
       private:
         friend class Crossbar;
         /** Drop every block reference and empty the image. */
@@ -300,6 +309,53 @@ class Crossbar
 
     /** Point-in-time storage footprint (never architectural state). */
     StorageGauges storageGauges() const;
+
+    /**
+     * CANONICAL walk of the state for serialization and checksums:
+     * invoke @p fn for every block that holds at least one set bit,
+     * ascending (col, block), with its words and used word count (the
+     * tail block of a column may be short). A materialised all-zero
+     * block is SKIPPED, and dense storage walks the same block grid —
+     * so two crossbars in equal state produce the identical call
+     * sequence regardless of storage mode or elision history (the
+     * property that makes checkpoint images and state checksums
+     * storage-independent).
+     */
+    void forEachNonZeroBlock(
+        const std::function<void(uint32_t col, uint32_t b,
+                                 const uint64_t *w, uint32_t n)> &fn)
+        const;
+
+    /**
+     * Order-sensitive FNV-1a digest over the canonical non-zero-block
+     * walk (positions + words). Equal states hash equal across
+     * storage modes; the PYPIM_VERIFY_STATE machinery compares these
+     * at batch and drain points to detect silent corruption.
+     */
+    uint64_t stateChecksum() const;
+
+    /**
+     * Reset to all-zero: dense zero-fills the slab; paged drops every
+     * present block reference (keeping the table and pool for reuse).
+     * The restore path's first step before loadBlock replays an image.
+     */
+    void resetState();
+
+    /**
+     * Overwrite block @p b of column @p col with @p n words from
+     * @p w (checkpoint restore; COW-safe via blockRW). All-zero
+     * payloads are skipped rather than densified.
+     */
+    void loadBlock(uint32_t col, uint32_t b, const uint64_t *w,
+                   uint32_t n);
+
+    /**
+     * Install the owning pipeline's replaying flag: snapshot() and
+     * restore() then panic if called while a batch replay is in
+     * flight — enforcing the drain-point synchronisation contract
+     * (file header) instead of relying on it.
+     */
+    void setBusyFlag(const std::atomic<bool> *busy) { busy_ = busy; }
 
     /**
      * Bit-exact state comparison (engine-parity tests). Both crossbars
@@ -399,6 +455,8 @@ class Crossbar
     std::vector<uint64_t> state_;      //!< dense slab (empty if paged)
     std::vector<uint32_t> table_;      //!< paged block ids (lazy)
     std::shared_ptr<BlockPool> pool_;  //!< paged block pool (lazy)
+    /** Pipeline's replaying flag (null when not pipelined). */
+    const std::atomic<bool> *busy_ = nullptr;
 };
 
 } // namespace pypim

@@ -8,6 +8,7 @@
 #include "sim/batch_trace.hpp"
 #include "sim/bulk_io.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 
 namespace pypim
 {
@@ -39,6 +40,35 @@ SimulatorGroup::SimulatorGroup(const Geometry &geo,
     for (uint32_t d = 0; d < n; ++d)
         sims_.push_back(std::make_unique<Simulator>(
             geo_, sub, d * perDevice_, perDevice_));
+
+    // Fault tolerance: the spec is validated HERE (a PYPIM_FAULTS
+    // typo throws at device construction, never silently runs
+    // un-faulted), and checksum verification is enabled per
+    // sub-device. Injection without verifyState is INJECTED but not
+    // DETECTED — the configuration the sticky-error tests exercise.
+    if (!ec.faults.empty()) {
+        const FaultSpec spec = FaultSpec::parse(ec.faults);
+        for (uint32_t d = 0; d < n; ++d) {
+            auto inj = std::make_shared<FaultInjector>(
+                spec, d, d * perDevice_, perDevice_, geo_);
+            if (inj->active()) {
+                sims_[d]->setFaultInjector(inj);
+                injectors_.push_back(std::move(inj));
+            }
+        }
+    }
+    if (ec.verifyState)
+        for (auto &s : sims_)
+            s->setVerifyState(true);
+}
+
+uint64_t
+SimulatorGroup::faultsInjected() const
+{
+    uint64_t total = 0;
+    for (const auto &inj : injectors_)
+        total += inj->injected();
+    return total;
 }
 
 void

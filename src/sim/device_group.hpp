@@ -148,6 +148,10 @@ class SimulatorGroup : public OperationSink
 
     const Traffic &traffic() const { return traffic_; }
 
+    /** Faults injected so far across every sub-device's injector
+     *  (EngineConfig::faults; 0 when injection is off). */
+    uint64_t faultsInjected() const;
+
     /** Aggregate storage footprint across every sub-device (each
      *  drains its pipeline). Observability only — see Simulator. */
     StorageGauges
@@ -256,6 +260,9 @@ class SimulatorGroup : public OperationSink
     Geometry geo_;
     uint32_t perDevice_;
     std::vector<std::unique_ptr<Simulator>> sims_;
+    /** Per-sub-device fault injectors (empty when faults are off);
+     *  also held by the sub-device that drives them. */
+    std::vector<std::shared_ptr<FaultInjector>> injectors_;
     Traffic traffic_;
 
     struct Staged

@@ -8,12 +8,15 @@ namespace pypim
 
 SimulatorPipeline::SimulatorPipeline(
     const Geometry &geo, const HTree &htree, MaskState &mask,
-    Stats &stats, std::unique_ptr<ExecutionEngine> &engine)
+    Stats &stats, std::unique_ptr<ExecutionEngine> &engine,
+    std::function<void()> preReplay, std::function<void()> postReplay)
     : geo_(geo),
       htree_(htree),
       mask_(mask),
       stats_(stats),
-      engine_(engine)
+      engine_(engine),
+      preReplay_(std::move(preReplay)),
+      postReplay_(std::move(postReplay))
 {
     free_.reserve(kBuffers);
     for (uint32_t i = 0; i < kBuffers; ++i)
@@ -110,6 +113,15 @@ SimulatorPipeline::drain()
 }
 
 void
+SimulatorPipeline::clearError()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cvProducer_.wait(lock,
+                     [&] { return queued_.empty() && !replaying_; });
+    error_ = nullptr;
+}
+
+void
 SimulatorPipeline::consumerLoop()
 {
     std::unique_lock<std::mutex> lock(mu_);
@@ -128,8 +140,15 @@ SimulatorPipeline::consumerLoop()
         std::exception_ptr err;
         if (!skip) {
             try {
+                if (preReplay_)
+                    preReplay_();
+                busy_.store(true, std::memory_order_release);
                 engine_->replayBatch(batch);
+                busy_.store(false, std::memory_order_release);
+                if (postReplay_)
+                    postReplay_();
             } catch (...) {
+                busy_.store(false, std::memory_order_release);
                 err = std::current_exception();
             }
         }

@@ -47,10 +47,12 @@
 #define PYPIM_SIM_PIPELINE_HPP
 
 #include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -78,9 +80,19 @@ class Crossbar;
 class SimulatorPipeline
 {
   public:
+    /**
+     * @p preReplay / @p postReplay (either may be null) run on the
+     * consumer thread around every engine replayBatch, inside the
+     * same try whose failure becomes the sticky error — the
+     * fault-tolerance hook points (sim/simulator.hpp): verify the
+     * pre-batch state checksums, then bless the post-batch state and
+     * let the fault injector corrupt it.
+     */
     SimulatorPipeline(const Geometry &geo, const HTree &htree,
                       MaskState &mask, Stats &stats,
-                      std::unique_ptr<ExecutionEngine> &engine);
+                      std::unique_ptr<ExecutionEngine> &engine,
+                      std::function<void()> preReplay = nullptr,
+                      std::function<void()> postReplay = nullptr);
 
     /** Drains remaining batches, then joins the consumer. */
     ~SimulatorPipeline();
@@ -115,6 +127,20 @@ class SimulatorPipeline
      */
     void drain();
 
+    /**
+     * Clear the sticky consumer-side error after the queue has gone
+     * idle (remaining batches are skipped, not replayed — the state
+     * is being rolled back anyway). The recovery path's first step:
+     * without it, every subsequent sync point rethrows and a fresh
+     * Device is the only way out (tests/test_fault.cpp asserts both
+     * behaviours).
+     */
+    void clearError();
+
+    /** True while the consumer is inside engine replay — the flag
+     *  Crossbar::setBusyFlag points snapshot/restore asserts at. */
+    const std::atomic<bool> &busyFlag() const { return busy_; }
+
   private:
     static constexpr uint32_t kBuffers = 2;   // double buffering
     static constexpr uint32_t kNoBuffer = UINT32_MAX;
@@ -147,6 +173,9 @@ class SimulatorPipeline
     bool replaying_ = false;
     bool stop_ = false;
     std::exception_ptr error_;  //!< first consumer-side failure (sticky)
+    std::atomic<bool> busy_{false};  //!< consumer inside engine replay
+    std::function<void()> preReplay_;
+    std::function<void()> postReplay_;
 
     std::thread consumer_;
 };

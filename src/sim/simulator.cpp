@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "sim/batch_trace.hpp"
 #include "sim/bulk_io.hpp"
+#include "sim/fault.hpp"
 #include "sim/replay_program.hpp"
 
 namespace pypim
@@ -33,8 +34,19 @@ Simulator::Simulator(const Geometry &geo, const EngineConfig &ec,
     engine_ =
         makeEngine(ec, geo_, xbs_, sliceLo_, htree_, mask_, stats_);
     if (ec.pipeline)
-        pipeline_ = std::make_unique<SimulatorPipeline>(
-            geo_, htree_, mask_, stats_, engine_);
+        makePipeline();
+}
+
+void
+Simulator::makePipeline()
+{
+    pipeline_ = std::make_unique<SimulatorPipeline>(
+        geo_, htree_, mask_, stats_, engine_,
+        [this] { verifyChecksums(); }, [this] { postReplayHook(); });
+    // Satellite contract enforcement: snapshot()/restore() panic if a
+    // replay is in flight instead of silently racing it.
+    for (Crossbar &xb : xbs_)
+        xb.setBusyFlag(&pipeline_->busyFlag());
 }
 
 Simulator::~Simulator() = default;
@@ -80,11 +92,117 @@ Simulator::setEngine(const EngineConfig &ec)
     compiledReplay_ = ec.compiledReplay;
     engine_ =
         makeEngine(ec, geo_, xbs_, sliceLo_, htree_, mask_, stats_);
-    if (ec.pipeline && !pipeline_)
-        pipeline_ = std::make_unique<SimulatorPipeline>(
-            geo_, htree_, mask_, stats_, engine_);
-    else if (!ec.pipeline)
+    if (ec.pipeline && !pipeline_) {
+        makePipeline();
+    } else if (!ec.pipeline) {
         pipeline_.reset();
+        for (Crossbar &xb : xbs_)
+            xb.setBusyFlag(nullptr);
+    }
+}
+
+// --- fault-tolerance plumbing -------------------------------------------
+
+void
+Simulator::verifyChecksums()
+{
+    if (!verifyState_)
+        return;
+    if (checksumsStale_) {
+        // The host mutated state directly (non-const crossbar());
+        // adopt what it left rather than flagging it as corruption.
+        blessChecksums();
+        return;
+    }
+    for (size_t i = 0; i < xbs_.size(); ++i) {
+        if (xbs_[i].stateChecksum() != checksums_[i])
+            throw StateCorruption(
+                "state corruption detected: crossbar " +
+                std::to_string(sliceLo_ + i) +
+                " diverged from its blessed checksum");
+    }
+}
+
+void
+Simulator::blessChecksums()
+{
+    checksums_.resize(xbs_.size());
+    for (size_t i = 0; i < xbs_.size(); ++i)
+        checksums_[i] = xbs_[i].stateChecksum();
+    checksumsStale_ = false;
+}
+
+void
+Simulator::postReplayHook()
+{
+    if (verifyState_)
+        blessChecksums();
+    if (injector_) {
+        injector_->maybeFail();
+        injector_->corrupt(xbs_);
+    }
+}
+
+template <typename Fn>
+void
+Simulator::replayGuarded(Fn &&fn)
+{
+    // The synchronous mirror of the pipeline consumer's hook path.
+    verifyChecksums();
+    try {
+        fn();
+    } catch (...) {
+        // A malformed op threw after its valid prefix replayed: that
+        // prefix is legitimate state, not corruption — bless it so
+        // the error stays a user error at the next verify point.
+        if (verifyState_)
+            blessChecksums();
+        throw;
+    }
+    postReplayHook();
+}
+
+void
+Simulator::setVerifyState(bool on)
+{
+    drainPipeline();
+    verifyState_ = on;
+    if (on)
+        blessChecksums();
+    else
+        checksums_.clear();
+}
+
+void
+Simulator::setFaultInjector(std::shared_ptr<FaultInjector> inj)
+{
+    drainPipeline();
+    injector_ = std::move(inj);
+}
+
+void
+Simulator::clearPipelineError()
+{
+    if (pipeline_)
+        pipeline_->clearError();
+}
+
+void
+Simulator::restoreArchState(const Range &maskXb, const Range &maskRow,
+                            const Stats &stats)
+{
+    drainPipeline();
+    mask_.xb = maskXb;
+    mask_.setRow(maskRow, geo_.rows);
+    stats_ = stats;
+}
+
+void
+Simulator::rebaselineChecksums()
+{
+    drainPipeline();
+    if (verifyState_)
+        blessChecksums();
 }
 
 void
@@ -93,9 +211,10 @@ Simulator::performBatch(const Word *ops, size_t n)
     if (pipeline_) {
         pipeline_->submit(ops, n);
         pipeline_->drain();
+        verifyChecksums();
         return;
     }
-    engine_->execute(ops, n);
+    replayGuarded([&] { engine_->execute(ops, n); });
 }
 
 void
@@ -105,13 +224,17 @@ Simulator::submitBatch(const Word *ops, size_t n)
         pipeline_->submit(ops, n);
         return;
     }
-    engine_->execute(ops, n);
+    replayGuarded([&] { engine_->execute(ops, n); });
 }
 
 void
 Simulator::flush()
 {
     drainPipeline();
+    // Drain-point verify: faults injected after the last batch's
+    // bless (or corruption from any other source) surface here, at a
+    // sync point, never silently.
+    verifyChecksums();
 }
 
 std::shared_ptr<const BatchTrace>
@@ -161,7 +284,7 @@ Simulator::submitTrace(std::shared_ptr<const BatchTrace> trace)
     stats_ += trace->stats;
     mask_.xb = trace->finalXb;
     mask_.setRow(trace->finalRow, geo_.rows);
-    engine_->replayBatch(*trace);
+    replayGuarded([&] { engine_->replayBatch(*trace); });
 }
 
 bool
@@ -172,6 +295,7 @@ Simulator::readBulk(const BulkIoSpec &spec, uint32_t *out,
     // whole gather, exactly as it would be after the first
     // per-element performRead of the oracle loop.
     drainPipeline();
+    verifyChecksums();
     // Apply the pre-planned architectural effect — the submitTrace
     // pattern: the stats delta and final mask state were computed by
     // the planner, identically on every sub-device.
@@ -188,11 +312,15 @@ Simulator::writeBulk(const BulkIoSpec &spec, const uint32_t *values,
                      BulkIoTelemetry &tel)
 {
     drainPipeline();
+    verifyChecksums();
     stats_ += spec.stats;
     mask_.xb = spec.finalXb;
     mask_.setRow(spec.finalRow, geo_.rows);
     tel.wordsTransposed += engine_->applyWriteBulk(spec, values);
     tel.drains += 1;
+    // The scatter is a legitimate host mutation: re-bless.
+    if (verifyState_)
+        blessChecksums();
     return true;
 }
 
@@ -200,6 +328,7 @@ uint32_t
 Simulator::performRead(Word op)
 {
     drainPipeline();
+    verifyChecksums();
     return engine_->executeRead(MicroOp::decode(op));
 }
 

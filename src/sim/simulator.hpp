@@ -45,6 +45,8 @@
 namespace pypim
 {
 
+class FaultInjector;
+
 /** Full-memory digital PIM simulator. */
 class Simulator : public OperationSink
 {
@@ -159,6 +161,10 @@ class Simulator : public OperationSink
     {
         checkOwned(i);
         drainPipeline();
+        // The caller may mutate state the checksum machinery never
+        // sees (direct test writes, the group's Move landing writes):
+        // the next verify point re-blesses instead of comparing.
+        checksumsStale_ = true;
         return xbs_[i - sliceLo_];
     }
     const Crossbar &
@@ -232,6 +238,46 @@ class Simulator : public OperationSink
      */
     void setEngine(const EngineConfig &ec);
 
+    // --- fault tolerance (sim/fault.hpp, sim/checkpoint.hpp) --------
+
+    /**
+     * Enable per-crossbar state checksums (PYPIM_VERIFY_STATE):
+     * verified before every batch replay and at every drain point,
+     * re-blessed after every legitimate mutation. A mismatch throws
+     * StateCorruption — the signal the RecoverySink's retry-with-
+     * restore policy acts on. Drains and blesses the current state.
+     */
+    void setVerifyState(bool on);
+    bool verifyState() const { return verifyState_; }
+
+    /** Install the deterministic fault injector (drains first). */
+    void setFaultInjector(std::shared_ptr<FaultInjector> inj);
+    const std::shared_ptr<FaultInjector> &
+    faultInjector() const
+    {
+        return injector_;
+    }
+
+    /**
+     * Drop the pipeline's sticky error once the queue is idle (no-op
+     * when not pipelined) — the recovery path's first step before it
+     * restores state through crossbar(), whose drain would otherwise
+     * rethrow.
+     */
+    void clearPipelineError();
+
+    /**
+     * Checkpoint-restore of the non-crossbar architectural state:
+     * mask ranges and the Stats block (drains first). Crossbar state
+     * is restored separately via resetState + loadBlock.
+     */
+    void restoreArchState(const Range &maskXb, const Range &maskRow,
+                          const Stats &stats);
+
+    /** Re-bless the checksums after an external state rewrite (the
+     *  restore path's last step; drains first). */
+    void rebaselineChecksums();
+
   private:
     /** Synchronise with the consumer thread (no-op when pipeline off). */
     void
@@ -243,6 +289,28 @@ class Simulator : public OperationSink
 
     void checkOwned(uint32_t i) const;
 
+    /**
+     * Pre-replay hook (and drain-point verify): compare every owned
+     * crossbar's checksum against the blessed set, throwing
+     * StateCorruption on mismatch. A stale baseline (direct host
+     * mutation through non-const crossbar()) blesses instead.
+     */
+    void verifyChecksums();
+    /** Recompute and store the blessed per-crossbar checksums. */
+    void blessChecksums();
+    /**
+     * Post-replay hook: bless the legitimate post-batch state, then
+     * let the injector fail the batch and/or corrupt state WITHOUT
+     * re-blessing (sim/fault.hpp) — so the next verify detects it.
+     */
+    void postReplayHook();
+    /** Run @p fn between the verify and post-replay hooks — the
+     *  synchronous (non-pipelined) mirror of the consumer's path. */
+    template <typename Fn> void replayGuarded(Fn &&fn);
+    /** Construct the pipeline with the hook lambdas installed and
+     *  point every owned crossbar at its busy flag. */
+    void makePipeline();
+
     Geometry geo_;
     uint32_t sliceLo_ = 0;
     /** Lower prepared traces into compiled replay programs at freeze
@@ -253,6 +321,12 @@ class Simulator : public OperationSink
     MaskState mask_;
     Stats stats_;
     std::unique_ptr<ExecutionEngine> engine_;
+    bool verifyState_ = false;
+    /** Blessed per-crossbar state digests (empty until enabled). */
+    std::vector<uint64_t> checksums_;
+    /** Host mutated state directly: next verify blesses, not compares. */
+    bool checksumsStale_ = false;
+    std::shared_ptr<FaultInjector> injector_;
     // Declared after engine_/xbs_ so the consumer thread is joined
     // before the state it replays into is destroyed. Mutable: draining
     // is not an observable state change, and const accessors

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Checkpoint/restore tests (sim/serialize.hpp, sim/checkpoint.hpp,
+ * Device::checkpoint/restore): fuzzed round trips must be
+ * bit-identical in crossbar state, mask state and architectural Stats
+ * across every engine x sync/pipelined x storage combination —
+ * including restores into a DIFFERENT sub-device count than the
+ * checkpoint was taken from — with the canonical encoding producing
+ * byte-identical files from dense and paged sources, corrupt files
+ * failing loudly, COW snapshots surviving compact(), and the
+ * busy-flag assert refusing snapshots of a mid-replay crossbar.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "pim/pypim.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/serialize.hpp"
+
+using namespace pypim;
+
+namespace
+{
+
+Geometry
+ckptGeometry()
+{
+    Geometry g = testGeometry();
+    g.numCrossbars = 16;  // shardable to 1/2/4 sub-devices
+    return g;
+}
+
+struct EngineCase
+{
+    const char *name;
+    EngineConfig cfg;
+};
+
+const EngineCase &
+engineCase(size_t i)
+{
+    static const EngineCase cases[] = {
+        {"serial", EngineConfig::serial()},
+        {"trace", EngineConfig::trace()},
+        {"sharded", EngineConfig::sharded(2)},
+        {"serial+pipe", EngineConfig::serial().withPipeline()},
+        {"trace+pipe", EngineConfig::trace().withPipeline()},
+        {"sharded+pipe", EngineConfig::sharded(2).withPipeline()},
+    };
+    return cases[i];
+}
+constexpr size_t numEngineCases = 6;
+
+/** Unique scratch file per test, removed by the guard. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &tag)
+        : path_(::testing::TempDir() + "pypim_" + tag + "_" +
+                std::to_string(reinterpret_cast<uintptr_t>(this)) +
+                ".ckpt")
+    {
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** A tensor program leaving non-trivial state behind (live
+ *  allocations, warm stream cache, advanced masks and stats). */
+std::vector<int32_t>
+runProgram(Device &dev, uint64_t seed, size_t n)
+{
+    Rng rng(seed);
+    std::vector<int32_t> va(n), vb(n);
+    for (size_t i = 0; i < n; ++i) {
+        va[i] = static_cast<int32_t>(rng.word());
+        vb[i] = static_cast<int32_t>(rng.word() | 1);
+    }
+    Tensor a = Tensor::fromVector(va, &dev);
+    Tensor b = Tensor::fromVector(vb, &dev);
+    Tensor c = a * b + a;
+    Tensor d = c - (a & b);
+    return d.toIntVector();
+}
+
+/** Driver-level continuation that needs no allocator (fixed regs),
+ *  exercising the restored stream cache and mask state. */
+std::vector<uint32_t>
+runContinuation(Device &dev)
+{
+    const Geometry &g = dev.geometry();
+    RTypeInstr in;
+    in.op = ROp::Add;
+    in.dtype = DType::Int32;
+    in.rd = 2;
+    in.ra = 0;
+    in.rb = 1;
+    in.warps = Range::all(g.numCrossbars);
+    in.rows = Range::all(g.rows);
+    dev.driver().execute(in);
+    in.op = ROp::Mul;
+    in.rd = 3;
+    in.rb = 2;
+    dev.driver().execute(in);
+    dev.flush();
+    std::vector<uint32_t> out;
+    out.reserve(static_cast<size_t>(g.numCrossbars) * g.rows);
+    for (uint32_t w = 0; w < g.numCrossbars; ++w)
+        for (uint32_t r = 0; r < g.rows; ++r)
+            out.push_back(dev.group().crossbar(w).read(3, r));
+    return out;
+}
+
+::testing::AssertionResult
+sameDeviceState(Device &a, Device &b)
+{
+    a.flush();
+    b.flush();
+    for (uint32_t xb = 0; xb < a.geometry().numCrossbars; ++xb)
+        if (!a.group().crossbar(xb).sameState(b.group().crossbar(xb)))
+            return ::testing::AssertionFailure()
+                   << "crossbar " << xb << " diverged";
+    if (!(a.stats() == b.stats()))
+        return ::testing::AssertionFailure()
+               << "architectural stats diverged";
+    if (a.simulator().crossbarMask() != b.simulator().crossbarMask() ||
+        a.simulator().rowMask() != b.simulator().rowMask())
+        return ::testing::AssertionFailure() << "mask state diverged";
+    return ::testing::AssertionSuccess();
+}
+
+class CheckpointRoundTrip : public ::testing::TestWithParam<size_t>
+{
+};
+
+} // namespace
+
+// --- fuzzed round trips ---------------------------------------------------
+
+TEST_P(CheckpointRoundTrip, BitIdenticalAcrossDeviceCountsAndStorage)
+{
+    const EngineCase &ec = engineCase(GetParam());
+    const Geometry g = ckptGeometry();
+    for (XbarStorage srcSt : {XbarStorage::Dense, XbarStorage::Paged}) {
+        for (uint32_t srcDev : {1u, 2u, 4u}) {
+            Device src(g, Driver::Mode::Parallel,
+                       ec.cfg.withDevices(srcDev).withStorage(srcSt));
+            runProgram(src, 42 + srcDev, 600);
+            TempFile f("roundtrip");
+            const uint64_t bytes = src.checkpoint(f.path());
+            EXPECT_GT(bytes, 0u);
+            EXPECT_EQ(src.faultStats().checkpointBytes, bytes);
+
+            // Restore into the OTHER storage mode and every device
+            // count — the image is canonical and global-coordinate.
+            const XbarStorage dstSt = srcSt == XbarStorage::Dense
+                                          ? XbarStorage::Paged
+                                          : XbarStorage::Dense;
+            for (uint32_t dstDev : {1u, 2u, 4u}) {
+                Device dst(g, Driver::Mode::Parallel,
+                           ec.cfg.withDevices(dstDev)
+                               .withStorage(dstSt));
+                dst.restore(f.path());
+                ASSERT_TRUE(sameDeviceState(src, dst))
+                    << ec.name << " " << srcDev << "->" << dstDev;
+                // Host layers came along: allocator occupancy and
+                // the memoised driver translations.
+                EXPECT_EQ(dst.allocator().liveAllocations(),
+                          src.allocator().liveAllocations());
+                EXPECT_EQ(dst.allocator().slotsInUse(),
+                          src.allocator().slotsInUse());
+                EXPECT_EQ(dst.driver().streamCacheSize(),
+                          src.driver().streamCacheSize());
+                EXPECT_EQ(dst.driver().stats().instructions,
+                          src.driver().stats().instructions);
+            }
+            // Divergence check: the restored device must CONTINUE
+            // identically, not just compare equal at the instant.
+            Device cont(g, Driver::Mode::Parallel,
+                        ec.cfg.withDevices(srcDev == 4 ? 1 : 4)
+                            .withStorage(dstSt));
+            cont.restore(f.path());
+            EXPECT_EQ(runContinuation(cont), runContinuation(src))
+                << ec.name;
+            EXPECT_TRUE(sameDeviceState(src, cont)) << ec.name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, CheckpointRoundTrip,
+                         ::testing::Range<size_t>(0, numEngineCases));
+
+// --- canonical encoding ---------------------------------------------------
+
+TEST(CheckpointEncoding, DenseAndPagedProduceIdenticalBytes)
+{
+    const Geometry g = ckptGeometry();
+    for (uint32_t devices : {1u, 2u}) {
+        EngineConfig cfg = EngineConfig::trace().withDevices(devices);
+        Device dense(g, Driver::Mode::Parallel,
+                     cfg.withStorage(XbarStorage::Dense));
+        Device paged(g, Driver::Mode::Parallel,
+                     cfg.withStorage(XbarStorage::Paged));
+        runProgram(dense, 7, 500);
+        runProgram(paged, 7, 500);
+        dense.flush();
+        paged.flush();
+        CheckpointImage di = buildGroupImage(dense.group());
+        CheckpointImage pi = buildGroupImage(paged.group());
+        // The storage byte is informational source metadata — align
+        // it so the comparison targets the canonical payload.
+        di.storage = pi.storage;
+        EXPECT_EQ(encodeCheckpoint(di), encodeCheckpoint(pi))
+            << "devices=" << devices;
+    }
+}
+
+TEST(CheckpointEncoding, ImageIsPresentBlocksOnly)
+{
+    // A near-empty device encodes to O(live data), not O(geometry):
+    // one touched register out of a 16-crossbar space stays small.
+    const Geometry g = ckptGeometry();
+    Device dev(g);
+    Tensor t = Tensor::full(4ull, static_cast<int32_t>(9), &dev);
+    dev.flush();
+    const CheckpointImage img = buildGroupImage(dev.group());
+    size_t words = 0;
+    for (const CrossbarImage &ci : img.crossbars)
+        for (const BlockRecord &b : ci.blocks)
+            words += b.words.size();
+    const size_t denseWords = static_cast<size_t>(g.numCrossbars) *
+                              g.cols * ((g.rows + 63) / 64);
+    EXPECT_LT(words, denseWords / 8)
+        << "image should elide untouched state";
+}
+
+// --- loud failure on damage -----------------------------------------------
+
+TEST(CheckpointCorruption, DamagedFilesFailLoudly)
+{
+    const Geometry g = ckptGeometry();
+    Device dev(g);
+    runProgram(dev, 3, 400);
+    TempFile f("corrupt");
+    const uint64_t bytes = dev.checkpoint(f.path());
+    ASSERT_GT(bytes, 64u);
+
+    auto readAll = [&] {
+        FILE *fp = std::fopen(f.path().c_str(), "rb");
+        EXPECT_NE(fp, nullptr);
+        std::vector<uint8_t> buf(bytes);
+        EXPECT_EQ(std::fread(buf.data(), 1, bytes, fp), bytes);
+        std::fclose(fp);
+        return buf;
+    };
+    auto writeAll = [&](const std::vector<uint8_t> &buf) {
+        FILE *fp = std::fopen(f.path().c_str(), "wb");
+        ASSERT_NE(fp, nullptr);
+        ASSERT_EQ(std::fwrite(buf.data(), 1, buf.size(), fp),
+                  buf.size());
+        std::fclose(fp);
+    };
+    const std::vector<uint8_t> good = readAll();
+
+    // Flipped payload byte -> CRC failure.
+    std::vector<uint8_t> bad = good;
+    bad[bad.size() / 2] ^= 0x40;
+    writeAll(bad);
+    EXPECT_THROW(loadCheckpoint(f.path()), Error);
+
+    // Truncation -> loud failure.
+    bad = good;
+    bad.resize(bad.size() - 9);
+    writeAll(bad);
+    EXPECT_THROW(loadCheckpoint(f.path()), Error);
+
+    // Bad magic -> loud failure.
+    bad = good;
+    bad[0] ^= 0xFF;
+    writeAll(bad);
+    EXPECT_THROW(loadCheckpoint(f.path()), Error);
+
+    // Trailing junk -> loud failure.
+    bad = good;
+    bad.push_back(0);
+    writeAll(bad);
+    EXPECT_THROW(loadCheckpoint(f.path()), Error);
+
+    // The original still loads and restores.
+    writeAll(good);
+    Device fresh(g);
+    fresh.restore(f.path());
+    EXPECT_TRUE(sameDeviceState(dev, fresh));
+
+    // Geometry mismatch is refused before any state is touched.
+    Geometry other = g;
+    other.numCrossbars = 4;
+    Device wrong(other);
+    EXPECT_THROW(wrong.restore(f.path()), Error);
+}
+
+TEST(CheckpointCorruption, DecodeRejectsGarbage)
+{
+    EXPECT_THROW(decodeCheckpoint({}), Error);
+    EXPECT_THROW(decodeCheckpoint({1, 2, 3, 4, 5, 6, 7, 8}), Error);
+    EXPECT_THROW(loadCheckpoint("/nonexistent/path/x.ckpt"), Error);
+}
+
+// --- busy-flag assert (pipeline-quiesced snapshot contract) ---------------
+
+TEST(CheckpointBusyFlag, SnapshotOfMidReplayCrossbarPanics)
+{
+    const Geometry g = testGeometry();
+    Crossbar xb(g);
+    std::atomic<bool> busy{false};
+    xb.setBusyFlag(&busy);
+    // Quiesced: snapshot and restore work.
+    xb.writeRow(0, 0xABCD, 3);
+    const Crossbar::Snapshot snap = xb.snapshot();
+    xb.restore(snap);
+    // Mid-replay: both refuse — a torn image must be unreachable.
+    busy.store(true);
+    EXPECT_THROW(xb.snapshot(), InternalError);
+    EXPECT_THROW(xb.restore(snap), InternalError);
+    busy.store(false);
+    EXPECT_EQ(xb.read(0, 3), 0xABCDu);
+}
+
+TEST(CheckpointBusyFlag, CheckpointQuiescesLivePipelines)
+{
+    // Checkpoint mid-stream under the pipeline: the drain contract
+    // must quiesce every consumer before any snapshot is taken.
+    const Geometry g = ckptGeometry();
+    Device dev(g, Driver::Mode::Parallel,
+               EngineConfig::trace().withPipeline().withDevices(2));
+    for (int round = 0; round < 4; ++round) {
+        const auto want = runProgram(dev, 100 + round, 500);
+        TempFile f("live");
+        dev.checkpoint(f.path());
+        Device back(g, Driver::Mode::Parallel,
+                    EngineConfig::trace().withPipeline());
+        back.restore(f.path());
+        EXPECT_TRUE(sameDeviceState(dev, back)) << "round " << round;
+    }
+}
+
+// --- compact() under live COW snapshots -----------------------------------
+
+TEST(CheckpointCompact, CompactUnderLiveSnapshotsPreservesImages)
+{
+    const Geometry g = ckptGeometry();
+    for (uint32_t devices : {2u, 4u}) {
+        Device dev(g, Driver::Mode::Parallel,
+                   EngineConfig::serial()
+                       .withDevices(devices)
+                       .withStorage(XbarStorage::Paged));
+        runProgram(dev, 11, 800);
+        dev.flush();
+
+        // Live COW snapshots of every crossbar, held across the
+        // mutation + compact below.
+        std::vector<Crossbar::Snapshot> snaps;
+        for (uint32_t xb = 0; xb < g.numCrossbars; ++xb)
+            snaps.push_back(dev.group().crossbar(xb).snapshot());
+        const CheckpointImage before = buildGroupImage(dev.group());
+
+        // Decay state back to zero (blocks eligible for re-elision),
+        // then compact under the live snapshots.
+        for (uint32_t xb = 0; xb < g.numCrossbars; ++xb)
+            for (uint32_t r = 0; r < g.rows; ++r)
+                for (uint32_t s = 0; s < 4; ++s)
+                    dev.group().crossbar(xb).writeRow(s, 0, r);
+        dev.group().compactStorage();
+
+        // The held snapshots still carry the pre-compact state.
+        for (uint32_t xb = 0; xb < g.numCrossbars; ++xb) {
+            dev.group().crossbar(xb).restore(snaps[xb]);
+            ASSERT_TRUE(
+                dev.group().crossbar(xb).sameState(snaps[xb]))
+                << "devices=" << devices << " xb=" << xb;
+        }
+        // And the image built from them equals the pre-mutation one.
+        const CheckpointImage after = buildGroupImage(dev.group());
+        EXPECT_EQ(encodeCheckpoint(before), encodeCheckpoint(after))
+            << "devices=" << devices;
+    }
+}

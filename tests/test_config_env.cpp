@@ -218,3 +218,39 @@ TEST(ConfigEnv, DefaultsWhenUnset)
         << "compiled trace replay is the default; the interpreter is "
            "the opt-in parity oracle";
 }
+
+TEST(ConfigEnv, FaultsForwardedVerbatim)
+{
+    // The spec is stored raw and validated at device construction
+    // (sim/fault.hpp), so fromEnv itself accepts any string.
+    EnvVar v("PYPIM_FAULTS", "seed=7:flip=25:stuck=2");
+    EXPECT_EQ(EngineConfig::fromEnv().faults, "seed=7:flip=25:stuck=2");
+}
+
+TEST(ConfigEnv, VerifyStateParses)
+{
+    {
+        EnvVar v("PYPIM_VERIFY_STATE", "on");
+        EXPECT_TRUE(EngineConfig::fromEnv().verifyState);
+    }
+    {
+        EnvVar v("PYPIM_VERIFY_STATE", "0");
+        EXPECT_FALSE(EngineConfig::fromEnv().verifyState);
+    }
+    for (const char *bad : {"yes", "true", "ON", " on"}) {
+        EnvVar v("PYPIM_VERIFY_STATE", bad);
+        EXPECT_THROW(EngineConfig::fromEnv(), Error)
+            << "PYPIM_VERIFY_STATE='" << bad << "'";
+    }
+}
+
+TEST(ConfigEnv, FaultDefaultsWhenUnset)
+{
+    ::unsetenv("PYPIM_FAULTS");
+    ::unsetenv("PYPIM_VERIFY_STATE");
+    const EngineConfig c = EngineConfig::fromEnv();
+    EXPECT_TRUE(c.faults.empty())
+        << "no injection unless explicitly requested";
+    EXPECT_FALSE(c.verifyState)
+        << "verification is opt-in (O(resident data) per batch)";
+}
