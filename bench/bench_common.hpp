@@ -169,6 +169,14 @@ applyEngineFlags(int &argc, char **argv)
                 cfg.compiledReplay = false;
             else
                 fatal("--compiled-replay=" + v + ": expected on|off");
+        } else if (arg.rfind("--transport=", 0) == 0) {
+            const std::string v = arg.substr(12);
+            if (v == "inproc")
+                cfg.transport = TransportKind::Inproc;
+            else if (v == "socket")
+                cfg.transport = TransportKind::Socket;
+            else
+                fatal("--transport=" + v + ": expected inproc|socket");
         } else {
             argv[out++] = argv[i];
         }
@@ -191,17 +199,18 @@ printEngineBanner()
     std::printf(", bulk I/O %s", cfg.bulkIo ? "on" : "off");
     std::printf(", compiled replay %s",
                 cfg.compiledReplay ? "on" : "off");
+    std::printf(", %s transport", transportKindName(cfg.transport));
     if (cfg.devices > 1)
         std::printf(", %u sub-devices", cfg.devices);
     std::printf("  [--engine=serial|sharded|trace --threads=N "
                 "--pipeline=on|off --trace-cache=on|off --devices=N "
                 "--affinity=on|off --storage=dense|paged "
                 "--bulk-io=on|off --compiled-replay=on|off "
-                "--json=PATH "
+                "--transport=inproc|socket --json=PATH "
                 "or PYPIM_ENGINE/PYPIM_THREADS/PYPIM_PIPELINE/"
                 "PYPIM_TRACE_CACHE/PYPIM_DEVICES/PYPIM_AFFINITY/"
                 "PYPIM_XBAR_STORAGE/PYPIM_BULK_IO/"
-                "PYPIM_COMPILED_REPLAY]\n");
+                "PYPIM_COMPILED_REPLAY/PYPIM_TRANSPORT]\n");
 }
 
 /**
@@ -325,6 +334,7 @@ jsonConfig(Json &j, const Geometry &g)
     j.field("storage", xbarStorageName(cfg.storage));
     j.field("bulk_io", cfg.bulkIo);
     j.field("compiled_replay", cfg.compiledReplay);
+    j.field("transport", transportKindName(cfg.transport));
     j.field("crossbars", g.numCrossbars);
     j.field("rows", g.rows);
     j.field("partitions", g.partitions);

@@ -362,7 +362,13 @@ deviceSweep(Json *json, double minSeconds = 0.25)
     uint64_t ckRef = 0;
     bool allIdentical = true;
     for (uint32_t devices : {1u, 2u, 4u}) {
-        const EngineConfig ec = engineConfig().withDevices(devices);
+        // Pinned in-process: this sweep measures engine scaling and
+        // seeds/digests crossbar state directly, which worker
+        // processes don't expose; transportSweep owns the socket
+        // dimension.
+        const EngineConfig ec = engineConfig()
+                                    .withDevices(devices)
+                                    .withTransport(TransportKind::Inproc);
         Device dev(g, Driver::Mode::Parallel, ec);
         Rng rng(29);
         for (uint32_t w = 0; w < g.numCrossbars; ++w)
@@ -885,8 +891,14 @@ checkpointSweep(Json *json)
     for (const XbarStorage st :
          {XbarStorage::Dense, XbarStorage::Paged}) {
         for (const uint32_t devices : {1u, 2u, 4u}) {
-            const EngineConfig ec =
-                engineConfig().withDevices(devices).withStorage(st);
+            // Pinned in-process: seeds crossbar state directly,
+            // which worker processes don't expose (transportSweep
+            // covers checkpointing over the socket transport).
+            const EngineConfig ec = engineConfig()
+                                        .withDevices(devices)
+                                        .withStorage(st)
+                                        .withTransport(
+                                            TransportKind::Inproc);
             for (const uint32_t slots : {1u, 4u, 8u}) {
                 Device dev(g, Driver::Mode::Parallel, ec);
                 Rng rng(slots * 7 + devices);
@@ -946,6 +958,148 @@ checkpointSweep(Json *json)
     return allIdentical;
 }
 
+/**
+ * Shard-transport sweep: the cross-process socket fleet against the
+ * in-process group it must be observationally identical to, at 2 and
+ * 4 workers. The measured phase reports the latency/bandwidth cost
+ * model of the wire — frame bytes per second, synchronous round trips
+ * per instruction, worker-cache trace hits and the mean wall time of
+ * a boundary-Move exchange phase — and a separate fixed-shape
+ * verification epoch (fresh device, exactly one program) re-encodes
+ * the canonical checkpoint image so rep-count differences cannot leak
+ * into the bit-identity check. Returns false on any divergence; the
+ * CI bench smoke step exits non-zero on it.
+ */
+bool
+transportSweep(Json *json)
+{
+    const Geometry g = benchGeometry(16);
+    std::printf("\n=== Shard transport sweep (tensor fp-add + "
+                "boundary moves, %u crossbars) ===\n", g.numCrossbars);
+    std::printf("%-9s %-8s %12s %11s %10s %10s %11s %10s\n",
+                "transport", "devices", "instr/s", "wire MB/s",
+                "rt/instr", "hits", "exch [us]", "identical");
+    if (json)
+        json->beginArray("transport_sweep");
+    bool allIdentical = true;
+
+    const auto fillOperands = [](std::vector<int32_t> &va,
+                                 std::vector<int32_t> &vb) {
+        Rng rng(61);
+        for (size_t i = 0; i < va.size(); ++i) {
+            va[i] = static_cast<int32_t>(rng.word());
+            vb[i] = static_cast<int32_t>(rng.word() | 1);
+        }
+    };
+    MoveInstr mv;
+    mv.kind = MoveInstr::Kind::InterWarp;
+    mv.srcReg = 2;
+    mv.dstReg = 3;
+    mv.srcRow = 1;
+    mv.dstRow = 2;
+    mv.warps = Range(0, g.numCrossbars / 2 - 1, 1);
+    mv.dstStartWarp = g.numCrossbars / 2;  // crosses every cut
+
+    // Fixed-shape canonical image: fresh device, one program, so the
+    // comparison is independent of how many reps the timer ran.
+    const auto canonicalImage = [&](const EngineConfig &ec) {
+        Device dev(g, Driver::Mode::Parallel, ec);
+        std::vector<int32_t> va(2048), vb(2048);
+        fillOperands(va, vb);
+        Tensor a = Tensor::fromVector(va, &dev);
+        Tensor b = Tensor::fromVector(vb, &dev);
+        Tensor c = a * b + a;
+        benchmark::DoNotOptimize(c.toIntVector());
+        dev.driver().execute(mv);
+        dev.flush();
+        return encodeCheckpoint(buildGroupImage(dev.group()));
+    };
+
+    for (const uint32_t devices : {2u, 4u}) {
+        std::vector<uint8_t> imgRef;
+        for (const TransportKind tk :
+             {TransportKind::Inproc, TransportKind::Socket}) {
+            const EngineConfig ec = engineConfig()
+                                        .withDevices(devices)
+                                        .withTransport(tk);
+            Device dev(g, Driver::Mode::Parallel, ec);
+            std::vector<int32_t> va(2048), vb(2048);
+            fillOperands(va, vb);
+            Tensor a = Tensor::fromVector(va, &dev);
+            Tensor b = Tensor::fromVector(vb, &dev);
+            {
+                // Warm-up: builds the traces and (socket) ships each
+                // signature across the wire once per worker.
+                Tensor c = a * b + a;
+                benchmark::DoNotOptimize(c.toIntVector());
+            }
+            uint64_t instrs = 0;
+            const auto [reps, elapsed] = timedReps(
+                [&] {
+                    Tensor c = a * b + a;
+                    benchmark::DoNotOptimize(c.toIntVector());
+                    dev.driver().execute(mv);
+                    instrs += 4;
+                },
+                [&] { dev.flush(); }, 0.25);
+            (void)reps;
+            const WireTelemetry wt = dev.group().wireTelemetry();
+
+            const std::vector<uint8_t> img = canonicalImage(ec);
+            if (tk == TransportKind::Inproc)
+                imgRef = img;
+            const bool identical = img == imgRef;
+            allIdentical = allIdentical && identical;
+
+            const double wireMBs =
+                static_cast<double>(wt.bytesTx + wt.bytesRx) / 1e6 /
+                elapsed;
+            const double rtPerInstr =
+                static_cast<double>(wt.roundTrips) /
+                static_cast<double>(instrs);
+            const double exchUs =
+                wt.exchanges ? static_cast<double>(wt.exchangeNs) /
+                                   static_cast<double>(wt.exchanges) /
+                                   1e3
+                             : 0.0;
+            std::printf("%-9s %-8u %12.1f %11.2f %10.2f %10llu "
+                        "%11.2f %10s\n",
+                        transportKindName(tk), devices,
+                        static_cast<double>(instrs) / elapsed, wireMBs,
+                        rtPerInstr,
+                        static_cast<unsigned long long>(wt.traceHits),
+                        exchUs, identical ? "yes" : "NO — BUG");
+            if (json) {
+                json->beginObject();
+                json->field("transport", transportKindName(tk));
+                json->field("devices", devices);
+                json->field("instr_per_s",
+                            static_cast<double>(instrs) / elapsed);
+                json->field("wire_tx_bytes", wt.bytesTx);
+                json->field("wire_rx_bytes", wt.bytesRx);
+                json->field("round_trips", wt.roundTrips);
+                json->field("trace_installs", wt.traceInstalls);
+                json->field("trace_hits", wt.traceHits);
+                json->field("exchanges", wt.exchanges);
+                json->field("exchange_ns", wt.exchangeNs);
+                json->field("bit_identical", identical);
+                json->end();
+            }
+        }
+    }
+    if (json)
+        json->end();
+    std::printf("(wire MB/s = framed bytes both directions over the "
+                "measured phase; rt/instr = synchronous round trips "
+                "per driver instruction; hits = warm-trace replays "
+                "served from a worker cache without reshipping the "
+                "image; exch [us] = mean wall time of one boundary-"
+                "Move stage/broadcast/land phase; 'identical' re-runs "
+                "a fixed program on a fresh fleet and compares "
+                "canonical checkpoint images against inproc)\n");
+    return allIdentical;
+}
+
 } // namespace
 
 BENCHMARK(simScaling)
@@ -986,6 +1140,7 @@ main(int argc, char **argv)
     const bool ioIdentical = ioSweep(j);
     const bool compiledIdentical = compiledSweep(j);
     const bool checkpointIdentical = checkpointSweep(j);
+    const bool transportIdentical = transportSweep(j);
     if (j) {
         j->end();
         j->writeTo(jsonOutPath());
@@ -995,11 +1150,13 @@ main(int argc, char **argv)
     // Non-zero exit when sharded execution diverged from the
     // monolithic device, paged storage diverged from dense, the bulk
     // I/O path diverged from the element-wise oracle, compiled
-    // replay diverged from the interpreter, or a checkpoint failed
-    // to restore bit-identical: the CI bench smoke step asserts all
-    // five identities.
+    // replay diverged from the interpreter, a checkpoint failed to
+    // restore bit-identical, or the cross-process socket fleet
+    // diverged from the in-process group: the CI bench smoke step
+    // asserts all six identities.
     return devicesIdentical && storageIdentical && ioIdentical &&
-                   compiledIdentical && checkpointIdentical
+                   compiledIdentical && checkpointIdentical &&
+                   transportIdentical
                ? 0
                : 1;
 }

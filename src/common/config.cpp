@@ -86,6 +86,16 @@ xbarStorageName(XbarStorage s)
     }
 }
 
+const char *
+transportKindName(TransportKind t)
+{
+    switch (t) {
+      case TransportKind::Inproc: return "inproc";
+      case TransportKind::Socket: return "socket";
+      default:                    return "unknown";
+    }
+}
+
 namespace
 {
 
@@ -189,6 +199,14 @@ EngineConfig::fromEnv()
     if (const char *vs = std::getenv("PYPIM_VERIFY_STATE"))
         c.verifyState =
             parseSwitchEnv("PYPIM_VERIFY_STATE", vs, c.verifyState);
+    if (const char *tr = std::getenv("PYPIM_TRANSPORT")) {
+        const std::string s(tr);
+        if (s == "socket")
+            c.transport = TransportKind::Socket;
+        else if (s != "inproc")
+            fatal("PYPIM_TRANSPORT: unknown transport '" + s +
+                  "' (expected inproc|socket)");
+    }
     return c;
 }
 

@@ -134,6 +134,29 @@ enum class XbarStorage : uint8_t
 
 const char *xbarStorageName(XbarStorage s);
 
+/**
+ * Shard transport behind the SimulatorGroup seam (sim/transport.hpp).
+ *
+ * Inproc (the default) is the classic in-process fan-out: sub-device
+ * Simulators are owned directly and called through virtual dispatch.
+ * Socket forks one shard worker PROCESS per sub-device and drives it
+ * over a Unix-domain socket with length-prefixed CRC32-framed
+ * messages: micro-op batches, content-addressed BatchTrace wire
+ * images (each frozen trace crosses the wire once per worker),
+ * boundary-Move exchanges, bulk gather/scatter payloads, Stats
+ * collection and checkpoint/restore all go over the protocol — the
+ * porting surface for cross-host fleets. Results, state and
+ * architectural Stats are bit-identical across transports
+ * (tests/test_transport.cpp).
+ */
+enum class TransportKind : uint8_t
+{
+    Inproc = 0,
+    Socket
+};
+
+const char *transportKindName(TransportKind t);
+
 /** Simulator execution-engine selection knob. */
 struct EngineConfig
 {
@@ -234,6 +257,15 @@ struct EngineConfig
      * batch.
      */
     bool verifyState = false;
+    /**
+     * Shard transport of the SimulatorGroup (PYPIM_TRANSPORT):
+     * Inproc (the default) runs sub-devices in-process; Socket runs
+     * each sub-device in a forked worker process behind the framed
+     * wire protocol of sim/transport.hpp. The worker count is
+     * @ref devices — the transport shards exactly the crossbar slices
+     * the in-process group would.
+     */
+    TransportKind transport = TransportKind::Inproc;
 
     static EngineConfig serial() { return {}; }
 
@@ -308,15 +340,26 @@ struct EngineConfig
         return c;
     }
 
+    /** Copy of this config with the given shard transport. */
+    EngineConfig
+    withTransport(TransportKind t) const
+    {
+        EngineConfig c = *this;
+        c.transport = t;
+        return c;
+    }
+
     /**
      * Engine selection from the environment: PYPIM_ENGINE=serial|
      * sharded|trace, PYPIM_THREADS=N, PYPIM_PIPELINE=on|off,
      * PYPIM_TRACE_CACHE=on|off|1|0, PYPIM_DEVICES=N (power of two),
      * PYPIM_AFFINITY=on|off, PYPIM_XBAR_STORAGE=dense|paged,
      * PYPIM_BULK_IO=on|off|1|0, PYPIM_COMPILED_REPLAY=on|off|1|0,
-     * PYPIM_FAULTS=<spec> and PYPIM_VERIFY_STATE=on|off|1|0.
+     * PYPIM_FAULTS=<spec>, PYPIM_VERIFY_STATE=on|off|1|0 and
+     * PYPIM_TRANSPORT=inproc|socket (worker count via PYPIM_DEVICES).
      * Unset values fall back to the defaults (serial, synchronous,
-     * trace cache on, one device, no pinning, paged storage), so
+     * trace cache on, one device, no pinning, paged storage, inproc
+     * transport), so
      * existing callers are unaffected; unrecognised or malformed
      * values throw pypim::Error — a typo must never silently
      * misconfigure the stack.

@@ -60,6 +60,10 @@ Stats::clear()
     faultsDetected = 0;
     recoveries = 0;
     checkpointBytes = 0;
+    wireBytesTx = 0;
+    wireBytesRx = 0;
+    wireRoundTrips = 0;
+    wireTraceHits = 0;
 }
 
 Stats
@@ -88,6 +92,10 @@ Stats::operator-(const Stats &other) const
     out.faultsDetected = faultsDetected - other.faultsDetected;
     out.recoveries = recoveries - other.recoveries;
     out.checkpointBytes = checkpointBytes - other.checkpointBytes;
+    out.wireBytesTx = wireBytesTx - other.wireBytesTx;
+    out.wireBytesRx = wireBytesRx - other.wireBytesRx;
+    out.wireRoundTrips = wireRoundTrips - other.wireRoundTrips;
+    out.wireTraceHits = wireTraceHits - other.wireTraceHits;
     return out;
 }
 
@@ -115,6 +123,10 @@ Stats::operator+=(const Stats &other)
     faultsDetected += other.faultsDetected;
     recoveries += other.recoveries;
     checkpointBytes += other.checkpointBytes;
+    wireBytesTx += other.wireBytesTx;
+    wireBytesRx += other.wireBytesRx;
+    wireRoundTrips += other.wireRoundTrips;
+    wireTraceHits += other.wireTraceHits;
     return *this;
 }
 
@@ -161,6 +173,11 @@ Stats::summary() const
            << faultsDetected << " detected, " << recoveries
            << " recoveries, " << checkpointBytes
            << " checkpoint bytes\n";
+    if (wireBytesTx || wireBytesRx || wireRoundTrips || wireTraceHits)
+        os << "  shard transport: " << wireBytesTx << " B tx / "
+           << wireBytesRx << " B rx, " << wireRoundTrips
+           << " round-trips, " << wireTraceHits
+           << " trace wire hits\n";
     return os.str();
 }
 

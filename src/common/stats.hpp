@@ -102,6 +102,22 @@ struct Stats
     /** Bytes written by Device::checkpoint. */
     uint64_t checkpointBytes = 0;
 
+    // --- host-side shard-transport observability ---------------------
+    // Recorded by the socket transport (sim/transport.hpp), never by
+    // the workers: the architectural counters stay transport-
+    // independent, which the N-process parity suite checks by exact
+    // equality against the inproc monolith. All zero under inproc.
+
+    /** Payload + frame bytes sent to shard workers. */
+    uint64_t wireBytesTx = 0;
+    /** Payload + frame bytes received from shard workers. */
+    uint64_t wireBytesRx = 0;
+    /** Synchronous request/response round-trips taken. */
+    uint64_t wireRoundTrips = 0;
+    /** Trace replays served from a worker's signature cache (the
+     *  trace image did NOT cross the wire again). */
+    uint64_t wireTraceHits = 0;
+
     /** Record one micro-op of class @p c costing @p cycles cycles. */
     void
     record(OpClass c, uint64_t cycles = 1)

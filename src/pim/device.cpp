@@ -77,6 +77,9 @@ Device::faultStats() const
 {
     Stats s = recovery_.recoveryStats();
     s.faultsInjected = group_.faultsInjected();
+    // Shard-transport wire counters ride along (zero under inproc):
+    // one query surfaces recovery, fault and transport observability.
+    group_.foldWireStats(s);
     return s;
 }
 

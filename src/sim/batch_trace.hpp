@@ -104,6 +104,19 @@ struct BatchTrace
     uint32_t geoRows = 0, geoCols = 0, geoPartitions = 0,
              geoCrossbars = 0;
 
+    // --- shard-transport wire identity (sim/trace_wire.hpp) ----------
+    // Filled only by the socket transport's prepareTrace path: the
+    // content address under which this frozen trace is installed in
+    // each shard worker's cache (FNV-1a of the source op words + the
+    // fuse flag), and the source stream itself — the wire image ships
+    // the raw ops so a worker can rebuild the trace deterministically
+    // with its own arenas (the raw-trace fallback), cross-checked
+    // against the shipped stats/mask epilogue. Empty/zero on inproc
+    // traces: the in-process group shares the handle by pointer.
+    uint64_t wireSig = 0;
+    std::vector<Word> sourceOps;
+    bool sourceFuse = false;
+
     /** Fresh (cleared) segment arena for the next segment. */
     SegmentTrace &
     nextSegment(uint32_t rows)
@@ -132,6 +145,9 @@ struct BatchTrace
         finalXb = Range();
         finalRow = Range();
         fusion = Fusion();
+        wireSig = 0;
+        sourceOps.clear();
+        sourceFuse = false;
     }
 };
 

@@ -26,6 +26,12 @@ sameGeometry(const Geometry &a, const Geometry &b)
 CheckpointImage
 buildGroupImage(const SimulatorGroup &group)
 {
+    // Socket transport: the slices live in worker processes; each
+    // contributes its owned crossbars' canonical records over the
+    // wire and worker 0 speaks for the replicated masks and stats.
+    if (group.remote())
+        return group.fetchRemoteImage();
+
     CheckpointImage img;
     const Simulator &sub0 = group.sub(0);
     img.geo = sub0.geometry();
@@ -63,8 +69,15 @@ buildGroupImage(const SimulatorGroup &group)
 void
 restoreGroupImage(SimulatorGroup &group, const CheckpointImage &img)
 {
-    fatalIf(!sameGeometry(group.sub(0).geometry(), img.geo),
+    fatalIf(!sameGeometry(group.geometry(), img.geo),
             "restore: checkpoint geometry does not match this device");
+    // Socket transport: broadcast the image — each worker restores its
+    // owned slice (respawning any dead worker first, which is the
+    // WorkerDied recovery path).
+    if (group.remote()) {
+        group.restoreRemoteImage(img);
+        return;
+    }
     // 1. Clear sticky pipeline errors FIRST: the restore below drains
     // every pipeline, and a drain rethrows — but restoring IS the
     // recovery from whatever made the error sticky.
@@ -118,9 +131,7 @@ RecoverySink::rebaseline()
 void
 RecoverySink::setSuppressed(bool on)
 {
-    for (uint32_t d = 0; d < group_.devices(); ++d)
-        if (const auto &inj = group_.sub(d).faultInjector())
-            inj->setSuppressed(on);
+    group_.suppressFaults(on);
 }
 
 void

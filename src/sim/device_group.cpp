@@ -1,6 +1,7 @@
 #include "sim/device_group.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "common/bitops.hpp"
@@ -9,6 +10,7 @@
 #include "sim/bulk_io.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
+#include "sim/trace_wire.hpp"
 
 namespace pypim
 {
@@ -36,6 +38,25 @@ SimulatorGroup::SimulatorGroup(const Geometry &geo,
     EngineConfig sub = ec;
     if (ec.kind == EngineKind::Sharded && n > 1)
         sub.threads = std::max(1u, ec.resolvedThreads() / n);
+    devices_ = n;
+
+    if (ec.transport == TransportKind::Socket) {
+        // Validate the fault spec HERE, pre-fork: a PYPIM_FAULTS typo
+        // must throw at device construction, not surface later as a
+        // mysteriously dead worker.
+        if (!ec.faults.empty())
+            (void)FaultSpec::parse(ec.faults);
+        // The slices live in worker processes (each mirrors the
+        // per-sub-device wiring below for its own Simulator); the host
+        // keeps a trace-build mirror and the power-on shadow mask.
+        htree_ = std::make_unique<HTree>(geo_.numCrossbars);
+        remoteCompiled_ = sub.compiledReplay;
+        shadowXb_ = Range::all(geo_.numCrossbars);
+        transport_ =
+            std::make_unique<SocketTransport>(geo_, sub, n, perDevice_);
+        return;
+    }
+
     sims_.reserve(n);
     for (uint32_t d = 0; d < n; ++d)
         sims_.push_back(std::make_unique<Simulator>(
@@ -65,6 +86,8 @@ SimulatorGroup::SimulatorGroup(const Geometry &geo,
 uint64_t
 SimulatorGroup::faultsInjected() const
 {
+    if (remote())
+        return transport_->faultsInjectedAll();
     uint64_t total = 0;
     for (const auto &inj : injectors_)
         total += inj->injected();
@@ -72,12 +95,61 @@ SimulatorGroup::faultsInjected() const
 }
 
 void
+SimulatorGroup::suppressFaults(bool on)
+{
+    if (remote()) {
+        transport_->suppressFaultsAll(on);
+        return;
+    }
+    for (const auto &inj : injectors_)
+        inj->setSuppressed(on);
+}
+
+CheckpointImage
+SimulatorGroup::fetchRemoteImage() const
+{
+    panicIf(!remote(),
+            "fetchRemoteImage: inproc state is walked directly");
+    return transport_->fetchImage();
+}
+
+void
+SimulatorGroup::restoreRemoteImage(const CheckpointImage &img)
+{
+    panicIf(!remote(),
+            "restoreRemoteImage: inproc state is walked directly");
+    transport_->restoreImage(img);
+    shadowXb_ = img.maskXb;
+}
+
+void
 SimulatorGroup::forwardAll(const Word *ops, size_t n)
 {
     if (n == 0)
         return;
+    if (remote()) {
+        transport_->submitAll(ops, n);
+        return;
+    }
     for (auto &s : sims_)
         s->submitBatch(ops, n);
+}
+
+void
+SimulatorGroup::updateShadowMask(const Word *ops, size_t n)
+{
+    for (size_t i = n; i-- > 0;) {
+        if (enc::peekType(ops[i]) != OpType::CrossbarMask)
+            continue;
+        const Range r = MicroOp::decode(ops[i]).range;
+        if (validXbMask(r)) {
+            shadowXb_ = r;
+            return;
+        }
+        // An ill-formed mask op throws in the workers; keep walking
+        // for the last valid one before it (best effort — an error
+        // stream leaves sub-device state diverged anyway).
+    }
 }
 
 bool
@@ -110,6 +182,11 @@ SimulatorGroup::exchangeMove(Word w, const MicroOp &op,
     // Same validation (and failure point) as the engines' doMove: an
     // invalid Move throws here, before any crossbar is touched by it.
     const int64_t dist = validateMove(op, xb, geo_);
+
+    if (remote()) {
+        exchangeMoveRemote(w, op, xb, dist);
+        return;
+    }
 
     // 1. Stage boundary-crossing source values. crossbar() drains the
     // owning sub-device, so every op preceding this Move has landed;
@@ -149,10 +226,70 @@ SimulatorGroup::exchangeMove(Word w, const MicroOp &op,
 }
 
 void
+SimulatorGroup::exchangeMoveRemote(Word w, const MicroOp &op,
+                                   const Range &xb, int64_t dist)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // 1. Stage: batch the boundary-crossing reads into ONE round trip
+    // per owning worker. The worker-side cell read drains its own
+    // pipeline first, and FIFO framing means every prior submit on
+    // that socket has been applied — the same pre-move-state guarantee
+    // the inproc crossbar() drain gives.
+    std::vector<std::vector<SocketTransport::CellAddr>> addrs(devices_);
+    std::vector<std::vector<uint32_t>> dsts(devices_);
+    xb.forEach([&](uint32_t src) {
+        const uint32_t dst = static_cast<uint32_t>(src + dist);
+        const uint32_t sd = deviceOf(src);
+        if (sd == deviceOf(dst))
+            return;
+        addrs[sd].push_back({src, op.srcIdx, op.srcRow});
+        dsts[sd].push_back(dst);
+    });
+    staged_.clear();
+    std::vector<uint32_t> values;
+    for (uint32_t d = 0; d < devices_; ++d) {
+        if (addrs[d].empty())
+            continue;
+        transport_->readCells(d, addrs[d], values);
+        for (size_t k = 0; k < values.size(); ++k)
+            staged_.push_back({dsts[d][k], values[k]});
+    }
+
+    // 2. Broadcast the Move op itself (identical full-mask H-tree
+    // cost on every worker — the replicated-stats invariant).
+    transport_->submitAll(&w, 1);
+
+    // 3. Land: batch the staged values into one (asynchronous) wire
+    // message per destination worker. FIFO ordering lands them after
+    // the worker applied its intra-slice transfers, mirroring the
+    // inproc drain-before-land.
+    std::vector<std::vector<SocketTransport::CellPut>> puts(devices_);
+    for (const Staged &t : staged_)
+        puts[deviceOf(t.dst)].push_back(
+            {t.dst, op.dstIdx, t.value, op.dstRow});
+    for (uint32_t d = 0; d < devices_; ++d)
+        if (!puts[d].empty())
+            transport_->writeCells(d, puts[d]);
+
+    transport_->chargeExchange(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    ++traffic_.boundaryMoves;
+    traffic_.boundaryTransfers += staged_.size();
+}
+
+void
 SimulatorGroup::submitBatch(const Word *ops, size_t n)
 {
-    if (sims_.size() == 1) {
-        sims_[0]->submitBatch(ops, n);
+    if (devices_ == 1) {
+        if (remote()) {
+            forwardAll(ops, n);
+            updateShadowMask(ops, n);
+        } else {
+            sims_[0]->submitBatch(ops, n);
+        }
         return;
     }
     // Split the batch at every boundary-crossing Move (one peek per
@@ -173,6 +310,8 @@ SimulatorGroup::submitBatch(const Word *ops, size_t n)
                   return true;
               });
     forwardAll(ops + chunk, n - chunk);
+    if (remote())
+        updateShadowMask(ops, n);
 }
 
 void
@@ -185,6 +324,10 @@ SimulatorGroup::performBatch(const Word *ops, size_t n)
 void
 SimulatorGroup::flush()
 {
+    if (remote()) {
+        transport_->flushAll();
+        return;
+    }
     for (auto &s : sims_)
         s->flush();
 }
@@ -195,6 +338,8 @@ SimulatorGroup::performRead(Word op)
     // Broadcast: every sub-device drains, validates and counts the
     // Read (keeping the replicated-stats invariant); only the slice
     // owning the masked crossbar holds the data.
+    if (remote())
+        return transport_->readAll(op, deviceOf(shadowXb_.start));
     const uint32_t owner = deviceOf(sims_[0]->crossbarMask().start);
     uint32_t value = 0;
     for (uint32_t d = 0; d < sims_.size(); ++d) {
@@ -211,6 +356,11 @@ SimulatorGroup::readBulk(const BulkIoSpec &spec, uint32_t *out,
 {
     // Broadcast: every sub-device applies the identical stats/mask
     // delta and gathers its owned warps into the shared buffer.
+    if (remote()) {
+        transport_->bulkReadAll(spec, out, tel);
+        shadowXb_ = spec.finalXb;
+        return true;
+    }
     for (auto &s : sims_)
         if (!s->readBulk(spec, out, tel))
             return false;
@@ -221,6 +371,11 @@ bool
 SimulatorGroup::writeBulk(const BulkIoSpec &spec,
                           const uint32_t *values, BulkIoTelemetry &tel)
 {
+    if (remote()) {
+        transport_->bulkWriteAll(spec, values, tel);
+        shadowXb_ = spec.finalXb;
+        return true;
+    }
     for (auto &s : sims_)
         if (!s->writeBulk(spec, values, tel))
             return false;
@@ -252,8 +407,14 @@ SimulatorGroup::prepareTrace(const Word *ops, size_t n, bool fuse)
     // trace construction. (Unreachable from the driver today — only
     // R-type streams are cached and they contain no Moves — but the
     // sink contract allows any self-contained stream.)
-    if (sims_.size() > 1 && streamCrossesBoundary(ops, n))
+    if (devices_ > 1 && streamCrossesBoundary(ops, n))
         return nullptr;
+    // Under the socket transport the trace is built on the host's
+    // mirror and stamped with its wire identity, so submitTrace can
+    // install it once per worker and replay by signature thereafter.
+    if (remote())
+        return buildWireTrace(ops, n, fuse, remoteCompiled_, geo_,
+                              *htree_);
     // Building touches no simulated state, and the handle is bound to
     // the (shared) geometry, not a slice: build once via sub-device 0.
     return sims_[0]->prepareTrace(ops, n, fuse);
@@ -263,13 +424,20 @@ void
 SimulatorGroup::submitTrace(std::shared_ptr<const BatchTrace> trace)
 {
     panicIf(trace == nullptr, "submitTrace: null trace");
-    if (sims_.size() > 1) {
+    if (devices_ > 1) {
         for (const BatchTrace::Item &item : trace->items) {
             if (item.kind != BatchTrace::Item::Kind::Move)
                 continue;
             ++traffic_.moveOps;
             traffic_.moveTransfers += item.xb.count();
         }
+    }
+    if (remote()) {
+        transport_->submitTraceAll(*trace);
+        // A prepared trace is self-contained (leads with both masks),
+        // so its final mask state is the stream's.
+        shadowXb_ = trace->finalXb;
+        return;
     }
     for (auto &s : sims_)
         s->submitTrace(trace);

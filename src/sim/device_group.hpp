@@ -59,6 +59,28 @@
  * semantics). Sub-devices not yet fed when the first one throws may
  * diverge from that point on — error recovery across shards is
  * explicitly out of scope, as it is for the engines.
+ *
+ * TRANSPORT. The fan-out above is a TRANSPORT decision, selected by
+ * EngineConfig::transport (PYPIM_TRANSPORT):
+ *
+ *  - INPROC (default): the N Simulators live in this process and are
+ *    called directly — everything described so far.
+ *  - SOCKET: the N slices live in forked worker processes behind
+ *    sim/transport.hpp's framed protocol. sims_ stays EMPTY; the
+ *    group keeps a host-side shadow of the replicated crossbar mask
+ *    (seeding the same Move scan, so traffic() counts identically), a
+ *    trace-build mirror for prepareTrace (sim/trace_wire.hpp — each
+ *    frozen trace crosses the wire once per worker, then replays by
+ *    signature), and the boundary exchange stages/lands cell values
+ *    through batched wire messages. Architectural Stats, masks and
+ *    state parity with inproc is bit-exact (the multi-device parity
+ *    suite asserts it); the one contract difference is error TIMING:
+ *    a worker-side submit error surfaces at the next synchronous
+ *    message (flush/read/stats — the report-at-sync rule), not at the
+ *    submit call itself. Direct state access (sub(), crossbar())
+ *    throws — use the checkpoint-image path instead. A dead worker
+ *    process surfaces as WorkerDied (a DeviceFault) and is respawned
+ *    and rebuilt by the recovery layer's restore.
  */
 #ifndef PYPIM_SIM_DEVICE_GROUP_HPP
 #define PYPIM_SIM_DEVICE_GROUP_HPP
@@ -70,6 +92,7 @@
 #include "common/stats.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sink.hpp"
+#include "sim/transport.hpp"
 
 namespace pypim
 {
@@ -96,28 +119,47 @@ class SimulatorGroup : public OperationSink
         uint64_t boundaryTransfers = 0; //!< pairs crossing a boundary
     };
 
-    uint32_t devices() const
-    {
-        return static_cast<uint32_t>(sims_.size());
-    }
+    uint32_t devices() const { return devices_; }
     /** Crossbars per slice (numCrossbars / devices). */
     uint32_t crossbarsPerDevice() const { return perDevice_; }
     /** Sub-device owning global crossbar @p xb. */
     uint32_t deviceOf(uint32_t xb) const { return xb / perDevice_; }
 
-    Simulator &sub(uint32_t d) { return *sims_.at(d); }
-    const Simulator &sub(uint32_t d) const { return *sims_.at(d); }
+    /** True iff the sub-devices live in worker processes (socket
+     *  transport): direct state access — sub(), crossbar() — is
+     *  unavailable; use fetchRemoteImage()/restoreRemoteImage(). */
+    bool remote() const { return transport_ != nullptr; }
+    const Geometry &geometry() const { return geo_; }
+
+    Simulator &
+    sub(uint32_t d)
+    {
+        fatalIf(remote(), "sub: state lives in worker processes under "
+                          "the socket transport");
+        return *sims_.at(d);
+    }
+    const Simulator &
+    sub(uint32_t d) const
+    {
+        fatalIf(remote(), "sub: state lives in worker processes under "
+                          "the socket transport");
+        return *sims_.at(d);
+    }
 
     /** Crossbar state by GLOBAL id, routed to the owning sub-device
      *  (which drains its pipeline first). */
     Crossbar &
     crossbar(uint32_t xb)
     {
+        fatalIf(remote(), "crossbar: state lives in worker processes "
+                          "under the socket transport");
         return sims_.at(deviceOf(xb))->crossbar(xb);
     }
     const Crossbar &
     crossbar(uint32_t xb) const
     {
+        fatalIf(remote(), "crossbar: state lives in worker processes "
+                          "under the socket transport");
         return sims_.at(deviceOf(xb))->crossbar(xb);
     }
 
@@ -128,8 +170,24 @@ class SimulatorGroup : public OperationSink
      * monolithic device fed the same program. Read-only: mutating one
      * replica would break the invariant; reset with clearStats().
      */
-    const Stats &stats() { return sims_[0]->stats(); }
-    const Stats &stats() const { return sims_[0]->stats(); }
+    const Stats &
+    stats()
+    {
+        if (remote()) {
+            statsCache_ = transport_->fetchStats(0);
+            return statsCache_;
+        }
+        return sims_[0]->stats();
+    }
+    const Stats &
+    stats() const
+    {
+        if (remote()) {
+            statsCache_ = transport_->fetchStats(0);
+            return statsCache_;
+        }
+        return sims_[0]->stats();
+    }
 
     /**
      * Clear the architectural counters on EVERY sub-device — the only
@@ -141,12 +199,44 @@ class SimulatorGroup : public OperationSink
     void
     clearStats()
     {
-        for (auto &s : sims_)
-            s->stats().clear();
+        if (remote())
+            transport_->clearStatsAll();
+        else
+            for (auto &s : sims_)
+                s->stats().clear();
         traffic_ = Traffic();
     }
 
     const Traffic &traffic() const { return traffic_; }
+
+    /** Host-side wire counters: bytes, round trips, trace-cache wire
+     *  hits, exchange latency (all zero under the inproc transport). */
+    WireTelemetry
+    wireTelemetry() const
+    {
+        return remote() ? transport_->telemetry() : WireTelemetry();
+    }
+    /** Copy the wire counters into @p s's shard-transport fields. */
+    void
+    foldWireStats(Stats &s) const
+    {
+        const WireTelemetry t = wireTelemetry();
+        s.wireBytesTx = t.bytesTx;
+        s.wireBytesRx = t.bytesRx;
+        s.wireRoundTrips = t.roundTrips;
+        s.wireTraceHits = t.traceHits;
+    }
+
+    /** Suppress/unsuppress every sub-device's fault injector — the
+     *  recovery layer's re-replay window (works on both transports). */
+    void suppressFaults(bool on);
+
+    /** Assemble / restore the logical device's CheckpointImage over
+     *  the wire — the socket transport's only state-access path (the
+     *  checkpoint layer branches here instead of walking crossbar()).
+     *  Restore also respawns any dead worker first. */
+    CheckpointImage fetchRemoteImage() const;
+    void restoreRemoteImage(const CheckpointImage &img);
 
     /** Faults injected so far across every sub-device's injector
      *  (EngineConfig::faults; 0 when injection is off). */
@@ -157,6 +247,8 @@ class SimulatorGroup : public OperationSink
     StorageGauges
     storageGauges() const
     {
+        if (remote())
+            return transport_->gaugesAll();
         StorageGauges g;
         for (const auto &s : sims_)
             g += s->storageGauges();
@@ -168,6 +260,8 @@ class SimulatorGroup : public OperationSink
     uint64_t
     compactStorage()
     {
+        if (remote())
+            return transport_->compactAll();
         uint64_t elided = 0;
         for (auto &s : sims_)
             elided += s->compactStorage();
@@ -221,6 +315,13 @@ class SimulatorGroup : public OperationSink
     /** Raw-stream scan: does any Move in @p ops cross a boundary? */
     bool streamCrossesBoundary(const Word *ops, size_t n) const;
     void exchangeMove(Word w, const MicroOp &op, const Range &xb);
+    /** The socket-transport exchange: stage reads and landing writes
+     *  batch into one wire message per involved worker. */
+    void exchangeMoveRemote(Word w, const MicroOp &op, const Range &xb,
+                            int64_t dist);
+    /** Advance the shadow crossbar mask past a remotely-submitted
+     *  stream (backward walk for its last valid CrossbarMask). */
+    void updateShadowMask(const Word *ops, size_t n);
 
     /**
      * THE raw-stream Move scan, shared by submitBatch (exchange
@@ -237,7 +338,9 @@ class SimulatorGroup : public OperationSink
     void
     scanMoves(const Word *ops, size_t n, Fn &&fn) const
     {
-        Range xb = sims_[0]->crossbarMask();
+        // Under the socket transport the seed is the host-side shadow
+        // of the (replicated) mask — same value, no wire query.
+        Range xb = remote() ? shadowXb_ : sims_[0]->crossbarMask();
         bool maskOk = true;  // the seed was validated when applied
         for (size_t i = 0; i < n; ++i) {
             const OpType t = enc::peekType(ops[i]);
@@ -259,7 +362,24 @@ class SimulatorGroup : public OperationSink
 
     Geometry geo_;
     uint32_t perDevice_;
+    uint32_t devices_ = 1;
+    /** In-process sub-devices; EMPTY under the socket transport. */
     std::vector<std::unique_ptr<Simulator>> sims_;
+    /** Socket transport (PYPIM_TRANSPORT=socket). Mutable: wire round
+     *  trips bump telemetry even on const observability queries. */
+    mutable std::unique_ptr<SocketTransport> transport_;
+    /** Host-side trace-build mirror for prepareTrace (socket mode). */
+    std::unique_ptr<HTree> htree_;
+    /** Lower wire traces into compiled replay programs at freeze
+     *  (EngineConfig::compiledReplay; socket mode). */
+    bool remoteCompiled_ = true;
+    /** Host shadow of the replicated crossbar mask (socket mode):
+     *  seeds the Move scan and the performRead owner. Best-effort on
+     *  error streams, like the sub-device state itself. */
+    Range shadowXb_;
+    /** Scratch for stats() under the socket transport (fetched per
+     *  query; the replicated block is worker 0's). */
+    mutable Stats statsCache_;
     /** Per-sub-device fault injectors (empty when faults are off);
      *  also held by the sub-device that drives them. */
     std::vector<std::shared_ptr<FaultInjector>> injectors_;

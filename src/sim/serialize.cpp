@@ -13,7 +13,8 @@ namespace
 {
 
 constexpr char kMagic[8] = {'P', 'Y', 'P', 'I', 'M', 'C', 'K', '1'};
-constexpr uint32_t kVersion = 1;
+// v2: the Stats block grew the shard-transport wire counters.
+constexpr uint32_t kVersion = 2;
 
 // Section tags. New sections get new tags; unknown tags are an error
 // (version bumps cover format evolution — a checkpoint is a precise
@@ -142,6 +143,10 @@ writeStats(ByteWriter &w, const Stats &s)
     w.u64(s.faultsDetected);
     w.u64(s.recoveries);
     w.u64(s.checkpointBytes);
+    w.u64(s.wireBytesTx);
+    w.u64(s.wireBytesRx);
+    w.u64(s.wireRoundTrips);
+    w.u64(s.wireTraceHits);
 }
 
 Stats
@@ -169,6 +174,10 @@ readStats(ByteReader &r)
     s.faultsDetected = r.u64();
     s.recoveries = r.u64();
     s.checkpointBytes = r.u64();
+    s.wireBytesTx = r.u64();
+    s.wireBytesRx = r.u64();
+    s.wireRoundTrips = r.u64();
+    s.wireTraceHits = r.u64();
     return s;
 }
 

@@ -124,16 +124,36 @@ sameDeviceState(Device &a, Device &b)
 {
     a.flush();
     b.flush();
-    for (uint32_t xb = 0; xb < a.geometry().numCrossbars; ++xb)
-        if (!a.group().crossbar(xb).sameState(b.group().crossbar(xb)))
+    if (a.group().remote() || b.group().remote()) {
+        // Worker processes own the crossbars under the socket
+        // transport; the canonical checkpoint image (which carries
+        // mask state too) is the transport-transparent identity once
+        // the informational source-config header fields are
+        // normalized.
+        auto stateBytes = [](const SimulatorGroup &grp) {
+            CheckpointImage img = buildGroupImage(grp);
+            img.storage = XbarStorage::Paged;
+            img.deviceCount = 1;
+            return encodeCheckpoint(img);
+        };
+        if (stateBytes(a.group()) != stateBytes(b.group()))
             return ::testing::AssertionFailure()
-                   << "crossbar " << xb << " diverged";
+                   << "canonical state images diverged";
+    } else {
+        for (uint32_t xb = 0; xb < a.geometry().numCrossbars; ++xb)
+            if (!a.group().crossbar(xb).sameState(
+                    b.group().crossbar(xb)))
+                return ::testing::AssertionFailure()
+                       << "crossbar " << xb << " diverged";
+        if (a.simulator().crossbarMask() !=
+                b.simulator().crossbarMask() ||
+            a.simulator().rowMask() != b.simulator().rowMask())
+            return ::testing::AssertionFailure()
+                   << "mask state diverged";
+    }
     if (!(a.stats() == b.stats()))
         return ::testing::AssertionFailure()
                << "architectural stats diverged";
-    if (a.simulator().crossbarMask() != b.simulator().crossbarMask() ||
-        a.simulator().rowMask() != b.simulator().rowMask())
-        return ::testing::AssertionFailure() << "mask state diverged";
     return ::testing::AssertionSuccess();
 }
 

@@ -219,6 +219,38 @@ TEST(ConfigEnv, DefaultsWhenUnset)
            "the opt-in parity oracle";
 }
 
+TEST(ConfigEnv, TransportParses)
+{
+    {
+        EnvVar v("PYPIM_TRANSPORT", "inproc");
+        EXPECT_EQ(EngineConfig::fromEnv().transport,
+                  TransportKind::Inproc);
+    }
+    {
+        EnvVar v("PYPIM_TRANSPORT", "socket");
+        EXPECT_EQ(EngineConfig::fromEnv().transport,
+                  TransportKind::Socket);
+    }
+}
+
+TEST(ConfigEnv, TransportRejectsJunk)
+{
+    // Case-sensitive exact match only: a typo must fail loudly, not
+    // silently keep the sub-devices in-process.
+    for (const char *bad : {"Socket", "INPROC", "tcp", "1", "on",
+                            " socket", "socket ", "sockets", ""}) {
+        EnvVar v("PYPIM_TRANSPORT", bad);
+        EXPECT_THROW(EngineConfig::fromEnv(), Error)
+            << "PYPIM_TRANSPORT='" << bad << "'";
+    }
+}
+
+TEST(ConfigEnv, TransportDefaultsToInproc)
+{
+    ::unsetenv("PYPIM_TRANSPORT");
+    EXPECT_EQ(EngineConfig::fromEnv().transport, TransportKind::Inproc);
+}
+
 TEST(ConfigEnv, FaultsForwardedVerbatim)
 {
     // The spec is stored raw and validated at device construction

@@ -12,11 +12,15 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "pim/pypim.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/device_group.hpp"
+#include "sim/serialize.hpp"
 
 using namespace pypim;
 
@@ -539,4 +543,205 @@ TEST(MultiDeviceGroup, SubDeviceCrossbarAccessIsSliceChecked)
     EXPECT_THROW(Simulator(g, EngineConfig::serial(), g.numCrossbars,
                            1),
                  Error);
+}
+
+// --- socket transport parity ----------------------------------------------
+// The cross-process fleet must be observationally identical to the
+// in-process group: same architectural Stats, same Traffic split, same
+// readback, same canonical checkpoint image — at 2 and 4 workers, for
+// both crossbar storage representations. Fork-based, so skipped under
+// TSan (the Release CI matrix runs these at PYPIM_TRANSPORT=socket).
+
+#if defined(__SANITIZE_THREAD__)
+#define PYPIM_SKIP_UNDER_TSAN() \
+    GTEST_SKIP() << "fork-based transport tests do not run under TSan"
+#else
+#define PYPIM_SKIP_UNDER_TSAN() (void)0
+#endif
+
+namespace
+{
+
+/** Canonical state image bytes (drains the fleet first). */
+std::vector<uint8_t>
+imageBytes(SimulatorGroup &grp)
+{
+    return encodeCheckpoint(buildGroupImage(grp));
+}
+
+/** Self-contained stream (leads with both masks, no Moves): the shape
+ *  the driver freezes into cacheable traces. @p salt varies the data
+ *  so distinct salts produce distinct trace signatures. */
+std::vector<Word>
+cacheableStream(const Geometry &g, uint32_t salt)
+{
+    std::vector<Word> ops;
+    ops.push_back(
+        MicroOp::crossbarMask(Range::all(g.numCrossbars)).encode());
+    ops.push_back(MicroOp::rowMask(Range::all(g.rows)).encode());
+    for (uint32_t s = 0; s < 4; ++s)
+        ops.push_back(
+            MicroOp::write(s, salt * 0x9E3779B9u + s).encode());
+    ops.push_back(MicroOp::logicH(Gate::Nor, g.column(0, 0),
+                                  g.column(1, 0), g.column(4, 0),
+                                  g.partitions - 1, 1)
+                      .encode());
+    return ops;
+}
+
+::testing::AssertionResult
+sameTraffic(const SimulatorGroup::Traffic &a,
+            const SimulatorGroup::Traffic &b)
+{
+    if (a.moveOps != b.moveOps || a.moveTransfers != b.moveTransfers ||
+        a.boundaryMoves != b.boundaryMoves ||
+        a.boundaryTransfers != b.boundaryTransfers)
+        return ::testing::AssertionFailure()
+               << "traffic diverged: inproc " << a.moveOps << "/"
+               << a.moveTransfers << "/" << a.boundaryMoves << "/"
+               << a.boundaryTransfers << " vs socket " << b.moveOps
+               << "/" << b.moveTransfers << "/" << b.boundaryMoves
+               << "/" << b.boundaryTransfers;
+    return ::testing::AssertionSuccess();
+}
+
+} // namespace
+
+TEST(SocketParity, FuzzedMoveHeavyStreamsMatchInproc)
+{
+    PYPIM_SKIP_UNDER_TSAN();
+    const Geometry g = multiGeometry();
+    for (uint32_t devices : {2u, 4u}) {
+        for (const XbarStorage st :
+             {XbarStorage::Dense, XbarStorage::Paged}) {
+            const EngineConfig base = EngineConfig::serial()
+                                          .withDevices(devices)
+                                          .withStorage(st);
+            SimulatorGroup inproc(g, base);
+            SimulatorGroup socket(
+                g, base.withTransport(TransportKind::Socket));
+            ASSERT_FALSE(inproc.remote());
+            ASSERT_TRUE(socket.remote());
+            ASSERT_EQ(socket.devices(), devices);
+
+            Rng rng(401 + devices * 13 +
+                    (st == XbarStorage::Paged ? 7 : 0));
+            Rng rngTwin = rng;
+            for (int batch = 0; batch < 3; ++batch) {
+                const std::vector<Word> ops =
+                    randomStream(rng, g, 160);
+                const std::vector<Word> twin =
+                    randomStream(rngTwin, g, 160);
+                ASSERT_EQ(ops, twin);
+                inproc.submitBatch(ops.data(), ops.size());
+                socket.submitBatch(ops.data(), ops.size());
+            }
+            inproc.flush();
+            socket.flush();
+
+            // Readback parity at a directed mask point.
+            std::vector<Word> mask;
+            mask.push_back(
+                MicroOp::crossbarMask(Range::single(5)).encode());
+            mask.push_back(MicroOp::rowMask(Range::single(3)).encode());
+            inproc.submitBatch(mask.data(), mask.size());
+            socket.submitBatch(mask.data(), mask.size());
+            for (uint32_t slot : {0u, 2u, 7u})
+                EXPECT_EQ(inproc.performRead(enc::read(slot)),
+                          socket.performRead(enc::read(slot)))
+                    << "x" << devices << " slot " << slot;
+
+            EXPECT_TRUE(inproc.stats() == socket.stats())
+                << "x" << devices << " "
+                << (st == XbarStorage::Paged ? "paged" : "dense");
+            EXPECT_TRUE(sameTraffic(inproc.traffic(),
+                                    socket.traffic()))
+                << "x" << devices;
+            EXPECT_GT(socket.traffic().boundaryMoves, 0u)
+                << "stream did not exercise the exchange path";
+            EXPECT_EQ(imageBytes(inproc), imageBytes(socket))
+                << "x" << devices << " "
+                << (st == XbarStorage::Paged ? "paged" : "dense");
+
+            // The exchange phases really went over the wire.
+            const WireTelemetry t = socket.wireTelemetry();
+            EXPECT_GT(t.exchanges, 0u);
+            EXPECT_GT(t.bytesTx, 0u);
+            EXPECT_EQ(inproc.wireTelemetry().bytesTx, 0u);
+        }
+    }
+}
+
+TEST(SocketParity, WarmTraceCacheShipsEachSignatureOncePerWorker)
+{
+    PYPIM_SKIP_UNDER_TSAN();
+    const Geometry g = multiGeometry();
+    for (uint32_t devices : {2u, 4u}) {
+        const EngineConfig base =
+            EngineConfig::serial().withDevices(devices);
+        SimulatorGroup inproc(g, base);
+        SimulatorGroup socket(
+            g, base.withTransport(TransportKind::Socket));
+
+        // Two distinct signatures, each replayed three times from a
+        // warm cache — the wire must carry each image exactly once per
+        // worker, every further replay riding the 8-byte signature.
+        constexpr int kReplays = 3;
+        constexpr uint32_t kSigs = 2;
+        for (uint32_t salt = 0; salt < kSigs; ++salt) {
+            const std::vector<Word> ops = cacheableStream(g, salt);
+            const std::shared_ptr<const BatchTrace> remote =
+                socket.prepareTrace(ops.data(), ops.size(), true);
+            const std::shared_ptr<const BatchTrace> local =
+                inproc.prepareTrace(ops.data(), ops.size(), true);
+            ASSERT_TRUE(remote);
+            ASSERT_TRUE(local);
+            for (int i = 0; i < kReplays; ++i) {
+                socket.submitTrace(remote);
+                inproc.submitTrace(local);
+            }
+        }
+        inproc.flush();
+        socket.flush();
+
+        const WireTelemetry t = socket.wireTelemetry();
+        EXPECT_EQ(t.traceInstalls, kSigs * devices)
+            << "each signature crosses the wire once per worker";
+        EXPECT_EQ(t.traceHits, kSigs * (kReplays - 1) * devices)
+            << "warm replays must be served from the worker cache";
+        EXPECT_TRUE(inproc.stats() == socket.stats()) << "x" << devices;
+        EXPECT_EQ(imageBytes(inproc), imageBytes(socket))
+            << "x" << devices;
+    }
+}
+
+TEST(SocketParity, EnvSelectedSocketFleetMatchesInproc)
+{
+    PYPIM_SKIP_UNDER_TSAN();
+    // The real opt-in path: PYPIM_TRANSPORT=socket via fromEnv, not a
+    // hand-built config.
+    ::setenv("PYPIM_TRANSPORT", "socket", 1);
+    ::setenv("PYPIM_DEVICES", "2", 1);
+    const EngineConfig cfg = EngineConfig::fromEnv();
+    ::unsetenv("PYPIM_TRANSPORT");
+    ::unsetenv("PYPIM_DEVICES");
+    ASSERT_EQ(cfg.transport, TransportKind::Socket);
+    ASSERT_EQ(cfg.devices, 2u);
+
+    const Geometry g = multiGeometry();
+    SimulatorGroup socket(g, cfg);
+    SimulatorGroup inproc(
+        g, cfg.withTransport(TransportKind::Inproc));
+    ASSERT_TRUE(socket.remote());
+    Rng rng(77);
+    Rng rngTwin = rng;
+    const std::vector<Word> ops = randomStream(rng, g, 200);
+    const std::vector<Word> twin = randomStream(rngTwin, g, 200);
+    ASSERT_EQ(ops, twin);
+    socket.submitBatch(ops.data(), ops.size());
+    inproc.submitBatch(twin.data(), twin.size());
+    socket.flush();
+    inproc.flush();
+    EXPECT_TRUE(inproc.stats() == socket.stats());
+    EXPECT_EQ(imageBytes(inproc), imageBytes(socket));
 }

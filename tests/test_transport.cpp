@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Shard-transport wire tests (sim/transport.hpp, sim/trace_wire.hpp):
+ * the framed protocol must reject EVERY damaged message loudly —
+ * single-bit flips anywhere in a frame, truncation at every length,
+ * byte reorderings and trailing garbage all throw pypim::Error before
+ * any state is applied; worker-side typed exceptions cross the wire
+ * and rethrow as the matching error class; trace images survive a
+ * round trip bit-exactly and reject corruption; and the live
+ * fork/socketpair fleet ships each frozen trace once per worker,
+ * surfaces a killed worker as a DeviceFault and rebuilds it through
+ * checkpoint restore and journaled recovery.
+ */
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <dirent.h>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "pim/pypim.hpp"
+#include "sim/batch_trace.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/device_group.hpp"
+#include "sim/htree.hpp"
+#include "sim/serialize.hpp"
+#include "sim/trace_wire.hpp"
+#include "sim/transport.hpp"
+
+using namespace pypim;
+
+namespace
+{
+
+/** Small self-contained stream leading with both masks, as the trace
+ *  wire codec requires of a frozen batch. */
+std::vector<Word>
+tracedStream(const Geometry &g)
+{
+    std::vector<Word> ops;
+    ops.push_back(
+        MicroOp::crossbarMask(Range::all(g.numCrossbars)).encode());
+    ops.push_back(MicroOp::rowMask(Range::all(g.rows)).encode());
+    ops.push_back(MicroOp::write(2, 0xDEADBEEFu).encode());
+    ops.push_back(MicroOp::write(3, 41).encode());
+    const uint32_t out = g.column(4, 0);
+    ops.push_back(MicroOp::logicH(Gate::Init1, 0, 0, out,
+                                  g.partitions - 1, 1)
+                      .encode());
+    ops.push_back(MicroOp::logicH(Gate::Nor, g.column(2, 0),
+                                  g.column(3, 0), g.column(5, 0),
+                                  g.partitions - 1, 1)
+                      .encode());
+    return ops;
+}
+
+/** Reference frame used by the fuzz battery. */
+std::vector<uint8_t>
+sampleFrame()
+{
+    std::vector<uint8_t> payload(48);
+    for (size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<uint8_t>(i * 37 + 5);
+    return encodeFrame(kMsgSubmit, payload.data(), payload.size());
+}
+
+/** PIDs of every live child process (the forked shard workers), via
+ *  /proc — empty when the kernel lacks CONFIG_PROC_CHILDREN. */
+std::vector<pid_t>
+liveChildren()
+{
+    std::vector<pid_t> pids;
+    DIR *tasks = ::opendir("/proc/self/task");
+    if (!tasks)
+        return pids;
+    while (struct dirent *e = ::readdir(tasks)) {
+        if (e->d_name[0] == '.')
+            continue;
+        std::ifstream f(std::string("/proc/self/task/") + e->d_name +
+                        "/children");
+        pid_t p = 0;
+        while (f >> p)
+            pids.push_back(p);
+    }
+    ::closedir(tasks);
+    return pids;
+}
+
+} // namespace
+
+// --- frame codec ----------------------------------------------------------
+
+TEST(WireFrame, RoundTripCarriesTypeAndPayload)
+{
+    const std::vector<uint8_t> payload = {9, 0, 255, 3, 128};
+    const std::vector<uint8_t> bytes =
+        encodeFrame(kMsgBulkRead, payload.data(), payload.size());
+    ASSERT_EQ(bytes.size(), kFrameHeader + payload.size());
+    const WireFrame f = decodeFrame(bytes.data(), bytes.size());
+    EXPECT_EQ(f.type, kMsgBulkRead);
+    EXPECT_EQ(f.payload, payload);
+}
+
+TEST(WireFrame, EmptyPayloadRoundTrips)
+{
+    const std::vector<uint8_t> bytes =
+        encodeFrame(kMsgFlush, nullptr, 0);
+    ASSERT_EQ(bytes.size(), kFrameHeader);
+    const WireFrame f = decodeFrame(bytes.data(), bytes.size());
+    EXPECT_EQ(f.type, kMsgFlush);
+    EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(WireFrame, EncodeRejectsUnknownType)
+{
+    EXPECT_THROW(encodeFrame(42, nullptr, 0), InternalError);
+    EXPECT_THROW(encodeFrame(0, nullptr, 0), InternalError);
+}
+
+TEST(WireFrame, EveryBitFlipIsRejected)
+{
+    // The checksum covers header and payload: no single-bit flip may
+    // decode, even one that lands on another valid type or length.
+    const std::vector<uint8_t> frame = sampleFrame();
+    for (size_t i = 0; i < frame.size(); ++i) {
+        for (int b = 0; b < 8; ++b) {
+            std::vector<uint8_t> bad = frame;
+            bad[i] ^= static_cast<uint8_t>(1u << b);
+            EXPECT_THROW(decodeFrame(bad.data(), bad.size()), Error)
+                << "flip survived at byte " << i << " bit " << b;
+        }
+    }
+}
+
+TEST(WireFrame, EveryTruncationIsRejected)
+{
+    const std::vector<uint8_t> frame = sampleFrame();
+    for (size_t n = 0; n < frame.size(); ++n)
+        EXPECT_THROW(decodeFrame(frame.data(), n), Error)
+            << "truncation to " << n << " bytes survived";
+}
+
+TEST(WireFrame, TrailingBytesAreRejected)
+{
+    std::vector<uint8_t> frame = sampleFrame();
+    frame.push_back(0);
+    EXPECT_THROW(decodeFrame(frame.data(), frame.size()), Error);
+}
+
+TEST(WireFrame, ByteReorderIsRejected)
+{
+    // Swapping any two differing bytes (a reordered wire) must fail
+    // the checksum or a field guard — never decode.
+    const std::vector<uint8_t> frame = sampleFrame();
+    for (size_t i = 0; i < frame.size(); ++i) {
+        for (size_t j = i + 1; j < frame.size(); ++j) {
+            if (frame[i] == frame[j])
+                continue;
+            std::vector<uint8_t> bad = frame;
+            std::swap(bad[i], bad[j]);
+            EXPECT_THROW(decodeFrame(bad.data(), bad.size()), Error)
+                << "swap " << i << "<->" << j << " survived";
+        }
+    }
+}
+
+// --- typed error forwarding -----------------------------------------------
+
+TEST(WireError, KindsMapToTypedExceptions)
+{
+    const auto rethrow = [](uint8_t kind, const std::string &msg) {
+        rethrowWireError(encodeWireError(kind, msg));
+    };
+    EXPECT_THROW(rethrow(kErrUser, "u"), Error);
+    EXPECT_THROW(rethrow(kErrInternal, "i"), InternalError);
+    EXPECT_THROW(rethrow(kErrFault, "f"), DeviceFault);
+    EXPECT_THROW(rethrow(kErrCorruption, "c"), StateCorruption);
+    EXPECT_THROW(rethrow(kErrInjected, "j"), InjectedFault);
+    // Unknown kinds degrade to the base class, never to silence.
+    EXPECT_THROW(rethrow(99, "x"), Error);
+}
+
+TEST(WireError, MessageSurvivesTheWire)
+{
+    try {
+        rethrowWireError(
+            encodeWireError(kErrCorruption, "crossbar 3 diverged"));
+        FAIL() << "did not throw";
+    } catch (const StateCorruption &e) {
+        EXPECT_STREQ(e.what(), "crossbar 3 diverged");
+    }
+}
+
+TEST(WireError, MalformedPayloadThrowsLoudly)
+{
+    const std::vector<uint8_t> good =
+        encodeWireError(kErrUser, "boom");
+    for (size_t n = 0; n < good.size(); ++n) {
+        const std::vector<uint8_t> bad(good.begin(), good.begin() + n);
+        EXPECT_THROW(rethrowWireError(bad), Error)
+            << "truncation to " << n << " bytes survived";
+    }
+}
+
+// --- trace wire format ----------------------------------------------------
+
+TEST(TraceWire, SignatureIsContentAddressed)
+{
+    const Geometry g = testGeometry();
+    const std::vector<Word> ops = tracedStream(g);
+    const uint64_t sig = traceSignature(ops.data(), ops.size(), true);
+    EXPECT_NE(sig, 0u);
+    EXPECT_NE(sig, traceSignature(ops.data(), ops.size(), false))
+        << "fusion flag must be part of the identity";
+    std::vector<Word> other = ops;
+    other[3] = MicroOp::write(3, 42).encode();
+    EXPECT_NE(sig, traceSignature(other.data(), other.size(), true));
+}
+
+TEST(TraceWire, RoundTripRebuildsIdenticalTrace)
+{
+    const Geometry g = testGeometry();
+    const HTree ht(g.numCrossbars);
+    const std::vector<Word> ops = tracedStream(g);
+    for (const bool compiled : {false, true}) {
+        const std::shared_ptr<const BatchTrace> t = buildWireTrace(
+            ops.data(), ops.size(), true, compiled, g, ht);
+        ASSERT_TRUE(t);
+        EXPECT_EQ(t->wireSig,
+                  traceSignature(ops.data(), ops.size(), true));
+        const std::vector<uint8_t> img = encodeTraceWire(*t);
+        const std::shared_ptr<const BatchTrace> d =
+            decodeTraceWire(img.data(), img.size(), g, ht);
+        ASSERT_TRUE(d);
+        EXPECT_EQ(d->wireSig, t->wireSig);
+        EXPECT_TRUE(d->stats == t->stats);
+        EXPECT_TRUE(d->finalXb == t->finalXb);
+        EXPECT_TRUE(d->finalRow == t->finalRow);
+    }
+}
+
+TEST(TraceWire, StreamWithoutLeadingMasksIsNotWireable)
+{
+    const Geometry g = testGeometry();
+    const HTree ht(g.numCrossbars);
+    const std::vector<Word> ops = {MicroOp::write(2, 7).encode()};
+    EXPECT_EQ(buildWireTrace(ops.data(), ops.size(), true, true, g, ht),
+              nullptr);
+}
+
+TEST(TraceWire, EveryBitFlipIsRejected)
+{
+    // Uncompiled image: every field is guarded (magic/version/geometry
+    // checks, the signature over the source ops, and the architectural
+    // epilogue cross-check against the rebuilt trace), so any
+    // single-bit flip must throw.
+    const Geometry g = testGeometry();
+    const HTree ht(g.numCrossbars);
+    const std::vector<Word> ops = tracedStream(g);
+    const std::shared_ptr<const BatchTrace> t =
+        buildWireTrace(ops.data(), ops.size(), true, false, g, ht);
+    ASSERT_TRUE(t);
+    const std::vector<uint8_t> img = encodeTraceWire(*t);
+    for (size_t i = 0; i < img.size(); ++i) {
+        for (int b = 0; b < 8; ++b) {
+            std::vector<uint8_t> bad = img;
+            bad[i] ^= static_cast<uint8_t>(1u << b);
+            EXPECT_THROW(decodeTraceWire(bad.data(), bad.size(), g, ht),
+                         Error)
+                << "flip survived at byte " << i << " bit " << b;
+        }
+    }
+}
+
+TEST(TraceWire, EveryTruncationIsRejected)
+{
+    const Geometry g = testGeometry();
+    const HTree ht(g.numCrossbars);
+    const std::vector<Word> ops = tracedStream(g);
+    const std::shared_ptr<const BatchTrace> t =
+        buildWireTrace(ops.data(), ops.size(), true, true, g, ht);
+    ASSERT_TRUE(t);
+    std::vector<uint8_t> img = encodeTraceWire(*t);
+    for (size_t n = 0; n < img.size(); ++n)
+        EXPECT_THROW(decodeTraceWire(img.data(), n, g, ht), Error)
+            << "truncation to " << n << " bytes survived";
+    img.push_back(0);
+    EXPECT_THROW(decodeTraceWire(img.data(), img.size(), g, ht), Error)
+        << "trailing byte survived";
+}
+
+TEST(TraceWire, WrongGeometryIsRejected)
+{
+    const Geometry g = testGeometry();
+    const HTree ht(g.numCrossbars);
+    const std::vector<Word> ops = tracedStream(g);
+    const std::shared_ptr<const BatchTrace> t =
+        buildWireTrace(ops.data(), ops.size(), true, true, g, ht);
+    ASSERT_TRUE(t);
+    const std::vector<uint8_t> img = encodeTraceWire(*t);
+    Geometry g2 = g;
+    g2.numCrossbars *= 4;
+    const HTree ht2(g2.numCrossbars);
+    EXPECT_THROW(decodeTraceWire(img.data(), img.size(), g2, ht2),
+                 Error);
+}
+
+// --- live fleet -----------------------------------------------------------
+
+#if defined(__SANITIZE_THREAD__)
+#define PYPIM_SKIP_UNDER_TSAN() \
+    GTEST_SKIP() << "fork-based transport tests do not run under TSan"
+#else
+#define PYPIM_SKIP_UNDER_TSAN() (void)0
+#endif
+
+TEST(SocketFleet, TraceCrossesTheWireOncePerWorker)
+{
+    PYPIM_SKIP_UNDER_TSAN();
+    Geometry g = testGeometry();
+    g.numCrossbars = 16;
+    const EngineConfig cfg = EngineConfig::serial()
+                                 .withDevices(2)
+                                 .withTransport(TransportKind::Socket);
+    SimulatorGroup grp(g, cfg);
+    ASSERT_TRUE(grp.remote());
+    const std::vector<Word> ops = tracedStream(g);
+    const std::shared_ptr<const BatchTrace> trace =
+        grp.prepareTrace(ops.data(), ops.size(), true);
+    ASSERT_TRUE(trace);
+    for (int i = 0; i < 3; ++i)
+        grp.submitTrace(trace);
+    grp.flush();
+    const WireTelemetry t = grp.wireTelemetry();
+    EXPECT_EQ(t.traceInstalls, 2u)
+        << "each signature must be transmitted at most once per worker";
+    EXPECT_EQ(t.traceHits, 4u)
+        << "replays after the first are install-free per worker";
+    EXPECT_GT(t.bytesTx, 0u);
+    EXPECT_GT(t.bytesRx, 0u);
+    EXPECT_GT(t.roundTrips, 0u);
+
+    // Same trace replayed by the in-process group: the architectural
+    // stats and the canonical state image must be bit-identical (the
+    // wire counters live OUTSIDE Stats precisely to keep this true).
+    SimulatorGroup ref(g, EngineConfig::serial().withDevices(2));
+    const std::shared_ptr<const BatchTrace> refTrace =
+        ref.prepareTrace(ops.data(), ops.size(), true);
+    ASSERT_TRUE(refTrace);
+    for (int i = 0; i < 3; ++i)
+        ref.submitTrace(refTrace);
+    ref.flush();
+    EXPECT_TRUE(grp.stats() == ref.stats());
+    EXPECT_EQ(encodeCheckpoint(buildGroupImage(grp)),
+              encodeCheckpoint(buildGroupImage(ref)));
+}
+
+TEST(SocketFleet, KilledWorkerSurfacesAsDeviceFaultAndRestores)
+{
+    PYPIM_SKIP_UNDER_TSAN();
+    Geometry g = testGeometry();
+    g.numCrossbars = 16;
+    const EngineConfig cfg = EngineConfig::serial()
+                                 .withDevices(2)
+                                 .withTransport(TransportKind::Socket);
+    SimulatorGroup grp(g, cfg);
+    const std::vector<Word> ops = tracedStream(g);
+    grp.submitBatch(ops.data(), ops.size());
+    grp.flush();
+    const CheckpointImage img = buildGroupImage(grp);
+    const std::vector<uint8_t> before = encodeCheckpoint(img);
+
+    const std::vector<pid_t> workers = liveChildren();
+    if (workers.empty())
+        GTEST_SKIP() << "/proc/self/task/*/children unavailable";
+    for (const pid_t p : workers)
+        ::kill(p, SIGKILL);
+    EXPECT_THROW(
+        {
+            // The broken pipe may surface on the send or the reply:
+            // either way it must be the recoverable WorkerDied, a
+            // DeviceFault — not a silent hang or a raw errno.
+            grp.flush();
+            (void)grp.stats();
+        },
+        DeviceFault);
+
+    // Restore respawns the dead workers and replays the image; the
+    // rebuilt fleet must serve the identical canonical state.
+    restoreGroupImage(grp, img);
+    EXPECT_EQ(encodeCheckpoint(buildGroupImage(grp)), before);
+}
+
+TEST(SocketFleet, InjectedFaultIsRecoveredAcrossTheWire)
+{
+    PYPIM_SKIP_UNDER_TSAN();
+    Geometry g = testGeometry();
+    g.numCrossbars = 16;
+    const EngineConfig socket = EngineConfig::serial()
+                                    .withDevices(2)
+                                    .withTransport(TransportKind::Socket);
+    // The worker hits fail=N, goes sticky, and replies a typed
+    // InjectedFault at the next sync — which the host-side recovery
+    // seam turns into restore + journal replay, exactly as in-process.
+    Device faulty(g, Driver::Mode::Parallel,
+                  socket.withFaults("seed=3:fail=4").withVerifyState());
+    Device clean(g, Driver::Mode::Parallel, socket);
+    const auto run = [](Device &dev) {
+        Rng rng(99);
+        std::vector<int32_t> va(64), vb(64);
+        for (size_t i = 0; i < va.size(); ++i) {
+            va[i] = static_cast<int32_t>(rng.word());
+            vb[i] = static_cast<int32_t>(rng.word() | 1);
+        }
+        Tensor a = Tensor::fromVector(va, &dev);
+        Tensor b = Tensor::fromVector(vb, &dev);
+        Tensor c = a * b + a;
+        std::vector<int32_t> out = c.toIntVector();
+        Tensor d = (c ^ b) - a;
+        const std::vector<int32_t> tail = d.toIntVector();
+        out.insert(out.end(), tail.begin(), tail.end());
+        return out;
+    };
+    EXPECT_EQ(run(faulty), run(clean));
+    const Stats fs = faulty.faultStats();
+    EXPECT_GE(fs.faultsDetected, 1u);
+    EXPECT_GE(fs.recoveries, 1u);
+    EXPECT_GE(fs.faultsInjected, 1u);
+    EXPECT_GT(fs.wireBytesTx, 0u)
+        << "transport telemetry must fold into the fault report";
+    EXPECT_GT(fs.wireRoundTrips, 0u);
+}
